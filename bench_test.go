@@ -1,0 +1,532 @@
+// Benchmarks regenerating the paper's evaluation artifacts (see DESIGN.md
+// experiment index):
+//
+//	BenchmarkFig4Conciseness   — Figure 4: patch sizes of the three systems
+//	BenchmarkFig5Throughput    — Figure 5: diffing throughput (nodes/ms)
+//	BenchmarkLinearScaling     — Theorem 4.1: ns/node across tree sizes
+//	BenchmarkIncA*             — §6: incremental analysis vs reanalysis
+//	BenchmarkIndex*            — §6: one-to-one vs many-to-one link index
+//	BenchmarkAblation*         — design-choice ablations from DESIGN.md §5
+//	BenchmarkLinearDiffBaseline— E9: the typed Cpy/Ins/Del baseline
+//	BenchmarkLineDiffBaseline  — E10: Asenov-style line-based diffing
+//	BenchmarkMatchingBased     — E11: type-safe scripts from Gumtree matching
+//	BenchmarkJSONDiff          — truediff over JSON documents
+//	BenchmarkPatch             — standard-semantics patching throughput
+//	BenchmarkParse             — pylang parser throughput
+//
+// Custom metrics (edits/file, nodes/ms, …) are attached via b.ReportMetric.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/exp"
+	"repro/internal/gumtree"
+	"repro/internal/hdiff"
+	"repro/internal/inca"
+	"repro/internal/jsonlang"
+	"repro/internal/lineardiff"
+	"repro/internal/linediff"
+	"repro/internal/mtree"
+	"repro/internal/pylang"
+	"repro/internal/tree"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+// fixture is the shared benchmark corpus, generated once.
+var (
+	fixtureOnce sync.Once
+	fixture     *corpus.History
+)
+
+func benchCorpus(b *testing.B) *corpus.History {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixture = corpus.Generate(corpus.Options{
+			Seed: 42, Files: 8, Commits: 40, MaxFilesPerCommit: 3,
+			MinNodes: 250, MaxNodes: 1200, MaxEditsPerFile: 4,
+		})
+	})
+	return fixture
+}
+
+// BenchmarkFig4Conciseness measures patch computation across the corpus for
+// each system and reports the mean patch size (the Figure 4 metric).
+func BenchmarkFig4Conciseness(b *testing.B) {
+	h := benchCorpus(b)
+	changes := h.Changes()
+	sch := h.Factory.Schema()
+	alloc := h.Factory.Alloc()
+
+	b.Run("truediff", func(b *testing.B) {
+		d := truediff.New(sch)
+		totalEdits, files := 0, 0
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				res, err := d.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+					tree.Clone(fc.After, alloc, tree.SHA256), alloc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalEdits += res.Script.EditCount()
+				files++
+			}
+		}
+		b.ReportMetric(float64(totalEdits)/float64(files), "edits/file")
+	})
+	b.Run("gumtree", func(b *testing.B) {
+		totalEdits, files := 0, 0
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				script, _ := gumtree.Diff(gumtree.FromTree(fc.Before), gumtree.FromTree(fc.After),
+					gumtree.DefaultOptions())
+				totalEdits += script.Len()
+				files++
+			}
+		}
+		b.ReportMetric(float64(totalEdits)/float64(files), "edits/file")
+	})
+	b.Run("hdiff", func(b *testing.B) {
+		totalSize, files := 0, 0
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				patch := hdiff.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+					tree.Clone(fc.After, alloc, tree.SHA256), hdiff.DefaultOptions())
+				totalSize += patch.Size()
+				files++
+			}
+		}
+		b.ReportMetric(float64(totalSize)/float64(files), "edits/file")
+	})
+}
+
+// BenchmarkFig5Throughput measures nodes/ms on the corpus (Figure 5).
+func BenchmarkFig5Throughput(b *testing.B) {
+	h := benchCorpus(b)
+	changes := h.Changes()
+	sch := h.Factory.Schema()
+	alloc := h.Factory.Alloc()
+	totalNodes := 0
+	for _, fc := range changes {
+		totalNodes += fc.Before.Size() + fc.After.Size()
+	}
+	reportNodesPerMS := func(b *testing.B) {
+		nodes := float64(totalNodes) * float64(b.N)
+		b.ReportMetric(nodes/(float64(b.Elapsed().Nanoseconds())/1e6), "nodes/ms")
+	}
+
+	b.Run("truediff", func(b *testing.B) {
+		d := truediff.New(sch)
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				if _, err := d.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+					tree.Clone(fc.After, alloc, tree.SHA256), alloc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportNodesPerMS(b)
+	})
+	b.Run("gumtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				gumtree.Diff(gumtree.FromTree(fc.Before), gumtree.FromTree(fc.After),
+					gumtree.DefaultOptions())
+			}
+		}
+		reportNodesPerMS(b)
+	})
+	b.Run("hdiff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				hdiff.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+					tree.Clone(fc.After, alloc, tree.SHA256), hdiff.DefaultOptions())
+			}
+		}
+		reportNodesPerMS(b)
+	})
+}
+
+// BenchmarkLinearScaling validates Theorem 4.1: ns/node stays flat as trees
+// grow by two orders of magnitude.
+func BenchmarkLinearScaling(b *testing.B) {
+	for _, size := range []int{500, 5000, 50000} {
+		h := corpus.Generate(corpus.Options{
+			Seed: int64(size), Files: 1, Commits: 1, MaxFilesPerCommit: 1,
+			MinNodes: size, MaxNodes: size + size/10 + 1, MaxEditsPerFile: 3,
+		})
+		fc := h.Changes()[0]
+		alloc := h.Factory.Alloc()
+		d := truediff.New(h.Factory.Schema())
+		nodes := float64(fc.Before.Size() + fc.After.Size())
+		b.Run(sizeName(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+					tree.Clone(fc.After, alloc, tree.SHA256), alloc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/nodes, "ns/node")
+		})
+	}
+}
+
+func sizeName(size int) string {
+	switch {
+	case size >= 1000000:
+		return "1M"
+	case size >= 50000:
+		return "50k"
+	case size >= 5000:
+		return "5k"
+	default:
+		return "500"
+	}
+}
+
+// incaFixture prepares a (before, after, script) triple plus drivers.
+func incaFixture(b *testing.B) (*corpus.History, corpus.FileChange) {
+	b.Helper()
+	h := corpus.Generate(corpus.Options{
+		Seed: 7, Files: 1, Commits: 1, MaxFilesPerCommit: 1,
+		MinNodes: 300, MaxNodes: 500, MaxEditsPerFile: 3,
+	})
+	return h, h.Changes()[0]
+}
+
+// BenchmarkIncAIncremental measures diff + incremental Datalog maintenance
+// per change; BenchmarkIncARecompute the from-scratch reanalysis baseline.
+func BenchmarkIncAIncremental(b *testing.B) {
+	h, fc := incaFixture(b)
+	sch := h.Factory.Schema()
+	d := truediff.New(sch)
+	res, err := d.Diff(fc.Before, fc.After, h.Factory.Alloc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	inverse, err := d.Diff(res.Patched, tree.Clone(fc.Before, h.Factory.Alloc(), tree.SHA256), h.Factory.Alloc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	driver, err := inca.NewDriver(sch, inca.StandardRules(), inca.NewOneToOne())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := driver.InitTree(fc.Before); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Apply the change and roll it back so every iteration starts from
+		// the same database state.
+		if err := driver.ProcessScript(res.Script); err != nil {
+			b.Fatal(err)
+		}
+		if err := driver.ProcessScript(inverse.Script); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncARecompute initializes the analysis from scratch per change.
+func BenchmarkIncARecompute(b *testing.B) {
+	h, fc := incaFixture(b)
+	sch := h.Factory.Schema()
+	for i := 0; i < b.N; i++ {
+		driver, err := inca.NewDriver(sch, inca.StandardRules(), inca.NewOneToOne())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := driver.InitTree(fc.After); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Index micro-benchmarks: the §6 claim that type safety permits the compact
+// one-to-one encoding.
+func benchIndex(b *testing.B, mk func() inca.LinkIndex) {
+	const n = 1000
+	for i := 0; i < b.N; i++ {
+		ix := mk()
+		for j := 0; j < n; j++ {
+			if err := ix.Attach("e1", uri.URI(j), uri.URI(j+n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < n; j++ {
+			ix.Kid("e1", uri.URI(j))
+			ix.Parent("e1", uri.URI(j+n))
+		}
+		for j := 0; j < n; j++ {
+			if err := ix.Detach("e1", uri.URI(j), uri.URI(j+n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/(3*n), "ns/indexop")
+}
+
+// BenchmarkIndexOneToOne measures the typed one-to-one link index.
+func BenchmarkIndexOneToOne(b *testing.B) {
+	benchIndex(b, func() inca.LinkIndex { return inca.NewOneToOne() })
+}
+
+// BenchmarkIndexManyToOne measures the untyped many-to-one link index.
+func BenchmarkIndexManyToOne(b *testing.B) {
+	benchIndex(b, func() inca.LinkIndex { return inca.NewManyToOne() })
+}
+
+// Ablations (DESIGN.md §5).
+
+// BenchmarkAblationEquivalence compares the paper's candidate/preference
+// configuration against exact-only and no-preference selection.
+func BenchmarkAblationEquivalence(b *testing.B) {
+	h := benchCorpus(b)
+	changes := h.Changes()
+	alloc := h.Factory.Alloc()
+	for _, cfg := range []struct {
+		name string
+		mode truediff.EquivMode
+	}{
+		{"structural+preference", truediff.StructuralWithLiteralPreference},
+		{"exact-only", truediff.ExactOnly},
+		{"no-preference", truediff.StructuralNoPreference},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d := truediff.NewWithOptions(h.Factory.Schema(), truediff.Options{Equiv: cfg.mode})
+			total, files := 0, 0
+			for i := 0; i < b.N; i++ {
+				for _, fc := range changes {
+					res, err := d.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+						tree.Clone(fc.After, alloc, tree.SHA256), alloc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.Script.EditCount()
+					files++
+				}
+			}
+			b.ReportMetric(float64(total)/float64(files), "edits/file")
+		})
+	}
+}
+
+// BenchmarkAblationOrder compares highest-first candidate selection against
+// plain FIFO (fragmentation-prone) selection.
+func BenchmarkAblationOrder(b *testing.B) {
+	h := benchCorpus(b)
+	changes := h.Changes()
+	alloc := h.Factory.Alloc()
+	for _, cfg := range []struct {
+		name  string
+		order truediff.SelectionOrder
+	}{
+		{"highest-first", truediff.HighestFirst},
+		{"fifo", truediff.FIFO},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d := truediff.NewWithOptions(h.Factory.Schema(), truediff.Options{Order: cfg.order})
+			total, files := 0, 0
+			for i := 0; i < b.N; i++ {
+				for _, fc := range changes {
+					res, err := d.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+						tree.Clone(fc.After, alloc, tree.SHA256), alloc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.Script.EditCount()
+					files++
+				}
+			}
+			b.ReportMetric(float64(total)/float64(files), "edits/file")
+		})
+	}
+}
+
+// BenchmarkAblationHash compares SHA-256 against FNV-64 for the subtree
+// equivalence hashes (tree construction + diff).
+func BenchmarkAblationHash(b *testing.B) {
+	h := benchCorpus(b)
+	changes := h.Changes()
+	alloc := h.Factory.Alloc()
+	for _, cfg := range []struct {
+		name string
+		kind tree.HashKind
+	}{
+		{"sha256", tree.SHA256},
+		{"fnv64", tree.FNV64},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d := truediff.New(h.Factory.Schema())
+			for i := 0; i < b.N; i++ {
+				for _, fc := range changes {
+					if _, err := d.Diff(tree.Clone(fc.Before, alloc, cfg.kind),
+						tree.Clone(fc.After, alloc, cfg.kind), alloc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLinearDiffBaseline exercises the typed Cpy/Ins/Del baseline of
+// the intro (E9); its quadratic DP restricts it to small trees.
+func BenchmarkLinearDiffBaseline(b *testing.B) {
+	g := exp.NewGen(13)
+	src := g.Tree(300)
+	dst := g.MutateN(src, 3)
+	b.ResetTimer()
+	var ops int
+	for i := 0; i < b.N; i++ {
+		s, err := lineardiff.Diff(src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = s.Len()
+	}
+	b.ReportMetric(float64(ops), "ops/script")
+}
+
+// BenchmarkPatch measures standard-semantics patch application.
+func BenchmarkPatch(b *testing.B) {
+	h, fc := incaFixture(b)
+	sch := h.Factory.Schema()
+	d := truediff.New(sch)
+	res, err := d.Diff(fc.Before, fc.After, h.Factory.Alloc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mt, err := mtree.FromTree(sch, fc.Before)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := mt.Patch(res.Script); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Script.Len()), "edits/patch")
+}
+
+// BenchmarkParse measures pylang parsing throughput on a rendered module.
+func BenchmarkParse(b *testing.B) {
+	_, fc := incaFixture(b)
+	src := pylang.Render(fc.Before)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pylang.ParseNew(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLineDiffBaseline exercises the Asenov-style line-based
+// structural diff of related work §7: single-node-per-line rendering plus
+// Myers diff with move recovery.
+func BenchmarkLineDiffBaseline(b *testing.B) {
+	h, fc := incaFixture(b)
+	_ = h
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		res := linediff.Diff(fc.Before, fc.After)
+		size = res.PatchSize()
+	}
+	b.ReportMetric(float64(size), "lines/patch")
+}
+
+// BenchmarkJSONDiff measures truediff over JSON document trees (the
+// databases use case of the paper's introduction).
+func BenchmarkJSONDiff(b *testing.B) {
+	codec := jsonlang.NewCodec()
+	grow := func(n int) string {
+		doc := `{"items":[`
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				doc += ","
+			}
+			doc += fmt.Sprintf(`{"id":%d,"name":"item%d","tags":["a","b"],"price":%d.5}`, i, i, i)
+		}
+		return doc + `],"version":1}`
+	}
+	src, err := codec.Parse(grow(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dstText := grow(50)
+	dstText = strings.Replace(dstText, `"version":1`, `"version":2`, 1)
+	dstText = strings.Replace(dstText, `"name":"item7"`, `"name":"renamed"`, 1)
+	dst, err := codec.Parse(dstText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := truediff.New(codec.Schema())
+	nodes := float64(src.Size() + dst.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Diff(tree.Clone(src, codec.Alloc(), tree.SHA256),
+			tree.Clone(dst, codec.Alloc(), tree.SHA256), codec.Alloc()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nodes, "nodes")
+}
+
+// BenchmarkMatchingBased compares the §7 exploration — type-safe truechange
+// scripts generated from Gumtree's similarity matching — against truediff's
+// own hash-based assignment, on the same corpus.
+func BenchmarkMatchingBased(b *testing.B) {
+	h := benchCorpus(b)
+	changes := h.Changes()
+	sch := h.Factory.Schema()
+	alloc := h.Factory.Alloc()
+
+	b.Run("hash-assignment", func(b *testing.B) {
+		d := truediff.New(sch)
+		total, files := 0, 0
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				res, err := d.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+					tree.Clone(fc.After, alloc, tree.SHA256), alloc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Script.EditCount()
+				files++
+			}
+		}
+		b.ReportMetric(float64(total)/float64(files), "edits/file")
+	})
+	b.Run("gumtree-matching", func(b *testing.B) {
+		d := truediff.New(sch)
+		total, files := 0, 0
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				pairs := gumtree.MatchTyped(fc.Before, fc.After, gumtree.DefaultOptions())
+				matches := make([]truediff.MatchPair, len(pairs))
+				for j, p := range pairs {
+					matches[j] = truediff.MatchPair{Src: p.Src, Dst: p.Dst}
+				}
+				res, err := d.DiffWithMatching(fc.Before, fc.After, matches, alloc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Script.EditCount()
+				files++
+			}
+		}
+		b.ReportMetric(float64(total)/float64(files), "edits/file")
+	})
+}

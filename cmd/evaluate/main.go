@@ -1,0 +1,95 @@
+// Command evaluate regenerates the paper's evaluation artifacts (DESIGN.md
+// experiment index E1–E6) on the synthetic corpus and prints them as text:
+//
+//	evaluate -experiment fig4     # Figure 4: conciseness box plots
+//	evaluate -experiment fig5     # Figure 5: throughput box plots
+//	evaluate -experiment inca     # §6 incremental computing
+//	evaluate -experiment scaling  # Theorem 4.1 linear run time
+//	evaluate -experiment all
+//
+// Corpus scale is configurable; the defaults finish in well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/evaluation"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig4 | fig5 | inca | scaling | ablation | matching | all")
+		seed       = flag.Int64("seed", 1, "corpus seed")
+		files      = flag.Int("files", 20, "number of files in the synthetic repository")
+		commits    = flag.Int("commits", 100, "number of commits to generate")
+		minNodes   = flag.Int("min-nodes", 300, "minimum module size in AST nodes")
+		maxNodes   = flag.Int("max-nodes", 2500, "maximum module size in AST nodes")
+		reps       = flag.Int("reps", 3, "repetitions per file, fastest kept")
+	)
+	flag.Parse()
+
+	needCorpus := *experiment == "fig4" || *experiment == "fig5" || *experiment == "all"
+	var results []evaluation.FileResult
+	if needCorpus {
+		cfg := evaluation.Config{
+			Corpus: corpus.Options{
+				Seed: *seed, Files: *files, Commits: *commits,
+				MaxFilesPerCommit: 4, MinNodes: *minNodes, MaxNodes: *maxNodes,
+				MaxEditsPerFile: 4,
+			},
+			Reps:   *reps,
+			Warmup: 20,
+		}
+		runner := evaluation.NewRunner(cfg)
+		fmt.Fprintf(os.Stderr, "corpus: %d changed files across %d commits\n",
+			len(runner.History().Changes()), *commits)
+		results = runner.Run()
+	}
+
+	switch *experiment {
+	case "fig4":
+		fmt.Println(evaluation.Fig4(results).Report())
+	case "fig5":
+		fmt.Println(evaluation.Fig5(results).Report())
+	case "inca":
+		fmt.Println(evaluation.RunIncA(evaluation.DefaultIncAConfig()).Report())
+	case "scaling":
+		fmt.Println(evaluation.ScalingReport(
+			evaluation.RunScaling([]int{100, 316, 1000, 3162, 10000, 31623, 100000}, 3)))
+	case "ablation":
+		fmt.Println(evaluation.AblationReport(evaluation.RunAblations(corpus.Options{
+			Seed: *seed, Files: *files / 2, Commits: *commits / 2,
+			MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
+			MaxEditsPerFile: 4,
+		})))
+	case "matching":
+		fmt.Println(evaluation.RunMatching(corpus.Options{
+			Seed: *seed, Files: *files / 2, Commits: *commits / 2,
+			MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
+			MaxEditsPerFile: 4,
+		}).Report())
+	case "all":
+		fmt.Println(evaluation.Fig4(results).Report())
+		fmt.Println(evaluation.Fig5(results).Report())
+		fmt.Println(evaluation.RunIncA(evaluation.DefaultIncAConfig()).Report())
+		fmt.Println(evaluation.ScalingReport(
+			evaluation.RunScaling([]int{100, 1000, 10000, 100000}, 3)))
+		fmt.Println(evaluation.AblationReport(evaluation.RunAblations(corpus.Options{
+			Seed: *seed, Files: *files / 2, Commits: *commits / 2,
+			MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
+			MaxEditsPerFile: 4,
+		})))
+		fmt.Println(evaluation.RunMatching(corpus.Options{
+			Seed: *seed, Files: *files / 2, Commits: *commits / 2,
+			MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
+			MaxEditsPerFile: 4,
+		}).Report())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

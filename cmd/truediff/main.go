@@ -1,0 +1,146 @@
+// Command truediff diffs two Python source files (or JSON documents) and
+// prints the truechange edit script, optionally verifying it against the
+// linear type system and the standard semantics:
+//
+//	truediff old.py new.py             # print the edit script
+//	truediff -check old.py new.py      # also type-check and verify patching
+//	truediff -stats old.py new.py      # sizes, edit counts, timing
+//	truediff -baselines old.py new.py  # compare against gumtree and hdiff
+//	truediff -lang json a.json b.json  # diff JSON documents
+//
+// Exit status: 0 on success (even for non-empty diffs), 1 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gumtree"
+	"repro/internal/hdiff"
+	"repro/internal/jsonlang"
+	"repro/internal/mtree"
+	"repro/internal/pylang"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+func main() {
+	var (
+		check     = flag.Bool("check", false, "type-check the script and verify patching")
+		stat      = flag.Bool("stats", false, "print sizes, edit counts, and timing")
+		baselines = flag.Bool("baselines", false, "also run gumtree and hdiff")
+		quiet     = flag.Bool("quiet", false, "suppress the edit script itself")
+		lang      = flag.String("lang", "python", "input language: python | json")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: truediff [-check] [-stats] [-baselines] [-quiet] [-lang python|json] OLD NEW")
+		os.Exit(1)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *lang, *check, *stat, *baselines, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "truediff:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBoth loads both inputs as typed trees over one schema and allocator.
+func parseBoth(lang, oldPath, newPath string) (*sig.Schema, *uri.Allocator, *tree.Node, *tree.Node, error) {
+	oldSrc, err := os.ReadFile(oldPath)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	newSrc, err := os.ReadFile(newPath)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	switch lang {
+	case "python":
+		f := pylang.NewFactory()
+		before, err := pylang.Parse(string(oldSrc), f)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("%s: %w", oldPath, err)
+		}
+		after, err := pylang.Parse(string(newSrc), f)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("%s: %w", newPath, err)
+		}
+		return f.Schema(), f.Alloc(), before, after, nil
+	case "json":
+		c := jsonlang.NewCodec()
+		before, err := c.Parse(string(oldSrc))
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("%s: %w", oldPath, err)
+		}
+		after, err := c.Parse(string(newSrc))
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("%s: %w", newPath, err)
+		}
+		return c.Schema(), c.Alloc(), before, after, nil
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("unknown language %q", lang)
+	}
+}
+
+func run(oldPath, newPath, lang string, check, stat, baselines, quiet bool) error {
+	sch, alloc, before, after, err := parseBoth(lang, oldPath, newPath)
+	if err != nil {
+		return err
+	}
+
+	d := truediff.New(sch)
+	start := time.Now()
+	res, err := d.Diff(before, after, alloc)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	if !quiet {
+		fmt.Println(res.Script)
+	}
+	if stat {
+		fmt.Printf("source nodes:  %d\n", before.Size())
+		fmt.Printf("target nodes:  %d\n", after.Size())
+		fmt.Printf("edits:         %d raw, %d compound\n", res.Script.Len(), res.Script.EditCount())
+		fmt.Printf("breakdown:     %s\n", truechange.ComputeStats(res.Script))
+		fmt.Printf("diff time:     %s (%.0f nodes/ms)\n", elapsed,
+			float64(before.Size()+after.Size())/(float64(elapsed.Nanoseconds())/1e6))
+	}
+	if check {
+		if err := truechange.WellTyped(sch, res.Script); err != nil {
+			return fmt.Errorf("script is ill-typed: %w", err)
+		}
+		mt, err := mtree.FromTree(sch, before)
+		if err != nil {
+			return err
+		}
+		if err := mt.Comply(res.Script); err != nil {
+			return fmt.Errorf("script does not comply with the source tree: %w", err)
+		}
+		if err := mt.Patch(res.Script); err != nil {
+			return fmt.Errorf("patching failed: %w", err)
+		}
+		if !mt.EqualTree(after) {
+			return fmt.Errorf("patched tree does not equal the target tree")
+		}
+		fmt.Println("check: script is well-typed and patches the source into the target ✓")
+	}
+	if baselines {
+		gs, gd := gumtree.FromTree(before), gumtree.FromTree(after)
+		gStart := time.Now()
+		gScript, _ := gumtree.Diff(gs, gd, gumtree.DefaultOptions())
+		gElapsed := time.Since(gStart)
+		hStart := time.Now()
+		patch := hdiff.Diff(before, after, hdiff.DefaultOptions())
+		hElapsed := time.Since(hStart)
+		fmt.Printf("baseline gumtree: %d actions in %s\n", gScript.Len(), gElapsed)
+		fmt.Printf("baseline hdiff:   %d constructors in %s\n", patch.Size(), hElapsed)
+		fmt.Printf("truediff:         %d compound edits in %s\n", res.Script.EditCount(), elapsed)
+	}
+	return nil
+}

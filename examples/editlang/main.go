@@ -1,0 +1,110 @@
+// Editlang: use the truechange edit script language directly, without the
+// diffing algorithm — the walkthrough of paper §2 and §3.1/§3.2. Three
+// hand-written edit scripts build and evolve a tree from scratch, each
+// validated by the linear type system before the standard semantics
+// executes it. A fourth, deliberately ill-typed script shows what the type
+// system rejects: the classic subtree swap via move operations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/mtree"
+	"repro/internal/sig"
+	"repro/internal/truechange"
+	"repro/internal/uri"
+)
+
+func main() {
+	sch := exp.Schema()
+	mt := mtree.New(sch)
+	fmt.Println("start:", mt)
+
+	// ∆1 builds Add3(Var1("a"), Var2("b")) from the empty tree. It must be
+	// a well-typed *initializing* script (Definition 3.2): it may fill the
+	// pre-defined root's empty slot.
+	d1 := &truechange.Script{Edits: []truechange.Edit{
+		truechange.Load{Node: ref(exp.Var, 1), Lits: lits("name", "a")},
+		truechange.Load{Node: ref(exp.Var, 2), Lits: lits("name", "b")},
+		truechange.Load{Node: ref(exp.Add, 3), Kids: []truechange.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
+		truechange.Attach{Node: ref(exp.Add, 3), Link: sig.RootLink, Parent: truechange.RootRef},
+	}}
+	if err := truechange.WellTypedInit(sch, d1); err != nil {
+		log.Fatal("∆1: ", err)
+	}
+	must(mt.Patch(d1))
+	fmt.Println("after ∆1:", mt)
+
+	// ∆2 updates a literal in place (Definition 3.1 applies from here on).
+	d2 := &truechange.Script{Edits: []truechange.Edit{
+		truechange.Update{Node: ref(exp.Var, 2), Old: lits("name", "b"), New: lits("name", "c")},
+	}}
+	checkAndPatch(sch, mt, d2, "∆2")
+
+	// ∆3 swaps the constructor: unload Add3, reusing its children for a
+	// fresh Mul4. The unload releases Var1 and Var2 as detached roots,
+	// which the load consumes — linearity in action.
+	d3 := &truechange.Script{Edits: []truechange.Edit{
+		truechange.Detach{Node: ref(exp.Add, 3), Link: sig.RootLink, Parent: truechange.RootRef},
+		truechange.Unload{Node: ref(exp.Add, 3), Kids: []truechange.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
+		truechange.Load{Node: ref(exp.Mul, 4), Kids: []truechange.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
+		truechange.Attach{Node: ref(exp.Mul, 4), Link: sig.RootLink, Parent: truechange.RootRef},
+	}}
+	checkAndPatch(sch, mt, d3, "∆3")
+
+	// ∆4 swaps the two variables with paired detach/attach edits. Watch
+	// the intermediate states: each detach creates a root and an empty
+	// slot, each attach consumes one of each.
+	d4 := &truechange.Script{Edits: []truechange.Edit{
+		truechange.Detach{Node: ref(exp.Var, 1), Link: "e1", Parent: ref(exp.Mul, 4)},
+		truechange.Detach{Node: ref(exp.Var, 2), Link: "e2", Parent: ref(exp.Mul, 4)},
+		truechange.Attach{Node: ref(exp.Var, 2), Link: "e1", Parent: ref(exp.Mul, 4)},
+		truechange.Attach{Node: ref(exp.Var, 1), Link: "e2", Parent: ref(exp.Mul, 4)},
+	}}
+	fmt.Println("\ntracing ∆4 through the type system:")
+	st := truechange.ClosedState()
+	for _, e := range d4.Edits {
+		if err := truechange.CheckEdit(sch, e, st); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-34s  state %s\n", e, st)
+	}
+	checkAndPatch(sch, mt, d4, "∆4")
+
+	// An ill-typed script: swapping via moves attaches to an occupied
+	// slot. The paper's §2 explains why this breaks typed representations.
+	bad := &truechange.Script{Edits: []truechange.Edit{
+		truechange.Detach{Node: ref(exp.Var, 2), Link: "e1", Parent: ref(exp.Mul, 4)},
+		truechange.Attach{Node: ref(exp.Var, 2), Link: "e2", Parent: ref(exp.Mul, 4)}, // slot e2 still occupied!
+	}}
+	err := truechange.WellTyped(sch, bad)
+	fmt.Println("\nattempting a move-style swap:")
+	fmt.Println("  rejected by the type system:", err)
+}
+
+func ref(tag sig.Tag, u uri.URI) truechange.NodeRef {
+	return truechange.NodeRef{Tag: tag, URI: u}
+}
+
+func lits(link sig.Link, v string) []truechange.LitArg {
+	return []truechange.LitArg{{Link: link, Value: v}}
+}
+
+func checkAndPatch(sch *sig.Schema, mt *mtree.MTree, d *truechange.Script, name string) {
+	if err := truechange.WellTyped(sch, d); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if err := mt.Comply(d); err != nil {
+		log.Fatalf("%s compliance: %v", name, err)
+	}
+	must(mt.Patch(d))
+	fmt.Printf("after %s: %s\n", name, mt)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

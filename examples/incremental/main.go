@@ -1,0 +1,121 @@
+// Incremental: drive an incremental program analysis with truediff edit
+// scripts, reproducing the IncA pipeline of paper §6. A Datalog database
+// derives properties of a Python module (transitive containment and the
+// returns of every function); after each simulated code change we reparse,
+// diff with truediff, and feed the concise edit script into the database —
+// instead of reanalyzing the whole file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/inca"
+	"repro/internal/pylang"
+	"repro/internal/truediff"
+)
+
+// versions simulates an editing session on one module.
+var versions = []string{
+	`def scale(x, factor):
+    return x * factor
+
+def total(xs):
+    acc = 0
+    for x in xs:
+        acc += scale(x, 2)
+    return acc
+`,
+	// Change the scaling factor and add a guard with an early return.
+	`def scale(x, factor):
+    return x * factor
+
+def total(xs):
+    if xs == None:
+        return 0
+    acc = 0
+    for x in xs:
+        acc += scale(x, 3)
+    return acc
+`,
+	// Extract the loop into a helper function.
+	`def scale(x, factor):
+    return x * factor
+
+def accumulate(xs):
+    acc = 0
+    for x in xs:
+        acc += scale(x, 3)
+    return acc
+
+def total(xs):
+    if xs == None:
+        return 0
+    return accumulate(xs)
+`,
+}
+
+func main() {
+	f := pylang.NewFactory()
+	differ := truediff.New(f.Schema())
+
+	driver, err := inca.NewDriver(f.Schema(), inca.StandardRules(), inca.NewOneToOne())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cur, err := pylang.Parse(versions[0], f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := driver.InitTree(cur); err != nil {
+		log.Fatal(err)
+	}
+	report(driver, 0)
+
+	for i, src := range versions[1:] {
+		next, err := pylang.Parse(src, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := differ.Diff(cur, next, f.Alloc())
+		if err != nil {
+			log.Fatal(err)
+		}
+		diffTime := time.Since(start)
+
+		start = time.Now()
+		if err := driver.ProcessScript(res.Script); err != nil {
+			log.Fatal(err)
+		}
+		updateTime := time.Since(start)
+
+		fmt.Printf("\n--- change %d: %d compound edits, diff %s, incremental update %s ---\n",
+			i+1, res.Script.EditCount(), diffTime, updateTime)
+		report(driver, i+1)
+		cur = res.Patched
+	}
+
+	fmt.Println("\nThe analysis stayed consistent across edits without ever")
+	fmt.Println("reanalyzing the full tree: the edit scripts only mention changed nodes.")
+}
+
+// report prints what the analysis currently derives.
+func report(d *inca.Driver, version int) {
+	funcs := d.Engine.Query(inca.PredNode, datalog.Var("F"), "FuncDef")
+	fmt.Printf("version %d: %d functions analyzed, %d inFunc facts\n",
+		version, len(funcs), d.Engine.Count("inFunc"))
+	for _, fn := range funcs {
+		returns := d.Engine.Query("funcReturn", fn[0], datalog.Var("R"))
+		// The function name is a literal fact on the FuncDef node.
+		names := d.Engine.Query(inca.PredLit, fn[0], "name", datalog.Var("V"))
+		name := "?"
+		if len(names) == 1 {
+			name = fmt.Sprint(names[0][2])
+		}
+		fmt.Printf("  def %-12s %d return statement(s)\n", name+":", len(returns))
+	}
+}

@@ -1,0 +1,139 @@
+// Package core ties the paper's pieces into one convenient facade: typed
+// tree schemas (sig), immutable hashed trees (tree), the truediff algorithm
+// (truediff), the truechange linear type system (truechange), and the
+// standard semantics (mtree). It is the entry point a downstream user
+// reaches for first; the underlying packages remain available for
+// fine-grained control.
+//
+// A Workspace owns a schema and a URI allocator and offers the full
+// pipeline: build or parse trees, diff them, verify the resulting scripts,
+// and apply them to mutable documents.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mtree"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+// Workspace bundles a schema with a URI allocator and a differ. Create one
+// per document family; URIs stay unique across all trees built through it.
+type Workspace struct {
+	sch    *sig.Schema
+	alloc  *uri.Allocator
+	differ *truediff.Differ
+}
+
+// NewWorkspace returns a workspace over the schema with the paper's
+// truediff configuration.
+func NewWorkspace(sch *sig.Schema) *Workspace {
+	return &Workspace{
+		sch:    sch,
+		alloc:  uri.NewAllocator(),
+		differ: truediff.New(sch),
+	}
+}
+
+// NewWorkspaceWithOptions returns a workspace with explicit diff options.
+func NewWorkspaceWithOptions(sch *sig.Schema, opts truediff.Options) *Workspace {
+	w := NewWorkspace(sch)
+	w.differ = truediff.NewWithOptions(sch, opts)
+	return w
+}
+
+// Schema returns the workspace schema.
+func (w *Workspace) Schema() *sig.Schema { return w.sch }
+
+// Alloc returns the workspace URI allocator.
+func (w *Workspace) Alloc() *uri.Allocator { return w.alloc }
+
+// Builder returns a tree builder bound to the workspace.
+func (w *Workspace) Builder() *tree.Builder {
+	return tree.NewBuilder(w.sch, w.alloc)
+}
+
+// Diff computes the truechange edit script from source to target and the
+// patched tree (which reuses source subtrees and can seed the next diff).
+// The source tree need not have been built through this workspace: its
+// URIs are reserved in the workspace allocator so freshly loaded nodes
+// never collide.
+func (w *Workspace) Diff(source, target *tree.Node) (*truediff.Result, error) {
+	if source != nil {
+		tree.Walk(source, func(n *tree.Node) { w.alloc.Reserve(n.URI) })
+	}
+	return w.differ.Diff(source, target, w.alloc)
+}
+
+// DiffVerified is Diff plus the full verification pipeline of Conjectures
+// 4.2 and 4.3: the script is checked against the linear type system,
+// checked for syntactic compliance with the source, and applied via the
+// standard semantics; the patched document must equal the target.
+func (w *Workspace) DiffVerified(source, target *tree.Node) (*truediff.Result, error) {
+	res, err := w.Diff(source, target)
+	if err != nil {
+		return nil, err
+	}
+	if err := truechange.WellTyped(w.sch, res.Script); err != nil {
+		return nil, fmt.Errorf("core: generated script is ill-typed: %w", err)
+	}
+	doc, err := mtree.FromTree(w.sch, source)
+	if err != nil {
+		return nil, err
+	}
+	if err := doc.Comply(res.Script); err != nil {
+		return nil, fmt.Errorf("core: generated script does not comply: %w", err)
+	}
+	if err := doc.Patch(res.Script); err != nil {
+		return nil, fmt.Errorf("core: patching failed: %w", err)
+	}
+	if !doc.EqualTree(target) {
+		return nil, fmt.Errorf("core: patched document does not equal the target")
+	}
+	return res, nil
+}
+
+// Document wraps a mutable tree (the standard semantics) for incremental
+// pipelines: hold one Document per file, Diff new versions against
+// Current, and Apply the scripts.
+type Document struct {
+	ws      *Workspace
+	mt      *mtree.MTree
+	current *tree.Node
+}
+
+// OpenDocument creates a document holding the initial tree.
+func (w *Workspace) OpenDocument(initial *tree.Node) (*Document, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("core: nil initial tree")
+	}
+	mt, err := mtree.FromTree(w.sch, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{ws: w, mt: mt, current: initial}, nil
+}
+
+// Current returns the document's current immutable tree.
+func (d *Document) Current() *tree.Node { return d.current }
+
+// Tree returns the document's mutable tree.
+func (d *Document) Tree() *mtree.MTree { return d.mt }
+
+// Update diffs the document against the new version, applies the script to
+// the mutable tree, advances Current, and returns the script.
+func (d *Document) Update(next *tree.Node) (*truechange.Script, error) {
+	res, err := d.ws.Diff(d.current, next)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.mt.Patch(res.Script); err != nil {
+		return nil, err
+	}
+	d.current = res.Patched
+	return res.Script, nil
+}

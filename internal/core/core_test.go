@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+func TestWorkspaceDiffVerified(t *testing.T) {
+	w := NewWorkspace(exp.Schema())
+	b := w.Builder()
+	src := b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Num, 2))
+	dst := b.MustN(exp.Mul, b.MustN(exp.Num, 2), b.MustN(exp.Num, 1))
+	res, err := w.DiffVerified(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Script.IsEmpty() {
+		t.Error("expected edits")
+	}
+	if !tree.Equal(res.Patched, dst) {
+		t.Error("patched tree wrong")
+	}
+}
+
+func TestWorkspaceRandomVerified(t *testing.T) {
+	g := exp.NewGen(31)
+	w := NewWorkspace(g.Schema())
+	for i := 0; i < 25; i++ {
+		src := g.Tree(40)
+		dst := g.MutateN(src, 3)
+		if _, err := w.DiffVerified(src, dst); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestDocumentUpdateChain(t *testing.T) {
+	g := exp.NewGen(17)
+	w := NewWorkspace(g.Schema())
+	cur := g.Tree(50)
+	doc, err := w.OpenDocument(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		next := g.Mutate(doc.Current())
+		script, err := doc.Update(next)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if script == nil {
+			t.Fatal("nil script")
+		}
+		if !doc.Tree().EqualTree(next) {
+			t.Fatalf("round %d: document out of sync", i)
+		}
+		if !tree.Equal(doc.Current(), next) {
+			t.Fatalf("round %d: current out of sync", i)
+		}
+		if err := doc.Tree().CheckClosed(); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+}
+
+func TestWorkspaceWithOptions(t *testing.T) {
+	g := exp.NewGen(9)
+	w := NewWorkspaceWithOptions(g.Schema(), truediff.Options{Order: truediff.FIFO})
+	src := g.Tree(30)
+	dst := g.MutateN(src, 2)
+	if _, err := w.DiffVerified(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if w.Schema() == nil || w.Alloc() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestWorkspaceDiffErrors(t *testing.T) {
+	w := NewWorkspace(exp.Schema())
+	b := w.Builder()
+	n := b.MustN(exp.Num, 1)
+	if _, err := w.Diff(nil, n); err == nil {
+		t.Error("nil source should fail")
+	}
+	if _, err := w.Diff(n, nil); err == nil {
+		t.Error("nil target should fail")
+	}
+	if _, err := w.OpenDocument(nil); err == nil {
+		t.Error("opening a nil document should fail")
+	}
+}
+
+func TestDiffVerifiedCatchesForeignTrees(t *testing.T) {
+	// Trees from a different schema fail verification cleanly rather than
+	// panicking: the mtree conversion rejects undeclared tags.
+	w := NewWorkspace(exp.Schema())
+	other := tree.NewBuilder(foreignSchema(), uri.NewAllocator())
+	src := other.MustN("Alien", 1)
+	dst := other.MustN("Alien", 2)
+	if _, err := w.DiffVerified(src, dst); err == nil {
+		t.Error("foreign-schema trees should fail verification")
+	}
+}
+
+func foreignSchema() *sig.Schema {
+	s := sig.NewSchema("foreign")
+	s.MustDeclare(sig.Sig{Tag: "Alien", Lits: []sig.LitSpec{{Link: "n", Type: sig.IntLit}}, Result: "X"})
+	return s
+}

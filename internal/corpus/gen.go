@@ -1,0 +1,243 @@
+// Package corpus generates a synthetic repository history that stands in
+// for the paper's evaluation corpus (the 2393 Python files changed across
+// 500 commits of the keras repository, §6). A seeded generator produces
+// realistic Python modules — imports, constants, classes with methods,
+// free functions — and evolves them through commits applying realistic
+// edit kinds: literal tweaks, renames, statement insertion and deletion,
+// statement reordering, function moves, parameter additions, and wrapping
+// in conditionals. Every (before, after) file pair exercises the same code
+// paths the paper measured: concise diffs for small edits, subtree moves,
+// and literal-only changes.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pylang"
+	"repro/internal/tree"
+)
+
+// gen carries the module generator's state.
+type gen struct {
+	rng *rand.Rand
+	f   *pylang.Factory
+}
+
+var (
+	moduleNames = []string{"layers", "ops", "utils", "engine", "backend",
+		"metrics", "losses", "optim", "callbacks", "preprocessing"}
+	funcVerbs = []string{"build", "compute", "normalize", "update", "apply",
+		"resolve", "encode", "decode", "validate", "merge", "split", "reduce"}
+	funcNouns = []string{"weights", "gradients", "outputs", "shape", "mask",
+		"state", "config", "batch", "tensor", "kernel", "bias", "cache"}
+	varNames = []string{"x", "y", "result", "total", "value", "item", "acc",
+		"output", "inputs", "tmp", "count", "idx", "scale", "delta"}
+	attrNames  = []string{"shape", "dtype", "size", "name", "units", "rank"}
+	classNames = []string{"Layer", "Model", "Dense", "Conv", "Pool", "Norm",
+		"Optimizer", "Callback", "Metric", "Loss"}
+	strValues = []string{"relu", "sigmoid", "same", "valid", "channels_last",
+		"float32", "glorot", "zeros", "ones", "default"}
+)
+
+func (g *gen) pick(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+func (g *gen) funcName() string { return g.pick(funcVerbs) + "_" + g.pick(funcNouns) }
+
+// expr generates a random expression of bounded depth.
+func (g *gen) expr(depth int) *tree.Node {
+	f := g.f
+	if depth <= 0 {
+		switch g.rng.Intn(6) {
+		case 0:
+			return f.Int(int64(g.rng.Intn(128)))
+		case 1:
+			return f.Float(float64(g.rng.Intn(1000)) / 100)
+		case 2:
+			return f.Str(g.pick(strValues))
+		case 3:
+			return f.Name(g.pick(varNames))
+		case 4:
+			return f.Attribute(f.Name("self"), g.pick(attrNames))
+		default:
+			return f.Name(g.pick(funcNouns))
+		}
+	}
+	switch g.rng.Intn(11) {
+	case 0:
+		return f.BinOp(g.pick([]string{"+", "-", "*", "/"}), g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return f.Call(f.Name(g.funcName()), f.ExprList(g.expr(depth-1)))
+	case 2:
+		return f.Call(f.Attribute(f.Name("self"), g.funcName()),
+			f.ExprList(g.expr(depth-1), f.KwArg(g.pick(attrNames), g.expr(depth-1))))
+	case 3:
+		return f.Subscript(f.Name(g.pick(varNames)), g.expr(depth-1))
+	case 4:
+		return f.Compare(g.pick([]string{"<", ">", "==", "!=", "<=", ">="}),
+			g.expr(depth-1), g.expr(depth-1))
+	case 5:
+		return f.List(f.ExprList(g.expr(depth-1), g.expr(depth-1)))
+	case 6:
+		return f.Attribute(g.expr(depth-1), g.pick(attrNames))
+	case 7:
+		return f.Tuple(f.ExprList(g.expr(depth-1), g.expr(depth-1)))
+	case 8:
+		return f.IfExp(g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 9:
+		x := g.pick(varNames)
+		return f.ListComp(
+			f.Call(f.Name(g.funcName()), f.ExprList(f.Name(x))),
+			f.Name(x), f.Name(g.pick(varNames)), f.None())
+	default:
+		return f.Lambda(f.ParamList(f.Param(g.pick(varNames))), g.expr(depth-1))
+	}
+}
+
+// stmt generates a random statement; depth bounds nested suites.
+func (g *gen) stmt(depth int) *tree.Node {
+	f := g.f
+	choice := g.rng.Intn(13)
+	if depth <= 0 && choice >= 6 {
+		choice = g.rng.Intn(6)
+	}
+	switch choice {
+	case 0, 1:
+		return f.Assign(f.Name(g.pick(varNames)), g.expr(2))
+	case 2:
+		return f.AugAssign(g.pick([]string{"+", "-", "*"}), f.Name(g.pick(varNames)), g.expr(1))
+	case 3:
+		return f.ExprStmt(f.Call(f.Attribute(f.Name("self"), g.funcName()), f.ExprList(g.expr(1))))
+	case 4:
+		return f.Return(g.expr(2))
+	case 5:
+		return f.Assign(f.Attribute(f.Name("self"), g.pick(attrNames)), g.expr(2))
+	case 6:
+		return f.If(g.expr(1), g.suite(depth-1, 1+g.rng.Intn(3)), g.maybeElse(depth-1))
+	case 7:
+		return f.For(f.Name(g.pick(varNames)),
+			f.Call(f.Name("range"), f.ExprList(g.expr(0))),
+			g.suite(depth-1, 1+g.rng.Intn(3)))
+	case 8:
+		return f.While(g.expr(1), g.suite(depth-1, 1+g.rng.Intn(2)))
+	case 9:
+		return f.If(f.Compare("==", f.Name(g.pick(varNames)), f.None()),
+			f.StmtList(f.Raise(f.Call(f.Name("ValueError"), f.ExprList(f.Str("invalid "+g.pick(funcNouns)))))),
+			f.StmtList())
+	case 10:
+		return f.With(f.Call(f.Name("open"), f.ExprList(f.Str(g.pick(funcNouns)+".json"))), "fh",
+			g.suite(depth-1, 1+g.rng.Intn(2)))
+	case 11:
+		return f.Try(
+			g.suite(depth-1, 1+g.rng.Intn(2)),
+			f.HandlerList(f.Handler(f.Name("ValueError"), "err",
+				f.StmtList(f.ExprStmt(f.Call(f.Name("log"), f.ExprList(f.Name("err"))))))),
+			f.StmtList(),
+			g.maybeFinally(depth-1))
+	default:
+		return f.Assert(f.Compare(">=", f.Name(g.pick(varNames)), f.Int(0)),
+			f.Str("invalid "+g.pick(funcNouns)))
+	}
+}
+
+func (g *gen) maybeFinally(depth int) *tree.Node {
+	if g.rng.Intn(2) == 0 {
+		return g.f.StmtList()
+	}
+	return g.suite(depth, 1)
+}
+
+func (g *gen) maybeElse(depth int) *tree.Node {
+	if g.rng.Intn(2) == 0 {
+		return g.f.StmtList()
+	}
+	return g.suite(depth, 1+g.rng.Intn(2))
+}
+
+func (g *gen) suite(depth, n int) *tree.Node {
+	stmts := make([]*tree.Node, n)
+	for i := range stmts {
+		stmts[i] = g.stmt(depth)
+	}
+	return g.f.StmtList(stmts...)
+}
+
+// funcDef generates a function or method with parameters and a body.
+func (g *gen) funcDef(method bool) *tree.Node {
+	f := g.f
+	var params []*tree.Node
+	if method {
+		params = append(params, f.Param("self"))
+	}
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		name := g.pick(varNames)
+		if g.rng.Intn(3) == 0 {
+			params = append(params, f.DefaultParam(name, g.expr(0)))
+		} else {
+			params = append(params, f.Param(name))
+		}
+	}
+	if g.rng.Intn(5) == 0 {
+		params = append(params, f.StarParam("args"))
+	}
+	if g.rng.Intn(5) == 0 {
+		params = append(params, f.KwStarParam("kwargs"))
+	}
+	bodyLen := 2 + g.rng.Intn(6)
+	body := make([]*tree.Node, 0, bodyLen+1)
+	for i := 0; i < bodyLen; i++ {
+		body = append(body, g.stmt(2))
+	}
+	if g.rng.Intn(2) == 0 {
+		body = append(body, f.Return(g.expr(1)))
+	}
+	def := f.FuncDef(g.funcName(), f.ParamList(params...), f.StmtList(body...))
+	if g.rng.Intn(6) == 0 {
+		return f.Decorated(f.ExprList(f.Name(g.pick([]string{"cached", "staticmethod", "property", "deprecated"}))), def)
+	}
+	return def
+}
+
+func (g *gen) classDef() *tree.Node {
+	f := g.f
+	name := g.pick(classNames) + fmt.Sprintf("%d", g.rng.Intn(90)+10)
+	var bases []*tree.Node
+	if g.rng.Intn(2) == 0 {
+		bases = append(bases, f.Name(g.pick(classNames)))
+	}
+	methods := make([]*tree.Node, 1+g.rng.Intn(4))
+	for i := range methods {
+		methods[i] = g.funcDef(true)
+	}
+	return f.ClassDef(name, f.ExprList(bases...), f.StmtList(methods...))
+}
+
+// module generates one module of roughly the requested node count.
+func (g *gen) module(targetNodes int) *tree.Node {
+	f := g.f
+	var stmts []*tree.Node
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		stmts = append(stmts, f.Import(g.pick(moduleNames)))
+	}
+	for i := 0; i < 1+g.rng.Intn(2); i++ {
+		stmts = append(stmts, f.FromImport(g.pick(moduleNames)+"."+g.pick(moduleNames), g.pick(classNames)))
+	}
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		stmts = append(stmts, f.Assign(f.Name("DEFAULT_"+g.pick(funcNouns)), g.expr(0)))
+	}
+	total := 0
+	for _, s := range stmts {
+		total += s.Size()
+	}
+	for total < targetNodes {
+		var s *tree.Node
+		if g.rng.Intn(3) == 0 {
+			s = g.classDef()
+		} else {
+			s = g.funcDef(false)
+		}
+		stmts = append(stmts, s)
+		total += s.Size()
+	}
+	return f.Module(f.StmtList(stmts...))
+}

@@ -1,0 +1,563 @@
+// Package datalog implements a positive Datalog engine with semi-naive
+// evaluation and incremental maintenance in the delete-rederive (DRed)
+// style. It is the substrate for the paper's incremental-computing
+// experiment (§6): the IncA framework incrementally maintains a Datalog
+// database of derived properties about a syntax tree, and truechange edit
+// scripts drive the fact insertions and deletions.
+//
+// The engine supports recursive rules without negation. Facts are tuples
+// of comparable Go values; variables in rules are values of type Var.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var is a rule variable; any other argument value is a constant.
+type Var string
+
+// Atom is a predicate applied to arguments (variables or constants).
+type Atom struct {
+	Pred string
+	Args []any
+}
+
+// A is a convenience constructor for atoms.
+func A(pred string, args ...any) Atom { return Atom{Pred: pred, Args: args} }
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, x := range a.Args {
+		if v, ok := x.(Var); ok {
+			parts[i] = string(v)
+		} else {
+			parts[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Rule is a Horn clause Head :- Body[0], …, Body[n-1].
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// validate checks range restriction: every head variable occurs in the body.
+func (r Rule) validate() error {
+	bound := make(map[Var]bool)
+	for _, a := range r.Body {
+		for _, x := range a.Args {
+			if v, ok := x.(Var); ok {
+				bound[v] = true
+			}
+		}
+	}
+	for _, x := range r.Head.Args {
+		if v, ok := x.(Var); ok && !bound[v] {
+			return fmt.Errorf("datalog: head variable %s of rule %s is unbound", v, r)
+		}
+	}
+	if len(r.Body) == 0 {
+		return fmt.Errorf("datalog: rule %s has an empty body", r)
+	}
+	return nil
+}
+
+// Tuple is one fact's argument list.
+type Tuple []any
+
+func keyOf(t Tuple) string {
+	var b strings.Builder
+	for _, x := range t {
+		fmt.Fprintf(&b, "%T:%v\x00", x, x)
+	}
+	return b.String()
+}
+
+// relation stores the extension of one predicate, indexed by every
+// argument position so joins can enumerate only matching tuples.
+type relation struct {
+	tuples map[string]Tuple
+	idx    []map[any]map[string]Tuple
+}
+
+func newRelation() *relation { return &relation{tuples: make(map[string]Tuple)} }
+
+func (r *relation) has(k string) bool { _, ok := r.tuples[k]; return ok }
+
+// add inserts the tuple under key k, maintaining the position indexes.
+func (r *relation) add(k string, t Tuple) {
+	if _, ok := r.tuples[k]; ok {
+		return
+	}
+	r.tuples[k] = t
+	for len(r.idx) < len(t) {
+		r.idx = append(r.idx, nil)
+	}
+	for i, v := range t {
+		m := r.idx[i]
+		if m == nil {
+			m = make(map[any]map[string]Tuple)
+			r.idx[i] = m
+		}
+		set := m[v]
+		if set == nil {
+			set = make(map[string]Tuple)
+			m[v] = set
+		}
+		set[k] = t
+	}
+}
+
+// remove deletes the tuple under key k, maintaining the position indexes.
+func (r *relation) remove(k string) {
+	t, ok := r.tuples[k]
+	if !ok {
+		return
+	}
+	delete(r.tuples, k)
+	for i, v := range t {
+		if i < len(r.idx) && r.idx[i] != nil {
+			if set := r.idx[i][v]; set != nil {
+				delete(set, k)
+				if len(set) == 0 {
+					delete(r.idx[i], v)
+				}
+			}
+		}
+	}
+}
+
+// matching returns the tuples whose argument at position pos equals v.
+func (r *relation) matching(pos int, v any) map[string]Tuple {
+	if pos >= len(r.idx) || r.idx[pos] == nil {
+		return nil
+	}
+	return r.idx[pos][v]
+}
+
+// Engine evaluates a Datalog program and maintains its model under fact
+// insertions and deletions.
+type Engine struct {
+	rules []Rule
+	// byBody indexes rules by body predicate for semi-naive deltas.
+	byBody map[string][]ruleAt
+	// byHead indexes rules by head predicate for rederivation.
+	byHead map[string][]Rule
+
+	edb map[string]*relation // extensional facts, by predicate
+	all map[string]*relation // full model: EDB ∪ derived facts
+
+	// Stats counters for the evaluation harness.
+	DerivationOps int
+}
+
+type ruleAt struct {
+	rule Rule
+	pos  int
+}
+
+// NewEngine validates the rules and returns an engine with an empty model.
+func NewEngine(rules []Rule) (*Engine, error) {
+	e := &Engine{
+		rules:  rules,
+		byBody: make(map[string][]ruleAt),
+		byHead: make(map[string][]Rule),
+		edb:    make(map[string]*relation),
+		all:    make(map[string]*relation),
+	}
+	for _, r := range rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+		e.byHead[r.Head.Pred] = append(e.byHead[r.Head.Pred], r)
+		for i, a := range r.Body {
+			e.byBody[a.Pred] = append(e.byBody[a.Pred], ruleAt{rule: r, pos: i})
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) rel(m map[string]*relation, pred string) *relation {
+	r, ok := m[pred]
+	if !ok {
+		r = newRelation()
+		m[pred] = r
+	}
+	return r
+}
+
+// Count returns the number of facts of pred in the model.
+func (e *Engine) Count(pred string) int {
+	if r, ok := e.all[pred]; ok {
+		return len(r.tuples)
+	}
+	return 0
+}
+
+// Has reports whether the fact pred(args...) holds in the model.
+func (e *Engine) Has(pred string, args ...any) bool {
+	r, ok := e.all[pred]
+	return ok && r.has(keyOf(args))
+}
+
+// Facts returns all tuples of pred, sorted by key for determinism.
+func (e *Engine) Facts(pred string) []Tuple {
+	r, ok := e.all[pred]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.tuples[k]
+	}
+	return out
+}
+
+// Query returns tuples of pred matching the pattern, where Var arguments
+// match anything (repeated variables must match equal values).
+func (e *Engine) Query(pred string, pattern ...any) []Tuple {
+	var out []Tuple
+	for _, t := range e.Facts(pred) {
+		if len(t) != len(pattern) {
+			continue
+		}
+		env := make(map[Var]any)
+		ok := true
+		for i, p := range pattern {
+			if v, isVar := p.(Var); isVar {
+				if old, bound := env[v]; bound {
+					if old != t[i] {
+						ok = false
+						break
+					}
+				} else {
+					env[v] = t[i]
+				}
+			} else if p != t[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Delta is a batch of extensional fact changes.
+type Delta struct {
+	Insert map[string][]Tuple
+	Remove map[string][]Tuple
+}
+
+// NewDelta returns an empty change batch.
+func NewDelta() *Delta {
+	return &Delta{Insert: make(map[string][]Tuple), Remove: make(map[string][]Tuple)}
+}
+
+// Ins adds an insertion to the batch.
+func (d *Delta) Ins(pred string, args ...any) { d.Insert[pred] = append(d.Insert[pred], args) }
+
+// Del adds a removal to the batch.
+func (d *Delta) Del(pred string, args ...any) { d.Remove[pred] = append(d.Remove[pred], args) }
+
+// Len returns the number of changes in the batch.
+func (d *Delta) Len() int {
+	n := 0
+	for _, ts := range d.Insert {
+		n += len(ts)
+	}
+	for _, ts := range d.Remove {
+		n += len(ts)
+	}
+	return n
+}
+
+// Insert adds extensional facts and incrementally derives consequences.
+func (e *Engine) Insert(pred string, args ...any) {
+	d := NewDelta()
+	d.Ins(pred, args...)
+	e.Apply(d)
+}
+
+// Delete removes extensional facts and incrementally retracts consequences.
+func (e *Engine) Delete(pred string, args ...any) {
+	d := NewDelta()
+	d.Del(pred, args...)
+	e.Apply(d)
+}
+
+// Apply performs a batch of changes: removals first (delete-rederive), then
+// insertions (semi-naive propagation).
+func (e *Engine) Apply(d *Delta) {
+	if len(d.Remove) > 0 {
+		e.applyRemovals(d.Remove)
+	}
+	if len(d.Insert) > 0 {
+		e.applyInsertions(d.Insert)
+	}
+}
+
+// applyInsertions adds new EDB facts and propagates them semi-naively.
+func (e *Engine) applyInsertions(ins map[string][]Tuple) {
+	delta := make(map[string]*relation)
+	for pred, ts := range ins {
+		edb := e.rel(e.edb, pred)
+		all := e.rel(e.all, pred)
+		for _, t := range ts {
+			k := keyOf(t)
+			edb.tuples[k] = t
+			if !all.has(k) {
+				all.add(k, t)
+				e.rel(delta, pred).tuples[k] = t
+			}
+		}
+	}
+	e.propagate(delta)
+}
+
+// propagate performs semi-naive fixpoint iteration from the given delta.
+func (e *Engine) propagate(delta map[string]*relation) {
+	for len(delta) > 0 {
+		next := make(map[string]*relation)
+		for pred, dRel := range delta {
+			for _, ra := range e.byBody[pred] {
+				e.evalRule(ra.rule, ra.pos, dRel, func(head Tuple) {
+					k := keyOf(head)
+					all := e.rel(e.all, ra.rule.Head.Pred)
+					if !all.has(k) {
+						all.add(k, head)
+						e.rel(next, ra.rule.Head.Pred).tuples[k] = head
+					}
+				})
+			}
+		}
+		delta = next
+	}
+}
+
+// applyRemovals implements DRed: overdelete everything whose derivation may
+// use a removed fact, then rederive facts with surviving derivations.
+func (e *Engine) applyRemovals(rem map[string][]Tuple) {
+	// 1. Remove from EDB; seed the overdeletion with facts that lost their
+	// extensional support (they may still be rederived below).
+	over := make(map[string]*relation) // overdeleted facts
+	delta := make(map[string]*relation)
+	for pred, ts := range rem {
+		edb, hasEdb := e.edb[pred]
+		all, hasAll := e.all[pred]
+		for _, t := range ts {
+			k := keyOf(t)
+			if hasEdb {
+				delete(edb.tuples, k)
+			}
+			if hasAll && all.has(k) {
+				e.rel(delta, pred).tuples[k] = t
+				e.rel(over, pred).tuples[k] = t
+			}
+		}
+	}
+
+	// 2. Overdeletion fixpoint: anything derivable through an overdeleted
+	// fact is overdeleted too. Joins use the pre-deletion model (e.all is
+	// only pruned afterwards), a sound over-approximation.
+	for len(delta) > 0 {
+		next := make(map[string]*relation)
+		for pred, dRel := range delta {
+			for _, ra := range e.byBody[pred] {
+				e.evalRule(ra.rule, ra.pos, dRel, func(head Tuple) {
+					k := keyOf(head)
+					headPred := ra.rule.Head.Pred
+					all, ok := e.all[headPred]
+					if !ok || !all.has(k) {
+						return
+					}
+					o := e.rel(over, headPred)
+					if !o.has(k) {
+						o.tuples[k] = head
+						e.rel(next, headPred).tuples[k] = head
+					}
+				})
+			}
+		}
+		delta = next
+	}
+
+	// 3. Prune the model.
+	for pred, o := range over {
+		all := e.all[pred]
+		for k := range o.tuples {
+			all.remove(k)
+		}
+	}
+
+	// 4. Rederive: overdeleted facts that are extensional or have an
+	// alternative derivation from the pruned model come back; their
+	// consequences propagate semi-naively.
+	redelta := make(map[string]*relation)
+	for pred, o := range over {
+		for k, t := range o.tuples {
+			if edb, ok := e.edb[pred]; ok && edb.has(k) {
+				e.rel(e.all, pred).add(k, t)
+				e.rel(redelta, pred).tuples[k] = t
+				continue
+			}
+			if e.derivable(pred, t) {
+				e.rel(e.all, pred).add(k, t)
+				e.rel(redelta, pred).tuples[k] = t
+			}
+		}
+	}
+	e.propagate(redelta)
+}
+
+// derivable reports whether some rule derives pred(t) from the current
+// model.
+func (e *Engine) derivable(pred string, t Tuple) bool {
+	for _, r := range e.byHead[pred] {
+		if len(r.Head.Args) != len(t) {
+			continue
+		}
+		env := make(map[Var]any)
+		ok := true
+		for i, x := range r.Head.Args {
+			if v, isVar := x.(Var); isVar {
+				if old, bound := env[v]; bound {
+					if old != t[i] {
+						ok = false
+						break
+					}
+				} else {
+					env[v] = t[i]
+				}
+			} else if x != t[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		found := false
+		e.joinBody(r.Body, 0, -1, nil, env, func(map[Var]any) { found = true })
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// evalRule evaluates rule with its body atom at deltaPos ranging over dRel
+// and all other atoms over the full model, emitting head instantiations.
+func (e *Engine) evalRule(r Rule, deltaPos int, dRel *relation, emit func(Tuple)) {
+	e.joinBody(r.Body, 0, deltaPos, dRel, make(map[Var]any), func(env map[Var]any) {
+		head := make(Tuple, len(r.Head.Args))
+		for i, x := range r.Head.Args {
+			if v, ok := x.(Var); ok {
+				head[i] = env[v]
+			} else {
+				head[i] = x
+			}
+		}
+		emit(head)
+	})
+}
+
+// joinBody enumerates substitutions satisfying body[i:] under env.
+func (e *Engine) joinBody(body []Atom, i, deltaPos int, dRel *relation, env map[Var]any, emit func(map[Var]any)) {
+	if i == len(body) {
+		emit(env)
+		return
+	}
+	atom := body[i]
+	var source map[string]Tuple
+	if i == deltaPos {
+		source = dRel.tuples
+	} else if r, ok := e.all[atom.Pred]; ok {
+		source = r.tuples
+		// Narrow the scan through the position index if any argument is
+		// already bound; the index returns exactly the matching tuples.
+		for j, x := range atom.Args {
+			val := x
+			if v, isVar := x.(Var); isVar {
+				bv, bound := env[v]
+				if !bound {
+					continue
+				}
+				val = bv
+			}
+			source = r.matching(j, val)
+			break
+		}
+	} else {
+		return
+	}
+	if len(source) == 0 {
+		return
+	}
+	for _, t := range source {
+		if len(t) != len(atom.Args) {
+			continue
+		}
+		e.DerivationOps++
+		var bound []Var
+		ok := true
+		for j, x := range atom.Args {
+			if v, isVar := x.(Var); isVar {
+				if old, has := env[v]; has {
+					if old != t[j] {
+						ok = false
+						break
+					}
+				} else {
+					env[v] = t[j]
+					bound = append(bound, v)
+				}
+			} else if x != t[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.joinBody(body, i+1, deltaPos, dRel, env, emit)
+		}
+		for _, v := range bound {
+			delete(env, v)
+		}
+	}
+}
+
+// Recompute discards all derived facts and re-evaluates the program from
+// the extensional database — the from-scratch baseline the incremental
+// experiment compares against.
+func (e *Engine) Recompute() {
+	e.all = make(map[string]*relation)
+	delta := make(map[string]*relation)
+	for pred, edb := range e.edb {
+		all := e.rel(e.all, pred)
+		d := e.rel(delta, pred)
+		for k, t := range edb.tuples {
+			all.add(k, t)
+			d.tuples[k] = t
+		}
+	}
+	e.propagate(delta)
+}

@@ -1,0 +1,269 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// pathProgram: path(X,Y) :- edge(X,Y); path(X,Z) :- path(X,Y), edge(Y,Z).
+func pathProgram(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine([]Rule{
+		{Head: A("path", Var("X"), Var("Y")), Body: []Atom{A("edge", Var("X"), Var("Y"))}},
+		{Head: A("path", Var("X"), Var("Z")), Body: []Atom{A("path", Var("X"), Var("Y")), A("edge", Var("Y"), Var("Z"))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidation(t *testing.T) {
+	_, err := NewEngine([]Rule{
+		{Head: A("p", Var("X")), Body: []Atom{A("q", Var("Y"))}},
+	})
+	if err == nil {
+		t.Error("unbound head variable should be rejected")
+	}
+	_, err = NewEngine([]Rule{{Head: A("p", Var("X"))}})
+	if err == nil {
+		t.Error("empty body should be rejected")
+	}
+	if _, err := NewEngine([]Rule{
+		{Head: A("p", "const"), Body: []Atom{A("q", Var("Y"))}},
+	}); err != nil {
+		t.Errorf("constant head should be fine: %v", err)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	e := pathProgram(t)
+	e.Insert("edge", 1, 2)
+	e.Insert("edge", 2, 3)
+	e.Insert("edge", 3, 4)
+	if e.Count("path") != 6 { // 12 13 14 23 24 34
+		t.Errorf("path count = %d, want 6", e.Count("path"))
+	}
+	if !e.Has("path", 1, 4) {
+		t.Error("path(1,4) missing")
+	}
+	if e.Has("path", 4, 1) {
+		t.Error("path(4,1) should not hold")
+	}
+}
+
+func TestIncrementalInsertEqualsRecompute(t *testing.T) {
+	e := pathProgram(t)
+	edges := [][2]int{{1, 2}, {2, 3}, {3, 1}, {3, 4}, {4, 5}, {5, 2}}
+	for _, ed := range edges {
+		e.Insert("edge", ed[0], ed[1])
+	}
+	incCount := e.Count("path")
+	e.Recompute()
+	if e.Count("path") != incCount {
+		t.Errorf("incremental %d vs recompute %d", incCount, e.Count("path"))
+	}
+}
+
+func TestDeleteSimple(t *testing.T) {
+	e := pathProgram(t)
+	e.Insert("edge", 1, 2)
+	e.Insert("edge", 2, 3)
+	e.Delete("edge", 2, 3)
+	if e.Has("path", 1, 3) || e.Has("path", 2, 3) {
+		t.Error("paths through deleted edge should be retracted")
+	}
+	if !e.Has("path", 1, 2) {
+		t.Error("path(1,2) should survive")
+	}
+}
+
+func TestDeleteWithAlternativeDerivation(t *testing.T) {
+	e := pathProgram(t)
+	// Two routes from 1 to 3.
+	e.Insert("edge", 1, 2)
+	e.Insert("edge", 2, 3)
+	e.Insert("edge", 1, 3)
+	e.Delete("edge", 2, 3)
+	if !e.Has("path", 1, 3) {
+		t.Error("path(1,3) should be rederived via the direct edge")
+	}
+	if e.Has("path", 2, 3) {
+		t.Error("path(2,3) should be gone")
+	}
+}
+
+func TestDeleteInCycle(t *testing.T) {
+	// Cycles are the classic DRed stress: counting-based approaches fail
+	// here because facts in a cycle support each other.
+	e := pathProgram(t)
+	e.Insert("edge", 1, 2)
+	e.Insert("edge", 2, 1)
+	e.Insert("edge", 2, 3)
+	if !e.Has("path", 1, 1) || !e.Has("path", 1, 3) {
+		t.Fatal("setup: cycle paths missing")
+	}
+	e.Delete("edge", 1, 2)
+	for _, bad := range [][2]int{{1, 1}, {1, 2}, {1, 3}, {2, 2}} {
+		if e.Has("path", bad[0], bad[1]) {
+			t.Errorf("path(%d,%d) should be retracted after breaking the cycle", bad[0], bad[1])
+		}
+	}
+	if !e.Has("path", 2, 1) || !e.Has("path", 2, 3) {
+		t.Error("surviving paths lost")
+	}
+}
+
+// TestRandomChurnMatchesRecompute is the key property: after arbitrary
+// insert/delete churn, the incrementally maintained model must equal the
+// from-scratch model.
+func TestRandomChurnMatchesRecompute(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := pathProgram(t)
+		present := make(map[[2]int]bool)
+		for step := 0; step < 120; step++ {
+			a, b := rng.Intn(8), rng.Intn(8)
+			ed := [2]int{a, b}
+			if present[ed] && rng.Intn(2) == 0 {
+				e.Delete("edge", a, b)
+				delete(present, ed)
+			} else {
+				e.Insert("edge", a, b)
+				present[ed] = true
+			}
+		}
+		incremental := fmt.Sprint(e.Facts("path"))
+		e.Recompute()
+		fromScratch := fmt.Sprint(e.Facts("path"))
+		if incremental != fromScratch {
+			t.Fatalf("seed %d: incremental model diverges from recompute", seed)
+		}
+	}
+}
+
+func TestQueryPatterns(t *testing.T) {
+	e := pathProgram(t)
+	e.Insert("edge", 1, 2)
+	e.Insert("edge", 2, 3)
+	e.Insert("edge", 3, 3)
+	if got := len(e.Query("path", 1, Var("Y"))); got != 2 {
+		t.Errorf("paths from 1 = %d, want 2", got)
+	}
+	if got := len(e.Query("path", Var("X"), Var("X"))); got != 1 {
+		t.Errorf("self-paths = %d, want 1 (3,3)", got)
+	}
+	if got := len(e.Query("path", Var("X"), 99)); got != 0 {
+		t.Errorf("paths to 99 = %d", got)
+	}
+	if got := len(e.Query("nope", Var("X"))); got != 0 {
+		t.Errorf("unknown predicate should be empty, got %d", got)
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	e, err := NewEngine([]Rule{
+		{Head: A("special", Var("X")), Body: []Atom{A("edge", "hub", Var("X"))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Insert("edge", "hub", "a")
+	e.Insert("edge", "other", "b")
+	if !e.Has("special", "a") || e.Has("special", "b") {
+		t.Errorf("constant matching wrong: %v", e.Facts("special"))
+	}
+}
+
+func TestMultiBodyJoin(t *testing.T) {
+	e, err := NewEngine([]Rule{
+		{Head: A("grand", Var("X"), Var("Z")),
+			Body: []Atom{A("parent", Var("X"), Var("Y")), A("parent", Var("Y"), Var("Z"))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Insert("parent", "a", "b")
+	e.Insert("parent", "b", "c")
+	e.Insert("parent", "b", "d")
+	if e.Count("grand") != 2 {
+		t.Errorf("grand = %v", e.Facts("grand"))
+	}
+	e.Delete("parent", "a", "b")
+	if e.Count("grand") != 0 {
+		t.Errorf("after delete: grand = %v", e.Facts("grand"))
+	}
+}
+
+func TestBatchDelta(t *testing.T) {
+	e := pathProgram(t)
+	d := NewDelta()
+	d.Ins("edge", 1, 2)
+	d.Ins("edge", 2, 3)
+	if d.Len() != 2 {
+		t.Errorf("delta len = %d", d.Len())
+	}
+	e.Apply(d)
+	if !e.Has("path", 1, 3) {
+		t.Error("batch insert failed")
+	}
+	d2 := NewDelta()
+	d2.Del("edge", 1, 2)
+	d2.Ins("edge", 1, 3)
+	e.Apply(d2)
+	if !e.Has("path", 1, 3) || e.Has("path", 1, 2) {
+		t.Errorf("batch update wrong: %v", e.Facts("path"))
+	}
+}
+
+func TestDeleteNonexistentIsNoop(t *testing.T) {
+	e := pathProgram(t)
+	e.Insert("edge", 1, 2)
+	e.Delete("edge", 5, 6)
+	e.Delete("nosuch", 1)
+	if !e.Has("path", 1, 2) {
+		t.Error("unrelated delete damaged the model")
+	}
+}
+
+func TestDuplicateInsertIsIdempotent(t *testing.T) {
+	e := pathProgram(t)
+	e.Insert("edge", 1, 2)
+	e.Insert("edge", 1, 2)
+	if e.Count("edge") != 1 || e.Count("path") != 1 {
+		t.Errorf("duplicate insert: edge=%d path=%d", e.Count("edge"), e.Count("path"))
+	}
+	e.Delete("edge", 1, 2)
+	if e.Count("path") != 0 {
+		t.Error("delete after duplicate insert should clear")
+	}
+}
+
+func TestEdbFactAlsoDerived(t *testing.T) {
+	// A fact both asserted and derivable must survive deletion of either
+	// support alone.
+	e := pathProgram(t)
+	e.Insert("edge", 1, 2)
+	e.Insert("path", 1, 2) // asserted directly as EDB too
+	e.Delete("edge", 1, 2)
+	if !e.Has("path", 1, 2) {
+		t.Error("extensional path(1,2) must survive edge deletion")
+	}
+	e.Delete("path", 1, 2)
+	if e.Has("path", 1, 2) {
+		t.Error("path(1,2) gone after both supports removed")
+	}
+}
+
+func TestRuleAndAtomStrings(t *testing.T) {
+	r := Rule{Head: A("path", Var("X"), Var("Z")),
+		Body: []Atom{A("path", Var("X"), Var("Y")), A("edge", Var("Y"), Var("Z"))}}
+	want := "path(X, Z) :- path(X, Y), edge(Y, Z)."
+	if r.String() != want {
+		t.Errorf("rule string = %q", r.String())
+	}
+	if A("p", 1, "a").String() != "p(1, a)" {
+		t.Errorf("atom string = %q", A("p", 1, "a").String())
+	}
+}

@@ -1,0 +1,95 @@
+package evaluation
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/stats"
+	"repro/internal/tree"
+	"repro/internal/truediff"
+)
+
+// AblationResult reports one truediff configuration's behaviour on the
+// corpus: patch sizes and throughput, for the design-choice ablations of
+// DESIGN.md §5.
+type AblationResult struct {
+	Name       string
+	Edits      []float64 // compound edit count per file
+	NodesPerMS []float64
+}
+
+// RunAblations diffs the corpus under each ablation configuration plus two
+// hash variants, returning one result per configuration.
+func RunAblations(opts corpus.Options) []AblationResult {
+	h := corpus.Generate(opts)
+	changes := h.Changes()
+	alloc := h.Factory.Alloc()
+
+	configs := []struct {
+		name string
+		opts truediff.Options
+		kind tree.HashKind
+	}{
+		{"paper (structural + literal preference)", truediff.Options{}, tree.SHA256},
+		{"exact-only candidates", truediff.Options{Equiv: truediff.ExactOnly}, tree.SHA256},
+		{"no preference pass", truediff.Options{Equiv: truediff.StructuralNoPreference}, tree.SHA256},
+		{"FIFO selection order", truediff.Options{Order: truediff.FIFO}, tree.SHA256},
+		{"update on literal mismatch", truediff.Options{UpdateOnLitMismatch: true}, tree.SHA256},
+		{"FNV-64 hashing", truediff.Options{}, tree.FNV64},
+	}
+
+	// Warm caches so the first configuration is not penalized.
+	warm := truediff.New(h.Factory.Schema())
+	for i, fc := range changes {
+		if i >= 10 {
+			break
+		}
+		src := tree.Clone(fc.Before, alloc, tree.SHA256)
+		dst := tree.Clone(fc.After, alloc, tree.SHA256)
+		if _, err := warm.Diff(src, dst, alloc); err != nil {
+			panic(err)
+		}
+	}
+
+	out := make([]AblationResult, 0, len(configs))
+	for _, cfg := range configs {
+		d := truediff.NewWithOptions(h.Factory.Schema(), cfg.opts)
+		res := AblationResult{Name: cfg.name}
+		for _, fc := range changes {
+			start := time.Now()
+			src := tree.Clone(fc.Before, alloc, cfg.kind)
+			dst := tree.Clone(fc.After, alloc, cfg.kind)
+			r, err := d.Diff(src, dst, alloc)
+			elapsed := time.Since(start).Nanoseconds()
+			if err != nil {
+				panic(fmt.Sprintf("evaluation: ablation %s failed: %v", cfg.name, err))
+			}
+			res.Edits = append(res.Edits, float64(r.Script.EditCount()))
+			nodes := float64(fc.Before.Size() + fc.After.Size())
+			res.NodesPerMS = append(res.NodesPerMS, nodes/(float64(elapsed)/1e6))
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// AblationReport renders the ablation comparison as text.
+func AblationReport(results []AblationResult) string {
+	var b strings.Builder
+	b.WriteString("== Ablations (DESIGN.md §5): truediff design choices ==\n\n")
+	if len(results) == 0 {
+		return b.String()
+	}
+	base := stats.Summarize(results[0].Edits)
+	baseTP := stats.Summarize(results[0].NodesPerMS)
+	fmt.Fprintf(&b, "%-42s %12s %14s %14s\n", "configuration", "mean edits", "vs paper", "median nodes/ms")
+	for _, r := range results {
+		e := stats.Summarize(r.Edits)
+		tp := stats.Summarize(r.NodesPerMS)
+		fmt.Fprintf(&b, "%-42s %12.1f %13.2fx %14.0f\n", r.Name, e.Mean, e.Mean/base.Mean, tp.Median)
+	}
+	fmt.Fprintf(&b, "\n(throughput baseline: %.0f nodes/ms)\n", baseTP.Median)
+	return b.String()
+}

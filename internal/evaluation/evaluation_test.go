@@ -1,0 +1,170 @@
+package evaluation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Corpus: corpus.Options{
+			Seed: 3, Files: 4, Commits: 20, MaxFilesPerCommit: 2,
+			MinNodes: 120, MaxNodes: 400, MaxEditsPerFile: 3,
+		},
+		Reps:   2,
+		Warmup: 2,
+	}
+}
+
+func TestRunnerProducesResults(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	results := r.Run()
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for i, fr := range results {
+		if fr.Nodes <= 0 {
+			t.Errorf("result %d: nodes = %d", i, fr.Nodes)
+		}
+		if fr.TruediffNS <= 0 || fr.GumtreeNS <= 0 || fr.HdiffNS <= 0 {
+			t.Errorf("result %d: non-positive timing", i)
+		}
+		if fr.TruediffEdits < 0 || fr.GumtreeEdits < 0 || fr.HdiffSize < 0 {
+			t.Errorf("result %d: negative size", i)
+		}
+		if fr.TruediffEdits == 0 {
+			t.Errorf("result %d: change produced no truediff edits", i)
+		}
+	}
+}
+
+// TestEvaluationShape asserts the qualitative result of the paper on the
+// synthetic corpus: hdiff patches are much larger than truediff's, and
+// truediff's patch sizes are in the same ballpark as gumtree's.
+func TestEvaluationShape(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	results := r.Run()
+	c := Fig4(results)
+	if c.MeanHdiffRatio < 2 {
+		t.Errorf("hdiff/truediff mean ratio = %.2f, expected hdiff patches to be much larger", c.MeanHdiffRatio)
+	}
+	if c.MeanGumtreeRatio > 5 || c.MeanGumtreeRatio < 0.2 {
+		t.Errorf("gumtree/truediff mean ratio = %.2f, expected the same ballpark", c.MeanGumtreeRatio)
+	}
+	th := Fig5(results)
+	if len(th.Truediff) != len(results) {
+		t.Error("throughput series incomplete")
+	}
+	for _, series := range [][]float64{th.Truediff, th.Gumtree, th.Hdiff} {
+		for _, v := range series {
+			if v <= 0 {
+				t.Fatal("non-positive throughput")
+			}
+		}
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	results := r.Run()
+	fig4 := Fig4(results).Report()
+	for _, want := range []string{"Figure 4", "hdiff - truediff", "gumtree/truediff", "18.8x"} {
+		if !strings.Contains(fig4, want) {
+			t.Errorf("fig4 report lacks %q", want)
+		}
+	}
+	fig5 := Fig5(results).Report()
+	for _, want := range []string{"Figure 5", "nodes/ms", "truediff vs gumtree", "running time"} {
+		if !strings.Contains(fig5, want) {
+			t.Errorf("fig5 report lacks %q", want)
+		}
+	}
+}
+
+func TestScaling(t *testing.T) {
+	points := RunScaling([]int{200, 800}, 2)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.NSPerNode <= 0 || p.Nodes <= 0 {
+			t.Errorf("bad point %+v", p)
+		}
+	}
+	report := ScalingReport(points)
+	if !strings.Contains(report, "ns/node") || !strings.Contains(report, "Theorem 4.1") {
+		t.Errorf("scaling report:\n%s", report)
+	}
+}
+
+func TestRunIncA(t *testing.T) {
+	cfg := IncAConfig{
+		Corpus: corpus.Options{
+			Seed: 8, Files: 2, Commits: 6, MaxFilesPerCommit: 1,
+			MinNodes: 100, MaxNodes: 250, MaxEditsPerFile: 2,
+		},
+		IndexReps: 2,
+	}
+	res := RunIncA(cfg)
+	if res.Changes == 0 {
+		t.Fatal("no changes processed")
+	}
+	if len(res.DiffMS) != res.Changes || len(res.RecomputeMS) != res.Changes {
+		t.Error("series lengths wrong")
+	}
+	if res.IndexOps <= 0 || res.OneToOneNS <= 0 || res.ManyToOneNS <= 0 {
+		t.Errorf("index micro-benchmark empty: ops=%d", res.IndexOps)
+	}
+	report := res.Report()
+	for _, want := range []string{"Incremental computing", "speedup", "OneToOneIndex", "ManyToOneIndex"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("inca report lacks %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	results := RunAblations(corpus.Options{
+		Seed: 2, Files: 3, Commits: 8, MaxFilesPerCommit: 2,
+		MinNodes: 120, MaxNodes: 300, MaxEditsPerFile: 2,
+	})
+	if len(results) != 6 {
+		t.Fatalf("configs = %d", len(results))
+	}
+	base := results[0]
+	if len(base.Edits) == 0 || len(base.NodesPerMS) != len(base.Edits) {
+		t.Fatal("series empty or misaligned")
+	}
+	for _, r := range results {
+		if len(r.Edits) != len(base.Edits) {
+			t.Errorf("%s: series length differs", r.Name)
+		}
+	}
+	report := AblationReport(results)
+	for _, want := range []string{"Ablations", "paper", "FNV-64", "vs paper"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("ablation report lacks %q", want)
+		}
+	}
+	if AblationReport(nil) == "" {
+		t.Error("empty report should still have a header")
+	}
+}
+
+func TestRunMatching(t *testing.T) {
+	res := RunMatching(corpus.Options{
+		Seed: 4, Files: 2, Commits: 6, MaxFilesPerCommit: 1,
+		MinNodes: 100, MaxNodes: 250, MaxEditsPerFile: 2,
+	})
+	if len(res.HashEdits) == 0 || len(res.HashEdits) != len(res.MatchEdits) {
+		t.Fatal("series empty or misaligned")
+	}
+	report := res.Report()
+	for _, want := range []string{"open direction", "Gumtree matching", "type-safe"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("matching report lacks %q", want)
+		}
+	}
+}

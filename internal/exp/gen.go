@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+// Gen generates random expression trees and random mutations of them, for
+// property-based tests and scaling benchmarks. All randomness is drawn from
+// a seeded source, so generated workloads are reproducible.
+type Gen struct {
+	rng   *rand.Rand
+	sch   *sig.Schema
+	alloc *uri.Allocator
+	names []string
+}
+
+// NewGen returns a generator with the given seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{
+		rng:   rand.New(rand.NewSource(seed)),
+		sch:   Schema(),
+		alloc: uri.NewAllocator(),
+		names: []string{"a", "b", "c", "x", "y", "z", "tmp", "acc", "lhs", "rhs"},
+	}
+}
+
+// Schema returns the generator's schema.
+func (g *Gen) Schema() *sig.Schema { return g.sch }
+
+// Alloc returns the generator's URI allocator, which dominates the URIs of
+// every tree the generator produced.
+func (g *Gen) Alloc() *uri.Allocator { return g.alloc }
+
+func (g *Gen) name() string { return g.names[g.rng.Intn(len(g.names))] }
+
+func (g *Gen) must(n *tree.Node, err error) *tree.Node {
+	if err != nil {
+		panic(err) // generator bugs only; schemas are fixed
+	}
+	return n
+}
+
+func (g *Gen) leaf() *tree.Node {
+	if g.rng.Intn(2) == 0 {
+		return g.must(tree.New(g.sch, g.alloc, Num, nil, []any{int64(g.rng.Intn(100))}))
+	}
+	return g.must(tree.New(g.sch, g.alloc, Var, nil, []any{g.name()}))
+}
+
+// Tree generates a random expression tree with approximately size nodes
+// (at least one).
+func (g *Gen) Tree(size int) *tree.Node {
+	if size <= 1 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		return g.must(tree.New(g.sch, g.alloc, Call, []*tree.Node{g.Tree(size - 1)}, []any{g.name()}))
+	case 1:
+		l := g.rng.Intn(size-1) + 1
+		return g.must(tree.New(g.sch, g.alloc, Let,
+			[]*tree.Node{g.Tree(l), g.Tree(size - 1 - l)}, []any{g.name()}))
+	default:
+		tags := []sig.Tag{Add, Sub, Mul}
+		l := g.rng.Intn(size-1) + 1
+		return g.must(tree.New(g.sch, g.alloc, tags[g.rng.Intn(len(tags))],
+			[]*tree.Node{g.Tree(l), g.Tree(size - 1 - l)}, nil))
+	}
+}
+
+// nodeAt returns the i-th node of t in preorder (0-based).
+func nodeAt(t *tree.Node, i int) *tree.Node {
+	var found *tree.Node
+	idx := 0
+	tree.Walk(t, func(n *tree.Node) {
+		if idx == i {
+			found = n
+		}
+		idx++
+	})
+	return found
+}
+
+// rebuild deep-copies t, replacing the subtree at preorder index target
+// with repl (if repl is nil, the subtree is kept). Fresh URIs are assigned
+// throughout, modelling a reparsed document.
+func (g *Gen) rebuild(t *tree.Node, target int, repl func(*tree.Node) *tree.Node) *tree.Node {
+	idx := 0
+	var walk func(n *tree.Node) *tree.Node
+	walk = func(n *tree.Node) *tree.Node {
+		here := idx
+		idx++
+		if here == target {
+			// Skip the original subtree's indices.
+			idx += n.Size() - 1
+			return repl(n)
+		}
+		kids := make([]*tree.Node, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = walk(k)
+		}
+		return g.must(tree.New(g.sch, g.alloc, n.Tag, kids, append([]any(nil), n.Lits...)))
+	}
+	return walk(t)
+}
+
+func (g *Gen) copyTree(n *tree.Node) *tree.Node {
+	return tree.Clone(n, g.alloc, tree.SHA256)
+}
+
+// Mutate returns a mutated deep copy of t, applying one random edit of a
+// realistic kind: a literal change, a subtree replacement, a subtree swap
+// (move), a wrap (insertion above a node), or an unwrap (deletion of a
+// node, keeping a child). The returned tree shares no node objects with t.
+func (g *Gen) Mutate(t *tree.Node) *tree.Node {
+	size := t.Size()
+	target := g.rng.Intn(size)
+	switch g.rng.Intn(5) {
+	case 0: // literal change: mutate literals of the chosen node, if any
+		return g.rebuild(t, target, func(n *tree.Node) *tree.Node {
+			kids := make([]*tree.Node, len(n.Kids))
+			for i, k := range n.Kids {
+				kids[i] = g.copyTree(k)
+			}
+			lits := append([]any(nil), n.Lits...)
+			for i, l := range lits {
+				switch v := l.(type) {
+				case int64:
+					lits[i] = v + int64(g.rng.Intn(5)+1)
+				case string:
+					lits[i] = v + "_"
+				}
+			}
+			return g.must(tree.New(g.sch, g.alloc, n.Tag, kids, lits))
+		})
+	case 1: // replace subtree with a fresh random tree
+		return g.rebuild(t, target, func(n *tree.Node) *tree.Node {
+			return g.Tree(g.rng.Intn(6) + 1)
+		})
+	case 2: // swap: replace with a copy of another random subtree of t
+		other := nodeAt(t, g.rng.Intn(size))
+		return g.rebuild(t, target, func(n *tree.Node) *tree.Node {
+			return g.copyTree(other)
+		})
+	case 3: // wrap: insert a new binary node above the chosen subtree
+		return g.rebuild(t, target, func(n *tree.Node) *tree.Node {
+			tags := []sig.Tag{Add, Sub, Mul}
+			kids := []*tree.Node{g.copyTree(n), g.leaf()}
+			if g.rng.Intn(2) == 0 {
+				kids[0], kids[1] = kids[1], kids[0]
+			}
+			return g.must(tree.New(g.sch, g.alloc, tags[g.rng.Intn(len(tags))], kids, nil))
+		})
+	default: // unwrap: replace the chosen subtree by one of its children
+		return g.rebuild(t, target, func(n *tree.Node) *tree.Node {
+			if len(n.Kids) == 0 {
+				return g.leaf()
+			}
+			return g.copyTree(n.Kids[g.rng.Intn(len(n.Kids))])
+		})
+	}
+}
+
+// MutateN applies n successive mutations, modelling a larger code change.
+func (g *Gen) MutateN(t *tree.Node, n int) *tree.Node {
+	out := t
+	for i := 0; i < n; i++ {
+		out = g.Mutate(out)
+	}
+	if out == t {
+		out = g.copyTree(t)
+	}
+	return out
+}

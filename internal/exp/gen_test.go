@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+func TestSchemaDeclaresAllTags(t *testing.T) {
+	s := Schema()
+	for _, tag := range []string{"Num", "Var", "Add", "Sub", "Mul", "Call", "Let"} {
+		if s.Lookup(Num) == nil {
+			t.Fatal("Num missing")
+		}
+		if got := s.Lookup(Call); got == nil || len(got.Kids) != 1 || len(got.Lits) != 1 {
+			t.Fatal("Call signature wrong")
+		}
+		_ = tag
+	}
+	expTags := s.TagsOfSort(Exp)
+	if len(expTags) != 7 {
+		t.Errorf("Exp tags = %v", expTags)
+	}
+}
+
+func TestGenDeterminism(t *testing.T) {
+	a := NewGen(5).Tree(60)
+	b := NewGen(5).Tree(60)
+	if !tree.Equal(a, b) {
+		t.Error("same seed should generate the same tree")
+	}
+	c := NewGen(6).Tree(60)
+	if tree.Equal(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenTreeSizes(t *testing.T) {
+	g := NewGen(1)
+	for _, want := range []int{1, 5, 50, 500} {
+		tr := g.Tree(want)
+		if tr.Size() < want/2 || tr.Size() > want*2+5 {
+			t.Errorf("Tree(%d) has %d nodes", want, tr.Size())
+		}
+	}
+}
+
+func TestMutateChangesTreeWithoutSharing(t *testing.T) {
+	g := NewGen(2)
+	src := g.Tree(50)
+	srcNodes := map[*tree.Node]bool{}
+	tree.Walk(src, func(n *tree.Node) { srcNodes[n] = true })
+
+	changed := 0
+	for i := 0; i < 20; i++ {
+		dst := g.Mutate(src)
+		if !tree.Equal(src, dst) {
+			changed++
+		}
+		tree.Walk(dst, func(n *tree.Node) {
+			if srcNodes[n] {
+				t.Fatal("mutated tree shares a node object with the source")
+			}
+		})
+	}
+	if changed < 15 {
+		t.Errorf("only %d/20 mutations changed the tree", changed)
+	}
+}
+
+func TestMutateURIsFresh(t *testing.T) {
+	g := NewGen(3)
+	src := g.Tree(30)
+	dst := g.MutateN(src, 3)
+	seen := map[uri.URI]bool{}
+	tree.Walk(src, func(n *tree.Node) { seen[n.URI] = true })
+	tree.Walk(dst, func(n *tree.Node) {
+		if seen[n.URI] {
+			t.Fatalf("URI %s reused across versions", n.URI)
+		}
+	})
+}
+
+func TestMutateNSurvivesManyRounds(t *testing.T) {
+	g := NewGen(4)
+	cur := g.Tree(10)
+	for i := 0; i < 100; i++ {
+		cur = g.Mutate(cur)
+		if cur == nil || cur.Size() == 0 {
+			t.Fatal("mutation destroyed the tree")
+		}
+	}
+	// MutateN with zero edits still returns a fresh copy.
+	same := g.MutateN(cur, 0)
+	if same == cur {
+		t.Error("MutateN(0) should copy")
+	}
+	if !tree.Equal(same, cur) {
+		t.Error("MutateN(0) should be equal")
+	}
+}

@@ -1,0 +1,390 @@
+package gumtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionKind classifies Chawathe-style edit actions.
+type ActionKind uint8
+
+// The four edit actions of Chawathe et al. (1996) as used by Gumtree.
+const (
+	Insert ActionKind = iota
+	Delete
+	Move
+	UpdateLabel
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Move:
+		return "move"
+	case UpdateLabel:
+		return "update"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", uint8(k))
+	}
+}
+
+// Action is one edit operation. For Insert, Node identifies the inserted
+// target node; for Delete, Move, and UpdateLabel it identifies the affected
+// source node (or, for moves of freshly inserted nodes, the target node).
+// Parent/Pos locate insertions and moves in the evolving tree.
+type Action struct {
+	Kind   ActionKind
+	Node   *Node
+	Parent *Node
+	Pos    int
+	Label  string // new label for UpdateLabel
+}
+
+func (a Action) String() string {
+	pt := "?"
+	if a.Parent != nil {
+		pt = a.Parent.Type
+	}
+	switch a.Kind {
+	case Insert:
+		return fmt.Sprintf("insert(%s{%s}, parent=%s, pos=%d)", a.Node.Type, a.Node.Label, pt, a.Pos)
+	case Delete:
+		return fmt.Sprintf("delete(%s{%s})", a.Node.Type, a.Node.Label)
+	case Move:
+		return fmt.Sprintf("move(%s{%s}, parent=%s, pos=%d)", a.Node.Type, a.Node.Label, pt, a.Pos)
+	case UpdateLabel:
+		return fmt.Sprintf("update(%s{%s} -> %s)", a.Node.Type, a.Node.Label, a.Label)
+	default:
+		return "unknown"
+	}
+}
+
+// Script is a Chawathe edit script.
+type Script struct {
+	Actions []Action
+}
+
+// Len returns the number of actions, Gumtree's patch size metric.
+func (s *Script) Len() int { return len(s.Actions) }
+
+// String renders the script one action per line.
+func (s *Script) String() string {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for _, a := range s.Actions {
+		b.WriteString("  ")
+		b.WriteString(a.String())
+		b.WriteString("\n")
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// wnode is a node of the mutable working tree the script generator
+// simulates its actions against.
+type wnode struct {
+	typ, label string
+	children   []*wnode
+	parent     *wnode
+	src        *Node // originating source node, nil for inserted nodes
+	dst        *Node // the target node this working node realizes, once known
+}
+
+func (w *wnode) index() int {
+	for i, c := range w.parent.children {
+		if c == w {
+			return i
+		}
+	}
+	return -1
+}
+
+func (w *wnode) insertChild(c *wnode, pos int) {
+	if pos > len(w.children) {
+		pos = len(w.children)
+	}
+	w.children = append(w.children, nil)
+	copy(w.children[pos+1:], w.children[pos:])
+	w.children[pos] = c
+	c.parent = w
+}
+
+func (w *wnode) removeChild(c *wnode) {
+	i := c.index()
+	w.children = append(w.children[:i], w.children[i+1:]...)
+	c.parent = nil
+}
+
+// generator carries the state of the Chawathe edit-script derivation.
+type generator struct {
+	m         *Mapping
+	script    *Script
+	partner   map[*Node]*wnode // src node -> working node
+	placed    map[*Node]*wnode // processed dst node -> working node
+	inOrderW  map[*wnode]bool
+	inOrderD  map[*Node]bool
+	superRoot *wnode
+}
+
+// wOf returns the working node realizing the dst node x, if any: either x
+// was already processed, or x is matched and its partner's working node
+// stands in for it.
+func (g *generator) wOf(x *Node) *wnode {
+	if w, ok := g.placed[x]; ok {
+		return w
+	}
+	if s, ok := g.m.DstToSrc[x]; ok {
+		return g.partner[s]
+	}
+	return nil
+}
+
+// dstOf returns the dst node a working node realizes, if known.
+func (g *generator) dstOf(w *wnode) *Node {
+	if w.dst != nil {
+		return w.dst
+	}
+	if w.src != nil {
+		return g.m.SrcToDst[w.src]
+	}
+	return nil
+}
+
+// actionNode picks the reporting identity of a working node: its source
+// node, or for inserted nodes the target node it realizes.
+func (g *generator) actionNode(w *wnode) *Node {
+	if w.src != nil {
+		return w.src
+	}
+	return w.dst
+}
+
+// EditScript derives a Chawathe-style edit script that transforms src into
+// dst under the given mapping, following the classic algorithm: a preorder
+// pass over dst performing insert/update/move with findPos-computed
+// positions, child alignment via a longest common subsequence of matched
+// children, and a final postorder delete pass. It simulates the script
+// against a working copy of src and returns the patched rose tree, which
+// must equal dst (the tests assert this).
+func EditScript(src, dst *Node, m *Mapping) (*Script, *Node) {
+	g := &generator{
+		m:        m,
+		script:   &Script{},
+		partner:  make(map[*Node]*wnode),
+		placed:   make(map[*Node]*wnode),
+		inOrderW: make(map[*wnode]bool),
+		inOrderD: make(map[*Node]bool),
+	}
+
+	var copyW func(n *Node, parent *wnode) *wnode
+	copyW = func(n *Node, parent *wnode) *wnode {
+		w := &wnode{typ: n.Type, label: n.Label, parent: parent, src: n}
+		for _, c := range n.Children {
+			w.children = append(w.children, copyW(c, w))
+		}
+		g.partner[n] = w
+		return w
+	}
+	// A virtual super-root avoids special-casing root replacement.
+	g.superRoot = &wnode{typ: "\x00virtual-root"}
+	g.superRoot.children = []*wnode{copyW(src, g.superRoot)}
+
+	g.process(dst)
+	g.deletePass(src)
+
+	var toRose func(w *wnode) *Node
+	toRose = func(w *wnode) *Node {
+		n := &Node{Type: w.typ, Label: w.label}
+		for _, c := range w.children {
+			n.Children = append(n.Children, toRose(c))
+		}
+		return n
+	}
+	if len(g.superRoot.children) == 0 {
+		return g.script, nil
+	}
+	return g.script, Finish(toRose(g.superRoot.children[0]))
+}
+
+func (g *generator) emit(a Action) {
+	g.script.Actions = append(g.script.Actions, a)
+}
+
+// process handles one dst node in preorder: insert if unmatched, otherwise
+// update the label and move across parents when needed; then align the
+// children and recurse.
+func (g *generator) process(x *Node) {
+	var w *wnode
+	var z *wnode // working partner of x's parent
+	if x.Parent() == nil {
+		z = g.superRoot
+	} else {
+		z = g.placed[x.Parent()]
+	}
+
+	if s, matched := g.m.DstToSrc[x]; matched {
+		w = g.partner[s]
+		if w.label != x.Label {
+			g.emit(Action{Kind: UpdateLabel, Node: s, Label: x.Label})
+			w.label = x.Label
+		}
+		if w.parent != z {
+			k := g.findPos(x)
+			g.emit(Action{Kind: Move, Node: g.actionNode(w), Parent: g.actionNode(z), Pos: k})
+			w.parent.removeChild(w)
+			z.insertChild(w, k)
+		}
+	} else {
+		w = &wnode{typ: x.Type, label: x.Label}
+		k := g.findPos(x)
+		g.emit(Action{Kind: Insert, Node: x, Parent: g.actionNode(z), Pos: k})
+		z.insertChild(w, k)
+	}
+	w.dst = x
+	g.placed[x] = w
+	g.inOrderW[w] = true
+	g.inOrderD[x] = true
+
+	g.alignChildren(w, x)
+	for _, c := range x.Children {
+		g.process(c)
+	}
+}
+
+// findPos computes the insertion index for the dst node x under its
+// parent's working partner, based on the rightmost left sibling of x that
+// is already in order (Chawathe et al.'s FindPos).
+func (g *generator) findPos(x *Node) int {
+	if x.Parent() == nil {
+		return 0
+	}
+	siblings := x.Parent().Children
+	var v *Node
+	for _, s := range siblings {
+		if s == x {
+			break
+		}
+		if g.inOrderD[s] {
+			v = s
+		}
+	}
+	if v == nil {
+		return 0
+	}
+	u := g.wOf(v)
+	if u == nil || u.parent == nil {
+		return 0
+	}
+	return u.index() + 1
+}
+
+// alignChildren reorders the matched children of the pair (w, x) that are
+// misaligned, using a longest common subsequence to keep moves minimal.
+func (g *generator) alignChildren(w *wnode, x *Node) {
+	for _, c := range w.children {
+		g.inOrderW[c] = false
+	}
+	for _, c := range x.Children {
+		g.inOrderD[c] = false
+	}
+	// S1: children of w realizing children of x; S2: dual.
+	var s1 []*wnode
+	for _, c := range w.children {
+		if d := g.dstOf(c); d != nil && d.Parent() == x {
+			s1 = append(s1, c)
+		}
+	}
+	var s2 []*Node
+	for _, c := range x.Children {
+		if u := g.wOf(c); u != nil && u.parent == w {
+			s2 = append(s2, c)
+		}
+	}
+	inLCS := lcsPairs(s1, s2, func(a *wnode, b *Node) bool { return g.dstOf(a) == b })
+	for i, a := range s1 {
+		if inLCS.a[i] {
+			g.inOrderW[a] = true
+		}
+	}
+	for j, b := range s2 {
+		if inLCS.b[j] {
+			g.inOrderD[b] = true
+		}
+	}
+	for j, b := range s2 {
+		if inLCS.b[j] {
+			continue
+		}
+		a := g.wOf(b)
+		k := g.findPos(b)
+		g.emit(Action{Kind: Move, Node: g.actionNode(a), Parent: g.actionNode(w), Pos: k})
+		a.parent.removeChild(a)
+		w.insertChild(a, k)
+		g.inOrderW[a] = true
+		g.inOrderD[b] = true
+	}
+}
+
+// lcsPairs marks the members of a longest common subsequence of s1 and s2
+// under eq.
+func lcsPairs(s1 []*wnode, s2 []*Node, eq func(*wnode, *Node) bool) (marks struct{ a, b []bool }) {
+	n, m := len(s1), len(s2)
+	marks.a = make([]bool, n)
+	marks.b = make([]bool, m)
+	if n == 0 || m == 0 {
+		return marks
+	}
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if eq(s1[i], s2[j]) {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	for i, j := 0, 0; i < n && j < m; {
+		switch {
+		case eq(s1[i], s2[j]):
+			marks.a[i] = true
+			marks.b[j] = true
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return marks
+}
+
+// deletePass removes unmatched source nodes, children first.
+func (g *generator) deletePass(src *Node) {
+	WalkPost(src, func(s *Node) {
+		if g.m.HasSrc(s) {
+			return
+		}
+		w := g.partner[s]
+		g.emit(Action{Kind: Delete, Node: s})
+		if w.parent != nil {
+			w.parent.removeChild(w)
+		}
+	})
+}
+
+// Diff is the full Gumtree pipeline: match, then derive the edit script.
+func Diff(src, dst *Node, opts Options) (*Script, *Mapping) {
+	m := Match(src, dst, opts)
+	script, _ := EditScript(src, dst, m)
+	return script, m
+}

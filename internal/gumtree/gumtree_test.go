@@ -1,0 +1,237 @@
+package gumtree
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// ft finishes a hand-built tree.
+func ft(n *Node) *Node { return Finish(n) }
+
+func TestFinishComputesMetrics(t *testing.T) {
+	n := ft(New("Add", "",
+		New("Sub", "", New("Var", "a"), New("Var", "b")),
+		New("Num", "7")))
+	if n.Size() != 5 {
+		t.Errorf("size = %d", n.Size())
+	}
+	if n.Height() != 3 { // leaves have height 1 in Gumtree's convention
+		t.Errorf("height = %d", n.Height())
+	}
+	if n.Children[0].Parent() != n {
+		t.Error("parent links missing")
+	}
+	ids := map[int]bool{}
+	Walk(n, func(x *Node) { ids[x.ID()] = true })
+	if len(ids) != 5 || !ids[0] || !ids[4] {
+		t.Errorf("preorder ids wrong: %v", ids)
+	}
+}
+
+func TestIsomorphismHash(t *testing.T) {
+	a := ft(New("Add", "", New("Num", "1"), New("Num", "2")))
+	b := ft(New("Add", "", New("Num", "1"), New("Num", "2")))
+	c := ft(New("Add", "", New("Num", "2"), New("Num", "1")))
+	d := ft(New("Sub", "", New("Num", "1"), New("Num", "2")))
+	if !Isomorphic(a, b) {
+		t.Error("identical trees should be isomorphic")
+	}
+	if Isomorphic(a, c) {
+		t.Error("different labels in different positions should not be isomorphic")
+	}
+	if Isomorphic(a, d) {
+		t.Error("different types should not be isomorphic")
+	}
+}
+
+func TestTopDownMatchesMovedSubtree(t *testing.T) {
+	// The paper's intro example: Sub(a,b) and d swap places.
+	src := ft(New("Add", "",
+		New("Sub", "", New("Var", "a"), New("Var", "b")),
+		New("Mul", "", New("Var", "c"), New("Var", "d"))))
+	dst := ft(New("Add", "",
+		New("Var", "d"),
+		New("Mul", "", New("Var", "c"),
+			New("Sub", "", New("Var", "a"), New("Var", "b")))))
+	m := Match(src, dst, DefaultOptions())
+	// Sub(a,b) must be matched isomorphically.
+	sub := src.Children[0]
+	p, ok := m.SrcToDst[sub]
+	if !ok || p.Type != "Sub" {
+		t.Fatalf("Sub not matched, mapping size %d", m.Len())
+	}
+	if !Isomorphic(sub, p) {
+		t.Error("Sub matched non-isomorphically")
+	}
+
+	script, _ := Diff(src, dst, DefaultOptions())
+	// The optimal script is two moves (paper §1).
+	moves, others := 0, 0
+	for _, a := range script.Actions {
+		if a.Kind == Move {
+			moves++
+		} else {
+			others++
+		}
+	}
+	if moves != 2 || others != 0 {
+		t.Errorf("script = %s, want exactly 2 moves", script)
+	}
+}
+
+func TestEditScriptCorrectness(t *testing.T) {
+	cases := []struct{ src, dst *Node }{
+		{
+			ft(New("A", "", New("B", "x"), New("C", "y"))),
+			ft(New("A", "", New("C", "y"), New("B", "x"))),
+		},
+		{
+			ft(New("A", "")),
+			ft(New("A", "", New("B", "1"), New("B", "2"))),
+		},
+		{
+			ft(New("A", "", New("B", "1"), New("B", "2"))),
+			ft(New("A", "")),
+		},
+		{
+			ft(New("A", "", New("B", "old"))),
+			ft(New("A", "", New("B", "new"))),
+		},
+		{
+			ft(New("A", "")),
+			ft(New("Z", "", New("A", ""))), // root replacement
+		},
+		{
+			ft(New("A", "", New("B", "", New("C", "c"), New("D", "d")))),
+			ft(New("A", "", New("C", "c"), New("D", "d"))), // unwrap
+		},
+	}
+	for i, c := range cases {
+		m := Match(c.src, c.dst, DefaultOptions())
+		script, patched := EditScript(c.src, c.dst, m)
+		if patched == nil || !Equal(patched, c.dst) {
+			t.Errorf("case %d: patched ≠ dst\nsrc = %s\ndst = %s\ngot = %v\nscript = %s",
+				i, c.src, c.dst, patched, script)
+		}
+	}
+}
+
+// TestEditScriptCorrectnessRandom converts random typed expression trees to
+// rose trees and checks apply-correctness across many mutations.
+func TestEditScriptCorrectnessRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := exp.NewGen(seed)
+		src := g.Tree(60)
+		for i := 0; i < 8; i++ {
+			dst := g.MutateN(src, i+1)
+			rs, rd := FromTree(src), FromTree(dst)
+			m := Match(rs, rd, DefaultOptions())
+			script, patched := EditScript(rs, rd, m)
+			if patched == nil || !Equal(patched, rd) {
+				t.Fatalf("seed %d mut %d: patched ≠ dst\nscript = %s", seed, i, script)
+			}
+		}
+	}
+}
+
+func TestIdenticalTreesEmptyScript(t *testing.T) {
+	g := exp.NewGen(5)
+	src := g.Tree(50)
+	rs, rd := FromTree(src), FromTree(src)
+	script, patched := EditScript(rs, rd, Match(rs, rd, DefaultOptions()))
+	if script.Len() != 0 {
+		t.Errorf("identical trees produced %d actions:\n%s", script.Len(), script)
+	}
+	if !Equal(patched, rd) {
+		t.Error("patched ≠ dst")
+	}
+}
+
+func TestSmallEditSmallScript(t *testing.T) {
+	g := exp.NewGen(9)
+	src := g.Tree(400)
+	dst := g.Mutate(src)
+	rs, rd := FromTree(src), FromTree(dst)
+	script, patched := EditScript(rs, rd, Match(rs, rd, DefaultOptions()))
+	if !Equal(patched, rd) {
+		t.Fatal("patched ≠ dst")
+	}
+	if script.Len() > 30 {
+		t.Errorf("single mutation in 400-node tree produced %d actions", script.Len())
+	}
+}
+
+func TestFromTreePreservesStructure(t *testing.T) {
+	b := exp.NewBuilder()
+	typed := b.MustN(exp.Call, b.MustN(exp.Num, 7), "f")
+	rose := FromTree(typed)
+	if rose.Type != "Call" || rose.Label != "f" {
+		t.Errorf("rose root = %s{%s}", rose.Type, rose.Label)
+	}
+	if len(rose.Children) != 1 || rose.Children[0].Label != "7" {
+		t.Errorf("rose children wrong: %s", rose)
+	}
+	if rose.Size() != typed.Size() {
+		t.Errorf("size mismatch: %d vs %d", rose.Size(), typed.Size())
+	}
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	n := ft(New("A", "x", New("B", "y")))
+	c := Finish(Clone(n))
+	if !Equal(n, c) {
+		t.Error("clone differs")
+	}
+	c.Children[0].Label = "z"
+	if n.Children[0].Label != "y" {
+		t.Error("clone shares structure")
+	}
+}
+
+func TestMappingLinearity(t *testing.T) {
+	m := NewMapping()
+	a, b, c := ft(New("A", "")), ft(New("A", "")), ft(New("A", ""))
+	m.Add(a, b)
+	m.Add(a, c) // a already matched: ignored
+	if m.SrcToDst[a] != b || m.HasDst(c) {
+		t.Error("mapping must be one-to-one")
+	}
+	m.Add(c, b) // b already matched: ignored
+	if m.HasSrc(c) {
+		t.Error("mapping must be one-to-one (dst side)")
+	}
+}
+
+func TestDice(t *testing.T) {
+	src := ft(New("A", "", New("B", "1"), New("B", "2"), New("B", "3"), New("B", "4")))
+	dst := ft(New("A", "", New("B", "1"), New("B", "2"), New("C", "5"), New("C", "6")))
+	m := NewMapping()
+	m.Add(src.Children[0], dst.Children[0])
+	m.Add(src.Children[1], dst.Children[1])
+	got := m.Dice(src, dst)
+	if got != 0.5 { // 2*2 / (4+4)
+		t.Errorf("dice = %v, want 0.5", got)
+	}
+}
+
+func TestBottomUpMatchesContainers(t *testing.T) {
+	// Containers with mostly common children but different enough shapes
+	// that top-down cannot match them wholesale.
+	src := ft(New("Block", "",
+		New("Stmt", "a"), New("Stmt", "b"), New("Stmt", "c"),
+		New("If", "", New("Cond", "x"), New("Stmt", "t1"))))
+	dst := ft(New("Block", "",
+		New("Stmt", "a"), New("Stmt", "b"), New("Stmt", "c"),
+		New("If", "", New("Cond", "x"), New("Stmt", "t2"), New("Stmt", "extra"))))
+	m := Match(src, dst, DefaultOptions())
+	ifSrc := src.Children[3]
+	ifDst, ok := m.SrcToDst[ifSrc]
+	if !ok || ifDst.Type != "If" {
+		t.Fatalf("bottom-up failed to match the If container")
+	}
+	script, patched := EditScript(src, dst, m)
+	if !Equal(patched, dst) {
+		t.Fatalf("patched ≠ dst:\n%s", script)
+	}
+}

@@ -1,0 +1,116 @@
+package gumtree
+
+import "testing"
+
+func TestHeightList(t *testing.T) {
+	a := ft(New("A", "", New("B", "", New("C", "")), New("D", "")))
+	h := &heightList{}
+	h.push(a)
+	if got := h.peekMax(); got != 3 {
+		t.Errorf("peekMax = %d", got)
+	}
+	popped := h.popHeight(3)
+	if len(popped) != 1 || popped[0] != a {
+		t.Errorf("popHeight(3) = %v", popped)
+	}
+	if h.peekMax() != 0 {
+		t.Error("list should be empty")
+	}
+	h.open(a)
+	if got := h.peekMax(); got != 2 {
+		t.Errorf("after open, peekMax = %d", got)
+	}
+	if got := len(h.popHeight(1)); got != 1 { // the D leaf
+		t.Errorf("leaves popped = %d", got)
+	}
+	if got := len(h.popHeight(2)); got != 1 { // the B subtree
+		t.Errorf("height-2 popped = %d", got)
+	}
+}
+
+func TestAmbScore(t *testing.T) {
+	p1 := ft(New("P", "", New("X", "x")))
+	p2 := ft(New("P", "", New("X", "x")))
+	p3 := ft(New("Q", "zzz", New("X", "x")))
+	root := ft(New("X", "x"))
+
+	if got := ambScore(p1.Children[0], p2.Children[0]); got != 2 {
+		t.Errorf("identical parents score = %d, want 2", got)
+	}
+	if got := ambScore(p1.Children[0], p3.Children[0]); got != 0 {
+		t.Errorf("different-type parents score = %d, want 0", got)
+	}
+	if got := ambScore(root, root); got != 3 {
+		t.Errorf("both roots score = %d, want 3", got)
+	}
+	if got := ambScore(root, p1.Children[0]); got != 0 {
+		t.Errorf("root/non-root score = %d, want 0", got)
+	}
+	p4 := ft(New("P", "other", New("X", "x")))
+	if got := ambScore(p1.Children[0], p4.Children[0]); got != 1 {
+		t.Errorf("same-type different-hash parents score = %d, want 1", got)
+	}
+}
+
+func TestLcsPairs(t *testing.T) {
+	mk := func(tags ...string) ([]*wnode, []*Node) {
+		var ws []*wnode
+		var ns []*Node
+		for _, tag := range tags {
+			n := &Node{Type: tag}
+			ws = append(ws, &wnode{typ: tag, dst: n})
+			ns = append(ns, n)
+		}
+		return ws, ns
+	}
+	// s1 realizes s2 shuffled: LCS by identity of the realized dst node.
+	ws, ns := mk("a", "b", "c", "d")
+	shuffled := []*Node{ns[1], ns[0], ns[2], ns[3]}
+	marks := lcsPairs(ws, shuffled, func(w *wnode, n *Node) bool { return w.dst == n })
+	common := 0
+	for _, m := range marks.a {
+		if m {
+			common++
+		}
+	}
+	if common != 3 { // b,c,d or a,c,d
+		t.Errorf("LCS length = %d, want 3", common)
+	}
+	empty := lcsPairs(nil, nil, func(*wnode, *Node) bool { return false })
+	if len(empty.a) != 0 || len(empty.b) != 0 {
+		t.Error("empty LCS should be empty")
+	}
+}
+
+func TestContainerCandidates(t *testing.T) {
+	src := ft(New("Block", "", New("Stmt", "a"), New("Stmt", "b")))
+	dst := ft(New("Block", "", New("Stmt", "a"), New("Stmt", "c")))
+	m := NewMapping()
+	m.Add(src.Children[0], dst.Children[0])
+	cands := containerCandidates(src, dst, m)
+	if len(cands) != 1 || cands[0] != dst {
+		t.Errorf("candidates = %v", cands)
+	}
+	// A matched dst container is not a candidate.
+	m2 := NewMapping()
+	m2.Add(src.Children[0], dst.Children[0])
+	m2.Add(src, dst)
+	if got := containerCandidates(src, dst, m2); len(got) != 0 {
+		t.Errorf("matched container offered as candidate: %v", got)
+	}
+}
+
+func TestMatchOptionsRespected(t *testing.T) {
+	// With a prohibitive MinHeight nothing matches top-down; the identical
+	// trees still match through the bottom-up root rule + recovery.
+	src := ft(New("A", "", New("B", "x"), New("C", "y")))
+	dst := ft(New("A", "", New("B", "x"), New("C", "y")))
+	m := Match(src, dst, Options{MinHeight: 100, MinDice: 0.5, MaxSize: 100})
+	if !m.HasSrc(src) {
+		t.Error("roots of equal type should always pair up")
+	}
+	script, patched := EditScript(src, dst, m)
+	if script.Len() != 0 || !Equal(patched, dst) {
+		t.Errorf("identical trees should yield an empty script, got %s", script)
+	}
+}

@@ -1,0 +1,411 @@
+package gumtree
+
+import (
+	"sort"
+)
+
+// Options tune the matcher, mirroring Gumtree's parameters.
+type Options struct {
+	// MinHeight is the minimum subtree height considered by the greedy
+	// top-down phase (Gumtree's default: 2).
+	MinHeight int
+	// MinDice is the similarity threshold of the bottom-up phase
+	// (Gumtree's default: 0.5).
+	MinDice float64
+	// MaxSize bounds the subtree size for which the bottom-up positional
+	// recovery phase searches additional mappings. Gumtree defaults to 100
+	// because its recovery runs a cubic RTED; our greedy recovery is
+	// near-linear, so the default is far more generous.
+	MaxSize int
+}
+
+// DefaultOptions returns Gumtree's standard parameters, with MaxSize raised
+// to suit the cheap greedy recovery (see the MaxSize field).
+func DefaultOptions() Options {
+	return Options{MinHeight: 2, MinDice: 0.5, MaxSize: 2000}
+}
+
+// Mapping is a bipartite matching between source and target nodes.
+type Mapping struct {
+	SrcToDst map[*Node]*Node
+	DstToSrc map[*Node]*Node
+}
+
+// NewMapping returns an empty mapping.
+func NewMapping() *Mapping {
+	return &Mapping{
+		SrcToDst: make(map[*Node]*Node),
+		DstToSrc: make(map[*Node]*Node),
+	}
+}
+
+// Add records the pair (s, d) if both sides are still unmatched.
+func (m *Mapping) Add(s, d *Node) {
+	if _, ok := m.SrcToDst[s]; ok {
+		return
+	}
+	if _, ok := m.DstToSrc[d]; ok {
+		return
+	}
+	m.SrcToDst[s] = d
+	m.DstToSrc[d] = s
+}
+
+// AddRecursive records (s, d) and all corresponding descendants; the
+// subtrees must be isomorphic.
+func (m *Mapping) AddRecursive(s, d *Node) {
+	m.Add(s, d)
+	for i := range s.Children {
+		m.AddRecursive(s.Children[i], d.Children[i])
+	}
+}
+
+// HasSrc reports whether the source node is matched.
+func (m *Mapping) HasSrc(s *Node) bool { _, ok := m.SrcToDst[s]; return ok }
+
+// HasDst reports whether the target node is matched.
+func (m *Mapping) HasDst(d *Node) bool { _, ok := m.DstToSrc[d]; return ok }
+
+// Len returns the number of matched pairs.
+func (m *Mapping) Len() int { return len(m.SrcToDst) }
+
+// Dice computes the similarity of two containers under the mapping:
+// 2·|matched descendant pairs| / (|desc(s)| + |desc(d)|).
+func (m *Mapping) Dice(s, d *Node) float64 {
+	total := float64(s.size-1) + float64(d.size-1)
+	if total == 0 {
+		return 0
+	}
+	common := 0
+	Walk(s, func(x *Node) {
+		if x == s {
+			return
+		}
+		if p, ok := m.SrcToDst[x]; ok && inSubtree(p, d) {
+			common++
+		}
+	})
+	return 2 * float64(common) / total
+}
+
+func inSubtree(x, root *Node) bool {
+	for cur := x; cur != nil; cur = cur.parent {
+		if cur == root {
+			return true
+		}
+	}
+	return false
+}
+
+// Match runs the Gumtree matching pipeline on two finished trees.
+func Match(src, dst *Node, opts Options) *Mapping {
+	m := NewMapping()
+	topDown(src, dst, m, opts)
+	bottomUp(src, dst, m, opts)
+	return m
+}
+
+// heightList is the height-indexed priority list of the top-down phase.
+type heightList struct {
+	nodes []*Node
+}
+
+func (h *heightList) push(n *Node) {
+	h.nodes = append(h.nodes, n)
+}
+
+func (h *heightList) peekMax() int {
+	max := 0
+	for _, n := range h.nodes {
+		if n.height > max {
+			max = n.height
+		}
+	}
+	return max
+}
+
+// popHeight removes and returns all nodes of exactly height hh, preserving
+// insertion order.
+func (h *heightList) popHeight(hh int) []*Node {
+	var out, rest []*Node
+	for _, n := range h.nodes {
+		if n.height == hh {
+			out = append(out, n)
+		} else {
+			rest = append(rest, n)
+		}
+	}
+	h.nodes = rest
+	return out
+}
+
+func (h *heightList) open(n *Node) {
+	for _, c := range n.Children {
+		h.push(c)
+	}
+}
+
+// topDown greedily matches isomorphic subtrees from tallest to smallest
+// (Falleri et al., Algorithm 1). Hash-unique isomorphic pairs are mapped
+// recursively; ambiguous groups are resolved per height level by parent
+// similarity; everything unmatched is opened.
+func topDown(src, dst *Node, m *Mapping, opts Options) {
+	l1, l2 := &heightList{}, &heightList{}
+	l1.push(src)
+	l2.push(dst)
+	for {
+		h1, h2 := l1.peekMax(), l2.peekMax()
+		if min(h1, h2) < opts.MinHeight || h1 == 0 || h2 == 0 {
+			break
+		}
+		if h1 != h2 {
+			if h1 > h2 {
+				for _, n := range l1.popHeight(h1) {
+					l1.open(n)
+				}
+			} else {
+				for _, n := range l2.popHeight(h2) {
+					l2.open(n)
+				}
+			}
+			continue
+		}
+		srcs := l1.popHeight(h1)
+		dsts := l2.popHeight(h2)
+
+		byHashSrc := make(map[string][]*Node)
+		for _, n := range srcs {
+			byHashSrc[n.hash] = append(byHashSrc[n.hash], n)
+		}
+		byHashDst := make(map[string][]*Node)
+		for _, n := range dsts {
+			byHashDst[n.hash] = append(byHashDst[n.hash], n)
+		}
+
+		matchedSrc := make(map[*Node]bool)
+		matchedDst := make(map[*Node]bool)
+
+		// Unique isomorphic pairs map immediately and recursively.
+		type ambPair struct{ s, d *Node }
+		var ambiguous []ambPair
+		for hash, ss := range byHashSrc {
+			dd, ok := byHashDst[hash]
+			if !ok {
+				continue
+			}
+			if len(ss) == 1 && len(dd) == 1 {
+				m.AddRecursive(ss[0], dd[0])
+				matchedSrc[ss[0]] = true
+				matchedDst[dd[0]] = true
+				continue
+			}
+			for _, s := range ss {
+				for _, d := range dd {
+					ambiguous = append(ambiguous, ambPair{s, d})
+				}
+			}
+		}
+
+		// Ambiguous pairs: prefer pairs whose parents look alike, then
+		// close preorder positions; greedily assign.
+		sort.SliceStable(ambiguous, func(i, j int) bool {
+			pi, pj := ambScore(ambiguous[i].s, ambiguous[i].d), ambScore(ambiguous[j].s, ambiguous[j].d)
+			if pi != pj {
+				return pi > pj
+			}
+			di := abs(ambiguous[i].s.id - ambiguous[i].d.id)
+			dj := abs(ambiguous[j].s.id - ambiguous[j].d.id)
+			return di < dj
+		})
+		for _, p := range ambiguous {
+			if matchedSrc[p.s] || matchedDst[p.d] {
+				continue
+			}
+			m.AddRecursive(p.s, p.d)
+			matchedSrc[p.s] = true
+			matchedDst[p.d] = true
+		}
+
+		for _, n := range srcs {
+			if !matchedSrc[n] {
+				l1.open(n)
+			}
+		}
+		for _, n := range dsts {
+			if !matchedDst[n] {
+				l2.open(n)
+			}
+		}
+	}
+}
+
+// ambScore ranks ambiguous isomorphic pairs: matching parents beat parents
+// of equal hash, which beat parents of equal type.
+func ambScore(s, d *Node) int {
+	ps, pd := s.parent, d.parent
+	switch {
+	case ps == nil && pd == nil:
+		return 3
+	case ps == nil || pd == nil:
+		return 0
+	case ps.hash == pd.hash:
+		return 2
+	case ps.Type == pd.Type:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// bottomUp matches containers: an unmatched source node with matched
+// descendants is paired with the most similar unmatched target node of the
+// same type if their dice coefficient clears the threshold; a recovery pass
+// then matches remaining descendants of the new pair (Falleri et al.,
+// Algorithm 2 — with a greedy recovery in place of RTED).
+func bottomUp(src, dst *Node, m *Mapping, opts Options) {
+	WalkPost(src, func(t1 *Node) {
+		if m.HasSrc(t1) {
+			return
+		}
+		isRoot := t1.parent == nil
+		if !isRoot && !hasMatchedDescendant(t1, m) {
+			return
+		}
+		var best *Node
+		bestDice := 0.0
+		for _, t2 := range containerCandidates(t1, dst, m) {
+			d := m.Dice(t1, t2)
+			if d > bestDice {
+				best, bestDice = t2, d
+			}
+		}
+		if best == nil && isRoot && !m.HasDst(dst) && t1.Type == dst.Type {
+			best, bestDice = dst, 1 // roots of equal type always pair up
+		}
+		if best != nil && (bestDice >= opts.MinDice || isRoot) {
+			m.Add(t1, best)
+			recoverHash(t1, best, m)
+			if t1.size < opts.MaxSize && best.size < opts.MaxSize {
+				recoverChildren(t1, best, m)
+			}
+		}
+	})
+}
+
+func hasMatchedDescendant(t *Node, m *Mapping) bool {
+	found := false
+	Walk(t, func(x *Node) {
+		if x != t && m.HasSrc(x) {
+			found = true
+		}
+	})
+	return found
+}
+
+// containerCandidates finds unmatched target nodes of t1's type that
+// contain partners of t1's descendants.
+func containerCandidates(t1 *Node, dst *Node, m *Mapping) []*Node {
+	seen := make(map[*Node]bool)
+	var out []*Node
+	Walk(t1, func(x *Node) {
+		if x == t1 {
+			return
+		}
+		p, ok := m.SrcToDst[x]
+		if !ok {
+			return
+		}
+		for cur := p.parent; cur != nil; cur = cur.parent {
+			if seen[cur] {
+				break
+			}
+			seen[cur] = true
+			if !m.HasDst(cur) && cur.Type == t1.Type {
+				out = append(out, cur)
+			}
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// recoverHash is the cheap half of the recovery that stands in for
+// Gumtree's RTED phase: a linear cross-level pass pairing isomorphic
+// unmatched descendants of a freshly matched container pair by hash. It
+// catches unchanged small subtrees that the top-down phase's MinHeight
+// cutoff skipped, and runs for containers of any size.
+func recoverHash(t1, t2 *Node, m *Mapping) {
+	srcByHash := make(map[string][]*Node)
+	Walk(t1, func(x *Node) {
+		if x != t1 && !m.HasSrc(x) {
+			srcByHash[x.hash] = append(srcByHash[x.hash], x)
+		}
+	})
+	dstByHash := make(map[string][]*Node)
+	Walk(t2, func(x *Node) {
+		if x != t2 && !m.HasDst(x) {
+			dstByHash[x.hash] = append(dstByHash[x.hash], x)
+		}
+	})
+	for h, ss := range srcByHash {
+		dd := dstByHash[h]
+		for i := 0; i < len(ss) && i < len(dd); i++ {
+			m.AddRecursive(ss[i], dd[i])
+		}
+	}
+}
+
+// recoverChildren greedily pairs unmatched children of a matched pair:
+// first isomorphic subtrees, then nodes of equal type and label, then
+// children of equal type, recursing into each new pair.
+func recoverChildren(t1, t2 *Node, m *Mapping) {
+	var srcOpen, dstOpen []*Node
+	for _, c := range t1.Children {
+		if !m.HasSrc(c) {
+			srcOpen = append(srcOpen, c)
+		}
+	}
+	for _, c := range t2.Children {
+		if !m.HasDst(c) {
+			dstOpen = append(dstOpen, c)
+		}
+	}
+	usedDst := make(map[*Node]bool)
+	pairUp := func(match func(a, b *Node) bool, rec bool) {
+		for _, a := range srcOpen {
+			if m.HasSrc(a) {
+				continue
+			}
+			for _, b := range dstOpen {
+				if usedDst[b] || m.HasDst(b) || !match(a, b) {
+					continue
+				}
+				usedDst[b] = true
+				if rec {
+					m.AddRecursive(a, b)
+				} else {
+					m.Add(a, b)
+					recoverChildren(a, b, m)
+				}
+				break
+			}
+		}
+	}
+	pairUp(func(a, b *Node) bool { return a.hash == b.hash }, true)
+	pairUp(func(a, b *Node) bool { return a.Type == b.Type && a.Label == b.Label }, false)
+	pairUp(func(a, b *Node) bool { return a.Type == b.Type }, false)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

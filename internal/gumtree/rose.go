@@ -1,0 +1,185 @@
+// Package gumtree implements the Gumtree structural diffing algorithm of
+// Falleri et al. (ASE 2014), the untyped baseline of the paper's
+// evaluation: a greedy top-down phase matching isomorphic subtrees, a
+// bottom-up phase matching containers by dice similarity, and a
+// Chawathe-style edit script (insert, delete, move, update) computed from
+// the mapping. Gumtree works on untyped rose trees, where a node can hold
+// any number of children — which is exactly why its edit scripts cannot be
+// executed against typed tree representations (paper §1).
+package gumtree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Node is an untyped rose tree node: a type label, a value label (the
+// concatenated literals), and any number of children.
+type Node struct {
+	Type     string
+	Label    string
+	Children []*Node
+
+	id     int    // preorder id, unique within one tree
+	height int    // leaves have height 1 (Gumtree's convention)
+	size   int    // number of nodes in the subtree
+	hash   string // isomorphism hash over type, label, and children
+	parent *Node
+}
+
+// ID returns the node's preorder id within its tree.
+func (n *Node) ID() int { return n.id }
+
+// Height returns the node's height; leaves have height 1.
+func (n *Node) Height() int { return n.height }
+
+// Size returns the number of nodes in the subtree.
+func (n *Node) Size() int { return n.size }
+
+// Parent returns the node's parent, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Hash returns the isomorphism hash: two subtrees are isomorphic (same
+// types, labels, and shape) iff their hashes agree.
+func (n *Node) Hash() string { return n.hash }
+
+// New builds a rose node; use Finish on the root before diffing.
+func New(typ, label string, children ...*Node) *Node {
+	return &Node{Type: typ, Label: label, Children: children}
+}
+
+// Finish computes ids, heights, sizes, hashes, and parent links for the
+// tree rooted at n. It must be called once on a root before the tree is
+// used in matching.
+func Finish(n *Node) *Node {
+	id := 0
+	var walk func(x *Node)
+	walk = func(x *Node) {
+		x.id = id
+		id++
+		h := sha256.New()
+		writeStr(h, x.Type)
+		writeStr(h, x.Label)
+		x.height, x.size = 1, 1
+		for _, c := range x.Children {
+			c.parent = x
+			walk(c)
+			if c.height+1 > x.height {
+				x.height = c.height + 1
+			}
+			x.size += c.size
+			writeStr(h, c.hash)
+		}
+		var buf [32]byte
+		x.hash = string(h.Sum(buf[:0]))
+	}
+	walk(n)
+	return n
+}
+
+func writeStr(w interface{ Write([]byte) (int, error) }, s string) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(s)))
+	w.Write(b[:])
+	w.Write([]byte(s))
+}
+
+// FromTree converts a typed tree into a rose tree with identical node
+// structure, so Gumtree and truediff can be compared on exactly the same
+// input trees (the paper's Diffable wrapper for Gumtree nodes, §5).
+func FromTree(t *tree.Node) *Node {
+	return Finish(fromTree(t))
+}
+
+func fromTree(t *tree.Node) *Node {
+	n := &Node{Type: string(t.Tag), Label: labelOf(t)}
+	n.Children = make([]*Node, len(t.Kids))
+	for i, k := range t.Kids {
+		n.Children[i] = fromTree(k)
+	}
+	return n
+}
+
+func labelOf(t *tree.Node) string {
+	if len(t.Lits) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range t.Lits {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		fmt.Fprintf(&b, "%v", l)
+	}
+	return b.String()
+}
+
+// Clone deep-copies the tree (without finishing it).
+func Clone(n *Node) *Node {
+	c := &Node{Type: n.Type, Label: n.Label}
+	c.Children = make([]*Node, len(n.Children))
+	for i, k := range n.Children {
+		c.Children[i] = Clone(k)
+	}
+	return c
+}
+
+// Isomorphic reports whether two finished subtrees are isomorphic.
+func Isomorphic(a, b *Node) bool { return a.hash == b.hash }
+
+// Walk visits the subtree in preorder.
+func Walk(n *Node, f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		Walk(c, f)
+	}
+}
+
+// WalkPost visits the subtree in postorder.
+func WalkPost(n *Node, f func(*Node)) {
+	for _, c := range n.Children {
+		WalkPost(c, f)
+	}
+	f(n)
+}
+
+// Equal reports deep equality of two rose trees (types, labels, shape).
+func Equal(a, b *Node) bool {
+	if a.Type != b.Type || a.Label != b.Label || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rose tree compactly.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.format(&b)
+	return b.String()
+}
+
+func (n *Node) format(b *strings.Builder) {
+	b.WriteString(n.Type)
+	if n.Label != "" {
+		fmt.Fprintf(b, "{%s}", n.Label)
+	}
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			c.format(b)
+		}
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,50 @@
+package gumtree
+
+import "repro/internal/tree"
+
+// This file bridges the Gumtree matcher back to typed trees, enabling the
+// §7 experiment of generating type-safe truechange scripts from Gumtree's
+// similarity-based matching (see truediff.DiffWithMatching).
+
+// FromTreeWithMap converts a typed tree into a finished rose tree and
+// returns the correspondence from rose nodes back to the typed nodes.
+func FromTreeWithMap(t *tree.Node) (*Node, map[*Node]*tree.Node) {
+	back := make(map[*Node]*tree.Node, t.Size())
+	var conv func(x *tree.Node) *Node
+	conv = func(x *tree.Node) *Node {
+		n := &Node{Type: string(x.Tag), Label: labelOf(x)}
+		back[n] = x
+		n.Children = make([]*Node, len(x.Kids))
+		for i, k := range x.Kids {
+			n.Children[i] = conv(k)
+		}
+		return n
+	}
+	root := conv(t)
+	Finish(root)
+	return root, back
+}
+
+// TypedPair is a matched pair of typed nodes.
+type TypedPair struct {
+	Src *tree.Node
+	Dst *tree.Node
+}
+
+// MatchTyped runs the Gumtree matching pipeline on two typed trees and
+// returns the matched pairs as typed nodes. Pairs whose constructors
+// differ are dropped: they cannot be realized by a type-preserving morph.
+func MatchTyped(src, dst *tree.Node, opts Options) []TypedPair {
+	rs, backS := FromTreeWithMap(src)
+	rd, backD := FromTreeWithMap(dst)
+	m := Match(rs, rd, opts)
+	out := make([]TypedPair, 0, m.Len())
+	for s, d := range m.SrcToDst {
+		ts, td := backS[s], backD[d]
+		if ts == nil || td == nil || ts.Tag != td.Tag {
+			continue
+		}
+		out = append(out, TypedPair{Src: ts, Dst: td})
+	}
+	return out
+}

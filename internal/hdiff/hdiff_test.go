@@ -1,0 +1,146 @@
+package hdiff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/tree"
+)
+
+// TestPaperIntroPatch reproduces the hdiff patch shown in paper §1:
+// (Add(#1, Mul(#2, #3)) ↦ Add(#3, Mul(#2, #1))).
+func TestPaperIntroPatch(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add,
+		b.MustN(exp.Sub, b.MustN(exp.Var, "a"), b.MustN(exp.Var, "b")),
+		b.MustN(exp.Mul, b.MustN(exp.Var, "c"), b.MustN(exp.Var, "d")))
+	dst := b.MustN(exp.Add,
+		b.MustN(exp.Var, "d"),
+		b.MustN(exp.Mul, b.MustN(exp.Var, "c"),
+			b.MustN(exp.Sub, b.MustN(exp.Var, "a"), b.MustN(exp.Var, "b"))))
+
+	p := Diff(src, dst, DefaultOptions())
+	if p.Metavars != 3 {
+		t.Errorf("metavars = %d, want 3 (Sub(a,b), c, d)", p.Metavars)
+	}
+	// Pattern and template each mention exactly Add and Mul.
+	if got := p.Size(); got != 4 {
+		t.Errorf("patch size = %d, want 4:\n%s", got, p)
+	}
+	str := p.String()
+	if !strings.Contains(str, "↦") || strings.Count(str, "Add") != 2 || strings.Count(str, "Mul") != 2 {
+		t.Errorf("patch rendering = %s", str)
+	}
+
+	out, err := Apply(p, src, b.Schema(), b.Alloc())
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !tree.Equal(out, dst) {
+		t.Errorf("apply produced %s, want %s", out, dst)
+	}
+}
+
+func TestRepeatedSubtreesNotShared(t *testing.T) {
+	b := exp.NewBuilder()
+	// Num(2) occurs twice in dst: ambiguous, must be spelled out.
+	src := b.MustN(exp.Add, b.MustN(exp.Num, 2), b.MustN(exp.Var, "x"))
+	dst := b.MustN(exp.Add, b.MustN(exp.Num, 2), b.MustN(exp.Num, 2))
+	p := Diff(src, dst, DefaultOptions())
+	// Var x is unique to src: spelled in the pattern. Num(2) repeated in
+	// dst: spelled everywhere. Only nothing is shared.
+	if p.Metavars != 0 {
+		t.Errorf("metavars = %d, want 0:\n%s", p.Metavars, p)
+	}
+	out, err := Apply(p, src, b.Schema(), b.Alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(out, dst) {
+		t.Error("apply incorrect")
+	}
+}
+
+func TestPatchSizeProportionalToTree(t *testing.T) {
+	// A one-literal change deep in a tree with repeated leaves forces the
+	// patch to spell out a large spine: hdiff patches grow with tree size
+	// even for small edits (the paper's core criticism).
+	sizes := []int{50, 200, 800}
+	var last int
+	for _, size := range sizes {
+		g := exp.NewGen(int64(size))
+		src := g.Tree(size)
+		dst := g.Mutate(src)
+		p := Diff(src, dst, DefaultOptions())
+		if p.Size() < 1 {
+			t.Fatalf("size %d: empty patch", size)
+		}
+		if p.Size() < last/8 {
+			t.Logf("size %d: patch %d (previous %d)", size, p.Size(), last)
+		}
+		last = p.Size()
+	}
+}
+
+func TestApplyCorrectnessRandom(t *testing.T) {
+	sch := exp.Schema()
+	for seed := int64(0); seed < 15; seed++ {
+		g := exp.NewGen(seed)
+		src := g.Tree(40)
+		dst := g.MutateN(src, 3)
+		p := Diff(src, dst, DefaultOptions())
+		out, err := Apply(p, src, sch, g.Alloc())
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v\npatch: %s", seed, err, p)
+		}
+		if !tree.Equal(out, dst) {
+			t.Fatalf("seed %d: apply produced wrong tree", seed)
+		}
+	}
+}
+
+func TestIdenticalTreesShareRoot(t *testing.T) {
+	g := exp.NewGen(1)
+	src := g.Tree(30)
+	dst := tree.Clone(src, g.Alloc(), tree.SHA256)
+	p := Diff(src, dst, DefaultOptions())
+	if !p.Pattern.IsMetavar() || !p.Template.IsMetavar() {
+		t.Errorf("identical trees should collapse to a single metavariable:\n%s", p)
+	}
+	if p.Size() != 0 {
+		t.Errorf("size = %d, want 0", p.Size())
+	}
+	out, err := Apply(p, src, g.Schema(), g.Alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(out, dst) {
+		t.Error("apply incorrect")
+	}
+}
+
+func TestApplyRejectsMismatchedSource(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Num, 1))
+	dst := b.MustN(exp.Sub, b.MustN(exp.Num, 1), b.MustN(exp.Num, 1))
+	p := Diff(src, dst, DefaultOptions())
+	other := b.MustN(exp.Mul, b.MustN(exp.Num, 5), b.MustN(exp.Num, 1))
+	if _, err := Apply(p, other, b.Schema(), b.Alloc()); err == nil {
+		t.Error("applying to a non-matching source should fail")
+	}
+}
+
+func TestMinHeightExcludesLeaves(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add, b.MustN(exp.Var, "unique1"), b.MustN(exp.Var, "x"))
+	dst := b.MustN(exp.Sub, b.MustN(exp.Var, "unique1"), b.MustN(exp.Var, "x"))
+	withLeaves := Diff(src, dst, Options{MinHeight: 0})
+	if withLeaves.Metavars != 2 {
+		t.Errorf("MinHeight 0: metavars = %d, want 2", withLeaves.Metavars)
+	}
+	noLeaves := Diff(src, dst, Options{MinHeight: 1})
+	if noLeaves.Metavars != 0 {
+		t.Errorf("MinHeight 1: metavars = %d, want 0", noLeaves.Metavars)
+	}
+}

@@ -1,0 +1,400 @@
+// Package inca reimplements the driver of the incremental program analysis
+// framework described in paper §6: it consumes truechange edit scripts and
+// translates them into fact insertions and deletions that incrementally
+// maintain a Datalog database of derived properties about the syntax tree.
+// This replaces projectional editing as the source of fine-grained change
+// notifications — after a code change, the tree is re-diffed with truediff
+// and the resulting edit script drives the update.
+//
+// The driver also maintains the paper's link index in one of two
+// encodings. Type-safe edit scripts never overload a link, so a compact
+// one-to-one index suffices:
+//
+//	mutable.Map[Link, BidirectionalOneToOneIndex[URI, URI]]
+//
+// With untyped edit scripts a weaker many-to-one encoding is forced, where
+// a link may temporarily point to several children and every operation
+// becomes a set operation:
+//
+//	mutable.Map[Link, BidirectionalManyToOneIndex[URI, URI]]
+//
+// Both encodings are implemented so the benchmark can quantify the cost.
+package inca
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/uri"
+)
+
+// LinkIndex abstracts the bidirectional link store of the driver.
+type LinkIndex interface {
+	// Attach records that parent.link points to kid.
+	Attach(link sig.Link, parent, kid uri.URI) error
+	// Detach removes the parent.link → kid entry.
+	Detach(link sig.Link, parent, kid uri.URI) error
+	// Kid returns the unique child at parent.link; ok is false for an
+	// empty slot. For the many-to-one encoding an overloaded link is an
+	// error surfaced through Kids instead.
+	Kid(link sig.Link, parent uri.URI) (uri.URI, bool)
+	// Kids returns all children at parent.link (a set operation; the
+	// one-to-one encoding returns at most one element).
+	Kids(link sig.Link, parent uri.URI) []uri.URI
+	// Parent returns the parent holding kid via link.
+	Parent(link sig.Link, kid uri.URI) (uri.URI, bool)
+	// Len returns the total number of entries.
+	Len() int
+}
+
+// OneToOne is the compact bidirectional one-to-one index enabled by
+// type-safe edit scripts: each (link, parent) holds at most one kid and
+// each (link, kid) has at most one parent.
+type OneToOne struct {
+	fwd map[sig.Link]map[uri.URI]uri.URI
+	rev map[sig.Link]map[uri.URI]uri.URI
+	n   int
+}
+
+// NewOneToOne returns an empty one-to-one index.
+func NewOneToOne() *OneToOne {
+	return &OneToOne{
+		fwd: make(map[sig.Link]map[uri.URI]uri.URI),
+		rev: make(map[sig.Link]map[uri.URI]uri.URI),
+	}
+}
+
+// Attach implements LinkIndex; it rejects overloading a link, which a
+// well-typed edit script never attempts.
+func (ix *OneToOne) Attach(link sig.Link, parent, kid uri.URI) error {
+	f, ok := ix.fwd[link]
+	if !ok {
+		f = make(map[uri.URI]uri.URI)
+		ix.fwd[link] = f
+		ix.rev[link] = make(map[uri.URI]uri.URI)
+	}
+	if old, occupied := f[parent]; occupied {
+		return fmt.Errorf("inca: link %s of %s already holds %s", link, parent, old)
+	}
+	f[parent] = kid
+	ix.rev[link][kid] = parent
+	ix.n++
+	return nil
+}
+
+// Detach implements LinkIndex.
+func (ix *OneToOne) Detach(link sig.Link, parent, kid uri.URI) error {
+	f, ok := ix.fwd[link]
+	if !ok || f[parent] != kid {
+		return fmt.Errorf("inca: link %s of %s does not hold %s", link, parent, kid)
+	}
+	delete(f, parent)
+	delete(ix.rev[link], kid)
+	ix.n--
+	return nil
+}
+
+// Kid implements LinkIndex.
+func (ix *OneToOne) Kid(link sig.Link, parent uri.URI) (uri.URI, bool) {
+	k, ok := ix.fwd[link][parent]
+	return k, ok
+}
+
+// Kids implements LinkIndex.
+func (ix *OneToOne) Kids(link sig.Link, parent uri.URI) []uri.URI {
+	if k, ok := ix.fwd[link][parent]; ok {
+		return []uri.URI{k}
+	}
+	return nil
+}
+
+// Parent implements LinkIndex.
+func (ix *OneToOne) Parent(link sig.Link, kid uri.URI) (uri.URI, bool) {
+	p, ok := ix.rev[link][kid]
+	return p, ok
+}
+
+// Len implements LinkIndex.
+func (ix *OneToOne) Len() int { return ix.n }
+
+// ManyToOne is the weaker encoding forced by untyped edit scripts: a link
+// may point to many children, so every slot holds a set and all operations
+// are set operations.
+type ManyToOne struct {
+	fwd map[sig.Link]map[uri.URI]map[uri.URI]bool
+	rev map[sig.Link]map[uri.URI]map[uri.URI]bool
+	n   int
+}
+
+// NewManyToOne returns an empty many-to-one index.
+func NewManyToOne() *ManyToOne {
+	return &ManyToOne{
+		fwd: make(map[sig.Link]map[uri.URI]map[uri.URI]bool),
+		rev: make(map[sig.Link]map[uri.URI]map[uri.URI]bool),
+	}
+}
+
+// Attach implements LinkIndex; overloading is representable and accepted.
+func (ix *ManyToOne) Attach(link sig.Link, parent, kid uri.URI) error {
+	f, ok := ix.fwd[link]
+	if !ok {
+		f = make(map[uri.URI]map[uri.URI]bool)
+		ix.fwd[link] = f
+		ix.rev[link] = make(map[uri.URI]map[uri.URI]bool)
+	}
+	set, ok := f[parent]
+	if !ok {
+		set = make(map[uri.URI]bool)
+		f[parent] = set
+	}
+	if set[kid] {
+		return fmt.Errorf("inca: duplicate entry %s.%s → %s", parent, link, kid)
+	}
+	set[kid] = true
+	rset, ok := ix.rev[link][kid]
+	if !ok {
+		rset = make(map[uri.URI]bool)
+		ix.rev[link][kid] = rset
+	}
+	rset[parent] = true
+	ix.n++
+	return nil
+}
+
+// Detach implements LinkIndex.
+func (ix *ManyToOne) Detach(link sig.Link, parent, kid uri.URI) error {
+	set := ix.fwd[link][parent]
+	if !set[kid] {
+		return fmt.Errorf("inca: link %s of %s does not hold %s", link, parent, kid)
+	}
+	delete(set, kid)
+	if len(set) == 0 {
+		delete(ix.fwd[link], parent)
+	}
+	rset := ix.rev[link][kid]
+	delete(rset, parent)
+	if len(rset) == 0 {
+		delete(ix.rev[link], kid)
+	}
+	ix.n--
+	return nil
+}
+
+// Kid implements LinkIndex; it returns a child only when the slot holds
+// exactly one.
+func (ix *ManyToOne) Kid(link sig.Link, parent uri.URI) (uri.URI, bool) {
+	set := ix.fwd[link][parent]
+	if len(set) != 1 {
+		return 0, false
+	}
+	for k := range set {
+		return k, true
+	}
+	return 0, false
+}
+
+// Kids implements LinkIndex.
+func (ix *ManyToOne) Kids(link sig.Link, parent uri.URI) []uri.URI {
+	set := ix.fwd[link][parent]
+	out := make([]uri.URI, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Parent implements LinkIndex; defined when exactly one parent holds kid.
+func (ix *ManyToOne) Parent(link sig.Link, kid uri.URI) (uri.URI, bool) {
+	set := ix.rev[link][kid]
+	if len(set) != 1 {
+		return 0, false
+	}
+	for p := range set {
+		return p, true
+	}
+	return 0, false
+}
+
+// Len implements LinkIndex.
+func (ix *ManyToOne) Len() int { return ix.n }
+
+// Driver feeds truechange edit scripts into a Datalog engine and the link
+// index, keeping both synchronized with the tree.
+type Driver struct {
+	Engine *datalog.Engine
+	Index  LinkIndex
+	sch    *sig.Schema
+}
+
+// Fact predicates maintained by the driver.
+const (
+	PredNode  = "node"  // node(uri, tag)
+	PredChild = "child" // child(parentURI, kidURI)
+	PredLit   = "lit"   // lit(uri, link, value)
+)
+
+// StandardRules returns the analysis program used by the incremental
+// experiment, in the spirit of IncA's program analyses: a recursive
+// "enclosing function" relation plus two derived properties. The relation
+// is function-local, so a code change only disturbs facts of the functions
+// it touches — the locality that makes incrementality pay off.
+//
+//	inFunc(F, N)     — node N belongs to the body of function F
+//	funcReturn(F, R) — return statement R exits function F
+//	funcName(F, X)   — identifier X occurs in function F
+func StandardRules() []datalog.Rule {
+	v := func(s string) datalog.Var { return datalog.Var(s) }
+	return []datalog.Rule{
+		{Head: datalog.A("inFunc", v("F"), v("N")),
+			Body: []datalog.Atom{
+				datalog.A(PredNode, v("F"), "FuncDef"),
+				datalog.A(PredChild, v("F"), v("N"))}},
+		{Head: datalog.A("inFunc", v("F"), v("N")),
+			Body: []datalog.Atom{datalog.A("inFunc", v("F"), v("M")), datalog.A(PredChild, v("M"), v("N"))}},
+		{Head: datalog.A("funcReturn", v("F"), v("R")),
+			Body: []datalog.Atom{
+				datalog.A("inFunc", v("F"), v("R")),
+				datalog.A(PredNode, v("R"), "Return")}},
+		{Head: datalog.A("funcName", v("F"), v("X")),
+			Body: []datalog.Atom{
+				datalog.A("inFunc", v("F"), v("N")),
+				datalog.A(PredNode, v("N"), "Name"),
+				datalog.A(PredLit, v("N"), "id", v("X"))}},
+	}
+}
+
+// ClosureRules returns the heavyweight whole-tree containment closure; it
+// stresses the DRed maintenance path and serves as the worst-case analysis
+// in tests and benchmarks.
+func ClosureRules() []datalog.Rule {
+	v := func(s string) datalog.Var { return datalog.Var(s) }
+	return []datalog.Rule{
+		{Head: datalog.A("contains", v("A"), v("D")),
+			Body: []datalog.Atom{datalog.A(PredChild, v("A"), v("D"))}},
+		{Head: datalog.A("contains", v("A"), v("D")),
+			Body: []datalog.Atom{datalog.A("contains", v("A"), v("M")), datalog.A(PredChild, v("M"), v("D"))}},
+	}
+}
+
+// NewDriver returns a driver over the given schema, analysis rules, and
+// link index encoding.
+func NewDriver(sch *sig.Schema, rules []datalog.Rule, index LinkIndex) (*Driver, error) {
+	eng, err := datalog.NewEngine(rules)
+	if err != nil {
+		return nil, err
+	}
+	return &Driver{Engine: eng, Index: index, sch: sch}, nil
+}
+
+// InitTree seeds the database and index from an initial tree, as if it had
+// been loaded by an initializing edit script.
+func (d *Driver) InitTree(t *tree.Node) error {
+	delta := datalog.NewDelta()
+	var err error
+	tree.Walk(t, func(n *tree.Node) {
+		if err != nil {
+			return
+		}
+		err = d.loadNode(n, delta)
+	})
+	if err != nil {
+		return err
+	}
+	if e := d.Index.Attach(sig.RootLink, uri.Root, t.URI); e != nil {
+		return e
+	}
+	delta.Ins(PredChild, uri.Root, t.URI)
+	d.Engine.Apply(delta)
+	return nil
+}
+
+func (d *Driver) loadNode(n *tree.Node, delta *datalog.Delta) error {
+	g := d.sch.Lookup(n.Tag)
+	if g == nil {
+		return fmt.Errorf("inca: undeclared tag %s", n.Tag)
+	}
+	delta.Ins(PredNode, n.URI, string(n.Tag))
+	for i, spec := range g.Lits {
+		delta.Ins(PredLit, n.URI, string(spec.Link), n.Lits[i])
+	}
+	for i, spec := range g.Kids {
+		if err := d.Index.Attach(spec.Link, n.URI, n.Kids[i].URI); err != nil {
+			return err
+		}
+		delta.Ins(PredChild, n.URI, n.Kids[i].URI)
+	}
+	return nil
+}
+
+// ProcessScript applies an edit script: every edit updates the link index
+// immediately and contributes fact changes, which are applied to the
+// engine as one batch at the end (matching IncA's transactional updates).
+func (d *Driver) ProcessScript(s *truechange.Script) error {
+	delta := datalog.NewDelta()
+	for i, e := range s.Edits {
+		if err := d.processEdit(e, delta); err != nil {
+			return fmt.Errorf("inca: edit #%d: %w", i, err)
+		}
+	}
+	d.Engine.Apply(delta)
+	return nil
+}
+
+func (d *Driver) processEdit(e truechange.Edit, delta *datalog.Delta) error {
+	switch ed := e.(type) {
+	case truechange.Detach:
+		if err := d.Index.Detach(ed.Link, ed.Parent.URI, ed.Node.URI); err != nil {
+			return err
+		}
+		delta.Del(PredChild, ed.Parent.URI, ed.Node.URI)
+		return nil
+
+	case truechange.Attach:
+		if err := d.Index.Attach(ed.Link, ed.Parent.URI, ed.Node.URI); err != nil {
+			return err
+		}
+		delta.Ins(PredChild, ed.Parent.URI, ed.Node.URI)
+		return nil
+
+	case truechange.Load:
+		delta.Ins(PredNode, ed.Node.URI, string(ed.Node.Tag))
+		for _, l := range ed.Lits {
+			delta.Ins(PredLit, ed.Node.URI, string(l.Link), l.Value)
+		}
+		for _, k := range ed.Kids {
+			if err := d.Index.Attach(k.Link, ed.Node.URI, k.URI); err != nil {
+				return err
+			}
+			delta.Ins(PredChild, ed.Node.URI, k.URI)
+		}
+		return nil
+
+	case truechange.Unload:
+		delta.Del(PredNode, ed.Node.URI, string(ed.Node.Tag))
+		for _, l := range ed.Lits {
+			delta.Del(PredLit, ed.Node.URI, string(l.Link), l.Value)
+		}
+		for _, k := range ed.Kids {
+			if err := d.Index.Detach(k.Link, ed.Node.URI, k.URI); err != nil {
+				return err
+			}
+			delta.Del(PredChild, ed.Node.URI, k.URI)
+		}
+		return nil
+
+	case truechange.Update:
+		for _, l := range ed.Old {
+			delta.Del(PredLit, ed.Node.URI, string(l.Link), l.Value)
+		}
+		for _, l := range ed.New {
+			delta.Ins(PredLit, ed.Node.URI, string(l.Link), l.Value)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown edit kind %T", e)
+	}
+}

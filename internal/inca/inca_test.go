@@ -1,0 +1,240 @@
+package inca
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/datalog"
+	"repro/internal/exp"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+func TestOneToOneIndex(t *testing.T) {
+	ix := NewOneToOne()
+	if err := ix.Attach("e1", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Attach("e1", 1, 3); err == nil {
+		t.Error("overloading a one-to-one link should fail")
+	}
+	if k, ok := ix.Kid("e1", 1); !ok || k != 2 {
+		t.Errorf("Kid = %v, %v", k, ok)
+	}
+	if p, ok := ix.Parent("e1", 2); !ok || p != 1 {
+		t.Errorf("Parent = %v, %v", p, ok)
+	}
+	if kids := ix.Kids("e1", 1); len(kids) != 1 || kids[0] != 2 {
+		t.Errorf("Kids = %v", kids)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if err := ix.Detach("e1", 1, 3); err == nil {
+		t.Error("detaching a non-held kid should fail")
+	}
+	if err := ix.Detach("e1", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Kid("e1", 1); ok {
+		t.Error("slot should be empty after detach")
+	}
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d after detach", ix.Len())
+	}
+}
+
+func TestManyToOneIndex(t *testing.T) {
+	ix := NewManyToOne()
+	if err := ix.Attach("e1", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Overloading is representable — the weakness of untyped scripts.
+	if err := ix.Attach("e1", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Kid("e1", 1); ok {
+		t.Error("overloaded slot has no unique kid")
+	}
+	if kids := ix.Kids("e1", 1); len(kids) != 2 {
+		t.Errorf("Kids = %v", kids)
+	}
+	if ix.Len() != 2 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if err := ix.Detach("e1", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := ix.Kid("e1", 1); !ok || k != 2 {
+		t.Errorf("Kid after detach = %v, %v", k, ok)
+	}
+	if err := ix.Detach("e1", 1, 9); err == nil {
+		t.Error("detaching absent kid should fail")
+	}
+	if err := ix.Attach("e1", 1, 2); err == nil {
+		t.Error("duplicate attach of same kid should fail")
+	}
+	if p, ok := ix.Parent("e1", 2); !ok || p != 1 {
+		t.Errorf("Parent = %v %v", p, ok)
+	}
+}
+
+// driverPair builds a driver over the expression schema with an expression
+// analysis: depth-style containment plus call collection.
+func expRules() []datalog.Rule {
+	v := func(s string) datalog.Var { return datalog.Var(s) }
+	return []datalog.Rule{
+		{Head: datalog.A("contains", v("A"), v("D")),
+			Body: []datalog.Atom{datalog.A(PredChild, v("A"), v("D"))}},
+		{Head: datalog.A("contains", v("A"), v("D")),
+			Body: []datalog.Atom{datalog.A("contains", v("A"), v("M")), datalog.A(PredChild, v("M"), v("D"))}},
+		{Head: datalog.A("callIn", v("F"), v("C")),
+			Body: []datalog.Atom{
+				datalog.A(PredNode, v("F"), "Call"),
+				datalog.A("contains", v("F"), v("C")),
+				datalog.A(PredNode, v("C"), "Call")}},
+	}
+}
+
+func TestDriverInitTree(t *testing.T) {
+	b := exp.NewBuilder()
+	tr := b.MustN(exp.Add,
+		b.MustN(exp.Call, b.MustN(exp.Num, 1), "f"),
+		b.MustN(exp.Var, "x"))
+	d, err := NewDriver(b.Schema(), expRules(), NewOneToOne())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InitTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Engine.Count(PredNode); got != 4 {
+		t.Errorf("node facts = %d, want 4", got)
+	}
+	// child facts: 3 tree edges + 1 root attachment.
+	if got := d.Engine.Count(PredChild); got != 4 {
+		t.Errorf("child facts = %d, want 4", got)
+	}
+	if got := d.Engine.Count("contains"); got == 0 {
+		t.Error("containment not derived")
+	}
+	if !d.Engine.Has(PredLit, tr.Kids[1].URI, "name", "x") {
+		t.Error("lit fact missing")
+	}
+	if _, ok := d.Index.Kid(sig.RootLink, uri.Root); !ok {
+		t.Error("root link not indexed")
+	}
+}
+
+// TestIncrementalMatchesFromScratch is the core property of experiment E4:
+// after each edit script, the incrementally maintained database must equal
+// a database initialized directly from the new tree.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	g := exp.NewGen(21)
+	differ := truediff.New(g.Schema())
+
+	cur := g.Tree(60)
+	d, err := NewDriver(g.Schema(), expRules(), NewOneToOne())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InitTree(cur); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 12; round++ {
+		next := g.Mutate(cur)
+		res, err := differ.Diff(cur, next, g.Alloc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ProcessScript(res.Script); err != nil {
+			t.Fatalf("round %d: %v\nscript: %s", round, err, res.Script)
+		}
+		cur = res.Patched
+
+		fresh, err := NewDriver(g.Schema(), expRules(), NewOneToOne())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.InitTree(cur); err != nil {
+			t.Fatal(err)
+		}
+		for _, pred := range []string{PredNode, PredChild, PredLit, "contains", "callIn"} {
+			got := fmt.Sprint(d.Engine.Facts(pred))
+			want := fmt.Sprint(fresh.Engine.Facts(pred))
+			if got != want {
+				t.Fatalf("round %d: %s diverged\nincremental: %s\nfrom scratch: %s\nscript: %s",
+					round, pred, got, want, res.Script)
+			}
+		}
+		if d.Index.Len() != fresh.Index.Len() {
+			t.Fatalf("round %d: index sizes diverge: %d vs %d", round, d.Index.Len(), fresh.Index.Len())
+		}
+	}
+}
+
+// TestDriverOnPythonCorpus runs the driver against real corpus scripts with
+// both index encodings.
+func TestDriverOnPythonCorpus(t *testing.T) {
+	h := corpus.Generate(corpus.Options{
+		Seed: 11, Files: 2, Commits: 8, MaxFilesPerCommit: 1,
+		MinNodes: 150, MaxNodes: 350, MaxEditsPerFile: 2,
+	})
+	sch := h.Factory.Schema()
+	differ := truediff.New(sch)
+
+	type fileState struct {
+		d   *Driver
+		cur *tree.Node
+	}
+	for _, mkIndex := range []func() LinkIndex{
+		func() LinkIndex { return NewOneToOne() },
+		func() LinkIndex { return NewManyToOne() },
+	} {
+		states := make(map[string]*fileState)
+		for _, fc := range h.Changes() {
+			st, ok := states[fc.Path]
+			if !ok {
+				d, err := NewDriver(sch, StandardRules(), mkIndex())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := d.InitTree(fc.Before); err != nil {
+					t.Fatal(err)
+				}
+				st = &fileState{d: d, cur: fc.Before}
+				states[fc.Path] = st
+			}
+			res, err := differ.Diff(st.cur, fc.After, h.Factory.Alloc())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.d.ProcessScript(res.Script); err != nil {
+				t.Fatalf("%s: %v", fc.Path, err)
+			}
+			st.cur = res.Patched
+		}
+		// Check every driver against a fresh initialization.
+		for path, st := range states {
+			fresh, err := NewDriver(sch, StandardRules(), mkIndex())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.InitTree(st.cur); err != nil {
+				t.Fatal(err)
+			}
+			for _, pred := range []string{PredNode, PredChild, "funcReturn"} {
+				if got, want := st.d.Engine.Count(pred), fresh.Engine.Count(pred); got != want {
+					t.Errorf("%s: %s count %d vs %d", path, pred, got, want)
+				}
+			}
+			if st.d.Index.Len() != fresh.Index.Len() {
+				t.Errorf("%s: index len %d vs %d", path, st.d.Index.Len(), fresh.Index.Len())
+			}
+		}
+	}
+}

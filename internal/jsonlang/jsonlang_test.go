@@ -1,0 +1,206 @@
+package jsonlang
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mtree"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/truediff"
+)
+
+func parseOK(t *testing.T, c *Codec, src string) *tree.Node {
+	t.Helper()
+	n, err := c.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return n
+}
+
+func TestParseScalars(t *testing.T) {
+	c := NewCodec()
+	cases := []struct {
+		src string
+		tag string
+	}{
+		{`"hello"`, "String"},
+		{`42`, "Number"},
+		{`-2.5e3`, "Number"},
+		{`true`, "Bool"},
+		{`false`, "Bool"},
+		{`null`, "Null"},
+	}
+	for _, cse := range cases {
+		n := parseOK(t, c, cse.src)
+		if string(n.Tag) != cse.tag {
+			t.Errorf("%s: tag = %s, want %s", cse.src, n.Tag, cse.tag)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	c := NewCodec()
+	n := parseOK(t, c, `{"name":"alice","tags":["a","b"],"meta":{"age":30,"active":true}}`)
+	if n.Tag != TagObject {
+		t.Fatal("not an object")
+	}
+	members := listElems(n.Kids[0])
+	if len(members) != 3 || members[0].Lits[0] != "name" || members[2].Lits[0] != "meta" {
+		t.Fatalf("members wrong: %v", members)
+	}
+	if members[1].Kids[0].Tag != TagArray {
+		t.Error("tags should be an array")
+	}
+	if got := len(listElems(members[1].Kids[0].Kids[0])); got != 2 {
+		t.Errorf("array length = %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	c := NewCodec()
+	bad := []string{``, `{`, `{"a"}`, `[1,`, `{"a":1} trailing`, `{'single'}`}
+	for _, src := range bad {
+		if _, err := c.Parse(src); err == nil {
+			t.Errorf("parse %q should fail", src)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	cases := []string{
+		`null`,
+		`true`,
+		`3.25`,
+		`"with \"quotes\" and \n newline"`,
+		`[]`,
+		`{}`,
+		`[1,[2,[3,null]],{}]`,
+		`{"a":1,"b":{"c":[true,false]},"d":"x"}`,
+	}
+	c := NewCodec()
+	for _, src := range cases {
+		n := parseOK(t, c, src)
+		out := Render(n)
+		// Compare by decoded value (whitespace-insensitive).
+		var want, got any
+		if err := json.Unmarshal([]byte(src), &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(out), &got); err != nil {
+			t.Fatalf("rendered output is not valid JSON: %q", out)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("round trip changed value: %q -> %q", src, out)
+		}
+		// Structural round trip: reparsing yields an equal tree.
+		n2 := parseOK(t, c, out)
+		if !tree.Equal(n, n2) {
+			t.Errorf("structural round trip diverged for %q", src)
+		}
+	}
+}
+
+func TestMemberOrderPreserved(t *testing.T) {
+	c := NewCodec()
+	n := parseOK(t, c, `{"z":1,"a":2,"m":3}`)
+	out := Render(n)
+	if !strings.HasPrefix(out, `{"z":`) || strings.Index(out, `"a"`) > strings.Index(out, `"m"`) {
+		t.Errorf("member order not preserved: %s", out)
+	}
+}
+
+// TestDiffJSONDocuments diffs two versions of a config document — the
+// databases use case: the patch mentions only the changed members.
+func TestDiffJSONDocuments(t *testing.T) {
+	c := NewCodec()
+	before := parseOK(t, c, `{
+		"service": "api",
+		"replicas": 3,
+		"resources": {"cpu": 2, "memory": "4Gi"},
+		"endpoints": [
+			{"path": "/health", "public": true},
+			{"path": "/admin", "public": false}
+		]
+	}`)
+	after := parseOK(t, c, `{
+		"service": "api",
+		"replicas": 5,
+		"resources": {"cpu": 2, "memory": "8Gi"},
+		"endpoints": [
+			{"path": "/admin", "public": false},
+			{"path": "/health", "public": true}
+		]
+	}`)
+
+	d := truediff.New(c.Schema())
+	res, err := d.Diff(before, after, c.Alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := truechange.WellTyped(c.Schema(), res.Script); err != nil {
+		t.Fatalf("ill-typed: %v", err)
+	}
+	mt, err := mtree.FromTree(c.Schema(), before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Patch(res.Script); err != nil {
+		t.Fatal(err)
+	}
+	if !mt.EqualTree(after) {
+		t.Fatal("patched ≠ after")
+	}
+	// Two literal updates plus the endpoint swap: far fewer edits than the
+	// document size.
+	if res.Script.EditCount() > 12 {
+		t.Errorf("config change cost %d edits:\n%s", res.Script.EditCount(), res.Script)
+	}
+	st := truechange.ComputeStats(res.Script)
+	if st.Updates < 2 {
+		t.Errorf("replicas and memory should be literal updates: %s", st)
+	}
+	// The two endpoint objects are structurally equivalent, so truediff
+	// realizes the swap as literal updates in place — no structural edits
+	// at all.
+	if st.Loads != 0 || st.Detaches != 0 {
+		t.Errorf("structurally equivalent swap should need no structural edits: %s\n%s", st, res.Script)
+	}
+}
+
+// TestDiffJSONMove forces a genuine structural move: the moved object is
+// structurally unique, so it travels as a detach/attach pair.
+func TestDiffJSONMove(t *testing.T) {
+	c := NewCodec()
+	before := parseOK(t, c, `{"pipeline":[{"stage":"build","steps":["compile","lint","test"]},{"stage":"deploy"}]}`)
+	after := parseOK(t, c, `{"pipeline":[{"stage":"deploy"},{"stage":"build","steps":["compile","lint","test"]}]}`)
+	d := truediff.New(c.Schema())
+	res, err := d.Diff(before, after, c.Alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := truechange.WellTyped(c.Schema(), res.Script); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := mtree.FromTree(c.Schema(), before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Patch(res.Script); err != nil {
+		t.Fatal(err)
+	}
+	if !mt.EqualTree(after) {
+		t.Fatal("patched ≠ after")
+	}
+	st := truechange.ComputeStats(res.Script)
+	if st.Moves == 0 {
+		t.Errorf("asymmetric swap should move subtrees: %s\n%s", st, res.Script)
+	}
+	// The 5-node steps array must not be reloaded.
+	if st.Loads > 6 {
+		t.Errorf("too many loads for a reorder: %s\n%s", st, res.Script)
+	}
+}

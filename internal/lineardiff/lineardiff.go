@@ -1,0 +1,229 @@
+// Package lineardiff implements a typed diffing baseline in the style of
+// Lempsink et al. (WGP 2009) and Vassena (TyDe 2016): edit scripts over the
+// preorder traversal of typed trees, consisting of Cpy, Ins, and Del
+// operations. The scripts are type-safe — they can be executed as a typed
+// tree transformation — but they cannot express moves, so a relocated
+// subtree is deleted and reinserted from scratch, which is why their size
+// is proportional to the input trees (paper §1 and §7).
+//
+// The minimal script is computed with a Levenshtein-style dynamic program
+// over the two preorder node sequences, O(n·m) time and space; Diff caps
+// the input size accordingly.
+package lineardiff
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+// OpKind classifies the three operations.
+type OpKind uint8
+
+// The operations of the typed linear edit script.
+const (
+	Cpy OpKind = iota // keep the source constructor, refocus on subtrees
+	Del               // remove a constructor from the source tree
+	Ins               // insert a constructor into the source tree
+)
+
+// Op is one operation; Tag and Lits identify the constructor it concerns.
+type Op struct {
+	Kind OpKind
+	Tag  sig.Tag
+	Lits []any
+}
+
+func (o Op) String() string {
+	var k string
+	switch o.Kind {
+	case Cpy:
+		k = "Cpy"
+	case Del:
+		k = "Del"
+	case Ins:
+		k = "Ins"
+	}
+	if o.Kind == Cpy {
+		return k
+	}
+	return fmt.Sprintf("%s(%s)", k, o.Tag)
+}
+
+// Script is a typed linear edit script over preorder traversals.
+type Script struct {
+	Ops []Op
+}
+
+// Len returns the total number of operations — proportional to the tree
+// sizes, since unchanged constructors still need a Cpy.
+func (s *Script) Len() int { return len(s.Ops) }
+
+// ChangeCount returns the number of non-copy operations.
+func (s *Script) ChangeCount() int {
+	n := 0
+	for _, o := range s.Ops {
+		if o.Kind != Cpy {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the script compactly.
+func (s *Script) String() string {
+	parts := make([]string, len(s.Ops))
+	for i, o := range s.Ops {
+		parts[i] = o.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// MaxNodes bounds the input size of Diff; beyond it the quadratic dynamic
+// program is refused rather than silently thrashing.
+const MaxNodes = 4000
+
+type flatNode struct {
+	tag  sig.Tag
+	lits []any
+}
+
+func flatten(t *tree.Node) []flatNode {
+	out := make([]flatNode, 0, t.Size())
+	tree.Walk(t, func(n *tree.Node) {
+		out = append(out, flatNode{tag: n.Tag, lits: n.Lits})
+	})
+	return out
+}
+
+func sameNode(a, b flatNode) bool {
+	if a.tag != b.tag || len(a.lits) != len(b.lits) {
+		return false
+	}
+	for i := range a.lits {
+		if a.lits[i] != b.lits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff computes a minimal Cpy/Ins/Del script transforming src into dst,
+// minimizing the number of Ins and Del operations. Copies are only allowed
+// between nodes with equal constructor and literals.
+func Diff(src, dst *tree.Node) (*Script, error) {
+	xs, ys := flatten(src), flatten(dst)
+	n, m := len(xs), len(ys)
+	if n > MaxNodes || m > MaxNodes {
+		return nil, fmt.Errorf("lineardiff: tree too large (%d, %d nodes; max %d)", n, m, MaxNodes)
+	}
+	// dp[i][j] = minimal ins+del cost to transform xs[i:] into ys[j:].
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n; i >= 0; i-- {
+		for j := m; j >= 0; j-- {
+			switch {
+			case i == n && j == m:
+				dp[i][j] = 0
+			case i == n:
+				dp[i][j] = int32(m - j)
+			case j == m:
+				dp[i][j] = int32(n - i)
+			default:
+				best := dp[i+1][j] + 1 // delete xs[i]
+				if c := dp[i][j+1] + 1; c < best {
+					best = c // insert ys[j]
+				}
+				if sameNode(xs[i], ys[j]) {
+					if c := dp[i+1][j+1]; c < best {
+						best = c // copy
+					}
+				}
+				dp[i][j] = best
+			}
+		}
+	}
+	// Reconstruct, preferring Cpy, then Del, then Ins (this yields the
+	// paper's intro script shape: deletions precede the insertions that
+	// replace them).
+	s := &Script{}
+	for i, j := 0, 0; i < n || j < m; {
+		switch {
+		case i < n && j < m && sameNode(xs[i], ys[j]) && dp[i][j] == dp[i+1][j+1]:
+			s.Ops = append(s.Ops, Op{Kind: Cpy, Tag: xs[i].tag, Lits: xs[i].lits})
+			i++
+			j++
+		case i < n && dp[i][j] == dp[i+1][j]+1:
+			s.Ops = append(s.Ops, Op{Kind: Del, Tag: xs[i].tag, Lits: xs[i].lits})
+			i++
+		default:
+			s.Ops = append(s.Ops, Op{Kind: Ins, Tag: ys[j].tag, Lits: ys[j].lits})
+			j++
+		}
+	}
+	return s, nil
+}
+
+// Apply executes the script against src: Cpy and Del consume source nodes
+// in preorder, Cpy and Ins emit target nodes in preorder. The target tree
+// is rebuilt from the emitted preorder sequence using the schema's arities.
+func Apply(s *Script, src *tree.Node, sch *sig.Schema, alloc *uri.Allocator) (*tree.Node, error) {
+	xs := flatten(src)
+	var out []flatNode
+	i := 0
+	for _, o := range s.Ops {
+		switch o.Kind {
+		case Cpy:
+			if i >= len(xs) || !sameNode(xs[i], flatNode{tag: o.Tag, lits: o.Lits}) {
+				return nil, fmt.Errorf("lineardiff: Cpy does not match source at position %d", i)
+			}
+			out = append(out, xs[i])
+			i++
+		case Del:
+			if i >= len(xs) || xs[i].tag != o.Tag {
+				return nil, fmt.Errorf("lineardiff: Del does not match source at position %d", i)
+			}
+			i++
+		case Ins:
+			out = append(out, flatNode{tag: o.Tag, lits: o.Lits})
+		}
+	}
+	if i != len(xs) {
+		return nil, fmt.Errorf("lineardiff: script consumed %d of %d source nodes", i, len(xs))
+	}
+	pos := 0
+	var build func() (*tree.Node, error)
+	build = func() (*tree.Node, error) {
+		if pos >= len(out) {
+			return nil, fmt.Errorf("lineardiff: preorder sequence exhausted")
+		}
+		fn := out[pos]
+		pos++
+		g := sch.Lookup(fn.tag)
+		if g == nil {
+			return nil, fmt.Errorf("lineardiff: undeclared tag %s", fn.tag)
+		}
+		kids := make([]*tree.Node, len(g.Kids))
+		for k := range kids {
+			kid, err := build()
+			if err != nil {
+				return nil, err
+			}
+			kids[k] = kid
+		}
+		return tree.New(sch, alloc, fn.tag, kids, fn.lits)
+	}
+	t, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(out) {
+		return nil, fmt.Errorf("lineardiff: %d trailing nodes after rebuilding the tree", len(out)-pos)
+	}
+	return t, nil
+}

@@ -1,0 +1,130 @@
+package lineardiff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/tree"
+)
+
+func TestPaperIntroExample(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add,
+		b.MustN(exp.Sub, b.MustN(exp.Var, "a"), b.MustN(exp.Var, "b")),
+		b.MustN(exp.Mul, b.MustN(exp.Var, "c"), b.MustN(exp.Var, "d")))
+	dst := b.MustN(exp.Add,
+		b.MustN(exp.Var, "d"),
+		b.MustN(exp.Mul, b.MustN(exp.Var, "c"),
+			b.MustN(exp.Sub, b.MustN(exp.Var, "a"), b.MustN(exp.Var, "b"))))
+
+	s, err := Diff(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(s, src, b.Schema(), b.Alloc())
+	if err != nil {
+		t.Fatalf("apply: %v\nscript: %s", err, s)
+	}
+	if !tree.Equal(out, dst) {
+		t.Fatalf("apply produced %s, want %s", out, dst)
+	}
+	// The moved subtree cannot be expressed as a move: the script deletes
+	// and reinserts material, and its total length is proportional to the
+	// trees (the paper's intro criticism). The optimal sequence alignment
+	// copies Add,Sub,a,b and rewrites the rest: 10 operations, of which 6
+	// are changes — compare truediff's 4 edits for the same pair.
+	if s.Len() != 10 {
+		t.Errorf("script length = %d, want 10:\n%s", s.Len(), s)
+	}
+	if s.ChangeCount() != 6 {
+		t.Errorf("changes = %d, want 6:\n%s", s.ChangeCount(), s)
+	}
+	if !strings.Contains(s.String(), "Del(") || !strings.Contains(s.String(), "Ins(") {
+		t.Errorf("script should contain Del and Ins: %s", s)
+	}
+}
+
+func TestIdenticalTreesAllCopies(t *testing.T) {
+	g := exp.NewGen(2)
+	src := g.Tree(40)
+	dst := tree.Clone(src, g.Alloc(), tree.SHA256)
+	s, err := Diff(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ChangeCount() != 0 {
+		t.Errorf("identical trees: %d changes", s.ChangeCount())
+	}
+	// Even the empty change costs one Cpy per node.
+	if s.Len() != src.Size() {
+		t.Errorf("script length = %d, want %d", s.Len(), src.Size())
+	}
+	out, err := Apply(s, src, g.Schema(), g.Alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(out, dst) {
+		t.Error("apply incorrect")
+	}
+}
+
+func TestApplyCorrectnessRandom(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := exp.NewGen(seed)
+		src := g.Tree(35)
+		dst := g.MutateN(src, 3)
+		s, err := Diff(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Apply(s, src, g.Schema(), g.Alloc())
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		if !tree.Equal(out, dst) {
+			t.Fatalf("seed %d: wrong result", seed)
+		}
+	}
+}
+
+func TestLiteralChangeIsDelIns(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Num, 2))
+	dst := b.MustN(exp.Add, b.MustN(exp.Num, 9), b.MustN(exp.Num, 2))
+	s, err := Diff(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cpy cannot cross differing literals: Del(Num 1) + Ins(Num 9).
+	if s.ChangeCount() != 2 {
+		t.Errorf("changes = %d, want 2:\n%s", s.ChangeCount(), s)
+	}
+}
+
+func TestSizeCap(t *testing.T) {
+	g := exp.NewGen(3)
+	big := g.Tree(MaxNodes + 100)
+	if _, err := Diff(big, big); err == nil {
+		t.Error("oversized input should be refused")
+	}
+}
+
+func TestApplyRejectsWrongSource(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Num, 1)
+	dst := b.MustN(exp.Num, 2)
+	s, err := Diff(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := b.MustN(exp.Var, "x")
+	if _, err := Apply(s, other, b.Schema(), b.Alloc()); err == nil {
+		t.Error("applying against a different source should fail")
+	}
+	// A script with a dangling Cpy is rejected too.
+	broken := &Script{Ops: append(append([]Op(nil), s.Ops...), Op{Kind: Cpy, Tag: exp.Num, Lits: []any{int64(1)}})}
+	if _, err := Apply(broken, src, b.Schema(), b.Alloc()); err == nil {
+		t.Error("script with excess operations should fail")
+	}
+}

@@ -1,0 +1,222 @@
+// Package linediff implements the line-based structural diffing approach
+// of Asenov et al. (FASE 2017), discussed in the paper's related work
+// (§7): print the tree with a single AST node per line, run a textual diff
+// (Myers' O(ND) algorithm, the heart of Unix diff), and read node
+// insertions and deletions off the line patch. Moved nodes are recovered
+// by post-processing: deleted lines that reappear verbatim among the
+// insertions are paired up as moves.
+//
+// The approach needs no tree-specific machinery, but its patches operate
+// on lines, not typed nodes — and the underlying LCS computation is
+// quadratic in the worst case, which is why Asenov et al. report
+// processing times of up to a minute per file.
+package linediff
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// OpKind classifies line operations.
+type OpKind uint8
+
+// The line-diff operations.
+const (
+	Keep OpKind = iota
+	Del
+	Ins
+)
+
+// Op is one line operation.
+type Op struct {
+	Kind OpKind
+	Line string
+}
+
+// Script is a line-based patch.
+type Script struct {
+	Ops []Op
+}
+
+// Changes returns the number of non-keep operations (the patch size).
+func (s *Script) Changes() int {
+	n := 0
+	for _, o := range s.Ops {
+		if o.Kind != Keep {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply reconstructs the target line sequence from the source lines.
+func (s *Script) Apply(src []string) ([]string, error) {
+	var out []string
+	i := 0
+	for _, o := range s.Ops {
+		switch o.Kind {
+		case Keep:
+			if i >= len(src) || src[i] != o.Line {
+				return nil, fmt.Errorf("linediff: keep mismatch at line %d", i)
+			}
+			out = append(out, src[i])
+			i++
+		case Del:
+			if i >= len(src) || src[i] != o.Line {
+				return nil, fmt.Errorf("linediff: delete mismatch at line %d", i)
+			}
+			i++
+		case Ins:
+			out = append(out, o.Line)
+		}
+	}
+	if i != len(src) {
+		return nil, fmt.Errorf("linediff: %d unconsumed source lines", len(src)-i)
+	}
+	return out, nil
+}
+
+// Myers computes a minimal line diff using Myers' O(ND) greedy algorithm.
+func Myers(a, b []string) *Script {
+	n, m := len(a), len(b)
+	max := n + m
+	if max == 0 {
+		return &Script{}
+	}
+	// v[k] = furthest x on diagonal k; trace stores v per edit distance d.
+	offset := max
+	v := make([]int, 2*max+1)
+	var trace [][]int
+	var dFound = -1
+	for d := 0; d <= max; d++ {
+		snapshot := make([]int, len(v))
+		copy(snapshot, v)
+		trace = append(trace, snapshot)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[offset+k-1] < v[offset+k+1]) {
+				x = v[offset+k+1] // down: insertion
+			} else {
+				x = v[offset+k-1] + 1 // right: deletion
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[offset+k] = x
+			if x >= n && y >= m {
+				dFound = d
+				break
+			}
+		}
+		if dFound >= 0 {
+			break
+		}
+	}
+
+	// Backtrack through the trace to emit operations.
+	var revOps []Op
+	x, y := n, m
+	for d := dFound; d > 0; d-- {
+		vPrev := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vPrev[offset+k-1] < vPrev[offset+k+1]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vPrev[offset+prevK]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			x--
+			y--
+			revOps = append(revOps, Op{Kind: Keep, Line: a[x]})
+		}
+		if x == prevX {
+			y--
+			revOps = append(revOps, Op{Kind: Ins, Line: b[y]})
+		} else {
+			x--
+			revOps = append(revOps, Op{Kind: Del, Line: a[x]})
+		}
+	}
+	for x > 0 && y > 0 {
+		x--
+		y--
+		revOps = append(revOps, Op{Kind: Keep, Line: a[x]})
+	}
+	ops := make([]Op, 0, len(revOps))
+	for i := len(revOps) - 1; i >= 0; i-- {
+		ops = append(ops, revOps[i])
+	}
+	return &Script{Ops: ops}
+}
+
+// EncodeLines prints the tree one node per line, preorder, with the node's
+// depth, tag, and literals — the single-node-per-line format that lets a
+// line diff see tree structure.
+func EncodeLines(t *tree.Node) []string {
+	var out []string
+	var walk func(n *tree.Node, depth int)
+	walk = func(n *tree.Node, depth int) {
+		var b strings.Builder
+		for i := 0; i < depth; i++ {
+			b.WriteByte(' ')
+		}
+		b.WriteString(string(n.Tag))
+		for _, l := range n.Lits {
+			fmt.Fprintf(&b, " %#v", l)
+		}
+		out = append(out, b.String())
+		for _, k := range n.Kids {
+			walk(k, depth+1)
+		}
+	}
+	walk(t, 0)
+	return out
+}
+
+// Result summarizes a structural line diff.
+type Result struct {
+	Script *Script
+	// Inserted and Deleted count line operations; Moves counts
+	// deleted lines that reappear verbatim among insertions (the
+	// post-processing move recovery of Asenov et al.).
+	Inserted, Deleted, Moves int
+}
+
+// PatchSize returns the Asenov-style patch size: insertions plus
+// deletions, with each recovered move pair counted once.
+func (r *Result) PatchSize() int {
+	return r.Inserted + r.Deleted - r.Moves
+}
+
+// Diff runs the pipeline on two typed trees.
+func Diff(src, dst *tree.Node) *Result {
+	s := Myers(EncodeLines(src), EncodeLines(dst))
+	res := &Result{Script: s}
+	deleted := make(map[string]int)
+	for _, o := range s.Ops {
+		switch o.Kind {
+		case Del:
+			res.Deleted++
+			deleted[strings.TrimLeft(o.Line, " ")]++
+		case Ins:
+			res.Inserted++
+		}
+	}
+	for _, o := range s.Ops {
+		if o.Kind == Ins {
+			key := strings.TrimLeft(o.Line, " ")
+			if deleted[key] > 0 {
+				deleted[key]--
+				res.Moves++
+			}
+		}
+	}
+	return res
+}

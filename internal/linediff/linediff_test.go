@@ -1,0 +1,146 @@
+package linediff
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestMyersBasics(t *testing.T) {
+	cases := []struct {
+		a, b    []string
+		changes int
+	}{
+		{nil, nil, 0},
+		{[]string{"x"}, []string{"x"}, 0},
+		{[]string{"x"}, nil, 1},
+		{nil, []string{"x"}, 1},
+		{[]string{"a", "b", "c"}, []string{"a", "c"}, 1},
+		{[]string{"a", "c"}, []string{"a", "b", "c"}, 1},
+		{[]string{"a", "b"}, []string{"b", "a"}, 2},
+		{[]string{"a", "b", "c", "a", "b", "b", "a"}, []string{"c", "b", "a", "b", "a", "c"}, 5},
+	}
+	for _, c := range cases {
+		s := Myers(c.a, c.b)
+		if got := s.Changes(); got != c.changes {
+			t.Errorf("Myers(%v, %v) changes = %d, want %d", c.a, c.b, got, c.changes)
+		}
+		out, err := s.Apply(c.a)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if !equalLines(out, c.b) {
+			t.Errorf("Myers(%v, %v) apply = %v", c.a, c.b, out)
+		}
+	}
+}
+
+func equalLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMyersRandomCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabet := []string{"a", "b", "c", "d"}
+	for i := 0; i < 100; i++ {
+		a := make([]string, rng.Intn(30))
+		b := make([]string, rng.Intn(30))
+		for j := range a {
+			a[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s := Myers(a, b)
+		out, err := s.Apply(a)
+		if err != nil || !equalLines(out, b) {
+			t.Fatalf("case %d: apply failed: %v", i, err)
+		}
+		// Minimality upper bound: never worse than delete-all+insert-all.
+		if s.Changes() > len(a)+len(b) {
+			t.Fatalf("case %d: changes %d exceeds trivial bound", i, s.Changes())
+		}
+	}
+}
+
+func TestApplyRejectsWrongSource(t *testing.T) {
+	s := Myers([]string{"a", "b"}, []string{"a"})
+	if _, err := s.Apply([]string{"x", "b"}); err == nil {
+		t.Error("mismatched source should fail")
+	}
+	if _, err := s.Apply([]string{"a", "b", "c"}); err == nil {
+		t.Error("unconsumed source should fail")
+	}
+}
+
+func TestEncodeLines(t *testing.T) {
+	b := exp.NewBuilder()
+	tr := b.MustN(exp.Add, b.MustN(exp.Var, "a"), b.MustN(exp.Num, 7))
+	lines := EncodeLines(tr)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "Add") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], " Var") || !strings.Contains(lines[1], `"a"`) {
+		t.Errorf("kid line = %q", lines[1])
+	}
+	// Depth must be encoded so identical nodes at different depths differ.
+	b2 := exp.NewBuilder()
+	flat := EncodeLines(b2.MustN(exp.Num, 7))
+	if flat[0] == lines[2] {
+		t.Error("depth should distinguish identical nodes at different levels")
+	}
+}
+
+func TestDiffDetectsMove(t *testing.T) {
+	b := exp.NewBuilder()
+	sub := b.MustN(exp.Sub, b.MustN(exp.Var, "a"), b.MustN(exp.Var, "b"))
+	src := b.MustN(exp.Add, sub, b.MustN(exp.Mul, b.MustN(exp.Var, "c"), b.MustN(exp.Var, "d")))
+	dst := b.MustN(exp.Add,
+		b.MustN(exp.Var, "d"),
+		b.MustN(exp.Mul, b.MustN(exp.Var, "c"),
+			b.MustN(exp.Sub, b.MustN(exp.Var, "a"), b.MustN(exp.Var, "b"))))
+	res := Diff(src, dst)
+	if res.Moves == 0 {
+		t.Errorf("moved subtree lines should be recovered as moves: %+v", res)
+	}
+	if res.PatchSize() >= res.Inserted+res.Deleted {
+		t.Error("move recovery should shrink the patch size")
+	}
+}
+
+func TestDiffIdenticalTrees(t *testing.T) {
+	g := exp.NewGen(4)
+	src := g.Tree(60)
+	res := Diff(src, src)
+	if res.Inserted != 0 || res.Deleted != 0 || res.PatchSize() != 0 {
+		t.Errorf("identical trees: %+v", res)
+	}
+}
+
+func TestDiffSmallChange(t *testing.T) {
+	g := exp.NewGen(5)
+	src := g.Tree(200)
+	dst := g.Mutate(src)
+	res := Diff(src, dst)
+	if res.PatchSize() == 0 {
+		t.Error("mutation should produce a non-empty patch")
+	}
+	// Line diffs stay roughly proportional to the change for leaf edits,
+	// though indentation shifts can touch whole subtree line ranges.
+	if res.PatchSize() > 150 {
+		t.Errorf("patch size %d for a single mutation in 200 nodes", res.PatchSize())
+	}
+}

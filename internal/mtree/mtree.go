@@ -1,0 +1,322 @@
+// Package mtree implements the standard semantics of truechange edit
+// scripts (paper §3.2, Figure 2): a mutable tree with an index of all
+// loaded nodes, so that each edit operation executes in constant time.
+//
+// The semantics maintains two invariants that the truechange type system
+// guarantees for well-typed scripts: links point to at most one subtree at
+// any time (so a plain map per node suffices, never a multimap), and
+// patching never fails. The semantics itself tracks neither detached roots
+// nor empty slots; empty slots occur as nil child entries, and detached
+// roots remain reachable through the node index until they are unloaded.
+package mtree
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/uri"
+)
+
+// MNode is a mutable tree node: links to children and literal values can be
+// updated destructively. An entry mapping a link to nil represents an empty
+// slot; a missing entry means the node has no such link at all.
+type MNode struct {
+	Tag  sig.Tag
+	URI  uri.URI
+	Kids map[sig.Link]*MNode
+	Lits map[sig.Link]any
+}
+
+// MTree is a mutable tree with a node index for constant-time access by
+// URI. The root is the pre-defined node with URI 0 and the single child
+// slot RootLink.
+type MTree struct {
+	sch   *sig.Schema
+	root  *MNode
+	index map[uri.URI]*MNode
+}
+
+// New returns an empty mutable tree: the pre-defined root node with its
+// RootLink slot empty.
+func New(sch *sig.Schema) *MTree {
+	root := &MNode{
+		Tag:  sig.RootTag,
+		URI:  uri.Root,
+		Kids: map[sig.Link]*MNode{sig.RootLink: nil},
+		Lits: map[sig.Link]any{},
+	}
+	return &MTree{
+		sch:   sch,
+		root:  root,
+		index: map[uri.URI]*MNode{uri.Root: root},
+	}
+}
+
+// FromTree returns a mutable tree holding a copy of the immutable tree t
+// attached under the root, with every node registered in the index under
+// its existing URI.
+func FromTree(sch *sig.Schema, t *tree.Node) (*MTree, error) {
+	mt := New(sch)
+	if t == nil {
+		return mt, nil
+	}
+	top, err := mt.convert(t)
+	if err != nil {
+		return nil, err
+	}
+	mt.root.Kids[sig.RootLink] = top
+	return mt, nil
+}
+
+func (mt *MTree) convert(t *tree.Node) (*MNode, error) {
+	g := mt.sch.Lookup(t.Tag)
+	if g == nil {
+		return nil, fmt.Errorf("mtree: undeclared tag %s", t.Tag)
+	}
+	if len(g.Kids) != len(t.Kids) || len(g.Lits) != len(t.Lits) {
+		return nil, fmt.Errorf("mtree: node %s does not match signature of %s", t.URI, t.Tag)
+	}
+	if _, dup := mt.index[t.URI]; dup {
+		return nil, fmt.Errorf("mtree: duplicate URI %s", t.URI)
+	}
+	n := &MNode{
+		Tag:  t.Tag,
+		URI:  t.URI,
+		Kids: make(map[sig.Link]*MNode, len(t.Kids)),
+		Lits: make(map[sig.Link]any, len(t.Lits)),
+	}
+	mt.index[t.URI] = n
+	for i, spec := range g.Kids {
+		k, err := mt.convert(t.Kids[i])
+		if err != nil {
+			return nil, err
+		}
+		n.Kids[spec.Link] = k
+	}
+	for i, spec := range g.Lits {
+		n.Lits[spec.Link] = t.Lits[i]
+	}
+	return n, nil
+}
+
+// Root returns the pre-defined root node.
+func (mt *MTree) Root() *MNode { return mt.root }
+
+// Top returns the subtree attached at the root's RootLink slot, or nil if
+// the tree is empty.
+func (mt *MTree) Top() *MNode { return mt.root.Kids[sig.RootLink] }
+
+// Lookup returns the node registered under u, or nil.
+func (mt *MTree) Lookup(u uri.URI) *MNode { return mt.index[u] }
+
+// Size returns the number of indexed nodes, excluding the pre-defined root.
+func (mt *MTree) Size() int { return len(mt.index) - 1 }
+
+// Patch applies the edit script to the tree, mutating it in place: the
+// standard semantics ⟦∆⟧. It returns an error (⊥) if an edit refers to a
+// missing node or link; the type system rules this out for well-typed,
+// syntactically compliant scripts (Theorem 3.6).
+func (mt *MTree) Patch(s *truechange.Script) error {
+	for i, e := range s.Edits {
+		if err := mt.ProcessEdit(e); err != nil {
+			return fmt.Errorf("mtree: edit #%d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ProcessEdit applies a single edit to the tree, updating nodes and the
+// index (Figure 2).
+func (mt *MTree) ProcessEdit(e truechange.Edit) error {
+	switch ed := e.(type) {
+	case truechange.Detach:
+		par := mt.index[ed.Parent.URI]
+		if par == nil {
+			return fmt.Errorf("detach: unknown parent %s", ed.Parent)
+		}
+		if _, ok := par.Kids[ed.Link]; !ok {
+			return fmt.Errorf("detach: parent %s has no link %q", ed.Parent, ed.Link)
+		}
+		par.Kids[ed.Link] = nil
+		return nil
+
+	case truechange.Attach:
+		par := mt.index[ed.Parent.URI]
+		if par == nil {
+			return fmt.Errorf("attach: unknown parent %s", ed.Parent)
+		}
+		if _, ok := par.Kids[ed.Link]; !ok {
+			return fmt.Errorf("attach: parent %s has no link %q", ed.Parent, ed.Link)
+		}
+		node := mt.index[ed.Node.URI]
+		if node == nil {
+			return fmt.Errorf("attach: unknown node %s", ed.Node)
+		}
+		par.Kids[ed.Link] = node
+		return nil
+
+	case truechange.Load:
+		if _, dup := mt.index[ed.Node.URI]; dup {
+			return fmt.Errorf("load: URI %s already loaded", ed.Node.URI)
+		}
+		n := &MNode{
+			Tag:  ed.Node.Tag,
+			URI:  ed.Node.URI,
+			Kids: make(map[sig.Link]*MNode, len(ed.Kids)),
+			Lits: make(map[sig.Link]any, len(ed.Lits)),
+		}
+		for _, k := range ed.Kids {
+			kid := mt.index[k.URI]
+			if kid == nil {
+				return fmt.Errorf("load: unknown kid %s", k.URI)
+			}
+			n.Kids[k.Link] = kid
+		}
+		for _, l := range ed.Lits {
+			n.Lits[l.Link] = l.Value
+		}
+		mt.index[ed.Node.URI] = n
+		return nil
+
+	case truechange.Unload:
+		if _, ok := mt.index[ed.Node.URI]; !ok {
+			return fmt.Errorf("unload: unknown node %s", ed.Node)
+		}
+		delete(mt.index, ed.Node.URI)
+		return nil
+
+	case truechange.Update:
+		n := mt.index[ed.Node.URI]
+		if n == nil {
+			return fmt.Errorf("update: unknown node %s", ed.Node)
+		}
+		for _, l := range ed.New {
+			if _, ok := n.Lits[l.Link]; !ok {
+				return fmt.Errorf("update: node %s has no literal %q", ed.Node, l.Link)
+			}
+			n.Lits[l.Link] = l.Value
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown edit kind %T", e)
+	}
+}
+
+// ToTree converts the attached tree back into an immutable tree,
+// preserving URIs. It fails if the tree contains empty slots (is open).
+func (mt *MTree) ToTree(alloc *uri.Allocator) (*tree.Node, error) {
+	top := mt.Top()
+	if top == nil {
+		return nil, fmt.Errorf("mtree: tree is empty")
+	}
+	return mt.toTree(top, alloc)
+}
+
+func (mt *MTree) toTree(n *MNode, alloc *uri.Allocator) (*tree.Node, error) {
+	g := mt.sch.Lookup(n.Tag)
+	if g == nil {
+		return nil, fmt.Errorf("mtree: undeclared tag %s", n.Tag)
+	}
+	kids := make([]*tree.Node, len(g.Kids))
+	for i, spec := range g.Kids {
+		k, ok := n.Kids[spec.Link]
+		if !ok {
+			return nil, fmt.Errorf("mtree: node %s lacks link %q", n.URI, spec.Link)
+		}
+		if k == nil {
+			return nil, fmt.Errorf("mtree: node %s has an empty slot %q", n.URI, spec.Link)
+		}
+		t, err := mt.toTree(k, alloc)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = t
+	}
+	lits := make([]any, len(g.Lits))
+	for i, spec := range g.Lits {
+		v, ok := n.Lits[spec.Link]
+		if !ok {
+			return nil, fmt.Errorf("mtree: node %s lacks literal %q", n.URI, spec.Link)
+		}
+		lits[i] = v
+	}
+	return tree.NewWithURI(mt.sch, alloc, n.URI, n.Tag, kids, lits, tree.SHA256)
+}
+
+// EqualTree reports whether the attached tree equals the immutable tree t,
+// comparing tags, literals, and shape but ignoring URIs (the ≃ relation of
+// Conjecture 4.3).
+func (mt *MTree) EqualTree(t *tree.Node) bool {
+	return mt.equalNode(mt.Top(), t)
+}
+
+func (mt *MTree) equalNode(m *MNode, t *tree.Node) bool {
+	if m == nil || t == nil {
+		return m == nil && t == nil
+	}
+	if m.Tag != t.Tag {
+		return false
+	}
+	g := mt.sch.Lookup(t.Tag)
+	if g == nil || len(g.Kids) != len(t.Kids) || len(g.Lits) != len(t.Lits) {
+		return false
+	}
+	for i, spec := range g.Lits {
+		v, ok := m.Lits[spec.Link]
+		if !ok || v != t.Lits[i] {
+			return false
+		}
+	}
+	for i, spec := range g.Kids {
+		k, ok := m.Kids[spec.Link]
+		if !ok || !mt.equalNode(k, t.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the attached tree, with ∅ for empty slots.
+func (mt *MTree) String() string {
+	top := mt.Top()
+	if top == nil {
+		return "ε"
+	}
+	return mt.nodeString(top)
+}
+
+func (mt *MTree) nodeString(n *MNode) string {
+	g := mt.sch.Lookup(n.Tag)
+	s := string(n.Tag) + n.URI.String()
+	if g == nil {
+		return s + "<?>"
+	}
+	if len(g.Lits) > 0 {
+		s += "{"
+		for i, spec := range g.Lits {
+			if i > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s=%#v", spec.Link, n.Lits[spec.Link])
+		}
+		s += "}"
+	}
+	if len(g.Kids) > 0 {
+		s += "("
+		for i, spec := range g.Kids {
+			if i > 0 {
+				s += ", "
+			}
+			if k := n.Kids[spec.Link]; k == nil {
+				s += "∅"
+			} else {
+				s += mt.nodeString(k)
+			}
+		}
+		s += ")"
+	}
+	return s
+}

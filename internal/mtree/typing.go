@@ -1,0 +1,276 @@
+package mtree
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/truechange"
+	"repro/internal/uri"
+)
+
+// This file implements the metatheoretic definitions of paper §3.4 that
+// connect the standard semantics to the truechange type system: generalized
+// tree typing relative to empty slots (Definition 3.3), MTree typing
+// relative to slots and roots (Definition 3.4), and syntactic compliance of
+// edit scripts (Definition 3.5). Tests use them to validate Theorem 3.6
+// (type safety) on concrete trees and scripts.
+
+// CheckNode implements Definition 3.3 (MNode typing): n is well-typed
+// relative to slots S if its tag's signature admits its literals and every
+// kid is either an empty slot recorded in S (with a compatible sort) or a
+// recursively well-typed subtree of a compatible sort. It returns the
+// node's sort.
+func (mt *MTree) CheckNode(n *MNode, slots map[truechange.Slot]sig.Sort) (sig.Sort, error) {
+	g := mt.sch.Lookup(n.Tag)
+	if g == nil {
+		return "", fmt.Errorf("mtree: undeclared tag %s", n.Tag)
+	}
+	if len(n.Lits) != len(g.Lits) {
+		return "", fmt.Errorf("mtree: node %s has %d literals, signature of %s expects %d",
+			n.URI, len(n.Lits), n.Tag, len(g.Lits))
+	}
+	for _, spec := range g.Lits {
+		v, ok := n.Lits[spec.Link]
+		if !ok {
+			return "", fmt.Errorf("mtree: node %s lacks literal %q", n.URI, spec.Link)
+		}
+		if !spec.Type.Admits(v) {
+			return "", fmt.Errorf("mtree: node %s literal %q: %#v does not conform to %s",
+				n.URI, spec.Link, v, spec.Type)
+		}
+	}
+	if len(n.Kids) != len(g.Kids) {
+		return "", fmt.Errorf("mtree: node %s has %d kid links, signature of %s expects %d",
+			n.URI, len(n.Kids), n.Tag, len(g.Kids))
+	}
+	for _, spec := range g.Kids {
+		k, ok := n.Kids[spec.Link]
+		if !ok {
+			return "", fmt.Errorf("mtree: node %s lacks link %q", n.URI, spec.Link)
+		}
+		if k == nil {
+			slot := truechange.Slot{URI: n.URI, Link: spec.Link}
+			slotSort, recorded := slots[slot]
+			if !recorded {
+				return "", fmt.Errorf("mtree: node %s has empty slot %q not recorded in S", n.URI, spec.Link)
+			}
+			if !mt.sch.IsSubsort(slotSort, spec.Sort) {
+				return "", fmt.Errorf("mtree: slot %s: sort %s is not a subsort of %s",
+					slot, slotSort, spec.Sort)
+			}
+			continue
+		}
+		kidSort, err := mt.CheckNode(k, slots)
+		if err != nil {
+			return "", err
+		}
+		if !mt.sch.IsSubsort(kidSort, spec.Sort) {
+			return "", fmt.Errorf("mtree: node %s kid %q: sort %s is not a subsort of %s",
+				n.URI, spec.Link, kidSort, spec.Sort)
+		}
+	}
+	return g.Result, nil
+}
+
+// CheckTree implements Definition 3.4 (MTree typing): every slot in S must
+// name an indexed node with that link, and every root in R must name an
+// indexed node whose sort (relative to S) is a subsort of its recorded sort.
+func (mt *MTree) CheckTree(st *truechange.State) error {
+	for slot := range st.Slots {
+		p := mt.index[slot.URI]
+		if p == nil {
+			return fmt.Errorf("mtree: slot %s names an unindexed node", slot)
+		}
+		if _, ok := p.Kids[slot.Link]; !ok {
+			return fmt.Errorf("mtree: slot %s: node has no such link", slot)
+		}
+	}
+	for r, want := range st.Roots {
+		n := mt.index[r]
+		if n == nil {
+			return fmt.Errorf("mtree: root %s is not indexed", r)
+		}
+		got, err := mt.CheckNode(n, st.Slots)
+		if err != nil {
+			return fmt.Errorf("mtree: root %s: %w", r, err)
+		}
+		if !mt.sch.IsSubsort(got, want) {
+			return fmt.Errorf("mtree: root %s has sort %s, not a subsort of recorded %s", r, got, want)
+		}
+	}
+	return nil
+}
+
+// CheckClosed reports whether the tree is closed and well-typed: a single
+// attached tree under the pre-defined root, no empty slots anywhere
+// (Σ, ε ⊢ t.root : Root).
+func (mt *MTree) CheckClosed() error {
+	st := truechange.ClosedState()
+	if err := mt.CheckTree(st); err != nil {
+		return err
+	}
+	// CheckTree validates the root against empty S, which already rejects
+	// any nil slot below it. Additionally ensure the index holds no stray
+	// detached roots: every indexed node must be reachable from the root.
+	reach := make(map[uri.URI]bool, len(mt.index))
+	var walk func(n *MNode)
+	walk = func(n *MNode) {
+		if n == nil || reach[n.URI] {
+			return
+		}
+		reach[n.URI] = true
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(mt.root)
+	for u := range mt.index {
+		if !reach[u] {
+			return fmt.Errorf("mtree: indexed node %s is unreachable from the root", u)
+		}
+	}
+	return nil
+}
+
+// Comply implements Definition 3.5 (syntactic compliance ∆ ≺ t): the
+// script's edits must refer to URIs that exist in the tree with the
+// designated tags and links, and loaded URIs must be fresh. Compliance is
+// checked against the evolving tree, so it simulates the patch on a
+// scratch copy without mutating the receiver.
+func (mt *MTree) Comply(s *truechange.Script) error {
+	scratch := mt.cloneShallow()
+	for i, e := range s.Edits {
+		if err := scratch.complyEdit(e, s); err != nil {
+			return fmt.Errorf("mtree: edit #%d does not comply: %w", i, err)
+		}
+		if err := scratch.ProcessEdit(e); err != nil {
+			return fmt.Errorf("mtree: edit #%d failed while checking compliance: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (mt *MTree) complyEdit(e truechange.Edit, s *truechange.Script) error {
+	switch ed := e.(type) {
+	case truechange.Detach:
+		p := mt.index[ed.Parent.URI]
+		if p == nil {
+			return fmt.Errorf("detach: parent %s not indexed", ed.Parent)
+		}
+		if p.Tag != ed.Parent.Tag {
+			return fmt.Errorf("detach: parent %s has tag %s, edit claims %s", ed.Parent.URI, p.Tag, ed.Parent.Tag)
+		}
+		n, ok := p.Kids[ed.Link]
+		if !ok {
+			return fmt.Errorf("detach: parent %s has no link %q", ed.Parent, ed.Link)
+		}
+		if n == nil {
+			return fmt.Errorf("detach: slot %s.%s already empty", ed.Parent, ed.Link)
+		}
+		if n.URI != ed.Node.URI || n.Tag != ed.Node.Tag {
+			return fmt.Errorf("detach: slot %s.%s holds %s%s, edit claims %s", ed.Parent, ed.Link, n.Tag, n.URI, ed.Node)
+		}
+		return nil
+
+	case truechange.Attach:
+		// Syntactic compliance is ensured by the type system already
+		// (Definition 3.5, case 2); nothing to check here.
+		return nil
+
+	case truechange.Load:
+		if _, exists := mt.index[ed.Node.URI]; exists {
+			return fmt.Errorf("load: URI %s is not fresh", ed.Node.URI)
+		}
+		// Freshness across the script: no other Load may reuse the URI.
+		seen := 0
+		for _, other := range s.Edits {
+			if l, ok := other.(truechange.Load); ok && l.Node.URI == ed.Node.URI {
+				seen++
+			}
+		}
+		if seen > 1 {
+			return fmt.Errorf("load: URI %s loaded more than once in the script", ed.Node.URI)
+		}
+		return nil
+
+	case truechange.Unload:
+		n := mt.index[ed.Node.URI]
+		if n == nil {
+			return fmt.Errorf("unload: node %s not indexed", ed.Node)
+		}
+		if n.Tag != ed.Node.Tag {
+			return fmt.Errorf("unload: node %s has tag %s, edit claims %s", ed.Node.URI, n.Tag, ed.Node.Tag)
+		}
+		for _, k := range ed.Kids {
+			kid, ok := n.Kids[k.Link]
+			if !ok {
+				return fmt.Errorf("unload: node %s has no link %q", ed.Node, k.Link)
+			}
+			if kid == nil || kid.URI != k.URI {
+				return fmt.Errorf("unload: node %s link %q does not hold %s", ed.Node, k.Link, k.URI)
+			}
+		}
+		for _, l := range ed.Lits {
+			v, ok := n.Lits[l.Link]
+			if !ok {
+				return fmt.Errorf("unload: node %s has no literal %q", ed.Node, l.Link)
+			}
+			if v != l.Value {
+				return fmt.Errorf("unload: node %s literal %q is %#v, edit claims %#v", ed.Node, l.Link, v, l.Value)
+			}
+		}
+		return nil
+
+	case truechange.Update:
+		n := mt.index[ed.Node.URI]
+		if n == nil {
+			return fmt.Errorf("update: node %s not indexed", ed.Node)
+		}
+		if n.Tag != ed.Node.Tag {
+			return fmt.Errorf("update: node %s has tag %s, edit claims %s", ed.Node.URI, n.Tag, ed.Node.Tag)
+		}
+		for _, l := range ed.Old {
+			v, ok := n.Lits[l.Link]
+			if !ok {
+				return fmt.Errorf("update: node %s has no literal %q", ed.Node, l.Link)
+			}
+			if v != l.Value {
+				return fmt.Errorf("update: node %s literal %q is %#v, edit claims old value %#v", ed.Node, l.Link, v, l.Value)
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown edit kind %T", e)
+	}
+}
+
+// cloneShallow deep-copies the tree structure (nodes, maps) without copying
+// literal values, which are immutable.
+func (mt *MTree) cloneShallow() *MTree {
+	c := &MTree{sch: mt.sch, index: make(map[uri.URI]*MNode, len(mt.index))}
+	for u, n := range mt.index {
+		cn := &MNode{
+			Tag:  n.Tag,
+			URI:  n.URI,
+			Kids: make(map[sig.Link]*MNode, len(n.Kids)),
+			Lits: make(map[sig.Link]any, len(n.Lits)),
+		}
+		for l, v := range n.Lits {
+			cn.Lits[l] = v
+		}
+		c.index[u] = cn
+	}
+	for u, n := range mt.index {
+		cn := c.index[u]
+		for l, k := range n.Kids {
+			if k == nil {
+				cn.Kids[l] = nil
+			} else {
+				cn.Kids[l] = c.index[k.URI]
+			}
+		}
+	}
+	c.root = c.index[uri.Root]
+	return c
+}

@@ -1,0 +1,277 @@
+package pylang
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for the extended Python subset: decorators, try/except/finally,
+// with, assert, del, global/nonlocal, yield, lambda, conditional
+// expressions, list comprehensions, and star arguments/parameters.
+
+func TestParseDecorators(t *testing.T) {
+	src := `@staticmethod
+@register("name")
+def f(x):
+    return x
+`
+	s := firstStmt(t, src)
+	if s.Tag != TagDecorated {
+		t.Fatalf("tag = %s", s.Tag)
+	}
+	decs := ListElems(s.Kids[0])
+	if len(decs) != 2 || decs[0].Tag != TagName || decs[1].Tag != TagCall {
+		t.Errorf("decorators = %s", shape(s.Kids[0]))
+	}
+	if s.Kids[1].Tag != TagFuncDef {
+		t.Errorf("decorated def = %s", s.Kids[1].Tag)
+	}
+}
+
+func TestParseDecoratedClass(t *testing.T) {
+	s := firstStmt(t, "@plugin.hook\nclass C:\n    pass\n")
+	if s.Tag != TagDecorated || s.Kids[1].Tag != TagClassDef {
+		t.Fatalf("shape = %s", shape(s))
+	}
+}
+
+func TestParseTryExceptFinally(t *testing.T) {
+	src := `try:
+    risky()
+except ValueError as e:
+    handle(e)
+except TypeError:
+    pass
+except:
+    fallback()
+else:
+    celebrate()
+finally:
+    cleanup()
+`
+	s := firstStmt(t, src)
+	if s.Tag != TagTry {
+		t.Fatalf("tag = %s", s.Tag)
+	}
+	handlers := ListElems(s.Kids[1])
+	if len(handlers) != 3 {
+		t.Fatalf("handlers = %d", len(handlers))
+	}
+	if handlers[0].Lits[0] != "e" || handlers[0].Kids[0].Tag != TagName {
+		t.Errorf("handler 0 = %s %v", shape(handlers[0]), handlers[0].Lits)
+	}
+	if handlers[1].Lits[0] != "" {
+		t.Errorf("handler 1 should bind no name")
+	}
+	if handlers[2].Kids[0].Tag != TagNone {
+		t.Errorf("bare except should have a None etype")
+	}
+	if len(ListElems(s.Kids[2])) != 1 || len(ListElems(s.Kids[3])) != 1 {
+		t.Error("else/finally suites missing")
+	}
+}
+
+func TestParseTryFinallyOnly(t *testing.T) {
+	s := firstStmt(t, "try:\n    x = 1\nfinally:\n    done()\n")
+	if s.Tag != TagTry || len(ListElems(s.Kids[1])) != 0 {
+		t.Fatalf("shape = %s", shape(s))
+	}
+	if _, _, err := ParseNew("try:\n    x = 1\nx = 2\n"); err == nil {
+		t.Error("try without except/finally should fail")
+	}
+}
+
+func TestParseWith(t *testing.T) {
+	s := firstStmt(t, "with open(path) as f:\n    data = f.read()\n")
+	if s.Tag != TagWith || s.Lits[0] != "f" {
+		t.Fatalf("with = %s %v", shape(s), s.Lits)
+	}
+	// Multiple items nest, outermost first.
+	s2 := firstStmt(t, "with a() as x, b():\n    pass\n")
+	if s2.Tag != TagWith || s2.Lits[0] != "x" {
+		t.Fatalf("outer with wrong: %v", s2.Lits)
+	}
+	inner := ListElems(s2.Kids[1])
+	if len(inner) != 1 || inner[0].Tag != TagWith || inner[0].Lits[0] != "" {
+		t.Fatalf("inner with wrong: %s", shape(s2))
+	}
+}
+
+func TestParseAssertDelGlobal(t *testing.T) {
+	mod := parseOK(t, "assert x > 0\nassert y, \"message\"\ndel cache[key]\nglobal a, b\nnonlocal c\n")
+	stmts := ListElems(mod.Kids[0])
+	if len(stmts) != 6 { // global a, b expands into two statements
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	if stmts[0].Tag != TagAssert || stmts[0].Kids[1].Tag != TagNone {
+		t.Errorf("assert without message wrong")
+	}
+	if stmts[1].Kids[1].Tag != TagStr {
+		t.Errorf("assert message missing")
+	}
+	if stmts[2].Tag != TagDel || stmts[2].Kids[0].Tag != TagSubscript {
+		t.Errorf("del = %s", shape(stmts[2]))
+	}
+	if stmts[3].Tag != TagGlobal || stmts[3].Lits[0] != "a" || stmts[4].Lits[0] != "b" {
+		t.Errorf("global expansion wrong")
+	}
+	if stmts[5].Tag != TagNonlocal || stmts[5].Lits[0] != "c" {
+		t.Errorf("nonlocal wrong")
+	}
+}
+
+func TestParseYield(t *testing.T) {
+	mod := parseOK(t, "def g():\n    yield\n    yield 1\n    x = yield v\n")
+	body := ListElems(ListElems(mod.Kids[0])[0].Kids[1])
+	if body[0].Kids[0].Tag != TagYield || body[0].Kids[0].Kids[0].Tag != TagNone {
+		t.Errorf("bare yield = %s", shape(body[0]))
+	}
+	if body[1].Kids[0].Kids[0].Tag != TagNumInt {
+		t.Errorf("yield 1 = %s", shape(body[1]))
+	}
+	if body[2].Kids[1].Tag != TagYield {
+		t.Errorf("assigned yield = %s", shape(body[2]))
+	}
+}
+
+func TestParseLambda(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"f = lambda: 1\n", "Assign(Name,Lambda(ParamNil,NumInt))"},
+		{"f = lambda x: x + 1\n", "Assign(Name,Lambda(ParamCons(Param,ParamNil),BinOp(Name,NumInt)))"},
+		{"f = lambda x, y=2: x\n", "Assign(Name,Lambda(ParamCons(Param,ParamCons(DefaultParam(NumInt),ParamNil)),Name))"},
+	}
+	for _, c := range cases {
+		if got := shape(firstStmt(t, c.src)); got != c.want {
+			t.Errorf("%q = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseIfExp(t *testing.T) {
+	s := firstStmt(t, "v = a if cond else b\n")
+	if got := shape(s); got != "Assign(Name,IfExp(Name,Name,Name))" {
+		t.Errorf("shape = %s", got)
+	}
+	// Nested ternary is right-associative.
+	s2 := firstStmt(t, "v = a if c1 else b if c2 else c\n")
+	if got := shape(s2); got != "Assign(Name,IfExp(Name,Name,IfExp(Name,Name,Name)))" {
+		t.Errorf("nested shape = %s", got)
+	}
+}
+
+func TestParseListComp(t *testing.T) {
+	s := firstStmt(t, "v = [x * 2 for x in xs]\n")
+	if got := shape(s); got != "Assign(Name,ListComp(BinOp(Name,NumInt),Name,Name,None))" {
+		t.Errorf("shape = %s", got)
+	}
+	s2 := firstStmt(t, "v = [x for x, y in pairs if y > 0]\n")
+	comp := s2.Kids[1]
+	if comp.Tag != TagListComp || comp.Kids[1].Tag != TagTupleLit || comp.Kids[3].Tag != TagCompare {
+		t.Errorf("comp = %s", shape(s2))
+	}
+}
+
+func TestParseStarArgsAndParams(t *testing.T) {
+	s := firstStmt(t, "def f(a, *args, **kwargs):\n    return g(a, *args, k=1, **kwargs)\n")
+	params := ListElems(s.Kids[0])
+	if len(params) != 3 || params[1].Tag != TagStarParam || params[2].Tag != TagKwStarParam {
+		t.Fatalf("params = %s", shape(s.Kids[0]))
+	}
+	ret := ListElems(s.Kids[1])[0]
+	args := ListElems(ret.Kids[0].Kids[1])
+	if len(args) != 4 || args[1].Tag != TagStarArg || args[2].Tag != TagKwArg || args[3].Tag != TagKwStarArg {
+		t.Fatalf("args = %s", shape(ret))
+	}
+}
+
+func TestRoundTripExtendedConstructs(t *testing.T) {
+	cases := []string{
+		"@dec\ndef f():\n    pass\n",
+		"@mod.dec\n@other(1, k=2)\nclass C(D):\n    pass\n",
+		"try:\n    x = 1\nexcept E as e:\n    pass\n",
+		"try:\n    x = 1\nexcept A:\n    pass\nexcept:\n    pass\nelse:\n    y = 2\nfinally:\n    z = 3\n",
+		"try:\n    x = 1\nfinally:\n    pass\n",
+		"with open(p) as f:\n    pass\n",
+		"with a(), b() as x:\n    pass\n",
+		"assert x\n",
+		"assert x == 1, \"oops\"\n",
+		"del x\ndel xs[0]\n",
+		"global counter\nnonlocal state\n",
+		"def g():\n    yield\n    yield 1 + 2\n",
+		"x = (yield v)\n",
+		"f = lambda: 0\n",
+		"f = lambda x, y=1: x * y\n",
+		"v = a if x > 0 else b\n",
+		"v = (a if c else b) + 1\n",
+		"v = [x * x for x in range(10)]\n",
+		"v = [x for x, y in ps if x != y]\n",
+		"v = [f(x) for x in xs]\n",
+		"def f(a, b=1, *args, **kw):\n    return a\n",
+		"r = f(1, *rest, k=2, **extra)\n",
+		"a = b = c = unit()\n",
+		"handler = lambda e: log(e) if verbose else None\n",
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestRenderTryProducesKeywords(t *testing.T) {
+	src := "try:\n    x = 1\nexcept E as e:\n    pass\nfinally:\n    done()\n"
+	mod, _, err := ParseNew(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(mod)
+	for _, want := range []string{"try:", "except E as e:", "finally:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered try lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRealisticExtendedModule(t *testing.T) {
+	src := `import threading
+from contextlib import suppress
+
+_LOCK = threading.Lock()
+
+def cached(fn):
+    store = {}
+    @wraps(fn)
+    def wrapper(*args, **kwargs):
+        key = (args, tuple(sorted(kwargs.items())))
+        with _LOCK:
+            if key not in store:
+                store[key] = fn(*args, **kwargs)
+        return store[key]
+    return wrapper
+
+class Pipeline:
+    def __init__(self, stages=None):
+        self.stages = stages if stages is not None else []
+
+    def run(self, items):
+        results = [s for s in items if s is not None]
+        for stage in self.stages:
+            try:
+                results = [stage(r) for r in results]
+            except ValueError as err:
+                raise RuntimeError("stage failed")
+            finally:
+                self.log(stage)
+        return results
+
+    def generate(self):
+        for r in self.stages:
+            yield r
+`
+	roundTrip(t, src)
+	mod, _, err := ParseNew(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Size() < 150 {
+		t.Errorf("module too small: %d nodes", mod.Size())
+	}
+}

@@ -1,0 +1,486 @@
+package pylang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Render pretty-prints a module tree back to Python source. Rendering and
+// Parse form a structural round trip: Parse(Render(m)) yields a tree equal
+// to m (URIs aside). Parenthesization is precedence-driven; redundant
+// parentheses never change the parsed tree, so the renderer leans
+// conservative where Python's grammar is subtle.
+func Render(mod *tree.Node) string {
+	r := &renderer{}
+	if mod.Tag == TagModule {
+		r.stmts(ListElems(mod.Kids[0]), 0)
+	} else {
+		r.stmt(mod, 0)
+	}
+	return r.b.String()
+}
+
+type renderer struct {
+	b strings.Builder
+}
+
+func (r *renderer) indent(level int) {
+	for i := 0; i < level; i++ {
+		r.b.WriteString("    ")
+	}
+}
+
+func (r *renderer) stmts(list []*tree.Node, level int) {
+	for _, s := range list {
+		r.stmt(s, level)
+	}
+}
+
+func (r *renderer) suite(list *tree.Node, level int) {
+	r.b.WriteString(":\n")
+	elems := ListElems(list)
+	if len(elems) == 0 {
+		r.indent(level + 1)
+		r.b.WriteString("pass\n")
+		return
+	}
+	r.stmts(elems, level+1)
+}
+
+func (r *renderer) stmt(s *tree.Node, level int) {
+	r.indent(level)
+	switch s.Tag {
+	case TagFuncDef:
+		fmt.Fprintf(&r.b, "def %s(", s.Lits[0])
+		r.params(ListElems(s.Kids[0]))
+		r.b.WriteString(")")
+		r.suite(s.Kids[1], level)
+	case TagClassDef:
+		fmt.Fprintf(&r.b, "class %s", s.Lits[0])
+		bases := ListElems(s.Kids[0])
+		if len(bases) > 0 {
+			r.b.WriteString("(")
+			for i, bse := range bases {
+				if i > 0 {
+					r.b.WriteString(", ")
+				}
+				r.expr(bse, 0)
+			}
+			r.b.WriteString(")")
+		}
+		r.suite(s.Kids[1], level)
+	case TagImport:
+		fmt.Fprintf(&r.b, "import %s\n", s.Lits[0])
+	case TagFromImport:
+		fmt.Fprintf(&r.b, "from %s import %s\n", s.Lits[0], s.Lits[1])
+	case TagAssign:
+		r.expr(s.Kids[0], 0)
+		r.b.WriteString(" = ")
+		r.expr(s.Kids[1], 0)
+		r.b.WriteString("\n")
+	case TagAugAssign:
+		r.expr(s.Kids[0], 0)
+		fmt.Fprintf(&r.b, " %s= ", s.Lits[0])
+		r.expr(s.Kids[1], 0)
+		r.b.WriteString("\n")
+	case TagExprStmt:
+		r.expr(s.Kids[0], 0)
+		r.b.WriteString("\n")
+	case TagReturn:
+		if s.Kids[0].Tag == TagNone {
+			r.b.WriteString("return\n")
+		} else {
+			r.b.WriteString("return ")
+			r.expr(s.Kids[0], 0)
+			r.b.WriteString("\n")
+		}
+	case TagIf:
+		r.b.WriteString("if ")
+		r.ifTail(s, level)
+	case TagWhile:
+		r.b.WriteString("while ")
+		r.expr(s.Kids[0], 0)
+		r.suite(s.Kids[1], level)
+	case TagFor:
+		r.b.WriteString("for ")
+		r.forTarget(s.Kids[0])
+		r.b.WriteString(" in ")
+		r.expr(s.Kids[1], 0)
+		r.suite(s.Kids[2], level)
+	case TagPass:
+		r.b.WriteString("pass\n")
+	case TagBreak:
+		r.b.WriteString("break\n")
+	case TagContinue:
+		r.b.WriteString("continue\n")
+	case TagRaise:
+		r.b.WriteString("raise ")
+		r.expr(s.Kids[0], 0)
+		r.b.WriteString("\n")
+	case TagDecorated:
+		// indent was already emitted; decorators re-indent themselves on
+		// their own lines, then the def follows.
+		for i, dec := range ListElems(s.Kids[0]) {
+			if i > 0 {
+				r.indent(level)
+			}
+			r.b.WriteString("@")
+			r.expr(dec, 0)
+			r.b.WriteString("\n")
+		}
+		r.stmt(s.Kids[1], level)
+	case TagTry:
+		r.b.WriteString("try")
+		r.suite(s.Kids[0], level)
+		for _, h := range ListElems(s.Kids[1]) {
+			r.indent(level)
+			r.b.WriteString("except")
+			if h.Kids[0].Tag != TagNone {
+				r.b.WriteString(" ")
+				r.expr(h.Kids[0], 0)
+				if name := h.Lits[0].(string); name != "" {
+					fmt.Fprintf(&r.b, " as %s", name)
+				}
+			}
+			r.suite(h.Kids[1], level)
+		}
+		if len(ListElems(s.Kids[2])) > 0 {
+			r.indent(level)
+			r.b.WriteString("else")
+			r.suite(s.Kids[2], level)
+		}
+		if len(ListElems(s.Kids[3])) > 0 {
+			r.indent(level)
+			r.b.WriteString("finally")
+			r.suite(s.Kids[3], level)
+		}
+	case TagWith:
+		r.b.WriteString("with ")
+		r.expr(s.Kids[0], 0)
+		if name := s.Lits[0].(string); name != "" {
+			fmt.Fprintf(&r.b, " as %s", name)
+		}
+		r.suite(s.Kids[1], level)
+	case TagAssert:
+		r.b.WriteString("assert ")
+		r.expr(s.Kids[0], 0)
+		if s.Kids[1].Tag != TagNone {
+			r.b.WriteString(", ")
+			r.expr(s.Kids[1], 0)
+		}
+		r.b.WriteString("\n")
+	case TagDel:
+		r.b.WriteString("del ")
+		r.expr(s.Kids[0], 0)
+		r.b.WriteString("\n")
+	case TagGlobal:
+		fmt.Fprintf(&r.b, "global %s\n", s.Lits[0])
+	case TagNonlocal:
+		fmt.Fprintf(&r.b, "nonlocal %s\n", s.Lits[0])
+	default:
+		// Defensive: render unknown statements as a comment so output stays
+		// parseable even for future schema extensions.
+		fmt.Fprintf(&r.b, "pass  # <unrenderable %s>\n", s.Tag)
+	}
+}
+
+// ifTail renders "cond: then" plus elif/else chains; the leading "if " or
+// "elif " was already emitted.
+func (r *renderer) ifTail(s *tree.Node, level int) {
+	r.expr(s.Kids[0], 0)
+	r.suite(s.Kids[1], level)
+	orelse := ListElems(s.Kids[2])
+	if len(orelse) == 0 {
+		return
+	}
+	if len(orelse) == 1 && orelse[0].Tag == TagIf {
+		r.indent(level)
+		r.b.WriteString("elif ")
+		r.ifTail(orelse[0], level)
+		return
+	}
+	r.indent(level)
+	r.b.WriteString("else")
+	r.suite(s.Kids[2], level)
+}
+
+// forTarget renders a loop target: a name or a bare tuple of names.
+func (r *renderer) forTarget(t *tree.Node) {
+	if t.Tag == TagTupleLit {
+		elems := ListElems(t.Kids[0])
+		for i, e := range elems {
+			if i > 0 {
+				r.b.WriteString(", ")
+			}
+			r.expr(e, 0)
+		}
+		return
+	}
+	r.expr(t, 0)
+}
+
+func (r *renderer) params(params []*tree.Node) {
+	for i, p := range params {
+		if i > 0 {
+			r.b.WriteString(", ")
+		}
+		switch p.Tag {
+		case TagParam:
+			fmt.Fprintf(&r.b, "%s", p.Lits[0])
+		case TagDefaultParam:
+			fmt.Fprintf(&r.b, "%s=", p.Lits[0])
+			r.expr(p.Kids[0], 0)
+		case TagStarParam:
+			fmt.Fprintf(&r.b, "*%s", p.Lits[0])
+		case TagKwStarParam:
+			fmt.Fprintf(&r.b, "**%s", p.Lits[0])
+		}
+	}
+}
+
+// Operator precedence levels; higher binds tighter. Atoms and trailers are
+// level 100.
+func exprPrec(e *tree.Node) int {
+	switch e.Tag {
+	case TagLambda, TagIfExp, TagYield:
+		return 0
+	case TagBoolOp:
+		if e.Lits[0] == "or" {
+			return 1
+		}
+		return 2
+	case TagUnaryOp:
+		if e.Lits[0] == "not" {
+			return 3
+		}
+		return 7
+	case TagCompare:
+		return 4
+	case TagBinOp:
+		switch e.Lits[0] {
+		case "+", "-":
+			return 5
+		case "**":
+			return 8
+		default:
+			return 6
+		}
+	default:
+		return 100
+	}
+}
+
+// expr renders e, parenthesizing when its precedence is below min.
+func (r *renderer) expr(e *tree.Node, min int) {
+	prec := exprPrec(e)
+	if prec < min {
+		r.b.WriteString("(")
+		r.expr(e, 0)
+		r.b.WriteString(")")
+		return
+	}
+	switch e.Tag {
+	case TagName:
+		fmt.Fprintf(&r.b, "%s", e.Lits[0])
+	case TagNumInt:
+		fmt.Fprintf(&r.b, "%d", e.Lits[0])
+	case TagNumFloat:
+		v := e.Lits[0].(float64)
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		r.b.WriteString(s)
+	case TagStr:
+		r.b.WriteString(quote(e.Lits[0].(string)))
+	case TagBool:
+		if e.Lits[0].(bool) {
+			r.b.WriteString("True")
+		} else {
+			r.b.WriteString("False")
+		}
+	case TagNone:
+		r.b.WriteString("None")
+	case TagBoolOp:
+		r.expr(e.Kids[0], prec)
+		fmt.Fprintf(&r.b, " %s ", e.Lits[0])
+		r.expr(e.Kids[1], prec+1)
+	case TagUnaryOp:
+		op := e.Lits[0].(string)
+		if op == "not" {
+			r.b.WriteString("not ")
+		} else {
+			r.b.WriteString(op)
+		}
+		r.expr(e.Kids[0], prec)
+	case TagCompare:
+		r.expr(e.Kids[0], prec)
+		fmt.Fprintf(&r.b, " %s ", e.Lits[0])
+		r.expr(e.Kids[1], prec+1)
+	case TagBinOp:
+		op := e.Lits[0].(string)
+		if op == "**" {
+			r.expr(e.Kids[0], 9) // ** is right associative
+			r.b.WriteString(" ** ")
+			r.expr(e.Kids[1], 7)
+		} else {
+			r.expr(e.Kids[0], prec)
+			fmt.Fprintf(&r.b, " %s ", op)
+			r.expr(e.Kids[1], prec+1)
+		}
+	case TagCall:
+		r.expr(e.Kids[0], 100)
+		r.b.WriteString("(")
+		for i, a := range ListElems(e.Kids[1]) {
+			if i > 0 {
+				r.b.WriteString(", ")
+			}
+			if a.Tag == TagKwArg {
+				fmt.Fprintf(&r.b, "%s=", a.Lits[0])
+				r.expr(a.Kids[0], 0)
+			} else {
+				r.expr(a, 0)
+			}
+		}
+		r.b.WriteString(")")
+	case TagKwArg:
+		// KwArg outside an argument list (should not occur): render value.
+		r.expr(e.Kids[0], min)
+	case TagAttribute:
+		// A numeric literal base must be parenthesized: 37.shape would lex
+		// as a malformed float literal.
+		if base := e.Kids[0]; base.Tag == TagNumInt || base.Tag == TagNumFloat {
+			r.b.WriteString("(")
+			r.expr(base, 0)
+			r.b.WriteString(")")
+		} else {
+			r.expr(base, 100)
+		}
+		fmt.Fprintf(&r.b, ".%s", e.Lits[0])
+	case TagSubscript:
+		r.expr(e.Kids[0], 100)
+		r.b.WriteString("[")
+		if idx := e.Kids[1]; idx.Tag == TagSliceExpr {
+			if idx.Kids[0].Tag != TagNone {
+				r.expr(idx.Kids[0], 0)
+			}
+			r.b.WriteString(":")
+			if idx.Kids[1].Tag != TagNone {
+				r.expr(idx.Kids[1], 0)
+			}
+		} else {
+			r.expr(idx, 0)
+		}
+		r.b.WriteString("]")
+	case TagSliceExpr:
+		// A slice outside a subscript cannot occur; render as a tuple.
+		r.b.WriteString("(")
+		r.expr(e.Kids[0], 0)
+		r.b.WriteString(", ")
+		r.expr(e.Kids[1], 0)
+		r.b.WriteString(")")
+	case TagListLit:
+		r.b.WriteString("[")
+		for i, el := range ListElems(e.Kids[0]) {
+			if i > 0 {
+				r.b.WriteString(", ")
+			}
+			r.expr(el, 0)
+		}
+		r.b.WriteString("]")
+	case TagTupleLit:
+		elems := ListElems(e.Kids[0])
+		r.b.WriteString("(")
+		for i, el := range elems {
+			if i > 0 {
+				r.b.WriteString(", ")
+			}
+			r.expr(el, 0)
+		}
+		if len(elems) == 1 {
+			r.b.WriteString(",")
+		}
+		r.b.WriteString(")")
+	case TagDictLit:
+		r.b.WriteString("{")
+		for i, kv := range ListElems(e.Kids[0]) {
+			if i > 0 {
+				r.b.WriteString(", ")
+			}
+			r.expr(kv.Kids[0], 0)
+			r.b.WriteString(": ")
+			r.expr(kv.Kids[1], 0)
+		}
+		r.b.WriteString("}")
+	case TagYield:
+		if e.Kids[0].Tag == TagNone {
+			r.b.WriteString("yield")
+		} else {
+			r.b.WriteString("yield ")
+			r.expr(e.Kids[0], 1)
+		}
+	case TagLambda:
+		r.b.WriteString("lambda")
+		if params := ListElems(e.Kids[0]); len(params) > 0 {
+			r.b.WriteString(" ")
+			r.params(params)
+		}
+		r.b.WriteString(": ")
+		r.expr(e.Kids[1], 0)
+	case TagIfExp:
+		r.expr(e.Kids[0], 1)
+		r.b.WriteString(" if ")
+		r.expr(e.Kids[1], 1)
+		r.b.WriteString(" else ")
+		r.expr(e.Kids[2], 0)
+	case TagListComp:
+		r.b.WriteString("[")
+		r.expr(e.Kids[0], 0)
+		r.b.WriteString(" for ")
+		r.forTarget(e.Kids[1])
+		r.b.WriteString(" in ")
+		r.expr(e.Kids[2], 1)
+		if e.Kids[3].Tag != TagNone {
+			r.b.WriteString(" if ")
+			r.expr(e.Kids[3], 1)
+		}
+		r.b.WriteString("]")
+	case TagStarArg:
+		r.b.WriteString("*")
+		r.expr(e.Kids[0], 1)
+	case TagKwStarArg:
+		r.b.WriteString("**")
+		r.expr(e.Kids[0], 1)
+	default:
+		fmt.Fprintf(&r.b, "None")
+	}
+}
+
+// quote renders a Python string literal with double quotes.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case 0:
+			b.WriteString(`\0`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

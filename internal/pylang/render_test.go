@@ -1,0 +1,173 @@
+package pylang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// roundTrip asserts Parse(Render(Parse(src))) == Parse(src).
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	mod1, _, err := ParseNew(src)
+	if err != nil {
+		t.Fatalf("parse original:\n%s\nerror: %v", src, err)
+	}
+	rendered := Render(mod1)
+	mod2, _, err := ParseNew(rendered)
+	if err != nil {
+		t.Fatalf("parse rendered:\n%s\nerror: %v", rendered, err)
+	}
+	if !tree.Equal(mod1, mod2) {
+		t.Fatalf("round trip changed the tree.\noriginal source:\n%s\nrendered:\n%s\noriginal tree: %s\nrendered tree: %s",
+			src, rendered, mod1, mod2)
+	}
+}
+
+func TestRoundTripSample(t *testing.T) {
+	roundTrip(t, sampleSource)
+}
+
+func TestRoundTripConstructs(t *testing.T) {
+	cases := []string{
+		"x = 1\n",
+		"x = -1\n",
+		"x = - -1\n",
+		"x = 3.5\nf = 1e10\ng = 2.5e-3\nh = 100.0\n",
+		"x = 1 - 2 - 3\n",
+		"x = 1 - (2 - 3)\n",
+		"x = (1 + 2) * 3\n",
+		"x = 2 ** 3 ** 4\n",
+		"x = (2 ** 3) ** 4\n",
+		"x = -y ** 2\n",
+		"x = (-y) ** 2\n",
+		"x = a or b and c\n",
+		"x = (a or b) and c\n",
+		"x = not a == b\n",
+		"x = not (a or b)\n",
+		"x = a < b <= c\n",
+		"x = a in b\nz = a not in b\nw = a is not None\n",
+		"x = a % b // c\n",
+		"s = \"he said \\\"hi\\\"\\n\"\n",
+		"s = \"tab\\t and null \\0 done\"\n",
+		"v = [1, [2, 3], []]\n",
+		"v = (1,)\nw = ()\nu = (1, 2, 3)\n",
+		"v = {\"a\": 1, b: [2]}\nempty = {}\n",
+		"v = x[1][a:b][:][2:]\n",
+		"v = obj.m(1, k=2)(3)\n",
+		"v = f()\n",
+		"x += 1\nx //= 2\nx **= 3\nx %= 4\n",
+		"import a.b.c\nfrom x.y import z\n",
+		"def f():\n    return\n",
+		"def f(a, b=1):\n    return a + b\n",
+		"class C:\n    pass\n",
+		"class C(D):\n    pass\n",
+		"class C(D, E):\n    x = 1\n",
+		"if a:\n    pass\n",
+		"if a:\n    pass\nelse:\n    pass\n",
+		"if a:\n    pass\nelif b:\n    pass\nelif c:\n    pass\nelse:\n    pass\n",
+		"for x in xs:\n    break\n",
+		"for k, v in items:\n    continue\n",
+		"while True:\n    pass\n",
+		"raise ValueError(\"bad\")\n",
+		"x = f(-1, +2)\n",
+		"x = True\ny = False\nz = None\n",
+		"def f():\n    if x:\n        while y:\n            for i in z:\n                return [i]\n",
+		"x = 1, 2\n",
+		"return_ = not_ = 1\n"[:15] + "\n", // names that prefix keywords
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestRenderProducesElif(t *testing.T) {
+	src := "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n"
+	mod, _, err := ParseNew(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(mod)
+	if !strings.Contains(out, "elif b") {
+		t.Errorf("rendered output should use elif:\n%s", out)
+	}
+	if strings.Count(out, "else") != 1 {
+		t.Errorf("rendered output should have exactly one else:\n%s", out)
+	}
+}
+
+func TestRenderBareReturn(t *testing.T) {
+	mod, _, err := ParseNew("def f():\n    return\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(mod)
+	if strings.Contains(out, "return None") {
+		t.Errorf("bare return should render bare:\n%s", out)
+	}
+}
+
+func TestRenderEmptySuiteEmitsPass(t *testing.T) {
+	f := NewFactory()
+	mod := f.Module(f.StmtList(f.FuncDef("f", f.ParamList(), f.StmtList())))
+	out := Render(mod)
+	if !strings.Contains(out, "pass") {
+		t.Errorf("empty suite should render pass:\n%s", out)
+	}
+	if _, _, err := ParseNew(out); err != nil {
+		t.Errorf("rendered output should parse: %v", err)
+	}
+}
+
+func TestRenderIndentation(t *testing.T) {
+	src := "class C:\n    def m(self):\n        if x:\n            return 1\n"
+	mod, _, err := ParseNew(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(mod)
+	if !strings.Contains(out, "\n            return 1\n") {
+		t.Errorf("nested indentation lost:\n%s", out)
+	}
+	roundTrip(t, src)
+}
+
+func TestRenderStmtDirectly(t *testing.T) {
+	f := NewFactory()
+	s := f.Assign(f.Name("x"), f.Int(1))
+	if got := Render(s); got != "x = 1\n" {
+		t.Errorf("Render(stmt) = %q", got)
+	}
+}
+
+func TestRoundTripGeneratedPrograms(t *testing.T) {
+	// A somewhat larger synthetic program assembled via the factory,
+	// round-tripped through render → parse → render.
+	f := NewFactory()
+	body := f.StmtList(
+		f.Import("math"),
+		f.Assign(f.Name("threshold"), f.Float(0.5)),
+		f.FuncDef("norm", f.ParamList(f.Param("xs"), f.DefaultParam("eps", f.Float(1e-7))),
+			f.StmtList(
+				f.Assign(f.Name("total"), f.Int(0)),
+				f.For(f.Name("x"), f.Name("xs"), f.StmtList(
+					f.AugAssign("+", f.Name("total"), f.BinOp("*", f.Name("x"), f.Name("x"))),
+				)),
+				f.Return(f.Call(f.Attribute(f.Name("math"), "sqrt"),
+					f.ExprList(f.BinOp("+", f.Name("total"), f.Name("eps"))))),
+			)),
+	)
+	mod := f.Module(body)
+	out1 := Render(mod)
+	mod2, _, err := ParseNew(out1)
+	if err != nil {
+		t.Fatalf("parse rendered:\n%s\n%v", out1, err)
+	}
+	if !tree.Equal(mod, mod2) {
+		t.Fatalf("factory round trip failed:\n%s", out1)
+	}
+	if out2 := Render(mod2); out1 != out2 {
+		t.Errorf("render not stable:\n%s\nvs\n%s", out1, out2)
+	}
+}

@@ -1,0 +1,65 @@
+package pylang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the lexer and parser must never panic on arbitrary input —
+// they either succeed or return a positioned error. The CLI feeds them
+// user files, so this is a hard requirement.
+
+func TestLexNeverPanicsOnRandomBytes(t *testing.T) {
+	prop := func(data []byte) bool {
+		_, _ = Lex(string(data)) // must not panic
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	prop := func(data []byte) bool {
+		_, _, _ = ParseNew(string(data)) // must not panic
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnTokenSoup stresses the parser with syntactically
+// plausible but garbled token streams, which random bytes rarely produce.
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	pieces := []string{
+		"def", "class", "if", "else", "elif", "try", "except", "finally",
+		"with", "as", "for", "while", "in", "lambda", "yield", "return",
+		"import", "from", "assert", "del", "global", "not", "and", "or",
+		"x", "y", "f", "name", "123", "4.5", `"str"`, "True", "None",
+		"(", ")", "[", "]", "{", "}", ":", ",", ".", "=", "==", "+", "-",
+		"*", "**", "@", ";", "->", "\n", "\n    ", "\n        ",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 400; i++ {
+		var b strings.Builder
+		n := 1 + rng.Intn(30)
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+		_, _, _ = ParseNew(b.String()) // must not panic
+	}
+}
+
+// TestParseValidPrefixesDontPanic truncates a valid module at every byte
+// offset; every prefix must lex+parse without panicking.
+func TestParseValidPrefixesDontPanic(t *testing.T) {
+	src := sampleSource
+	for i := 0; i <= len(src); i += 7 {
+		_, _, _ = ParseNew(src[:i])
+	}
+}

@@ -1,0 +1,221 @@
+// Package stats provides the summary statistics used by the evaluation
+// harness: five-number box-plot summaries, means, percentiles, and a
+// compact ASCII box-plot rendering for terminal output, mirroring the box
+// plots of the paper's Figures 4 and 5.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a box-plot summary of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+}
+
+// Summarize computes the five-number summary plus mean. It returns a zero
+// summary for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of the sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+// quantileSorted linearly interpolates the p-quantile of a sorted sample.
+func quantileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of a positive sample (NaN otherwise).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Ratios returns element-wise a[i]/b[i]; zero denominators map both-zero
+// pairs to 1 (no change on either side) and positive/zero pairs to +Inf.
+func Ratios(a, b []float64) []float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case b[i] != 0:
+			out[i] = a[i] / b[i]
+		case a[i] == 0:
+			out[i] = 1
+		default:
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// Diffs returns element-wise a[i]-b[i].
+func Diffs(a, b []float64) []float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Finite filters out NaN and ±Inf values.
+func Finite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g mean=%.3g",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+}
+
+// BoxPlot renders labeled samples as aligned ASCII box plots over a shared
+// axis, the terminal analog of the paper's figures:
+//
+//	label |----[==|==]------| (median at |)
+func BoxPlot(labels []string, samples [][]float64, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	sums := make([]Summary, len(samples))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, xs := range samples {
+		sums[i] = Summarize(Finite(xs))
+		if sums[i].N == 0 {
+			continue
+		}
+		lo = math.Min(lo, sums[i].Min)
+		hi = math.Max(hi, sums[i].Max)
+	}
+	if math.IsInf(lo, 1) {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	scale := func(x float64) int {
+		p := int(math.Round((x - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	for i, s := range sums {
+		fmt.Fprintf(&b, "%-*s ", labelW, labels[i])
+		if s.N == 0 {
+			b.WriteString("(no data)\n")
+			continue
+		}
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		for j := scale(s.Min); j <= scale(s.Max); j++ {
+			row[j] = '-'
+		}
+		for j := scale(s.Q1); j <= scale(s.Q3); j++ {
+			row[j] = '='
+		}
+		row[scale(s.Min)] = '|'
+		row[scale(s.Max)] = '|'
+		row[scale(s.Q1)] = '['
+		row[scale(s.Q3)] = ']'
+		row[scale(s.Median)] = '#'
+		b.Write(row)
+		fmt.Fprintf(&b, "  med=%.3g mean=%.3g\n", s.Median, s.Mean)
+	}
+	fmt.Fprintf(&b, "%-*s %-*.3g%*.3g\n", labelW, "", width/2, lo, width-width/2, hi)
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("summary = %v", s)
+	}
+	if !almostEq(s.Q1, 2) || !almostEq(s.Q3, 4) {
+		t.Errorf("quartiles = %v / %v", s.Q1, s.Q3)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty sample should yield zero summary")
+	}
+	one := Summarize([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.Median != 7 {
+		t.Errorf("singleton summary = %v", one)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[2] != 2 {
+		t.Error("Summarize sorted the caller's slice")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want) {
+			t.Errorf("P%.2f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if !almostEq(Mean([]float64{2, 4}), 3) {
+		t.Error("mean wrong")
+	}
+	if !almostEq(GeoMean([]float64{1, 4}), 2) {
+		t.Error("geomean wrong")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("geomean of negative should be NaN")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty means should be NaN")
+	}
+}
+
+func TestRatiosAndDiffs(t *testing.T) {
+	r := Ratios([]float64{4, 0, 3}, []float64{2, 0, 0})
+	if r[0] != 2 || r[1] != 1 || !math.IsInf(r[2], 1) {
+		t.Errorf("ratios = %v", r)
+	}
+	d := Diffs([]float64{5, 1}, []float64{2, 2})
+	if d[0] != 3 || d[1] != -1 {
+		t.Errorf("diffs = %v", d)
+	}
+	if len(Ratios([]float64{1, 2}, []float64{1})) != 1 {
+		t.Error("ratios should truncate to the shorter slice")
+	}
+}
+
+func TestFinite(t *testing.T) {
+	xs := Finite([]float64{1, math.NaN(), math.Inf(1), 2, math.Inf(-1)})
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 2 {
+		t.Errorf("finite = %v", xs)
+	}
+}
+
+func TestBoxPlotRendering(t *testing.T) {
+	out := BoxPlot(
+		[]string{"truediff", "gumtree"},
+		[][]float64{{1, 2, 3, 4, 5}, {10, 20, 30}},
+		40,
+	)
+	for _, want := range []string{"truediff", "gumtree", "#", "[", "]", "med="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boxplot lacks %q:\n%s", want, out)
+		}
+	}
+	if got := BoxPlot([]string{"x"}, [][]float64{{}}, 40); !strings.Contains(got, "no data") {
+		t.Errorf("empty boxplot = %q", got)
+	}
+	// Constant sample must not divide by zero.
+	if got := BoxPlot([]string{"c"}, [][]float64{{5, 5, 5}}, 10); !strings.Contains(got, "med=5") {
+		t.Errorf("constant boxplot = %q", got)
+	}
+}
+
+// Property: the summary brackets the data and quartiles are ordered.
+func TestQuickSummaryInvariants(t *testing.T) {
+	prop := func(xs []float64) bool {
+		fin := Finite(xs)
+		// Keep magnitudes reasonable: the naive sum in Mean overflows for
+		// values near MaxFloat64, which is out of scope for benchmarks.
+		for i, x := range fin {
+			fin[i] = math.Remainder(x, 1e9)
+		}
+		if len(fin) == 0 {
+			return true
+		}
+		s := Summarize(fin)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max &&
+			s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/uri"
+)
+
+// Builder constructs trees against a fixed schema and URI allocator with a
+// compact call syntax, collecting the first error instead of returning one
+// per call. It is convenient for tests, examples, and generated corpora:
+//
+//	b := tree.NewBuilder(sch, uri.NewAllocator())
+//	t := b.N("Add", b.N("Var", "x"), b.N("Num", int64(1)))
+//	if err := b.Err(); err != nil { ... }
+type Builder struct {
+	sch   *sig.Schema
+	alloc *uri.Allocator
+	kind  HashKind
+	err   error
+}
+
+// NewBuilder returns a builder over the schema using SHA-256 hashing.
+func NewBuilder(sch *sig.Schema, alloc *uri.Allocator) *Builder {
+	return &Builder{sch: sch, alloc: alloc, kind: SHA256}
+}
+
+// NewBuilderHashed returns a builder with an explicit hash algorithm.
+func NewBuilderHashed(sch *sig.Schema, alloc *uri.Allocator, kind HashKind) *Builder {
+	return &Builder{sch: sch, alloc: alloc, kind: kind}
+}
+
+// Schema returns the builder's schema.
+func (b *Builder) Schema() *sig.Schema { return b.sch }
+
+// Alloc returns the builder's URI allocator.
+func (b *Builder) Alloc() *uri.Allocator { return b.alloc }
+
+// Err returns the first construction error, or nil.
+func (b *Builder) Err() error { return b.err }
+
+// N builds a node with the given tag. Arguments of type *Node become kids
+// (in signature order); all other arguments become literals (in signature
+// order). On error, N records it and returns nil; subsequent calls accept
+// nil kids silently so one failure does not cascade into panics.
+func (b *Builder) N(tag sig.Tag, args ...any) *Node {
+	if b.err != nil {
+		return nil
+	}
+	var kids []*Node
+	var lits []any
+	for _, a := range args {
+		switch x := a.(type) {
+		case *Node:
+			if x == nil {
+				return nil // an earlier N already recorded the error
+			}
+			kids = append(kids, x)
+		case int:
+			lits = append(lits, int64(x)) // convenience: untyped ints
+		default:
+			lits = append(lits, a)
+		}
+	}
+	n, err := NewHashed(b.sch, b.alloc, tag, kids, lits, b.kind)
+	if err != nil {
+		b.err = fmt.Errorf("builder: %w", err)
+		return nil
+	}
+	return n
+}
+
+// MustN is N but panics on a construction error. Useful in table-driven
+// tests where failure should abort immediately.
+func (b *Builder) MustN(tag sig.Tag, args ...any) *Node {
+	n := b.N(tag, args...)
+	if b.err != nil {
+		panic(b.err)
+	}
+	return n
+}

@@ -1,0 +1,391 @@
+// Package tree implements immutable, schema-validated trees with
+// cryptographic subtree hashes.
+//
+// Trees are the input to structural diffing. Every node carries a
+// constructor tag, a URI identity, an ordered list of child subtrees (one
+// per kid link of the tag's signature), and an ordered list of literal
+// values (one per literal link). Construction validates the node against
+// its schema, so a *Node is well-typed by construction.
+//
+// Each node caches two hashes that drive the truediff algorithm's
+// equivalence relations (paper §4.1):
+//
+//   - the structure hash, which covers the tag and the kids' structure
+//     hashes but ignores literals — two trees are structurally equivalent
+//     iff their structure hashes agree;
+//   - the literal hash, which covers the literal values and the kids'
+//     literal hashes but ignores tags — two trees are literally equivalent
+//     iff their literal hashes agree.
+//
+// Two trees are equal iff they are both structurally and literally
+// equivalent.
+package tree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"repro/internal/sig"
+	"repro/internal/uri"
+)
+
+// HashKind selects the algorithm used for subtree hashes. The paper uses a
+// cryptographic hash (SHA-256); FNV is provided for the hashing ablation
+// benchmark.
+type HashKind uint8
+
+const (
+	// SHA256 is the paper's choice: collision probability is negligible,
+	// so hash equality can be used as tree equality.
+	SHA256 HashKind = iota
+	// FNV64 is a fast non-cryptographic hash; collisions are unlikely but
+	// possible, so it trades a little safety for speed.
+	FNV64
+)
+
+// Node is an immutable tree node. Kids and Lits are ordered exactly as in
+// the tag's signature. Do not mutate a Node after construction; build a new
+// tree instead (the mutable representation lives in package mtree).
+type Node struct {
+	Tag  sig.Tag
+	URI  uri.URI
+	Kids []*Node
+	Lits []any
+
+	height     int
+	size       int
+	structHash string
+	litHash    string
+}
+
+// New validates and constructs a node. kids must match the tag's kid links
+// in number and sort (up to subtyping); lits must match the literal links in
+// number and base type. Hashes are computed eagerly with SHA-256 so that
+// tree construction accounts for hashing cost, as in the paper's evaluation.
+func New(sch *sig.Schema, alloc *uri.Allocator, tag sig.Tag, kids []*Node, lits []any) (*Node, error) {
+	return NewHashed(sch, alloc, tag, kids, lits, SHA256)
+}
+
+// NewHashed is New with an explicit hash algorithm.
+func NewHashed(sch *sig.Schema, alloc *uri.Allocator, tag sig.Tag, kids []*Node, lits []any, kind HashKind) (*Node, error) {
+	g := sch.Lookup(tag)
+	if g == nil {
+		return nil, fmt.Errorf("tree: undeclared tag %s", tag)
+	}
+	if tag == sig.RootTag {
+		return nil, fmt.Errorf("tree: cannot construct the pre-defined root tag")
+	}
+	if len(kids) != len(g.Kids) {
+		return nil, fmt.Errorf("tree: tag %s expects %d kids, got %d", tag, len(g.Kids), len(kids))
+	}
+	if len(lits) != len(g.Lits) {
+		return nil, fmt.Errorf("tree: tag %s expects %d literals, got %d", tag, len(g.Lits), len(lits))
+	}
+	for i, k := range kids {
+		if k == nil {
+			return nil, fmt.Errorf("tree: tag %s kid %q is nil", tag, g.Kids[i].Link)
+		}
+		ks, ok := sch.ResultSort(k.Tag)
+		if !ok {
+			return nil, fmt.Errorf("tree: kid tag %s undeclared", k.Tag)
+		}
+		if !sch.IsSubsort(ks, g.Kids[i].Sort) {
+			return nil, fmt.Errorf("tree: tag %s kid %q: sort %s is not a subsort of %s",
+				tag, g.Kids[i].Link, ks, g.Kids[i].Sort)
+		}
+	}
+	for i, l := range lits {
+		if !g.Lits[i].Type.Admits(l) {
+			return nil, fmt.Errorf("tree: tag %s literal %q: value %v (%T) does not conform to %s",
+				tag, g.Lits[i].Link, l, l, g.Lits[i].Type)
+		}
+	}
+	n := &Node{
+		Tag:  tag,
+		URI:  alloc.Fresh(),
+		Kids: append([]*Node(nil), kids...),
+		Lits: append([]any(nil), lits...),
+	}
+	n.finish(kind)
+	return n, nil
+}
+
+// NewWithURI is NewHashed but uses the given URI instead of allocating a
+// fresh one, and reserves it in alloc so future allocations cannot collide.
+// It is used when reconstructing immutable trees from mutable ones while
+// preserving node identities.
+func NewWithURI(sch *sig.Schema, alloc *uri.Allocator, u uri.URI, tag sig.Tag, kids []*Node, lits []any, kind HashKind) (*Node, error) {
+	n, err := NewHashed(sch, alloc, tag, kids, lits, kind)
+	if err != nil {
+		return nil, err
+	}
+	n.URI = u
+	alloc.Reserve(u)
+	return n, nil
+}
+
+// finish computes the cached height, size, and hashes of a node whose Tag,
+// Kids, and Lits are already set. Kids must already be finished.
+func (n *Node) finish(kind HashKind) {
+	h, sz := 0, 1
+	for _, k := range n.Kids {
+		if k.height+1 > h {
+			h = k.height + 1
+		}
+		sz += k.size
+	}
+	n.height, n.size = h, sz
+	n.structHash = hashStructure(n, kind)
+	n.litHash = hashLiterals(n, kind)
+}
+
+// Height returns the node's height: 0 for leaves.
+func (n *Node) Height() int { return n.height }
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int { return n.size }
+
+// StructHash returns the structure-equivalence hash (ignores literals).
+func (n *Node) StructHash() string { return n.structHash }
+
+// LitHash returns the literal-equivalence hash (ignores tags).
+func (n *Node) LitHash() string { return n.litHash }
+
+// ExactHash returns a key under which two trees collide iff they are equal
+// (structurally and literally equivalent).
+func (n *Node) ExactHash() string { return n.structHash + n.litHash }
+
+// StructurallyEquivalent reports whether n and m have the same shape
+// modulo literal values (paper: n ≃ m).
+func StructurallyEquivalent(n, m *Node) bool { return n.structHash == m.structHash }
+
+// LiterallyEquivalent reports whether n and m carry the same literals
+// modulo tags.
+func LiterallyEquivalent(n, m *Node) bool { return n.litHash == m.litHash }
+
+// hashStructure computes H(tag, kids' structure hashes).
+func hashStructure(n *Node, kind HashKind) string {
+	w := newHasher(kind)
+	w.str(string(n.Tag))
+	for _, k := range n.Kids {
+		w.str(k.structHash)
+	}
+	return w.sum()
+}
+
+// hashLiterals computes H(lits, kids' literal hashes).
+func hashLiterals(n *Node, kind HashKind) string {
+	w := newHasher(kind)
+	for _, l := range n.Lits {
+		w.lit(l)
+	}
+	for _, k := range n.Kids {
+		w.str(k.litHash)
+	}
+	return w.sum()
+}
+
+// hasher is a tiny length-prefixed writer over either hash algorithm.
+type hasher struct {
+	sha  bool
+	s    [32]byte
+	shaW interface {
+		Write([]byte) (int, error)
+		Sum([]byte) []byte
+	}
+	fnvW interface {
+		Write([]byte) (int, error)
+		Sum64() uint64
+	}
+	buf [10]byte
+}
+
+func newHasher(kind HashKind) *hasher {
+	h := &hasher{}
+	if kind == SHA256 {
+		h.sha = true
+		h.shaW = sha256.New()
+	} else {
+		h.fnvW = fnv.New64a()
+	}
+	return h
+}
+
+func (h *hasher) write(b []byte) {
+	if h.sha {
+		h.shaW.Write(b)
+	} else {
+		h.fnvW.Write(b)
+	}
+}
+
+func (h *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:8], v)
+	h.write(h.buf[:8])
+}
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	h.write([]byte(s))
+}
+
+// lit hashes a literal value with a type discriminator so that, e.g., the
+// string "1" and the integer 1 hash differently.
+func (h *hasher) lit(v any) {
+	switch x := v.(type) {
+	case string:
+		h.buf[9] = 's'
+		h.write(h.buf[9:10])
+		h.str(x)
+	case int64:
+		h.buf[9] = 'i'
+		h.write(h.buf[9:10])
+		h.u64(uint64(x))
+	case float64:
+		h.buf[9] = 'f'
+		h.write(h.buf[9:10])
+		h.u64(math.Float64bits(x))
+	case bool:
+		h.buf[9] = 'b'
+		h.write(h.buf[9:10])
+		if x {
+			h.u64(1)
+		} else {
+			h.u64(0)
+		}
+	default:
+		// Construction validates literal types, so this is unreachable for
+		// nodes built through New; hash the formatted value defensively.
+		h.buf[9] = '?'
+		h.write(h.buf[9:10])
+		h.str(fmt.Sprint(v))
+	}
+}
+
+func (h *hasher) sum() string {
+	if h.sha {
+		return string(h.shaW.Sum(h.s[:0]))
+	}
+	binary.LittleEndian.PutUint64(h.s[:8], h.fnvW.Sum64())
+	return string(h.s[:8])
+}
+
+// Walk visits the subtree rooted at n in preorder, including n itself.
+func Walk(n *Node, f func(*Node)) {
+	f(n)
+	for _, k := range n.Kids {
+		Walk(k, f)
+	}
+}
+
+// WalkPost visits the subtree rooted at n in postorder, including n.
+func WalkPost(n *Node, f func(*Node)) {
+	for _, k := range n.Kids {
+		WalkPost(k, f)
+	}
+	f(n)
+}
+
+// Count returns the number of nodes in the tree (same as n.Size()).
+func Count(n *Node) int { return n.size }
+
+// Equal reports deep structural and literal equality, ignoring URIs. It
+// compares hashes first and falls back to a full traversal only when the
+// hashes agree, making it safe even under FNV hashing.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.structHash != b.structHash || a.litHash != b.litHash {
+		return false
+	}
+	return deepEqual(a, b)
+}
+
+func deepEqual(a, b *Node) bool {
+	if a.Tag != b.Tag || len(a.Kids) != len(b.Kids) || len(a.Lits) != len(b.Lits) {
+		return false
+	}
+	for i := range a.Lits {
+		if a.Lits[i] != b.Lits[i] {
+			return false
+		}
+	}
+	for i := range a.Kids {
+		if !deepEqual(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the tree, assigning fresh URIs from alloc and
+// recomputing hashes with the given algorithm. It is used by benchmarks to
+// reconstruct trees before each diff so hashing cost is measured.
+func Clone(n *Node, alloc *uri.Allocator, kind HashKind) *Node {
+	kids := make([]*Node, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = Clone(k, alloc, kind)
+	}
+	c := &Node{
+		Tag:  n.Tag,
+		URI:  alloc.Fresh(),
+		Kids: kids,
+		Lits: append([]any(nil), n.Lits...),
+	}
+	c.finish(kind)
+	return c
+}
+
+// String renders the tree as a compact term with URI subscripts, e.g.
+// Add#1(Var#2{name="a"}, Num#3{n=1}).
+func (n *Node) String() string {
+	var b strings.Builder
+	n.format(&b, nil)
+	return b.String()
+}
+
+// StringIn renders the tree like String but labels literals with their
+// link names from the schema.
+func (n *Node) StringIn(sch *sig.Schema) string {
+	var b strings.Builder
+	n.format(&b, sch)
+	return b.String()
+}
+
+func (n *Node) format(b *strings.Builder, sch *sig.Schema) {
+	b.WriteString(string(n.Tag))
+	b.WriteString(n.URI.String())
+	if len(n.Lits) > 0 {
+		b.WriteByte('{')
+		var g *sig.Sig
+		if sch != nil {
+			g = sch.Lookup(n.Tag)
+		}
+		for i, l := range n.Lits {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if g != nil && i < len(g.Lits) {
+				b.WriteString(string(g.Lits[i].Link))
+				b.WriteByte('=')
+			}
+			fmt.Fprintf(b, "%#v", l)
+		}
+		b.WriteByte('}')
+	}
+	if len(n.Kids) > 0 {
+		b.WriteByte('(')
+		for i, k := range n.Kids {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			k.format(b, sch)
+		}
+		b.WriteByte(')')
+	}
+}

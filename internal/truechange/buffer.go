@@ -1,0 +1,35 @@
+package truechange
+
+// Buffer collects edits during diffing and orders negative edits (detach,
+// unload) before positive ones (attach, load) in the final script. This
+// ordering ensures a subtree is detached before it is attached elsewhere,
+// which the diffing traversal does not otherwise guarantee (paper §4.4).
+type Buffer struct {
+	neg []Edit
+	pos []Edit
+}
+
+// NewBuffer returns an empty edit buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Add appends the edit to the negative or positive half according to its
+// polarity, preserving relative order within each half.
+func (b *Buffer) Add(e Edit) {
+	if e.Negative() {
+		b.neg = append(b.neg, e)
+	} else {
+		b.pos = append(b.pos, e)
+	}
+}
+
+// Len returns the total number of buffered edits.
+func (b *Buffer) Len() int { return len(b.neg) + len(b.pos) }
+
+// Script finalizes the buffer into a script: all negative edits, in the
+// order they were added, followed by all positive edits.
+func (b *Buffer) Script() *Script {
+	edits := make([]Edit, 0, len(b.neg)+len(b.pos))
+	edits = append(edits, b.neg...)
+	edits = append(edits, b.pos...)
+	return &Script{Edits: edits}
+}

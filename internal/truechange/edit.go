@@ -1,0 +1,231 @@
+// Package truechange implements the linearly typed edit script language of
+// the paper (Section 3): the five edit operations, edit scripts, the edit
+// buffer that orders negative edits before positive ones, and the linear
+// type system that tracks unattached roots and empty slots.
+//
+// An edit script describes destructive updates of a source tree. Scripts
+// refer to nodes by URI, so a script only mentions changed nodes — this is
+// what makes truechange patches concise. The linear type system (Figure 3)
+// guarantees that executing a well-typed script yields well-typed trees at
+// every intermediate step: links are never overloaded, every detached
+// subtree is eventually reattached or deleted, and every empty slot is
+// eventually filled.
+package truechange
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sig"
+	"repro/internal/uri"
+)
+
+// NodeRef identifies a node by tag and URI (the paper writes Tag_URI).
+type NodeRef struct {
+	Tag sig.Tag
+	URI uri.URI
+}
+
+// RootRef is the pre-defined root node that anchors every tree.
+var RootRef = NodeRef{Tag: sig.RootTag, URI: uri.Root}
+
+// String renders the reference as Tag#uri.
+func (n NodeRef) String() string { return string(n.Tag) + n.URI.String() }
+
+// KidArg names one child of a loaded or unloaded node.
+type KidArg struct {
+	Link sig.Link
+	URI  uri.URI
+}
+
+// LitArg names one literal of a loaded, unloaded, or updated node.
+type LitArg struct {
+	Link  sig.Link
+	Value any
+}
+
+// Edit is one of the five truechange edit operations: Detach, Attach, Load,
+// Unload, or Update.
+type Edit interface {
+	fmt.Stringer
+	// Negative reports whether the edit removes material from the tree
+	// (Detach, Unload). The edit buffer emits negative edits first.
+	Negative() bool
+}
+
+// Detach disconnects the subtree rooted at Node from Parent, where it was
+// attached via Link. Node becomes an unattached root; Parent.Link becomes
+// an empty slot.
+type Detach struct {
+	Node   NodeRef
+	Link   sig.Link
+	Parent NodeRef
+}
+
+// Attach connects the unattached root Node to the empty slot Parent.Link.
+type Attach struct {
+	Node   NodeRef
+	Link   sig.Link
+	Parent NodeRef
+}
+
+// Load creates a new node with a fresh URI. Kids lists the node's children,
+// which must be unattached roots (they are consumed); Lits lists its
+// literals. The new node becomes an unattached root.
+type Load struct {
+	Node NodeRef
+	Kids []KidArg
+	Lits []LitArg
+}
+
+// Unload deletes the node, which must be an unattached root; its children
+// become unattached roots.
+type Unload struct {
+	Node NodeRef
+	Kids []KidArg
+	Lits []LitArg
+}
+
+// Update replaces the node's literal values. The node keeps its children
+// and stays attached to its parent.
+type Update struct {
+	Node NodeRef
+	Old  []LitArg
+	New  []LitArg
+}
+
+// Negative implementations: Detach and Unload remove material.
+
+// Negative reports true: Detach removes material from the tree.
+func (Detach) Negative() bool { return true }
+
+// Negative reports true: Unload removes material from the tree.
+func (Unload) Negative() bool { return true }
+
+// Negative reports false: Attach adds material to the tree.
+func (Attach) Negative() bool { return false }
+
+// Negative reports false: Load adds material to the tree.
+func (Load) Negative() bool { return false }
+
+// Negative reports false: Update modifies literals in place.
+func (Update) Negative() bool { return false }
+
+func (e Detach) String() string {
+	return fmt.Sprintf("detach(%s, %q, %s)", e.Node, e.Link, e.Parent)
+}
+
+func (e Attach) String() string {
+	return fmt.Sprintf("attach(%s, %q, %s)", e.Node, e.Link, e.Parent)
+}
+
+func formatArgs(b *strings.Builder, kids []KidArg, lits []LitArg) {
+	b.WriteString(", ⟨")
+	for i, k := range kids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s=%s", k.Link, k.URI)
+	}
+	b.WriteString("⟩, ⟨")
+	for i, l := range lits {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s=%#v", l.Link, l.Value)
+	}
+	b.WriteString("⟩)")
+}
+
+func (e Load) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load(%s", e.Node)
+	formatArgs(&b, e.Kids, e.Lits)
+	return b.String()
+}
+
+func (e Unload) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unload(%s", e.Node)
+	formatArgs(&b, e.Kids, e.Lits)
+	return b.String()
+}
+
+func (e Update) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "update(%s, ⟨", e.Node)
+	for i, l := range e.Old {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%#v", l.Link, l.Value)
+	}
+	b.WriteString("⟩, ⟨")
+	for i, l := range e.New {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%#v", l.Link, l.Value)
+	}
+	b.WriteString("⟩)")
+	return b.String()
+}
+
+// Script is a sequence of edits, applied left to right.
+type Script struct {
+	Edits []Edit
+}
+
+// Len returns the raw number of edit operations.
+func (s *Script) Len() int { return len(s.Edits) }
+
+// IsEmpty reports whether the script contains no edits.
+func (s *Script) IsEmpty() bool { return len(s.Edits) == 0 }
+
+// String renders the script one edit per line, bracketed.
+func (s *Script) String() string {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for _, e := range s.Edits {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// EditCount returns the paper's conciseness metric: a Detach directly
+// followed by an Unload of the same node counts as one edit (a compound
+// delete), and a Load directly followed by an Attach of the same node
+// counts as one edit (a compound insert). This corresponds to the Del and
+// Ins edits of Gumtree, which also un/load and de/attach at once.
+func (s *Script) EditCount() int {
+	count := 0
+	for i := 0; i < len(s.Edits); i++ {
+		count++
+		if i+1 >= len(s.Edits) {
+			break
+		}
+		switch e := s.Edits[i].(type) {
+		case Detach:
+			if u, ok := s.Edits[i+1].(Unload); ok && u.Node.URI == e.Node.URI {
+				i++ // compound delete
+			}
+		case Load:
+			if a, ok := s.Edits[i+1].(Attach); ok && a.Node.URI == e.Node.URI {
+				i++ // compound insert
+			}
+		}
+	}
+	return count
+}
+
+// Concat returns the concatenation of scripts, in order.
+func Concat(scripts ...*Script) *Script {
+	out := &Script{}
+	for _, s := range scripts {
+		out.Edits = append(out.Edits, s.Edits...)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package truechange
+
+// Invert returns the inverse of an edit script: applying s and then
+// Invert(s) restores the original tree. Each edit inverts to its dual —
+// detach ↔ attach, load ↔ unload, update swaps its literal lists — and the
+// sequence is reversed. The inverse of a well-typed script is well-typed:
+// the typing relation Σ ⊢ e : (R • S) ▷ (R′ • S′) is symmetric under
+// dualization, which makes truechange patches first-class invertible
+// values in the sense of the darcs-style patch theories discussed in the
+// paper's §7.
+func Invert(s *Script) *Script {
+	out := &Script{Edits: make([]Edit, 0, len(s.Edits))}
+	for i := len(s.Edits) - 1; i >= 0; i-- {
+		out.Edits = append(out.Edits, InvertEdit(s.Edits[i]))
+	}
+	return out
+}
+
+// InvertEdit returns the dual of a single edit operation.
+func InvertEdit(e Edit) Edit {
+	switch ed := e.(type) {
+	case Detach:
+		return Attach{Node: ed.Node, Link: ed.Link, Parent: ed.Parent}
+	case Attach:
+		return Detach{Node: ed.Node, Link: ed.Link, Parent: ed.Parent}
+	case Load:
+		return Unload{Node: ed.Node, Kids: ed.Kids, Lits: ed.Lits}
+	case Unload:
+		return Load{Node: ed.Node, Kids: ed.Kids, Lits: ed.Lits}
+	case Update:
+		return Update{Node: ed.Node, Old: ed.New, New: ed.Old}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,109 @@
+package truechange
+
+import (
+	"testing"
+
+	"repro/internal/sig"
+)
+
+func TestFuseUpdates(t *testing.T) {
+	s := &Script{Edits: []Edit{
+		Update{Node: nref("Var", 1), Old: lit("name", "a"), New: lit("name", "b")},
+		Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 9)},
+		Update{Node: nref("Var", 1), Old: lit("name", "b"), New: lit("name", "c")},
+	}}
+	n := Normalize(s)
+	updates := 0
+	for _, e := range n.Edits {
+		if up, ok := e.(Update); ok {
+			updates++
+			if up.Old[0].Value != "a" || up.New[0].Value != "c" {
+				t.Errorf("fused update = %s, want a→c", up)
+			}
+		}
+	}
+	if updates != 1 {
+		t.Errorf("updates after fusion = %d, want 1:\n%s", updates, n)
+	}
+}
+
+func TestFuseDropsNetNoop(t *testing.T) {
+	s := &Script{Edits: []Edit{
+		Update{Node: nref("Var", 1), Old: lit("name", "a"), New: lit("name", "b")},
+		Update{Node: nref("Var", 1), Old: lit("name", "b"), New: lit("name", "a")},
+	}}
+	if n := Normalize(s); n.Len() != 0 {
+		t.Errorf("a→b→a should vanish:\n%s", n)
+	}
+}
+
+func TestCancelDetachAttachSamePlace(t *testing.T) {
+	s := &Script{Edits: []Edit{
+		Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)},
+		Update{Node: nref("Var", 7), Old: lit("name", "x"), New: lit("name", "y")},
+		Attach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)},
+	}}
+	n := Normalize(s)
+	if n.Len() != 1 {
+		t.Fatalf("detach/attach round trip should cancel:\n%s", n)
+	}
+	if _, ok := n.Edits[0].(Update); !ok {
+		t.Errorf("surviving edit should be the update: %s", n.Edits[0])
+	}
+}
+
+func TestNoCancelAcrossInterference(t *testing.T) {
+	// The slot is reused in between: the pair must not cancel.
+	s := &Script{Edits: []Edit{
+		Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)},
+		Attach{Node: nref("Num", 5), Link: "e1", Parent: nref("Add", 1)},
+		Detach{Node: nref("Num", 5), Link: "e1", Parent: nref("Add", 1)},
+		Attach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)},
+	}}
+	n := Normalize(s)
+	// The inner Num pair occupies the slot, so the outer Sub pair must
+	// stay; the inner attach/detach of Num 5 is itself not a
+	// detach-then-attach (it is attach-then-detach) and must stay too.
+	if n.Len() != 4 {
+		t.Errorf("interfering edits must not cancel:\n%s", n)
+	}
+
+	// A move to a different slot must not cancel either.
+	move := &Script{Edits: []Edit{
+		Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)},
+		Attach{Node: nref("Sub", 2), Link: "e2", Parent: nref("Mul", 3)},
+	}}
+	if n := Normalize(move); n.Len() != 2 {
+		t.Errorf("moves must survive normalization:\n%s", n)
+	}
+}
+
+func TestCancelLoadUnload(t *testing.T) {
+	s := &Script{Edits: []Edit{
+		Load{Node: nref("Num", 9), Lits: lit("n", int64(1))},
+		Update{Node: nref("Var", 7), Old: lit("name", "x"), New: lit("name", "y")},
+		Unload{Node: nref("Num", 9), Lits: lit("n", int64(1))},
+	}}
+	n := Normalize(s)
+	if n.Len() != 1 {
+		t.Fatalf("load/unload of an untouched node should cancel:\n%s", n)
+	}
+}
+
+func TestNoCancelLoadUnloadWhenUsed(t *testing.T) {
+	s := &Script{Edits: []Edit{
+		Load{Node: nref("Num", 9), Lits: lit("n", int64(1))},
+		Attach{Node: nref("Num", 9), Link: "e1", Parent: nref("Add", 1)},
+		Detach{Node: nref("Num", 9), Link: "e1", Parent: nref("Add", 1)},
+		Unload{Node: nref("Num", 9), Lits: lit("n", int64(1))},
+	}}
+	// The attach/detach pair references the node, so the load/unload must
+	// not cancel across it (and attach-then-detach does not cancel).
+	if n := Normalize(s); n.Len() != 4 {
+		t.Errorf("used node's load/unload must stay:\n%s", n)
+	}
+}
+
+func lit(link string, v any) []LitArg {
+	return []LitArg{{Link: sig.Link(link), Value: v}}
+}

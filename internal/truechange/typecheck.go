@@ -1,0 +1,381 @@
+package truechange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sig"
+	"repro/internal/uri"
+)
+
+// Slot identifies an empty child slot: the link of a parent node that
+// currently points to no subtree (the paper writes uri.link).
+type Slot struct {
+	URI  uri.URI
+	Link sig.Link
+}
+
+// String renders the slot as uri.link.
+func (s Slot) String() string { return s.URI.String() + "." + string(s.Link) }
+
+// State is the typing context threaded through an edit script: the
+// unattached subtree roots R with their sorts, and the empty slots S with
+// the sorts they expect (Figure 3). State is mutated in place by CheckEdit.
+type State struct {
+	Roots map[uri.URI]sig.Sort
+	Slots map[Slot]sig.Sort
+}
+
+// NewState returns an empty typing state.
+func NewState() *State {
+	return &State{
+		Roots: make(map[uri.URI]sig.Sort),
+		Slots: make(map[Slot]sig.Sort),
+	}
+}
+
+// ClosedState is the canonical state of a closed tree: the single root is
+// the pre-defined root node and there are no empty slots. Definition 3.1
+// requires a well-typed script to map this state to itself.
+func ClosedState() *State {
+	st := NewState()
+	st.Roots[uri.Root] = sig.RootSort
+	return st
+}
+
+// InitState is the state of the empty tree ε: the pre-defined root node
+// with its single slot RootLink still empty (Definition 3.2).
+func InitState() *State {
+	st := ClosedState()
+	st.Slots[Slot{URI: uri.Root, Link: sig.RootLink}] = sig.Any
+	return st
+}
+
+// Clone returns an independent copy of the state.
+func (st *State) Clone() *State {
+	c := NewState()
+	for k, v := range st.Roots {
+		c.Roots[k] = v
+	}
+	for k, v := range st.Slots {
+		c.Slots[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two states bind exactly the same roots and slots
+// with the same sorts.
+func (st *State) Equal(other *State) bool {
+	if len(st.Roots) != len(other.Roots) || len(st.Slots) != len(other.Slots) {
+		return false
+	}
+	for k, v := range st.Roots {
+		if ov, ok := other.Roots[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range st.Slots {
+		if ov, ok := other.Slots[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state as ({roots} • {slots}).
+func (st *State) String() string {
+	var roots, slots []string
+	for k, v := range st.Roots {
+		roots = append(roots, fmt.Sprintf("%s:%s", k, v))
+	}
+	for k, v := range st.Slots {
+		slots = append(slots, fmt.Sprintf("%s:%s", k, v))
+	}
+	sort.Strings(roots)
+	sort.Strings(slots)
+	return "({" + strings.Join(roots, ", ") + "} • {" + strings.Join(slots, ", ") + "})"
+}
+
+// TypeError reports why an edit script is ill-typed: the offending edit,
+// its index in the script (-1 for single-edit checks), and the violated
+// side condition.
+type TypeError struct {
+	Index int
+	Edit  Edit
+	Msg   string
+}
+
+func (e *TypeError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("truechange: ill-typed edit %s: %s", e.Edit, e.Msg)
+	}
+	return fmt.Sprintf("truechange: ill-typed edit #%d %s: %s", e.Index, e.Edit, e.Msg)
+}
+
+func typeErr(e Edit, format string, args ...any) error {
+	return &TypeError{Index: -1, Edit: e, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CheckEdit type-checks a single edit against the schema, transforming the
+// state in place (Σ ⊢ e : (R • S) ▷ (R′ • S′)). On error the state is left
+// unchanged.
+func CheckEdit(sch *sig.Schema, e Edit, st *State) error {
+	switch ed := e.(type) {
+	case Detach:
+		return checkDetach(sch, ed, st)
+	case Attach:
+		return checkAttach(sch, ed, st)
+	case Load:
+		return checkLoad(sch, ed, st)
+	case Unload:
+		return checkUnload(sch, ed, st)
+	case Update:
+		return checkUpdate(sch, ed, st)
+	default:
+		return typeErr(e, "unknown edit kind %T", e)
+	}
+}
+
+// checkDetach implements T-Detach: node must not already be a root, the
+// parent slot must not already be empty, and both tags must be declared.
+func checkDetach(sch *sig.Schema, e Detach, st *State) error {
+	if _, isRoot := st.Roots[e.Node.URI]; isRoot {
+		return typeErr(e, "node %s is already an unattached root", e.Node)
+	}
+	slot := Slot{URI: e.Parent.URI, Link: e.Link}
+	if _, empty := st.Slots[slot]; empty {
+		return typeErr(e, "slot %s is already empty", slot)
+	}
+	nodeSig := sch.Lookup(e.Node.Tag)
+	if nodeSig == nil {
+		return typeErr(e, "undeclared tag %s", e.Node.Tag)
+	}
+	parSig := sch.Lookup(e.Parent.Tag)
+	if parSig == nil {
+		return typeErr(e, "undeclared parent tag %s", e.Parent.Tag)
+	}
+	ki := parSig.KidIndex(e.Link)
+	if ki < 0 {
+		return typeErr(e, "tag %s has no kid link %q", e.Parent.Tag, e.Link)
+	}
+	st.Roots[e.Node.URI] = nodeSig.Result
+	st.Slots[slot] = parSig.Kids[ki].Sort
+	return nil
+}
+
+// checkAttach implements T-Attach: node must be an unattached root, the
+// parent slot must be empty, and the root's sort must be a subsort of the
+// slot's sort. Both resources are consumed.
+func checkAttach(sch *sig.Schema, e Attach, st *State) error {
+	rootSort, isRoot := st.Roots[e.Node.URI]
+	if !isRoot {
+		return typeErr(e, "node %s is not an unattached root", e.Node)
+	}
+	slot := Slot{URI: e.Parent.URI, Link: e.Link}
+	slotSort, empty := st.Slots[slot]
+	if !empty {
+		return typeErr(e, "slot %s is not empty", slot)
+	}
+	if !sch.IsSubsort(rootSort, slotSort) {
+		return typeErr(e, "root sort %s is not a subsort of slot sort %s", rootSort, slotSort)
+	}
+	delete(st.Roots, e.Node.URI)
+	delete(st.Slots, slot)
+	return nil
+}
+
+// checkArgsAgainstSig verifies that the kid and literal arguments of a Load
+// or Unload mention exactly the links of the tag's signature and that
+// literal values conform to their base types.
+func checkArgsAgainstSig(e Edit, g *sig.Sig, kids []KidArg, lits []LitArg) (map[sig.Link]uri.URI, error) {
+	if len(kids) != len(g.Kids) {
+		return nil, typeErr(e, "tag %s expects %d kids, got %d", g.Tag, len(g.Kids), len(kids))
+	}
+	if len(lits) != len(g.Lits) {
+		return nil, typeErr(e, "tag %s expects %d literals, got %d", g.Tag, len(g.Lits), len(lits))
+	}
+	kidByLink := make(map[sig.Link]uri.URI, len(kids))
+	for _, k := range kids {
+		if _, dup := kidByLink[k.Link]; dup {
+			return nil, typeErr(e, "kid link %q mentioned twice", k.Link)
+		}
+		kidByLink[k.Link] = k.URI
+	}
+	for _, spec := range g.Kids {
+		if _, ok := kidByLink[spec.Link]; !ok {
+			return nil, typeErr(e, "missing kid link %q of tag %s", spec.Link, g.Tag)
+		}
+	}
+	litByLink := make(map[sig.Link]any, len(lits))
+	for _, l := range lits {
+		if _, dup := litByLink[l.Link]; dup {
+			return nil, typeErr(e, "literal link %q mentioned twice", l.Link)
+		}
+		litByLink[l.Link] = l.Value
+	}
+	for _, spec := range g.Lits {
+		v, ok := litByLink[spec.Link]
+		if !ok {
+			return nil, typeErr(e, "missing literal link %q of tag %s", spec.Link, g.Tag)
+		}
+		if !spec.Type.Admits(v) {
+			return nil, typeErr(e, "literal %q: value %#v does not conform to %s", spec.Link, v, spec.Type)
+		}
+	}
+	return kidByLink, nil
+}
+
+// checkLoad implements T-Load: the new node's kids must all be unattached
+// roots with sorts that are subsorts of the signature's expectations; they
+// are consumed and the new node becomes a root. The loaded URI must be
+// fresh with respect to the current roots (full freshness is part of
+// syntactic compliance, Definition 3.5, checked against a concrete tree).
+func checkLoad(sch *sig.Schema, e Load, st *State) error {
+	g := sch.Lookup(e.Node.Tag)
+	if g == nil {
+		return typeErr(e, "undeclared tag %s", e.Node.Tag)
+	}
+	if e.Node.Tag == sig.RootTag {
+		return typeErr(e, "cannot load the pre-defined root tag")
+	}
+	if _, isRoot := st.Roots[e.Node.URI]; isRoot {
+		return typeErr(e, "loaded URI %s is already a root", e.Node.URI)
+	}
+	kidByLink, err := checkArgsAgainstSig(e, g, e.Kids, e.Lits)
+	if err != nil {
+		return err
+	}
+	// Linearity: each kid must be a distinct unattached root. Validate all
+	// before consuming any so the state stays untouched on error.
+	seen := make(map[uri.URI]bool, len(e.Kids))
+	for _, spec := range g.Kids {
+		k := kidByLink[spec.Link]
+		if seen[k] {
+			return typeErr(e, "kid %s consumed twice", k)
+		}
+		seen[k] = true
+		kSort, isRoot := st.Roots[k]
+		if !isRoot {
+			return typeErr(e, "kid %s is not an unattached root", k)
+		}
+		if !sch.IsSubsort(kSort, spec.Sort) {
+			return typeErr(e, "kid %s: sort %s is not a subsort of %s", k, kSort, spec.Sort)
+		}
+	}
+	for _, k := range e.Kids {
+		delete(st.Roots, k.URI)
+	}
+	st.Roots[e.Node.URI] = g.Result
+	return nil
+}
+
+// checkUnload implements T-Unload: the node must be an unattached root and
+// its kids must not currently be roots; the node is consumed and its kids
+// become roots with the sorts the signature assigns them.
+func checkUnload(sch *sig.Schema, e Unload, st *State) error {
+	g := sch.Lookup(e.Node.Tag)
+	if g == nil {
+		return typeErr(e, "undeclared tag %s", e.Node.Tag)
+	}
+	if _, isRoot := st.Roots[e.Node.URI]; !isRoot {
+		return typeErr(e, "node %s is not an unattached root", e.Node)
+	}
+	kidByLink, err := checkArgsAgainstSig(e, g, e.Kids, e.Lits)
+	if err != nil {
+		return err
+	}
+	seen := make(map[uri.URI]bool, len(e.Kids))
+	for _, k := range e.Kids {
+		if seen[k.URI] {
+			return typeErr(e, "kid %s released twice", k.URI)
+		}
+		seen[k.URI] = true
+		if _, isRoot := st.Roots[k.URI]; isRoot {
+			return typeErr(e, "kid %s is already an unattached root", k.URI)
+		}
+	}
+	delete(st.Roots, e.Node.URI)
+	for _, spec := range g.Kids {
+		st.Roots[kidByLink[spec.Link]] = spec.Sort
+	}
+	return nil
+}
+
+// checkUpdate implements T-Update: the new literals must mention exactly
+// the signature's literal links with conforming values. Roots and slots
+// are unaffected.
+func checkUpdate(sch *sig.Schema, e Update, st *State) error {
+	g := sch.Lookup(e.Node.Tag)
+	if g == nil {
+		return typeErr(e, "undeclared tag %s", e.Node.Tag)
+	}
+	if len(e.New) != len(g.Lits) {
+		return typeErr(e, "tag %s expects %d literals, got %d", e.Node.Tag, len(g.Lits), len(e.New))
+	}
+	byLink := make(map[sig.Link]any, len(e.New))
+	for _, l := range e.New {
+		if _, dup := byLink[l.Link]; dup {
+			return typeErr(e, "literal link %q mentioned twice", l.Link)
+		}
+		byLink[l.Link] = l.Value
+	}
+	for _, spec := range g.Lits {
+		v, ok := byLink[spec.Link]
+		if !ok {
+			return typeErr(e, "missing literal link %q of tag %s", spec.Link, e.Node.Tag)
+		}
+		if !spec.Type.Admits(v) {
+			return typeErr(e, "literal %q: value %#v does not conform to %s", spec.Link, v, spec.Type)
+		}
+	}
+	return nil
+}
+
+// Check type-checks a whole script, threading the state through every edit
+// (T-EditScript-Nil / T-EditScript-Cons). On error the returned state
+// reflects the edits checked so far and the error identifies the offending
+// edit.
+func Check(sch *sig.Schema, s *Script, st *State) error {
+	for i, e := range s.Edits {
+		if err := CheckEdit(sch, e, st); err != nil {
+			var te *TypeError
+			if t, ok := err.(*TypeError); ok {
+				te = t
+			} else {
+				te = &TypeError{Edit: e, Msg: err.Error()}
+			}
+			te.Index = i
+			return te
+		}
+	}
+	return nil
+}
+
+// WellTyped implements Definition 3.1: the script must transform the state
+// ((null : Root) • ε) into itself — no leaked roots, no leaked slots.
+func WellTyped(sch *sig.Schema, s *Script) error {
+	st := ClosedState()
+	if err := Check(sch, s, st); err != nil {
+		return err
+	}
+	if !st.Equal(ClosedState()) {
+		return fmt.Errorf("truechange: script leaks resources: final state %s, want %s",
+			st, ClosedState())
+	}
+	return nil
+}
+
+// WellTypedInit implements Definition 3.2: an initializing script starts
+// from the empty tree, whose root slot is still empty, and must fill it.
+func WellTypedInit(sch *sig.Schema, s *Script) error {
+	st := InitState()
+	if err := Check(sch, s, st); err != nil {
+		return err
+	}
+	if !st.Equal(ClosedState()) {
+		return fmt.Errorf("truechange: initializing script leaks resources: final state %s, want %s",
+			st, ClosedState())
+	}
+	return nil
+}

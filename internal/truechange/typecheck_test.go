@@ -1,0 +1,396 @@
+package truechange
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sig"
+	"repro/internal/uri"
+)
+
+// expSchema declares the paper's expression constructors for type-checker
+// tests, with a small sort hierarchy to exercise subtyping.
+func expSchema() *sig.Schema {
+	s := sig.NewSchema("tc-test")
+	s.MustDeclareSort("Lit", "Exp")
+	s.MustDeclare(sig.Sig{Tag: "Num", Lits: []sig.LitSpec{{Link: "n", Type: sig.IntLit}}, Result: "Lit"})
+	s.MustDeclare(sig.Sig{Tag: "Var", Lits: []sig.LitSpec{{Link: "name", Type: sig.StringLit}}, Result: "Exp"})
+	for _, t := range []sig.Tag{"Add", "Sub", "Mul"} {
+		s.MustDeclare(sig.Sig{Tag: t, Kids: []sig.KidSpec{{Link: "e1", Sort: "Exp"}, {Link: "e2", Sort: "Exp"}}, Result: "Exp"})
+	}
+	s.MustDeclare(sig.Sig{Tag: "OnlyLit", Kids: []sig.KidSpec{{Link: "e", Sort: "Lit"}}, Result: "Exp"})
+	return s
+}
+
+func nref(tag sig.Tag, u uri.URI) NodeRef { return NodeRef{Tag: tag, URI: u} }
+
+// TestPaperSection2Walkthrough replays the detach/attach table of paper §2:
+// diff(Add1(Sub2(a3,b4), Mul5(c6,d7)), Add(d, Mul(c, Sub(a,b)))) yields a
+// four-edit script whose intermediate root/slot states match the table.
+func TestPaperSection2Walkthrough(t *testing.T) {
+	sch := expSchema()
+	st := ClosedState()
+
+	// Initial tree is attached; simulate the paper's table, which tracks
+	// Add1 as the (conceptual) current root of the attached tree. The
+	// typing state starts closed: {null:Root} • {}.
+	steps := []struct {
+		edit      Edit
+		wantRoots int
+		wantSlots int
+	}{
+		{Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)}, 2, 1},
+		{Detach{Node: nref("Var", 7), Link: "e2", Parent: nref("Mul", 5)}, 3, 2},
+		{Attach{Node: nref("Var", 7), Link: "e1", Parent: nref("Add", 1)}, 2, 1},
+		{Attach{Node: nref("Sub", 2), Link: "e2", Parent: nref("Mul", 5)}, 1, 0},
+	}
+	for i, s := range steps {
+		if err := CheckEdit(sch, s.edit, st); err != nil {
+			t.Fatalf("step %d (%s): %v", i, s.edit, err)
+		}
+		if len(st.Roots) != s.wantRoots || len(st.Slots) != s.wantSlots {
+			t.Errorf("step %d: state %s, want %d roots / %d slots", i, st, s.wantRoots, s.wantSlots)
+		}
+	}
+	if !st.Equal(ClosedState()) {
+		t.Errorf("final state %s is not closed", st)
+	}
+}
+
+// TestSwapViaMoveIsIllTyped shows why move edits are rejected: attaching to
+// a non-empty slot violates linearity (paper §2: "swapping subtrees with
+// move operations will violate this property").
+func TestSwapViaMoveIsIllTyped(t *testing.T) {
+	sch := expSchema()
+	st := ClosedState()
+	// move(Sub2, Mul5, e2) = detach(Sub2) + attach(Sub2 to Mul5.e2), but
+	// Mul5.e2 still holds d7: the slot was never emptied.
+	if err := CheckEdit(sch, Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)}, st); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckEdit(sch, Attach{Node: nref("Sub", 2), Link: "e2", Parent: nref("Mul", 5)}, st)
+	if err == nil {
+		t.Fatal("attach to a non-empty slot should be ill-typed")
+	}
+	if !strings.Contains(err.Error(), "not empty") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestExcessiveDemandExample replays paper §2's second example:
+// diff(Add1(a2,b3), Add(b,b)) must unload a2 and load a fresh b4; reusing
+// b3 twice is a type error.
+func TestExcessiveDemandExample(t *testing.T) {
+	sch := expSchema()
+
+	good := &Script{Edits: []Edit{
+		Detach{Node: nref("Var", 2), Link: "e1", Parent: nref("Add", 1)},
+		Unload{Node: nref("Var", 2), Lits: []LitArg{{Link: "name", Value: "a"}}},
+		Load{Node: nref("Var", 4), Lits: []LitArg{{Link: "name", Value: "b"}}},
+		Attach{Node: nref("Var", 4), Link: "e1", Parent: nref("Add", 1)},
+	}}
+	if err := WellTyped(sch, good); err != nil {
+		t.Errorf("paper's script should be well-typed: %v", err)
+	}
+
+	// Attaching b3 again is ill-typed: b3 is not a root.
+	bad := &Script{Edits: []Edit{
+		Detach{Node: nref("Var", 2), Link: "e1", Parent: nref("Add", 1)},
+		Unload{Node: nref("Var", 2), Lits: []LitArg{{Link: "name", Value: "a"}}},
+		Attach{Node: nref("Var", 3), Link: "e1", Parent: nref("Add", 1)},
+	}}
+	err := WellTyped(sch, bad)
+	if err == nil {
+		t.Fatal("reusing an attached node should be ill-typed")
+	}
+	if !strings.Contains(err.Error(), "not an unattached root") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	// Detaching but neither using nor unloading a node leaks a root.
+	leak := &Script{Edits: []Edit{
+		Detach{Node: nref("Var", 2), Link: "e1", Parent: nref("Add", 1)},
+		Load{Node: nref("Var", 4), Lits: []LitArg{{Link: "name", Value: "b"}}},
+		Attach{Node: nref("Var", 4), Link: "e1", Parent: nref("Add", 1)},
+	}}
+	if err := WellTyped(sch, leak); err == nil || !strings.Contains(err.Error(), "leaks") {
+		t.Errorf("leaked root should be reported, got %v", err)
+	}
+}
+
+func TestDetachRules(t *testing.T) {
+	sch := expSchema()
+
+	t.Run("node already a root", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[2] = "Exp"
+		err := CheckEdit(sch, Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)}, st)
+		if err == nil {
+			t.Error("detaching an already-detached node should fail")
+		}
+	})
+	t.Run("slot already empty", func(t *testing.T) {
+		st := ClosedState()
+		st.Slots[Slot{URI: 1, Link: "e1"}] = "Exp"
+		err := CheckEdit(sch, Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)}, st)
+		if err == nil {
+			t.Error("detaching from an empty slot should fail")
+		}
+	})
+	t.Run("unknown tags and links", func(t *testing.T) {
+		st := ClosedState()
+		if err := CheckEdit(sch, Detach{Node: nref("Nope", 2), Link: "e1", Parent: nref("Add", 1)}, st); err == nil {
+			t.Error("undeclared node tag should fail")
+		}
+		if err := CheckEdit(sch, Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Nope", 1)}, st); err == nil {
+			t.Error("undeclared parent tag should fail")
+		}
+		if err := CheckEdit(sch, Detach{Node: nref("Sub", 2), Link: "nope", Parent: nref("Add", 1)}, st); err == nil {
+			t.Error("unknown link should fail")
+		}
+	})
+	t.Run("records sorts from signatures", func(t *testing.T) {
+		st := ClosedState()
+		if err := CheckEdit(sch, Detach{Node: nref("Num", 2), Link: "e1", Parent: nref("Add", 1)}, st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Roots[2] != "Lit" {
+			t.Errorf("root sort = %s, want Lit", st.Roots[2])
+		}
+		if st.Slots[Slot{URI: 1, Link: "e1"}] != "Exp" {
+			t.Errorf("slot sort = %s, want Exp", st.Slots[Slot{URI: 1, Link: "e1"}])
+		}
+	})
+}
+
+func TestAttachSubtyping(t *testing.T) {
+	sch := expSchema()
+
+	// A Lit root may fill an Exp slot (Lit <: Exp)…
+	st := ClosedState()
+	st.Roots[2] = "Lit"
+	st.Slots[Slot{URI: 1, Link: "e1"}] = "Exp"
+	if err := CheckEdit(sch, Attach{Node: nref("Num", 2), Link: "e1", Parent: nref("Add", 1)}, st); err != nil {
+		t.Errorf("Lit <: Exp attach should succeed: %v", err)
+	}
+
+	// …but an Exp root may not fill a Lit slot.
+	st = ClosedState()
+	st.Roots[2] = "Exp"
+	st.Slots[Slot{URI: 9, Link: "e"}] = "Lit"
+	if err := CheckEdit(sch, Attach{Node: nref("Add", 2), Link: "e", Parent: nref("OnlyLit", 9)}, st); err == nil {
+		t.Error("Exp root must not fill a Lit slot")
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	sch := expSchema()
+
+	t.Run("consumes kid roots", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[1] = "Exp"
+		st.Roots[2] = "Lit"
+		e := Load{Node: nref("Add", 3), Kids: []KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}}
+		if err := CheckEdit(sch, e, st); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.Roots[1]; ok {
+			t.Error("kid 1 should be consumed")
+		}
+		if st.Roots[3] != "Exp" {
+			t.Errorf("loaded node sort = %s, want Exp", st.Roots[3])
+		}
+	})
+	t.Run("kid not a root", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[1] = "Exp"
+		e := Load{Node: nref("Add", 3), Kids: []KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}}
+		if err := CheckEdit(sch, e, st); err == nil {
+			t.Error("loading with a non-root kid should fail")
+		}
+		// State must be untouched on failure.
+		if _, ok := st.Roots[1]; !ok {
+			t.Error("failed load must not consume roots")
+		}
+	})
+	t.Run("same kid twice", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[1] = "Exp"
+		e := Load{Node: nref("Add", 3), Kids: []KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 1}}}
+		if err := CheckEdit(sch, e, st); err == nil {
+			t.Error("consuming the same kid twice should fail")
+		}
+	})
+	t.Run("kid sort mismatch", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[1] = "Exp"
+		e := Load{Node: nref("OnlyLit", 3), Kids: []KidArg{{Link: "e", URI: 1}}}
+		if err := CheckEdit(sch, e, st); err == nil {
+			t.Error("Exp kid must not satisfy a Lit expectation")
+		}
+	})
+	t.Run("argument shape", func(t *testing.T) {
+		st := ClosedState()
+		cases := []Load{
+			{Node: nref("Num", 3)}, // missing literal
+			{Node: nref("Num", 3), Lits: []LitArg{{Link: "n", Value: "x"}}},                                // wrong base type
+			{Node: nref("Num", 3), Lits: []LitArg{{Link: "m", Value: int64(1)}}},                           // wrong link name
+			{Node: nref("Var", 3), Lits: []LitArg{{Link: "name", Value: "a"}, {Link: "name", Value: "b"}}}, // dup link
+			{Node: nref(sig.RootTag, 3)}, // root tag
+			{Node: nref("Nope", 3)},      // undeclared
+		}
+		for _, e := range cases {
+			if err := CheckEdit(sch, e, st.Clone()); err == nil {
+				t.Errorf("load %s should fail", e)
+			}
+		}
+	})
+	t.Run("reloading an existing root", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[3] = "Exp"
+		e := Load{Node: nref("Num", 3), Lits: []LitArg{{Link: "n", Value: int64(1)}}}
+		if err := CheckEdit(sch, e, st); err == nil {
+			t.Error("loading a URI that is already a root should fail")
+		}
+	})
+}
+
+func TestUnloadRules(t *testing.T) {
+	sch := expSchema()
+
+	t.Run("releases kids as roots", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[3] = "Exp"
+		e := Unload{Node: nref("Add", 3), Kids: []KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}}
+		if err := CheckEdit(sch, e, st); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.Roots[3]; ok {
+			t.Error("unloaded node should be consumed")
+		}
+		if st.Roots[1] != "Exp" || st.Roots[2] != "Exp" {
+			t.Errorf("kids not released with signature sorts: %s", st)
+		}
+	})
+	t.Run("node not a root", func(t *testing.T) {
+		st := ClosedState()
+		e := Unload{Node: nref("Num", 3), Lits: []LitArg{{Link: "n", Value: int64(1)}}}
+		if err := CheckEdit(sch, e, st); err == nil {
+			t.Error("unloading an attached node should fail")
+		}
+	})
+	t.Run("kid already a root", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[3] = "Exp"
+		st.Roots[1] = "Exp"
+		e := Unload{Node: nref("Add", 3), Kids: []KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}}
+		if err := CheckEdit(sch, e, st); err == nil {
+			t.Error("releasing a kid that is already a root should fail")
+		}
+	})
+	t.Run("kid released twice", func(t *testing.T) {
+		st := ClosedState()
+		st.Roots[3] = "Exp"
+		e := Unload{Node: nref("Add", 3), Kids: []KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 1}}}
+		if err := CheckEdit(sch, e, st); err == nil {
+			t.Error("releasing the same kid twice should fail")
+		}
+	})
+}
+
+func TestUpdateRules(t *testing.T) {
+	sch := expSchema()
+	st := ClosedState()
+	ok := Update{Node: nref("Var", 2),
+		Old: []LitArg{{Link: "name", Value: "b"}},
+		New: []LitArg{{Link: "name", Value: "c"}}}
+	if err := CheckEdit(sch, ok, st); err != nil {
+		t.Errorf("valid update rejected: %v", err)
+	}
+	if !st.Equal(ClosedState()) {
+		t.Error("update must not affect roots or slots")
+	}
+	bad := []Update{
+		{Node: nref("Var", 2), New: []LitArg{{Link: "name", Value: int64(1)}}},
+		{Node: nref("Var", 2), New: []LitArg{{Link: "nope", Value: "c"}}},
+		{Node: nref("Var", 2), New: nil},
+		{Node: nref("Var", 2), New: []LitArg{{Link: "name", Value: "a"}, {Link: "name", Value: "b"}}},
+		{Node: nref("Nope", 2), New: []LitArg{{Link: "name", Value: "c"}}},
+	}
+	for _, e := range bad {
+		if err := CheckEdit(sch, e, st.Clone()); err == nil {
+			t.Errorf("update %s should fail", e)
+		}
+	}
+}
+
+// TestInitializingScript replays ∆1 from paper §3.1 against Definition 3.2.
+func TestInitializingScript(t *testing.T) {
+	sch := expSchema()
+	d1 := &Script{Edits: []Edit{
+		Load{Node: nref("Var", 1), Lits: []LitArg{{Link: "name", Value: "a"}}},
+		Load{Node: nref("Var", 2), Lits: []LitArg{{Link: "name", Value: "b"}}},
+		Load{Node: nref("Add", 3), Kids: []KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
+		Attach{Node: nref("Add", 3), Link: sig.RootLink, Parent: RootRef},
+	}}
+	if err := WellTypedInit(sch, d1); err != nil {
+		t.Errorf("∆1 should be a well-typed initializing script: %v", err)
+	}
+	// The same script is not well-typed against a closed tree: the root
+	// slot is occupied.
+	if err := WellTyped(sch, d1); err == nil {
+		t.Error("∆1 must not type-check against a closed tree")
+	}
+	// An empty script does not initialize the tree (leaks the empty slot).
+	if err := WellTypedInit(sch, &Script{}); err == nil {
+		t.Error("empty script leaves the root slot empty")
+	}
+	// The empty script is well-typed against a closed tree.
+	if err := WellTyped(sch, &Script{}); err != nil {
+		t.Errorf("empty script should be well-typed on closed trees: %v", err)
+	}
+}
+
+func TestCheckReportsEditIndex(t *testing.T) {
+	sch := expSchema()
+	s := &Script{Edits: []Edit{
+		Detach{Node: nref("Sub", 2), Link: "e1", Parent: nref("Add", 1)},
+		Attach{Node: nref("Sub", 99), Link: "e1", Parent: nref("Add", 1)}, // not a root
+	}}
+	err := Check(sch, s, ClosedState())
+	te, ok := err.(*TypeError)
+	if !ok {
+		t.Fatalf("want *TypeError, got %T: %v", err, err)
+	}
+	if te.Index != 1 {
+		t.Errorf("error index = %d, want 1", te.Index)
+	}
+	if !strings.Contains(te.Error(), "#1") {
+		t.Errorf("error text should mention the index: %v", te)
+	}
+}
+
+func TestStateCloneAndEqual(t *testing.T) {
+	st := ClosedState()
+	st.Roots[5] = "Exp"
+	st.Slots[Slot{URI: 1, Link: "e1"}] = "Exp"
+	c := st.Clone()
+	if !st.Equal(c) {
+		t.Error("clone should equal original")
+	}
+	c.Roots[6] = "Exp"
+	if st.Equal(c) {
+		t.Error("diverged clone should differ")
+	}
+	d := st.Clone()
+	d.Roots[5] = "Lit"
+	if st.Equal(d) {
+		t.Error("sort change should break equality")
+	}
+	e := st.Clone()
+	delete(e.Slots, Slot{URI: 1, Link: "e1"})
+	e.Slots[Slot{URI: 1, Link: "e2"}] = "Exp"
+	if st.Equal(e) {
+		t.Error("slot change should break equality")
+	}
+}

@@ -1,0 +1,569 @@
+package truediff
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/uri"
+)
+
+// EquivMode selects the pair of equivalence relations used to find and
+// select reuse candidates (paper §4.1). The paper's configuration is
+// StructuralWithLiteralPreference; the other modes exist for the ablation
+// benchmarks called out in DESIGN.md.
+type EquivMode uint8
+
+const (
+	// StructuralWithLiteralPreference identifies candidates by structural
+	// equivalence (equal up to literals) and prefers literally equivalent
+	// candidates, i.e. exact copies. This is the paper's choice.
+	StructuralWithLiteralPreference EquivMode = iota
+	// ExactOnly identifies candidates by full equality; subtrees with
+	// changed literals are never reused.
+	ExactOnly
+	// StructuralNoPreference identifies candidates structurally but picks
+	// them in registration order without preferring exact copies.
+	StructuralNoPreference
+)
+
+// SelectionOrder controls how target subtrees acquire candidates in step 3.
+type SelectionOrder uint8
+
+const (
+	// HighestFirst processes target subtrees in decreasing height order so
+	// larger trees are reused as a whole (the paper's choice, avoiding
+	// subtree fragmentation).
+	HighestFirst SelectionOrder = iota
+	// FIFO processes target subtrees in breadth-first order without height
+	// batching; an ablation that admits fragmentation.
+	FIFO
+)
+
+// Options configure a Differ. The zero value is the paper's configuration.
+type Options struct {
+	Equiv EquivMode
+	Order SelectionOrder
+	// UpdateOnLitMismatch lets the step-4 traversal continue across nodes
+	// whose tags agree but whose literals differ, emitting an Update
+	// instead of replacing the node. The paper's traversal requires tag
+	// and literals to coincide; this is an ablation.
+	UpdateOnLitMismatch bool
+}
+
+// Differ computes truechange edit scripts between trees of one schema.
+type Differ struct {
+	sch  *sig.Schema
+	opts Options
+}
+
+// New returns a Differ with the paper's configuration.
+func New(sch *sig.Schema) *Differ { return &Differ{sch: sch} }
+
+// NewWithOptions returns a Differ with explicit options.
+func NewWithOptions(sch *sig.Schema, opts Options) *Differ {
+	return &Differ{sch: sch, opts: opts}
+}
+
+// Result carries the outcome of a diff: the edit script transforming the
+// source into the target, and the patched tree, which reuses source
+// subtrees (keeping their URIs) plus freshly loaded nodes and can serve as
+// the source of a subsequent diff.
+type Result struct {
+	Script  *truechange.Script
+	Patched *tree.Node
+}
+
+// Diff compares source against target and returns the edit script and
+// patched tree (the paper's compareTo). Fresh URIs for loaded nodes are
+// drawn from alloc, which must dominate every URI in source; passing the
+// allocator the source was built with guarantees that. If alloc is nil,
+// Diff allocates one that reserves the largest URI occurring in source.
+//
+// The source and target trees must be distinct structures: no *tree.Node
+// may occur in both. Diff does not mutate either tree.
+func (d *Differ) Diff(source, target *tree.Node, alloc *uri.Allocator) (*Result, error) {
+	if source == nil || target == nil {
+		return nil, fmt.Errorf("truediff: nil tree")
+	}
+	if alloc == nil {
+		alloc = uri.NewAllocator()
+		tree.Walk(source, func(n *tree.Node) { alloc.Reserve(n.URI) })
+	}
+	if err := d.checkSchema(source); err != nil {
+		return nil, err
+	}
+	if err := d.checkSchema(target); err != nil {
+		return nil, err
+	}
+	r := &run{
+		sch:      d.sch,
+		opts:     d.opts,
+		reg:      newRegistry(),
+		assigned: make(map[*tree.Node]*tree.Node),
+		alloc:    alloc,
+		buf:      truechange.NewBuffer(),
+	}
+	// Step 1 happened at tree construction: every node carries its
+	// structure and literal hashes.
+	r.assignShares(source, target)                                                   // step 2
+	r.assignSubtrees(target)                                                         // step 3
+	patched, err := r.computeEdits(source, target, truechange.RootRef, sig.RootLink) // step 4
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Script: r.buf.Script(), Patched: patched}, nil
+}
+
+// checkSchema verifies every tag of the tree is declared in the differ's
+// schema, so trees built against a different schema fail cleanly.
+func (d *Differ) checkSchema(t *tree.Node) error {
+	var bad sig.Tag
+	tree.Walk(t, func(n *tree.Node) {
+		if bad == "" && d.sch.Lookup(n.Tag) == nil {
+			bad = n.Tag
+		}
+	})
+	if bad != "" {
+		return fmt.Errorf("truediff: tree uses tag %s, which is not declared in schema %q", bad, d.sch.Name())
+	}
+	return nil
+}
+
+// InitialScript returns a well-typed initializing edit script (Definition
+// 3.2) that builds target from the empty tree: loads for every node,
+// bottom-up, followed by an attach to the pre-defined root.
+func (d *Differ) InitialScript(target *tree.Node, alloc *uri.Allocator) (*Result, error) {
+	if target == nil {
+		return nil, fmt.Errorf("truediff: nil tree")
+	}
+	if err := d.checkSchema(target); err != nil {
+		return nil, err
+	}
+	if alloc == nil {
+		alloc = uri.NewAllocator()
+	}
+	r := &run{
+		sch:      d.sch,
+		opts:     d.opts,
+		reg:      newRegistry(),
+		assigned: make(map[*tree.Node]*tree.Node),
+		alloc:    alloc,
+		buf:      truechange.NewBuffer(),
+	}
+	loaded, err := r.loadUnassigned(target)
+	if err != nil {
+		return nil, err
+	}
+	r.buf.Add(truechange.Attach{Node: ref(loaded), Link: sig.RootLink, Parent: truechange.RootRef})
+	return &Result{Script: r.buf.Script(), Patched: loaded}, nil
+}
+
+// run is the per-invocation state of the algorithm.
+type run struct {
+	sch  *sig.Schema
+	opts Options
+	reg  *registry
+	// assigned records the symmetric subtree assignment between source and
+	// target subtrees (paper: the assigned field of Diffable).
+	assigned map[*tree.Node]*tree.Node
+	alloc    *uri.Allocator
+	buf      *truechange.Buffer
+	// external marks runs whose assignment came from an outside matching
+	// (DiffWithMatching). truediff's own assignment guarantees that the
+	// descendants of an assigned pair carry no assignments of their own
+	// (deregisterSubtree maintains this), so assigned pairs can be morphed
+	// wholesale by updateLits. External matchings give no such guarantee:
+	// the morph must recurse node by node so descendants assigned across
+	// the pair's boundary are detached and reused where they belong.
+	external bool
+}
+
+// candidateKey returns the key under which subtrees share a reuse class.
+func (r *run) candidateKey(n *tree.Node) string {
+	if r.opts.Equiv == ExactOnly {
+		return n.ExactHash()
+	}
+	return n.StructHash()
+}
+
+// preferKey returns the key used to select preferred (exact) candidates.
+func (r *run) preferKey(n *tree.Node) string { return n.LitHash() }
+
+// assign records a symmetric subtree assignment.
+func (r *run) assign(src, dst *tree.Node) {
+	r.assigned[src] = dst
+	r.assigned[dst] = src
+}
+
+// unassign dissolves a symmetric subtree assignment.
+func (r *run) unassign(src, dst *tree.Node) {
+	delete(r.assigned, src)
+	delete(r.assigned, dst)
+}
+
+// --- Step 2: find reuse candidates ------------------------------------
+
+// assignShares simultaneously traverses source and target, assigning every
+// subtree its share. Equivalent pairs at matching positions are assigned
+// preemptively; along spines of equal tags only the spine node itself
+// becomes available, while fully mismatched source subtrees register all
+// their nodes as available resources (paper §4.2).
+func (r *run) assignShares(src, dst *tree.Node) {
+	ss := r.reg.shareFor(r.candidateKey(src))
+	ds := r.reg.shareFor(r.candidateKey(dst))
+	if ss == ds {
+		r.assign(src, dst) // preemptive: reuse in place, stop recursing
+		return
+	}
+	if src.Tag == dst.Tag {
+		ss.registerAvailable(src, r.preferKey(src))
+		for i := range src.Kids {
+			r.assignShares(src.Kids[i], dst.Kids[i])
+		}
+		return
+	}
+	tree.Walk(src, func(n *tree.Node) {
+		r.reg.shareFor(r.candidateKey(n)).registerAvailable(n, r.preferKey(n))
+	})
+	tree.Walk(dst, func(n *tree.Node) {
+		r.reg.shareFor(r.candidateKey(n))
+	})
+}
+
+// --- Step 3: select reuse candidates -----------------------------------
+
+// nodeHeap is a max-heap of target subtrees ordered by height, with FIFO
+// tie-breaking for determinism.
+type nodeHeap struct {
+	nodes []*tree.Node
+	seq   []int
+	next  int
+}
+
+func (h *nodeHeap) Len() int { return len(h.nodes) }
+func (h *nodeHeap) Less(i, j int) bool {
+	if h.nodes[i].Height() != h.nodes[j].Height() {
+		return h.nodes[i].Height() > h.nodes[j].Height()
+	}
+	return h.seq[i] < h.seq[j]
+}
+func (h *nodeHeap) Swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.seq[i], h.seq[j] = h.seq[j], h.seq[i]
+}
+func (h *nodeHeap) Push(x any) {
+	h.nodes = append(h.nodes, x.(*tree.Node))
+	h.seq = append(h.seq, h.next)
+	h.next++
+}
+func (h *nodeHeap) Pop() any {
+	n := h.nodes[len(h.nodes)-1]
+	h.nodes = h.nodes[:len(h.nodes)-1]
+	h.seq = h.seq[:len(h.seq)-1]
+	return n
+}
+
+// assignSubtrees traverses the target's subtrees in highest-first order,
+// acquiring available source subtrees greedily: first preferred (exact)
+// candidates for a whole height level, then any remaining candidates.
+// Unassigned subtrees descend into their children (paper §4.3).
+func (r *run) assignSubtrees(target *tree.Node) {
+	if r.opts.Order == FIFO {
+		r.assignSubtreesFIFO(target)
+		return
+	}
+	h := &nodeHeap{}
+	heap.Push(h, target)
+	for h.Len() > 0 {
+		level := h.nodes[0].Height()
+		var nexts []*tree.Node
+		for h.Len() > 0 && h.nodes[0].Height() == level {
+			nexts = append(nexts, heap.Pop(h).(*tree.Node))
+		}
+		unassigned := r.selectTrees(nexts, true)
+		unassigned = r.selectTrees(unassigned, false)
+		for _, n := range unassigned {
+			for _, k := range n.Kids {
+				heap.Push(h, k)
+			}
+		}
+	}
+}
+
+// assignSubtreesFIFO is the ablation variant: plain breadth-first order,
+// trying the preferred candidate then any candidate per node.
+func (r *run) assignSubtreesFIFO(target *tree.Node) {
+	queue := []*tree.Node{target}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if r.assigned[n] != nil {
+			continue
+		}
+		rest := r.selectTrees([]*tree.Node{n}, true)
+		rest = r.selectTrees(rest, false)
+		for _, u := range rest {
+			queue = append(queue, u.Kids...)
+		}
+	}
+}
+
+// selectTrees tries to acquire a reuse candidate for each target subtree in
+// trees, returning the subtrees that remain unassigned. With preferred set,
+// only literally equivalent (exact) candidates are taken.
+func (r *run) selectTrees(trees []*tree.Node, preferred bool) []*tree.Node {
+	if preferred && r.opts.Equiv != StructuralWithLiteralPreference {
+		// ExactOnly: candidates are exact by construction, the any-pass
+		// suffices. StructuralNoPreference: skip the preference pass.
+		return trees
+	}
+	var unassigned []*tree.Node
+	for _, n := range trees {
+		if r.assigned[n] != nil {
+			continue // preemptively assigned in step 2
+		}
+		s := r.reg.lookup(r.candidateKey(n))
+		var src *tree.Node
+		if s != nil {
+			if preferred {
+				src = s.takePreferred(r.preferKey(n))
+			} else {
+				src = s.takeAny()
+			}
+		}
+		if src == nil {
+			unassigned = append(unassigned, n)
+			continue
+		}
+		r.assign(src, n)
+		r.deregisterSubtree(src, n)
+	}
+	return unassigned
+}
+
+// deregisterSubtree finalizes the acquisition of src by the target subtree
+// dst. All strict descendants of src are withdrawn from their shares so
+// they cannot be reused elsewhere, and stale assignments hanging off either
+// side are dissolved (paper §4.3):
+//
+//   - a preemptively assigned descendant of src frees its target partner,
+//     which is required again and will look for another candidate when its
+//     height level is processed;
+//   - a preemptively assigned descendant of dst frees its source partner,
+//     which is no longer spoken for — it becomes available again, since dst
+//     is now covered wholesale by src.
+//
+// The source side is processed first so that pairs nested inside both
+// acquired trees are dissolved without resurrecting nodes of src.
+// src itself was already removed from its share by take*.
+func (r *run) deregisterSubtree(src, dst *tree.Node) {
+	for _, kid := range src.Kids {
+		tree.Walk(kid, func(n *tree.Node) {
+			if s := r.reg.lookup(r.candidateKey(n)); s != nil {
+				s.removeAvailable(n)
+			}
+			if partner := r.assigned[n]; partner != nil {
+				r.unassign(n, partner)
+			}
+		})
+	}
+	for _, kid := range dst.Kids {
+		tree.Walk(kid, func(n *tree.Node) {
+			if partner := r.assigned[n]; partner != nil {
+				r.unassign(partner, n)
+				r.reg.shareFor(r.candidateKey(partner)).registerAvailable(partner, r.preferKey(partner))
+			}
+		})
+	}
+}
+
+// --- Step 4: compute edit script ----------------------------------------
+
+func ref(n *tree.Node) truechange.NodeRef {
+	return truechange.NodeRef{Tag: n.Tag, URI: n.URI}
+}
+
+// kidArgs builds the kid argument list of a Load/Unload for node n.
+func (r *run) kidArgs(n *tree.Node) []truechange.KidArg {
+	g := r.sch.Lookup(n.Tag)
+	if len(g.Kids) == 0 {
+		return nil
+	}
+	args := make([]truechange.KidArg, len(g.Kids))
+	for i, spec := range g.Kids {
+		args[i] = truechange.KidArg{Link: spec.Link, URI: n.Kids[i].URI}
+	}
+	return args
+}
+
+// litArgs builds the literal argument list for node n.
+func (r *run) litArgs(n *tree.Node) []truechange.LitArg {
+	g := r.sch.Lookup(n.Tag)
+	if len(g.Lits) == 0 {
+		return nil
+	}
+	args := make([]truechange.LitArg, len(g.Lits))
+	for i, spec := range g.Lits {
+		args[i] = truechange.LitArg{Link: spec.Link, Value: n.Lits[i]}
+	}
+	return args
+}
+
+func litsEqual(a, b *tree.Node) bool {
+	if len(a.Lits) != len(b.Lits) {
+		return false
+	}
+	for i := range a.Lits {
+		if a.Lits[i] != b.Lits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeEdits compares src against dst at the position (parent, link) in
+// the source tree and emits the edits that transform src into dst,
+// returning the patched subtree (paper §4.4).
+func (r *run) computeEdits(src, dst *tree.Node, parent truechange.NodeRef, link sig.Link) (*tree.Node, error) {
+	if p := r.assigned[src]; p != nil && p == dst {
+		// src stays in place; it is morphed into dst (literal updates only
+		// for the structurally equivalent pairs truediff's own assignment
+		// produces; full recursion for externally matched pairs).
+		return r.morphAssigned(src, dst)
+	}
+	if r.assigned[src] == nil && r.assigned[dst] == nil {
+		t, err := r.computeEditsRec(src, dst, parent, link)
+		if err != nil {
+			return nil, err
+		}
+		if t != nil {
+			return t, nil
+		}
+	}
+	// Replace the subtree src by dst: detach src, unload its unassigned
+	// nodes, load dst's unassigned nodes (reusing assigned source
+	// subtrees), and attach the result.
+	r.buf.Add(truechange.Detach{Node: ref(src), Link: link, Parent: parent})
+	r.unloadUnassigned(src)
+	t, err := r.loadUnassigned(dst)
+	if err != nil {
+		return nil, err
+	}
+	r.buf.Add(truechange.Attach{Node: ref(t), Link: link, Parent: parent})
+	return t, nil
+}
+
+// computeEditsRec continues the simultaneous traversal through src and dst
+// if their tags and literals coincide (with the UpdateOnLitMismatch
+// ablation, differing literals are updated instead of failing). It returns
+// nil if the nodes cannot be aligned.
+func (r *run) computeEditsRec(src, dst *tree.Node, parent truechange.NodeRef, link sig.Link) (*tree.Node, error) {
+	if src.Tag != dst.Tag {
+		return nil, nil
+	}
+	litsOK := litsEqual(src, dst)
+	if !litsOK && !r.opts.UpdateOnLitMismatch {
+		return nil, nil
+	}
+	if !litsOK {
+		r.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+	}
+	g := r.sch.Lookup(src.Tag)
+	srcRef := ref(src)
+	kids := make([]*tree.Node, len(src.Kids))
+	for i := range src.Kids {
+		k, err := r.computeEdits(src.Kids[i], dst.Kids[i], srcRef, g.Kids[i].Link)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+	return tree.NewWithURI(r.sch, r.alloc, src.URI, src.Tag, kids, dst.Lits, tree.SHA256)
+}
+
+// morphAssigned transforms the assigned source subtree in place so it
+// equals dst. For structurally equivalent pairs (the only kind truediff's
+// own hash-based assignment produces) this reduces to literal updates; for
+// externally supplied matchings (DiffWithMatching) the pair may differ
+// below the root, so the traversal recurses into the children — the pair's
+// tags are equal by construction, so the arities line up.
+func (r *run) morphAssigned(src, dst *tree.Node) (*tree.Node, error) {
+	if !r.external && src.StructHash() == dst.StructHash() {
+		return r.updateLits(src, dst)
+	}
+	if !litsEqual(src, dst) {
+		r.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+	}
+	g := r.sch.Lookup(src.Tag)
+	srcRef := ref(src)
+	kids := make([]*tree.Node, len(src.Kids))
+	for i := range src.Kids {
+		k, err := r.computeEdits(src.Kids[i], dst.Kids[i], srcRef, g.Kids[i].Link)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+	return tree.NewWithURI(r.sch, r.alloc, src.URI, src.Tag, kids, dst.Lits, tree.SHA256)
+}
+
+// updateLits reconciles the literals of the structurally equivalent pair
+// (src, dst): it emits an Update for every node whose literals differ and
+// returns the patched subtree, which keeps src's URIs and carries dst's
+// literals.
+func (r *run) updateLits(src, dst *tree.Node) (*tree.Node, error) {
+	if src.LitHash() == dst.LitHash() {
+		return src, nil // equal everywhere, reuse as is
+	}
+	kids := make([]*tree.Node, len(src.Kids))
+	for i := range src.Kids {
+		k, err := r.updateLits(src.Kids[i], dst.Kids[i])
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+	if !litsEqual(src, dst) {
+		r.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+	}
+	return tree.NewWithURI(r.sch, r.alloc, src.URI, src.Tag, kids, dst.Lits, tree.SHA256)
+}
+
+// unloadUnassigned unloads the subtree src top-down, skipping subtrees that
+// are assigned for reuse elsewhere: those stay behind as unattached roots,
+// which their parent's Unload released.
+func (r *run) unloadUnassigned(src *tree.Node) {
+	if r.assigned[src] != nil {
+		return
+	}
+	r.buf.Add(truechange.Unload{Node: ref(src), Kids: r.kidArgs(src), Lits: r.litArgs(src)})
+	for _, k := range src.Kids {
+		r.unloadUnassigned(k)
+	}
+}
+
+// loadUnassigned produces the subtree dst in the source document: assigned
+// subtrees are reused (with literal updates), everything else is loaded
+// bottom-up with fresh URIs. It returns the resulting tree.
+func (r *run) loadUnassigned(dst *tree.Node) (*tree.Node, error) {
+	if src := r.assigned[dst]; src != nil {
+		return r.morphAssigned(src, dst)
+	}
+	kids := make([]*tree.Node, len(dst.Kids))
+	for i, k := range dst.Kids {
+		loaded, err := r.loadUnassigned(k)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = loaded
+	}
+	n, err := tree.NewWithURI(r.sch, r.alloc, r.alloc.Fresh(), dst.Tag, kids, dst.Lits, tree.SHA256)
+	if err != nil {
+		return nil, err
+	}
+	r.buf.Add(truechange.Load{Node: ref(n), Kids: r.kidArgs(n), Lits: r.litArgs(n)})
+	return n, nil
+}

@@ -1,0 +1,197 @@
+package truediff
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/exp"
+	"repro/internal/gumtree"
+	"repro/internal/mtree"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+)
+
+// Tests for the §7 exploration: type-safe truechange scripts generated
+// from Gumtree's similarity-based matching (DiffWithMatching).
+
+func gumtreeMatches(src, dst *tree.Node) []MatchPair {
+	pairs := gumtree.MatchTyped(src, dst, gumtree.DefaultOptions())
+	out := make([]MatchPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = MatchPair{Src: p.Src, Dst: p.Dst}
+	}
+	return out
+}
+
+// verifyMatchingDiff checks well-typedness and correctness of a script
+// generated from an external matching.
+func verifyMatchingDiff(t *testing.T, d *Differ, src, dst *tree.Node, matches []MatchPair) *Result {
+	t.Helper()
+	res, err := d.DiffWithMatching(src, dst, matches, nil)
+	if err != nil {
+		t.Fatalf("DiffWithMatching: %v", err)
+	}
+	if err := truechange.WellTyped(d.sch, res.Script); err != nil {
+		t.Fatalf("script from matching is ill-typed: %v\nsrc=%s\ndst=%s\nscript=%s",
+			err, src, dst, res.Script)
+	}
+	mt, err := mtree.FromTree(d.sch, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Comply(res.Script); err != nil {
+		t.Fatalf("compliance: %v\n%s", err, res.Script)
+	}
+	if err := mt.Patch(res.Script); err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	if !mt.EqualTree(dst) {
+		t.Fatalf("patched ≠ target:\nscript=%s", res.Script)
+	}
+	if !tree.Equal(res.Patched, dst) {
+		t.Fatal("returned patched tree wrong")
+	}
+	return res
+}
+
+func TestMatchingIntroExample(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add,
+		b.MustN(exp.Sub, b.MustN(exp.Var, "a"), b.MustN(exp.Var, "b")),
+		b.MustN(exp.Mul, b.MustN(exp.Var, "c"), b.MustN(exp.Var, "d")))
+	dst := b.MustN(exp.Add,
+		b.MustN(exp.Var, "d"),
+		b.MustN(exp.Mul, b.MustN(exp.Var, "c"),
+			b.MustN(exp.Sub, b.MustN(exp.Var, "a"), b.MustN(exp.Var, "b"))))
+	d := New(b.Schema())
+	res := verifyMatchingDiff(t, d, src, dst, gumtreeMatches(src, dst))
+	// Gumtree finds the two moves; the type-safe realization is the same
+	// minimal 4-edit script truediff produces.
+	if res.Script.EditCount() != 4 {
+		t.Errorf("EditCount = %d, want 4:\n%s", res.Script.EditCount(), res.Script)
+	}
+	st := truechange.ComputeStats(res.Script)
+	if st.Moves != 2 || st.Loads != 0 {
+		t.Errorf("stats = %s", st)
+	}
+}
+
+func TestMatchingEmptyMatchingRewritesEverything(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Num, 2))
+	dst := b.MustN(exp.Sub, b.MustN(exp.Num, 3), b.MustN(exp.Num, 4))
+	d := New(b.Schema())
+	res := verifyMatchingDiff(t, d, src, dst, nil)
+	st := truechange.ComputeStats(res.Script)
+	if st.Loads != 3 || st.Unloads != 3 {
+		t.Errorf("empty matching should rewrite all nodes: %s", st)
+	}
+}
+
+func TestMatchingMorphsPartialPairs(t *testing.T) {
+	// Gumtree's bottom-up phase matches containers whose children only
+	// partially agree; the morph must recurse through the difference.
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Call,
+		b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Var, "x")), "f")
+	dst := b.MustN(exp.Call,
+		b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Num, 99)), "g")
+	d := New(b.Schema())
+	matches := []MatchPair{
+		{Src: src, Dst: dst},                                 // Call matched (labels differ)
+		{Src: src.Kids[0], Dst: dst.Kids[0]},                 // Add matched (kids differ)
+		{Src: src.Kids[0].Kids[0], Dst: dst.Kids[0].Kids[0]}, // Num(1)
+	}
+	res := verifyMatchingDiff(t, d, src, dst, matches)
+	st := truechange.ComputeStats(res.Script)
+	// f→g update at the Call, Var x replaced by Num 99.
+	if st.Updates == 0 || st.Loads != 1 || st.Unloads != 1 {
+		t.Errorf("morph shape wrong: %s\n%s", st, res.Script)
+	}
+}
+
+func TestMatchingRejectsNonInjective(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Num, 2))
+	dst := b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Num, 2))
+	d := New(b.Schema())
+	bad := []MatchPair{
+		{Src: src.Kids[0], Dst: dst.Kids[0]},
+		{Src: src.Kids[0], Dst: dst.Kids[1]},
+	}
+	if _, err := d.DiffWithMatching(src, dst, bad, nil); err == nil {
+		t.Error("non-injective matching should be rejected")
+	}
+}
+
+func TestMatchingDropsIncompatiblePairs(t *testing.T) {
+	b := exp.NewBuilder()
+	src := b.MustN(exp.Add, b.MustN(exp.Num, 1), b.MustN(exp.Var, "x"))
+	dst := b.MustN(exp.Mul, b.MustN(exp.Num, 1), b.MustN(exp.Var, "x"))
+	d := New(b.Schema())
+	// Add/Mul differ in tag: the pair is dropped, the kids survive.
+	matches := []MatchPair{
+		{Src: src, Dst: dst},
+		{Src: src.Kids[0], Dst: dst.Kids[0]},
+		{Src: src.Kids[1], Dst: dst.Kids[1]},
+		{Src: nil, Dst: dst}, // nil pairs are ignored
+	}
+	res := verifyMatchingDiff(t, d, src, dst, matches)
+	st := truechange.ComputeStats(res.Script)
+	if st.Loads != 1 || st.Unloads != 1 || st.Moves != 2 {
+		t.Errorf("root swap shape wrong: %s\n%s", st, res.Script)
+	}
+}
+
+// TestMatchingPropertyRandom runs the full Gumtree-matching pipeline over
+// random mutations and the Python corpus: every generated script must be
+// well-typed and correct.
+func TestMatchingPropertyRandom(t *testing.T) {
+	d := New(exp.Schema())
+	for seed := int64(0); seed < 12; seed++ {
+		g := exp.NewGen(seed)
+		src := g.Tree(50)
+		for _, edits := range []int{1, 4} {
+			dst := g.MutateN(src, edits)
+			verifyMatchingDiff(t, d, src, dst, gumtreeMatches(src, dst))
+		}
+	}
+}
+
+func TestMatchingOnPythonCorpus(t *testing.T) {
+	h := corpus.Generate(corpus.Options{
+		Seed: 13, Files: 3, Commits: 10, MaxFilesPerCommit: 2,
+		MinNodes: 150, MaxNodes: 450, MaxEditsPerFile: 3,
+	})
+	d := New(h.Factory.Schema())
+	for i, fc := range h.Changes() {
+		res := verifyMatchingDiff(t, d, fc.Before, fc.After, gumtreeMatches(fc.Before, fc.After))
+		if res.Script.EditCount() > fc.Before.Size() {
+			t.Errorf("change %d: matching-based script larger than the file", i)
+		}
+	}
+}
+
+// TestMatchingVsHashAssignment compares conciseness: Gumtree-matching-based
+// scripts should be in the same ballpark as truediff's own.
+func TestMatchingVsHashAssignment(t *testing.T) {
+	h := corpus.Generate(corpus.Options{
+		Seed: 14, Files: 3, Commits: 12, MaxFilesPerCommit: 2,
+		MinNodes: 150, MaxNodes: 450, MaxEditsPerFile: 2,
+	})
+	d := New(h.Factory.Schema())
+	totalHash, totalMatch := 0, 0
+	for _, fc := range h.Changes() {
+		own, err := d.Diff(fc.Before, fc.After, h.Factory.Alloc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaMatch := verifyMatchingDiff(t, d, fc.Before, fc.After, gumtreeMatches(fc.Before, fc.After))
+		totalHash += own.Script.EditCount()
+		totalMatch += viaMatch.Script.EditCount()
+	}
+	if totalMatch > totalHash*3 {
+		t.Errorf("matching-based scripts much larger: %d vs %d", totalMatch, totalHash)
+	}
+	t.Logf("edit totals: truediff hash-based %d, gumtree-matching-based %d", totalHash, totalMatch)
+}

@@ -1,0 +1,203 @@
+package truediff
+
+import (
+	"testing"
+
+	"repro/internal/mtree"
+	"repro/internal/pylang"
+	"repro/internal/truechange"
+)
+
+// Integration tests on realistic Python sources, the paper's evaluation
+// substrate: parse two versions, diff, verify, and check that the script
+// shape matches the edit (moves for moves, updates for renames, …).
+
+func diffPython(t *testing.T, before, after string) (*Result, *pylang.Factory) {
+	t.Helper()
+	f := pylang.NewFactory()
+	src, err := pylang.Parse(before, f)
+	if err != nil {
+		t.Fatalf("parse before: %v", err)
+	}
+	dst, err := pylang.Parse(after, f)
+	if err != nil {
+		t.Fatalf("parse after: %v", err)
+	}
+	d := New(f.Schema())
+	res, err := d.Diff(src, dst, f.Alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := truechange.WellTyped(f.Schema(), res.Script); err != nil {
+		t.Fatalf("ill-typed: %v\n%s", err, res.Script)
+	}
+	mt, err := mtree.FromTree(f.Schema(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Patch(res.Script); err != nil {
+		t.Fatal(err)
+	}
+	if !mt.EqualTree(dst) {
+		t.Fatalf("patched ≠ target:\n%s", res.Script)
+	}
+	return res, f
+}
+
+func TestPythonRenameIsSingleUpdate(t *testing.T) {
+	before := "def compute(x):\n    return x * 2\n\ndef main():\n    pass\n"
+	after := "def compute_v2(x):\n    return x * 2\n\ndef main():\n    pass\n"
+	res, _ := diffPython(t, before, after)
+	st := truechange.ComputeStats(res.Script)
+	if st.Updates != 1 || st.Compound != 1 {
+		t.Errorf("rename should be one update, got %s\n%s", st, res.Script)
+	}
+}
+
+func TestPythonLiteralTweak(t *testing.T) {
+	before := "LEARNING_RATE = 0.01\nEPOCHS = 100\n"
+	after := "LEARNING_RATE = 0.001\nEPOCHS = 100\n"
+	res, _ := diffPython(t, before, after)
+	st := truechange.ComputeStats(res.Script)
+	if st.Compound != 1 || st.Updates != 1 {
+		t.Errorf("literal tweak should be one update: %s", st)
+	}
+}
+
+func TestPythonFunctionMoveUsesMoves(t *testing.T) {
+	before := `def alpha(x):
+    a = x + 1
+    b = a * 2
+    c = b - 3
+    return a + b + c
+
+def beta(y):
+    return y
+
+def gamma(z):
+    return z * z
+`
+	// alpha moves to the end, body unchanged.
+	after := `def beta(y):
+    return y
+
+def gamma(z):
+    return z * z
+
+def alpha(x):
+    a = x + 1
+    b = a * 2
+    c = b - 3
+    return a + b + c
+`
+	res, _ := diffPython(t, before, after)
+	st := truechange.ComputeStats(res.Script)
+	if st.Moves == 0 {
+		t.Errorf("moving a function should produce move edits: %s\n%s", st, res.Script)
+	}
+	// The function body (≈25 nodes) must travel wholesale: far fewer loads
+	// than the body size.
+	if st.Loads > 10 {
+		t.Errorf("function move should not reload the body: %s", st)
+	}
+}
+
+func TestPythonStatementInsertReusesSuffix(t *testing.T) {
+	before := `def run(self):
+    self.setup()
+    self.validate()
+    self.execute()
+    self.teardown()
+`
+	after := `def run(self):
+    self.log("starting")
+    self.setup()
+    self.validate()
+    self.execute()
+    self.teardown()
+`
+	res, _ := diffPython(t, before, after)
+	// Inserting at the head of a cons list reuses the whole tail: one new
+	// statement (≈7 nodes) plus one spine cell and re-linking.
+	if res.Script.EditCount() > 14 {
+		t.Errorf("head insertion too expensive: %d edits\n%s",
+			res.Script.EditCount(), res.Script)
+	}
+}
+
+func TestPythonMethodBodySwap(t *testing.T) {
+	before := `class Net:
+    def forward(self, x):
+        h = self.layer1(x)
+        return self.layer2(h)
+
+    def backward(self, grad):
+        g = self.layer2.grad(grad)
+        return self.layer1.grad(g)
+`
+	// The two method bodies swap.
+	after := `class Net:
+    def forward(self, x):
+        g = self.layer2.grad(grad)
+        return self.layer1.grad(g)
+
+    def backward(self, grad):
+        h = self.layer1(x)
+        return self.layer2(h)
+`
+	res, _ := diffPython(t, before, after)
+	st := truechange.ComputeStats(res.Script)
+	if st.Moves < 2 {
+		t.Errorf("body swap should move both bodies: %s\n%s", st, res.Script)
+	}
+	if st.Loads > 4 {
+		t.Errorf("body swap should not reload bodies: %s", st)
+	}
+}
+
+func TestPythonUnchangedFileIsEmptyScript(t *testing.T) {
+	src := `import os
+
+@cached
+def expensive(n):
+    with open("data") as fh:
+        try:
+            return [int(line) for line in fh if line]
+        except ValueError:
+            return []
+`
+	res, _ := diffPython(t, src, src)
+	if !res.Script.IsEmpty() {
+		t.Errorf("identical sources should diff empty:\n%s", res.Script)
+	}
+}
+
+func TestPythonWrapInConditional(t *testing.T) {
+	before := "def f(x):\n    process(x)\n    finish()\n"
+	after := "def f(x):\n    if x is not None:\n        process(x)\n    finish()\n"
+	res, _ := diffPython(t, before, after)
+	st := truechange.ComputeStats(res.Script)
+	// process(x) is reused inside the new conditional: it moves, the If
+	// and its small scaffolding load fresh.
+	if st.Moves == 0 {
+		t.Errorf("wrapped statement should move, not reload: %s\n%s", st, res.Script)
+	}
+}
+
+func TestPythonLargeFileSmallChange(t *testing.T) {
+	// Build a larger realistic file by repetition, then change one line.
+	var before, after string
+	for i := 0; i < 40; i++ {
+		fn := "def handler_" + string(rune('a'+i%26)) + string(rune('0'+i/26)) + "(payload):\n" +
+			"    data = parse(payload)\n" +
+			"    if data is None:\n        raise ValueError(\"empty\")\n" +
+			"    return transform(data)\n\n"
+		before += fn
+		after += fn
+	}
+	after += "COUNTER = 1\n"
+	res, _ := diffPython(t, before, after)
+	if res.Script.EditCount() > 8 {
+		t.Errorf("appending one constant to a large file cost %d edits", res.Script.EditCount())
+	}
+}

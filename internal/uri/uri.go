@@ -1,0 +1,61 @@
+// Package uri provides stable node identities for structural diffing.
+//
+// Every tree node carries a URI that identifies it across edits. Edit
+// scripts refer to nodes by URI, which is what makes truechange patches
+// concise: a patch only mentions the URIs of changed nodes, never the
+// unchanged remainder of the tree.
+//
+// URI 0 is reserved for the pre-defined root node that every mutable tree
+// contains (the paper writes it as "null"). Fresh URIs are handed out by an
+// Allocator; allocators are cheap and a new one is typically created per
+// document so that URIs stay small and deterministic.
+package uri
+
+import "strconv"
+
+// URI identifies a tree node. The zero value is the pre-defined root node.
+type URI uint64
+
+// Root is the URI of the pre-defined root node of every mutable tree
+// (written null in the paper).
+const Root URI = 0
+
+// IsRoot reports whether u is the pre-defined root URI.
+func (u URI) IsRoot() bool { return u == Root }
+
+// String renders the URI; the root prints as "#root", others as "#N".
+func (u URI) String() string {
+	if u == Root {
+		return "#root"
+	}
+	return "#" + strconv.FormatUint(uint64(u), 10)
+}
+
+// Allocator hands out fresh URIs, starting at 1. The zero value is ready to
+// use. Allocators are not safe for concurrent use; allocate URIs from a
+// single goroutine or use one allocator per goroutine.
+type Allocator struct {
+	next URI
+}
+
+// NewAllocator returns an allocator whose first URI is 1.
+func NewAllocator() *Allocator { return &Allocator{} }
+
+// Fresh returns a URI that the allocator has never returned before.
+func (a *Allocator) Fresh() URI {
+	a.next++
+	return a.next
+}
+
+// Reserve advances the allocator so that all URIs up to and including u are
+// considered used. It is a no-op if u has already been passed. Reserve is
+// used when grafting externally built trees into a document so that future
+// Fresh calls cannot collide with existing nodes.
+func (a *Allocator) Reserve(u URI) {
+	if u > a.next {
+		a.next = u
+	}
+}
+
+// Peek reports the highest URI handed out so far (0 if none).
+func (a *Allocator) Peek() URI { return a.next }

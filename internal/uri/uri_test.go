@@ -1,0 +1,75 @@
+package uri
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoot(t *testing.T) {
+	if !Root.IsRoot() {
+		t.Error("Root should be root")
+	}
+	if URI(1).IsRoot() {
+		t.Error("URI 1 is not root")
+	}
+	if Root.String() != "#root" {
+		t.Errorf("root renders as %q", Root.String())
+	}
+	if URI(42).String() != "#42" {
+		t.Errorf("URI 42 renders as %q", URI(42).String())
+	}
+}
+
+func TestAllocatorFreshness(t *testing.T) {
+	a := NewAllocator()
+	seen := map[URI]bool{Root: true}
+	for i := 0; i < 1000; i++ {
+		u := a.Fresh()
+		if seen[u] {
+			t.Fatalf("URI %s issued twice", u)
+		}
+		seen[u] = true
+	}
+	if a.Peek() != 1000 {
+		t.Errorf("Peek = %v", a.Peek())
+	}
+}
+
+func TestZeroValueAllocator(t *testing.T) {
+	var a Allocator
+	if u := a.Fresh(); u != 1 {
+		t.Errorf("zero-value allocator first URI = %s, want #1", u)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	a := NewAllocator()
+	a.Reserve(100)
+	if u := a.Fresh(); u != 101 {
+		t.Errorf("after Reserve(100), Fresh = %s", u)
+	}
+	a.Reserve(50) // no-op: already past
+	if u := a.Fresh(); u != 102 {
+		t.Errorf("Reserve must never move backwards: Fresh = %s", u)
+	}
+}
+
+// Property: fresh URIs strictly increase and never revisit reserved ones.
+func TestQuickReserveFresh(t *testing.T) {
+	prop := func(reserves []uint16) bool {
+		a := NewAllocator()
+		last := URI(0)
+		for _, r := range reserves {
+			a.Reserve(URI(r))
+			u := a.Fresh()
+			if u <= last || u <= URI(r) {
+				return false
+			}
+			last = u
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
