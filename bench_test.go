@@ -18,6 +18,7 @@
 package repro_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/gumtree"
 	"repro/internal/hdiff"
@@ -482,6 +484,74 @@ func BenchmarkJSONDiff(b *testing.B) {
 		}
 	}
 	b.ReportMetric(nodes, "nodes")
+}
+
+// BenchmarkEngineBatch measures the concurrent batch engine against plain
+// sequential diffing on the same corpus replay. Both sides do the full job
+// per file change — prepare the trees and diff them — but the engine
+// amortizes across the batch: engine-managed ingest interns trees by
+// content, so re-ingesting a version the engine has seen is a map lookup
+// instead of a clone-and-hash, and each diff draws its scratch state
+// (registry, assignment map, edit buffer, heap) from a pool instead of
+// allocating fresh. Snapshot metrics (pool/store hit rates) are attached
+// to the engine runs.
+func BenchmarkEngineBatch(b *testing.B) {
+	h := benchCorpus(b)
+	changes := h.Changes()
+	sch := h.Factory.Schema()
+	totalNodes := 0
+	for _, fc := range changes {
+		totalNodes += fc.Before.Size() + fc.After.Size()
+	}
+	reportNodesPerMS := func(b *testing.B) {
+		nodes := float64(totalNodes) * float64(b.N)
+		b.ReportMetric(nodes/(float64(b.Elapsed().Nanoseconds())/1e6), "nodes/ms")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		d := truediff.New(sch)
+		for i := 0; i < b.N; i++ {
+			for _, fc := range changes {
+				alloc := uri.NewAllocator()
+				if _, err := d.Diff(tree.Clone(fc.Before, alloc, tree.SHA256),
+					tree.Clone(fc.After, alloc, tree.SHA256), alloc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportNodesPerMS(b)
+	})
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("engine-%d", workers), func(b *testing.B) {
+			e := engine.New(sch, engine.Config{Workers: workers})
+			for i := 0; i < b.N; i++ {
+				pairs := make([]engine.Pair, len(changes))
+				for j, fc := range changes {
+					// nil alloc selects engine-managed ingest: trees are
+					// interned by content, so re-ingesting a version the
+					// engine has seen (every change's Before is the previous
+					// change's After) is a map lookup, not a clone.
+					pairs[j] = engine.Pair{
+						Source: e.Ingest(fc.Before, nil),
+						Target: e.Ingest(fc.After, nil),
+					}
+				}
+				results, err := e.DiffBatch(context.Background(), pairs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			reportNodesPerMS(b)
+			snap := e.Snapshot()
+			b.ReportMetric(100*snap.PoolHitRate, "pool-hit-%")
+			b.ReportMetric(100*snap.StoreHitRate, "store-hit-%")
+		})
+	}
 }
 
 // BenchmarkMatchingBased compares the §7 exploration — type-safe truechange

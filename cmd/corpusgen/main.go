@@ -17,7 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/corpus"
+	"repro/structdiff/corpus"
 )
 
 func main() {

@@ -5,6 +5,7 @@
 //	evaluate -experiment fig5     # Figure 5: throughput box plots
 //	evaluate -experiment inca     # §6 incremental computing
 //	evaluate -experiment scaling  # Theorem 4.1 linear run time
+//	evaluate -experiment engine   # batch engine vs sequential replay
 //	evaluate -experiment all
 //
 // Corpus scale is configurable; the defaults finish in well under a minute.
@@ -15,34 +16,39 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/corpus"
-	"repro/internal/evaluation"
+	"repro/structdiff/corpus"
+	"repro/structdiff/evaluation"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4 | fig5 | inca | scaling | ablation | matching | all")
+		experiment = flag.String("experiment", "all", "fig4 | fig5 | inca | scaling | ablation | matching | engine | all")
 		seed       = flag.Int64("seed", 1, "corpus seed")
 		files      = flag.Int("files", 20, "number of files in the synthetic repository")
 		commits    = flag.Int("commits", 100, "number of commits to generate")
 		minNodes   = flag.Int("min-nodes", 300, "minimum module size in AST nodes")
 		maxNodes   = flag.Int("max-nodes", 2500, "maximum module size in AST nodes")
 		reps       = flag.Int("reps", 3, "repetitions per file, fastest kept")
+		workers    = flag.Int("workers", 8, "worker goroutines for the engine experiment")
 	)
 	flag.Parse()
+
+	fullOpts := corpus.Options{
+		Seed: *seed, Files: *files, Commits: *commits,
+		MaxFilesPerCommit: 4, MinNodes: *minNodes, MaxNodes: *maxNodes,
+		MaxEditsPerFile: 4,
+	}
+	halfOpts := corpus.Options{
+		Seed: *seed, Files: *files / 2, Commits: *commits / 2,
+		MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
+		MaxEditsPerFile: 4,
+	}
+	engineCfg := evaluation.Config{Corpus: halfOpts, Reps: *reps, Warmup: 20}
 
 	needCorpus := *experiment == "fig4" || *experiment == "fig5" || *experiment == "all"
 	var results []evaluation.FileResult
 	if needCorpus {
-		cfg := evaluation.Config{
-			Corpus: corpus.Options{
-				Seed: *seed, Files: *files, Commits: *commits,
-				MaxFilesPerCommit: 4, MinNodes: *minNodes, MaxNodes: *maxNodes,
-				MaxEditsPerFile: 4,
-			},
-			Reps:   *reps,
-			Warmup: 20,
-		}
+		cfg := evaluation.Config{Corpus: fullOpts, Reps: *reps, Warmup: 20}
 		runner := evaluation.NewRunner(cfg)
 		fmt.Fprintf(os.Stderr, "corpus: %d changed files across %d commits\n",
 			len(runner.History().Changes()), *commits)
@@ -60,33 +66,20 @@ func main() {
 		fmt.Println(evaluation.ScalingReport(
 			evaluation.RunScaling([]int{100, 316, 1000, 3162, 10000, 31623, 100000}, 3)))
 	case "ablation":
-		fmt.Println(evaluation.AblationReport(evaluation.RunAblations(corpus.Options{
-			Seed: *seed, Files: *files / 2, Commits: *commits / 2,
-			MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
-			MaxEditsPerFile: 4,
-		})))
+		fmt.Println(evaluation.AblationReport(evaluation.RunAblations(halfOpts)))
 	case "matching":
-		fmt.Println(evaluation.RunMatching(corpus.Options{
-			Seed: *seed, Files: *files / 2, Commits: *commits / 2,
-			MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
-			MaxEditsPerFile: 4,
-		}).Report())
+		fmt.Println(evaluation.RunMatching(halfOpts).Report())
+	case "engine":
+		fmt.Println(evaluation.RunEngineReplay(engineCfg, *workers).Report())
 	case "all":
 		fmt.Println(evaluation.Fig4(results).Report())
 		fmt.Println(evaluation.Fig5(results).Report())
 		fmt.Println(evaluation.RunIncA(evaluation.DefaultIncAConfig()).Report())
 		fmt.Println(evaluation.ScalingReport(
 			evaluation.RunScaling([]int{100, 1000, 10000, 100000}, 3)))
-		fmt.Println(evaluation.AblationReport(evaluation.RunAblations(corpus.Options{
-			Seed: *seed, Files: *files / 2, Commits: *commits / 2,
-			MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
-			MaxEditsPerFile: 4,
-		})))
-		fmt.Println(evaluation.RunMatching(corpus.Options{
-			Seed: *seed, Files: *files / 2, Commits: *commits / 2,
-			MaxFilesPerCommit: 3, MinNodes: *minNodes, MaxNodes: *maxNodes,
-			MaxEditsPerFile: 4,
-		}).Report())
+		fmt.Println(evaluation.AblationReport(evaluation.RunAblations(halfOpts)))
+		fmt.Println(evaluation.RunMatching(halfOpts).Report())
+		fmt.Println(evaluation.RunEngineReplay(engineCfg, *workers).Report())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()

@@ -17,16 +17,11 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/gumtree"
-	"repro/internal/hdiff"
-	"repro/internal/jsonlang"
-	"repro/internal/mtree"
-	"repro/internal/pylang"
-	"repro/internal/sig"
-	"repro/internal/tree"
-	"repro/internal/truechange"
-	"repro/internal/truediff"
-	"repro/internal/uri"
+	"repro/structdiff"
+	"repro/structdiff/baselines/gumtree"
+	"repro/structdiff/baselines/hdiff"
+	"repro/structdiff/langs/jsonlang"
+	"repro/structdiff/langs/pylang"
 )
 
 func main() {
@@ -49,7 +44,7 @@ func main() {
 }
 
 // parseBoth loads both inputs as typed trees over one schema and allocator.
-func parseBoth(lang, oldPath, newPath string) (*sig.Schema, *uri.Allocator, *tree.Node, *tree.Node, error) {
+func parseBoth(lang, oldPath, newPath string) (*structdiff.Schema, *structdiff.Allocator, *structdiff.Node, *structdiff.Node, error) {
 	oldSrc, err := os.ReadFile(oldPath)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -92,9 +87,9 @@ func run(oldPath, newPath, lang string, check, stat, baselines, quiet bool) erro
 		return err
 	}
 
-	d := truediff.New(sch)
 	start := time.Now()
-	res, err := d.Diff(before, after, alloc)
+	res, err := structdiff.Diff(before, after,
+		structdiff.WithSchema(sch), structdiff.WithAllocator(alloc))
 	elapsed := time.Since(start)
 	if err != nil {
 		return err
@@ -107,15 +102,15 @@ func run(oldPath, newPath, lang string, check, stat, baselines, quiet bool) erro
 		fmt.Printf("source nodes:  %d\n", before.Size())
 		fmt.Printf("target nodes:  %d\n", after.Size())
 		fmt.Printf("edits:         %d raw, %d compound\n", res.Script.Len(), res.Script.EditCount())
-		fmt.Printf("breakdown:     %s\n", truechange.ComputeStats(res.Script))
+		fmt.Printf("breakdown:     %s\n", structdiff.ComputeStats(res.Script))
 		fmt.Printf("diff time:     %s (%.0f nodes/ms)\n", elapsed,
 			float64(before.Size()+after.Size())/(float64(elapsed.Nanoseconds())/1e6))
 	}
 	if check {
-		if err := truechange.WellTyped(sch, res.Script); err != nil {
+		if err := structdiff.WellTyped(sch, res.Script); err != nil {
 			return fmt.Errorf("script is ill-typed: %w", err)
 		}
-		mt, err := mtree.FromTree(sch, before)
+		mt, err := structdiff.MTreeFromTree(sch, before)
 		if err != nil {
 			return err
 		}

@@ -10,63 +10,60 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/exp"
-	"repro/internal/mtree"
-	"repro/internal/sig"
-	"repro/internal/truechange"
-	"repro/internal/uri"
+	"repro/structdiff"
+	"repro/structdiff/langs/exp"
 )
 
 func main() {
 	sch := exp.Schema()
-	mt := mtree.New(sch)
+	mt := structdiff.NewMTree(sch)
 	fmt.Println("start:", mt)
 
 	// ∆1 builds Add3(Var1("a"), Var2("b")) from the empty tree. It must be
 	// a well-typed *initializing* script (Definition 3.2): it may fill the
 	// pre-defined root's empty slot.
-	d1 := &truechange.Script{Edits: []truechange.Edit{
-		truechange.Load{Node: ref(exp.Var, 1), Lits: lits("name", "a")},
-		truechange.Load{Node: ref(exp.Var, 2), Lits: lits("name", "b")},
-		truechange.Load{Node: ref(exp.Add, 3), Kids: []truechange.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
-		truechange.Attach{Node: ref(exp.Add, 3), Link: sig.RootLink, Parent: truechange.RootRef},
+	d1 := &structdiff.Script{Edits: []structdiff.Edit{
+		structdiff.Load{Node: ref(exp.Var, 1), Lits: lits("name", "a")},
+		structdiff.Load{Node: ref(exp.Var, 2), Lits: lits("name", "b")},
+		structdiff.Load{Node: ref(exp.Add, 3), Kids: []structdiff.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
+		structdiff.Attach{Node: ref(exp.Add, 3), Link: structdiff.RootLink, Parent: structdiff.RootRef},
 	}}
-	if err := truechange.WellTypedInit(sch, d1); err != nil {
+	if err := structdiff.WellTypedInit(sch, d1); err != nil {
 		log.Fatal("∆1: ", err)
 	}
 	must(mt.Patch(d1))
 	fmt.Println("after ∆1:", mt)
 
 	// ∆2 updates a literal in place (Definition 3.1 applies from here on).
-	d2 := &truechange.Script{Edits: []truechange.Edit{
-		truechange.Update{Node: ref(exp.Var, 2), Old: lits("name", "b"), New: lits("name", "c")},
+	d2 := &structdiff.Script{Edits: []structdiff.Edit{
+		structdiff.Update{Node: ref(exp.Var, 2), Old: lits("name", "b"), New: lits("name", "c")},
 	}}
 	checkAndPatch(sch, mt, d2, "∆2")
 
 	// ∆3 swaps the constructor: unload Add3, reusing its children for a
 	// fresh Mul4. The unload releases Var1 and Var2 as detached roots,
 	// which the load consumes — linearity in action.
-	d3 := &truechange.Script{Edits: []truechange.Edit{
-		truechange.Detach{Node: ref(exp.Add, 3), Link: sig.RootLink, Parent: truechange.RootRef},
-		truechange.Unload{Node: ref(exp.Add, 3), Kids: []truechange.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
-		truechange.Load{Node: ref(exp.Mul, 4), Kids: []truechange.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
-		truechange.Attach{Node: ref(exp.Mul, 4), Link: sig.RootLink, Parent: truechange.RootRef},
+	d3 := &structdiff.Script{Edits: []structdiff.Edit{
+		structdiff.Detach{Node: ref(exp.Add, 3), Link: structdiff.RootLink, Parent: structdiff.RootRef},
+		structdiff.Unload{Node: ref(exp.Add, 3), Kids: []structdiff.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
+		structdiff.Load{Node: ref(exp.Mul, 4), Kids: []structdiff.KidArg{{Link: "e1", URI: 1}, {Link: "e2", URI: 2}}},
+		structdiff.Attach{Node: ref(exp.Mul, 4), Link: structdiff.RootLink, Parent: structdiff.RootRef},
 	}}
 	checkAndPatch(sch, mt, d3, "∆3")
 
 	// ∆4 swaps the two variables with paired detach/attach edits. Watch
 	// the intermediate states: each detach creates a root and an empty
 	// slot, each attach consumes one of each.
-	d4 := &truechange.Script{Edits: []truechange.Edit{
-		truechange.Detach{Node: ref(exp.Var, 1), Link: "e1", Parent: ref(exp.Mul, 4)},
-		truechange.Detach{Node: ref(exp.Var, 2), Link: "e2", Parent: ref(exp.Mul, 4)},
-		truechange.Attach{Node: ref(exp.Var, 2), Link: "e1", Parent: ref(exp.Mul, 4)},
-		truechange.Attach{Node: ref(exp.Var, 1), Link: "e2", Parent: ref(exp.Mul, 4)},
+	d4 := &structdiff.Script{Edits: []structdiff.Edit{
+		structdiff.Detach{Node: ref(exp.Var, 1), Link: "e1", Parent: ref(exp.Mul, 4)},
+		structdiff.Detach{Node: ref(exp.Var, 2), Link: "e2", Parent: ref(exp.Mul, 4)},
+		structdiff.Attach{Node: ref(exp.Var, 2), Link: "e1", Parent: ref(exp.Mul, 4)},
+		structdiff.Attach{Node: ref(exp.Var, 1), Link: "e2", Parent: ref(exp.Mul, 4)},
 	}}
 	fmt.Println("\ntracing ∆4 through the type system:")
-	st := truechange.ClosedState()
+	st := structdiff.ClosedState()
 	for _, e := range d4.Edits {
-		if err := truechange.CheckEdit(sch, e, st); err != nil {
+		if err := structdiff.CheckEdit(sch, e, st); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-34s  state %s\n", e, st)
@@ -75,25 +72,25 @@ func main() {
 
 	// An ill-typed script: swapping via moves attaches to an occupied
 	// slot. The paper's §2 explains why this breaks typed representations.
-	bad := &truechange.Script{Edits: []truechange.Edit{
-		truechange.Detach{Node: ref(exp.Var, 2), Link: "e1", Parent: ref(exp.Mul, 4)},
-		truechange.Attach{Node: ref(exp.Var, 2), Link: "e2", Parent: ref(exp.Mul, 4)}, // slot e2 still occupied!
+	bad := &structdiff.Script{Edits: []structdiff.Edit{
+		structdiff.Detach{Node: ref(exp.Var, 2), Link: "e1", Parent: ref(exp.Mul, 4)},
+		structdiff.Attach{Node: ref(exp.Var, 2), Link: "e2", Parent: ref(exp.Mul, 4)}, // slot e2 still occupied!
 	}}
-	err := truechange.WellTyped(sch, bad)
+	err := structdiff.WellTyped(sch, bad)
 	fmt.Println("\nattempting a move-style swap:")
 	fmt.Println("  rejected by the type system:", err)
 }
 
-func ref(tag sig.Tag, u uri.URI) truechange.NodeRef {
-	return truechange.NodeRef{Tag: tag, URI: u}
+func ref(tag structdiff.Tag, u structdiff.URI) structdiff.NodeRef {
+	return structdiff.NodeRef{Tag: tag, URI: u}
 }
 
-func lits(link sig.Link, v string) []truechange.LitArg {
-	return []truechange.LitArg{{Link: link, Value: v}}
+func lits(link structdiff.Link, v string) []structdiff.LitArg {
+	return []structdiff.LitArg{{Link: link, Value: v}}
 }
 
-func checkAndPatch(sch *sig.Schema, mt *mtree.MTree, d *truechange.Script, name string) {
-	if err := truechange.WellTyped(sch, d); err != nil {
+func checkAndPatch(sch *structdiff.Schema, mt *structdiff.MTree, d *structdiff.Script, name string) {
+	if err := structdiff.WellTyped(sch, d); err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
 	if err := mt.Comply(d); err != nil {

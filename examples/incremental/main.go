@@ -11,10 +11,9 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/datalog"
-	"repro/internal/inca"
-	"repro/internal/pylang"
-	"repro/internal/truediff"
+	"repro/structdiff"
+	"repro/structdiff/analysis"
+	"repro/structdiff/langs/pylang"
 )
 
 // versions simulates an editing session on one module.
@@ -59,9 +58,9 @@ def total(xs):
 
 func main() {
 	f := pylang.NewFactory()
-	differ := truediff.New(f.Schema())
+	differ := structdiff.NewDiffer(f.Schema())
 
-	driver, err := inca.NewDriver(f.Schema(), inca.StandardRules(), inca.NewOneToOne())
+	driver, err := analysis.NewDriver(f.Schema(), analysis.StandardRules(), analysis.NewOneToOne())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,14 +103,14 @@ func main() {
 }
 
 // report prints what the analysis currently derives.
-func report(d *inca.Driver, version int) {
-	funcs := d.Engine.Query(inca.PredNode, datalog.Var("F"), "FuncDef")
+func report(d *analysis.Driver, version int) {
+	funcs := d.Engine.Query(analysis.PredNode, analysis.Var("F"), "FuncDef")
 	fmt.Printf("version %d: %d functions analyzed, %d inFunc facts\n",
 		version, len(funcs), d.Engine.Count("inFunc"))
 	for _, fn := range funcs {
-		returns := d.Engine.Query("funcReturn", fn[0], datalog.Var("R"))
+		returns := d.Engine.Query("funcReturn", fn[0], analysis.Var("R"))
 		// The function name is a literal fact on the FuncDef node.
-		names := d.Engine.Query(inca.PredLit, fn[0], "name", datalog.Var("V"))
+		names := d.Engine.Query(analysis.PredLit, fn[0], "name", analysis.Var("V"))
 		name := "?"
 		if len(names) == 1 {
 			name = fmt.Sprint(names[0][2])

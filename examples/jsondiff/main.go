@@ -12,10 +12,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/jsonlang"
-	"repro/internal/mtree"
-	"repro/internal/truechange"
-	"repro/internal/truediff"
+	"repro/structdiff"
+	"repro/structdiff/langs/jsonlang"
 )
 
 const before = `{
@@ -55,21 +53,21 @@ func main() {
 	}
 	fmt.Printf("documents: %d and %d nodes\n\n", src.Size(), dst.Size())
 
-	d := truediff.New(codec.Schema())
-	res, err := d.Diff(src, dst, codec.Alloc())
+	res, err := structdiff.Diff(src, dst,
+		structdiff.WithSchema(codec.Schema()), structdiff.WithAllocator(codec.Alloc()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("edit script:")
 	fmt.Println(res.Script)
-	fmt.Println("breakdown:", truechange.ComputeStats(res.Script))
+	fmt.Println("breakdown:", structdiff.ComputeStats(res.Script))
 
 	// Type-check and apply — the patch is a valid transformation of the
 	// typed JSON document.
-	if err := truechange.WellTyped(codec.Schema(), res.Script); err != nil {
+	if err := structdiff.WellTyped(codec.Schema(), res.Script); err != nil {
 		log.Fatal(err)
 	}
-	doc, err := mtree.FromTree(codec.Schema(), src)
+	doc, err := structdiff.MTreeFromTree(codec.Schema(), src)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +87,7 @@ func main() {
 	}
 	fmt.Printf("\nwire format: %d bytes for a %d-node document:\n%s\n",
 		len(wire), src.Size(), wire)
-	var back truechange.Script
+	var back structdiff.Script
 	if err := json.Unmarshal(wire, &back); err != nil {
 		log.Fatal(err)
 	}

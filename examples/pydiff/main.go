@@ -12,12 +12,10 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/gumtree"
-	"repro/internal/hdiff"
-	"repro/internal/mtree"
-	"repro/internal/pylang"
-	"repro/internal/truechange"
-	"repro/internal/truediff"
+	"repro/structdiff"
+	"repro/structdiff/baselines/gumtree"
+	"repro/structdiff/baselines/hdiff"
+	"repro/structdiff/langs/pylang"
 )
 
 const before = `import backend
@@ -92,8 +90,8 @@ func main() {
 	}
 	fmt.Printf("parsed: %d nodes before, %d nodes after\n\n", src.Size(), dst.Size())
 
-	differ := truediff.New(f.Schema())
-	res, err := differ.Diff(src, dst, f.Alloc())
+	res, err := structdiff.Diff(src, dst,
+		structdiff.WithSchema(f.Schema()), structdiff.WithAllocator(f.Alloc()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,10 +99,10 @@ func main() {
 	fmt.Println(res.Script)
 
 	// Verify: well-typed and correct.
-	if err := truechange.WellTyped(f.Schema(), res.Script); err != nil {
+	if err := structdiff.WellTyped(f.Schema(), res.Script); err != nil {
 		log.Fatal(err)
 	}
-	mt, err := mtree.FromTree(f.Schema(), src)
+	mt, err := structdiff.MTreeFromTree(f.Schema(), src)
 	if err != nil {
 		log.Fatal(err)
 	}

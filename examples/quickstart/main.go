@@ -1,6 +1,7 @@
-// Quickstart: diff two expression trees with truediff, inspect the
-// truechange edit script, type-check it, and apply it via the standard
-// semantics. This walks through the paper's running example from §1/§2:
+// Quickstart: diff two expression trees through the structdiff facade,
+// inspect the truechange edit script, type-check it, and apply it via the
+// standard semantics. This walks through the paper's running example from
+// §1/§2:
 //
 //	diff( Add(Sub(a,b), Mul(c,d)), Add(d, Mul(c, Sub(a,b))) )
 //
@@ -11,10 +12,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/exp"
-	"repro/internal/mtree"
-	"repro/internal/truechange"
-	"repro/internal/truediff"
+	"repro/structdiff"
+	"repro/structdiff/langs/exp"
 )
 
 func main() {
@@ -32,8 +31,9 @@ func main() {
 	fmt.Println("target:", target)
 
 	// 2. Diff: truediff yields a concise, type-safe truechange script.
-	differ := truediff.New(b.Schema())
-	res, err := differ.Diff(source, target, b.Alloc())
+	res, err := structdiff.Diff(source, target,
+		structdiff.WithSchema(b.Schema()),
+		structdiff.WithAllocator(b.Alloc()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,14 +44,14 @@ func main() {
 
 	// 3. Type-check the script against the linear type system (Fig. 3):
 	// every intermediate tree is well-typed, no roots or slots leak.
-	if err := truechange.WellTyped(b.Schema(), res.Script); err != nil {
+	if err := structdiff.WellTyped(b.Schema(), res.Script); err != nil {
 		log.Fatal("script is ill-typed: ", err)
 	}
 	fmt.Println("\nlinear type check: ok — all intermediate trees are well-typed")
 
 	// 4. Apply the script with the standard semantics (Fig. 2): a mutable
 	// tree with an index of all nodes, constant time per edit.
-	mt, err := mtree.FromTree(b.Schema(), source)
+	mt, err := structdiff.MTreeFromTree(b.Schema(), source)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,6 +65,14 @@ func main() {
 	fmt.Println("patched tree equals the target ✓")
 
 	// 5. The returned patched tree reuses source subtrees (same URIs) and
-	// can drive the next diff in an incremental pipeline.
+	// can drive the next diff in an incremental pipeline. The one-call
+	// structdiff.Patch is the immutable-tree equivalent of step 4.
 	fmt.Println("\npatched (immutable, URIs preserved):", res.Patched)
+	patched, err := structdiff.Patch(source, res.Script, structdiff.WithSchema(b.Schema()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !structdiff.TreesEqual(patched, res.Patched) {
+		log.Fatal("structdiff.Patch disagrees with the differ's patched tree")
+	}
 }

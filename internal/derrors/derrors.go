@@ -1,0 +1,40 @@
+// Package derrors declares the sentinel errors shared by the diffing
+// pipeline. It is a leaf package so that every layer — tree construction,
+// the truechange type checker, the standard semantics, the truediff
+// algorithm, and the batch engine — can classify its failures with the same
+// values, and so that the public structdiff facade can re-export them
+// without import cycles.
+//
+// All sentinels are returned wrapped (via %w) with operation-specific
+// context; match them with errors.Is, never by string comparison.
+package derrors
+
+import "errors"
+
+var (
+	// ErrNilTree reports a nil source or target tree on a diff or patch
+	// entry point.
+	ErrNilTree = errors.New("nil input tree")
+
+	// ErrSchemaMismatch reports a tree that uses constructor tags not
+	// declared in the schema it is diffed or patched under.
+	ErrSchemaMismatch = errors.New("tree does not conform to schema")
+
+	// ErrIllTyped reports an edit script rejected by the truechange linear
+	// type system (paper Fig. 3): an intermediate tree would be ill-typed,
+	// or roots/slots would leak.
+	ErrIllTyped = errors.New("edit script is ill-typed")
+
+	// ErrNonCompliantScript reports an edit script that does not comply
+	// with the tree it is applied to (Definition 3.5): it mentions URIs,
+	// tags, or links the evolving tree does not have.
+	ErrNonCompliantScript = errors.New("edit script does not comply with tree")
+
+	// ErrBadMatching reports an externally supplied node matching that is
+	// not one-to-one.
+	ErrBadMatching = errors.New("matching is not one-to-one")
+
+	// ErrNoSchema reports a facade call that requires a schema but received
+	// none (structdiff.WithSchema was not passed).
+	ErrNoSchema = errors.New("no schema provided")
+)

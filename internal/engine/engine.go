@@ -1,0 +1,383 @@
+// Package engine runs truediff at corpus scale: batches of (source, target)
+// tree pairs are fanned over a bounded worker pool, per-diff working state
+// (subtree registries, assignment maps, edit buffers, selection heaps) is
+// recycled through a sync.Pool instead of reallocated per diff, and the
+// tree-preparation work that dominates truediff's cost (paper §6) is
+// amortized across the batch at two levels:
+//
+//   - a whole-tree intern store keyed by content digest makes re-ingesting
+//     a tree the engine has seen before a map lookup instead of a clone —
+//     the common case in a version-history replay, where one commit's
+//     "after" is the next commit's "before";
+//   - a cross-diff digest memo shared by all workers avoids rehashing
+//     subtrees that recur across caller-allocated ingests — unchanged files
+//     recur commit after commit, and idiomatic code repeats whole
+//     sub-expressions (ROADMAP: corpus-scale workloads).
+//
+// The engine is the concurrency boundary of the system: a Differ is
+// immutable and an Engine adds only concurrency-safe state on top (the
+// intern store, the striped memo, the scratch pool, atomic counters), so
+// one Engine may be shared freely between goroutines. Trees enter the
+// engine through Ingest; batches run through DiffBatch, which honours
+// context cancellation; cumulative counters are read with Snapshot.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+// Config configures an Engine. The zero value is usable: paper-standard
+// diff options, SHA-256 hashing, one worker per CPU, memo enabled.
+type Config struct {
+	// Workers bounds the goroutines a DiffBatch fans out over. Zero or
+	// negative selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Diff configures the underlying differ (equivalence mode, selection
+	// order, literal-mismatch handling).
+	Diff truediff.Options
+	// Hash selects the subtree hash used by Ingest. The zero value is
+	// tree.SHA256, the paper's choice.
+	Hash tree.HashKind
+	// DisableMemo turns off the cross-diff digest memo; Ingest then hashes
+	// every subtree from scratch. Intended for ablation measurements.
+	DisableMemo bool
+}
+
+// Engine diffs batches of tree pairs concurrently. Create one with New and
+// share it between goroutines; all methods are concurrency-safe.
+type Engine struct {
+	sch    *sig.Schema
+	differ *truediff.Differ
+	cfg    Config
+	memo   *tree.DigestMemo
+	pool   sync.Pool // of *truediff.Scratch
+	store  treeStore
+	uris   struct {
+		mu   sync.Mutex
+		next uri.URI
+	}
+	m metrics
+}
+
+// treeStore interns engine-managed trees by content digest, so ingesting a
+// tree the engine has seen before — the common case in a version-history
+// replay, where one commit's "after" is the next commit's "before" — returns
+// the already-ingested tree instead of cloning and hashing a new one.
+// Interned trees are immutable and live in the engine's own URI space, so
+// sharing them between pairs (even concurrently, even as both sides of one
+// pair) is safe.
+type treeStore struct {
+	mu sync.RWMutex
+	m  map[string]*tree.Node
+}
+
+func (s *treeStore) get(key string) *tree.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[key]
+}
+
+// put interns n under key, keeping the first tree stored: a racing duplicate
+// ingest returns the canonical tree so later pointer comparisons hold.
+func (s *treeStore) put(key string, n *tree.Node) *tree.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*tree.Node)
+	}
+	if old := s.m[key]; old != nil {
+		return old
+	}
+	s.m[key] = n
+	return n
+}
+
+func (s *treeStore) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// reserveBlock carves n consecutive URIs out of the engine's URI space,
+// first advancing it past min, and returns the URI just before the block
+// (i.e. an allocator that Reserved the returned value hands out exactly the
+// block). Engine-managed trees and the scripts diffed over them draw from
+// this one space, so their URIs never collide even across shared trees.
+func (e *Engine) reserveBlock(min uri.URI, n int) uri.URI {
+	e.uris.mu.Lock()
+	if e.uris.next < min {
+		e.uris.next = min
+	}
+	base := e.uris.next
+	e.uris.next += uri.URI(n)
+	e.uris.mu.Unlock()
+	return base
+}
+
+// New returns an Engine for trees of the given schema.
+func New(sch *sig.Schema, cfg Config) *Engine {
+	e := &Engine{
+		sch:    sch,
+		differ: truediff.NewWithOptions(sch, cfg.Diff),
+		cfg:    cfg,
+	}
+	if !cfg.DisableMemo {
+		// The namespace partitions memo keys by schema and hash kind, so
+		// digests cached for one language or algorithm can never leak into
+		// another if a memo were ever shared more widely.
+		e.memo = tree.NewDigestMemo(fmt.Sprintf("%s#%d|", sch.Fingerprint(), cfg.Hash))
+	}
+	e.pool.New = func() any {
+		e.m.poolMisses.Add(1)
+		return truediff.NewScratch()
+	}
+	return e
+}
+
+// Schema returns the schema the engine diffs against.
+func (e *Engine) Schema() *sig.Schema { return e.sch }
+
+// Differ exposes the underlying (immutable, goroutine-safe) differ.
+func (e *Engine) Differ() *truediff.Differ { return e.differ }
+
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Ingest prepares a tree for diffing through this engine.
+//
+// With a non-nil alloc, Ingest clones root with fresh URIs from alloc and
+// hashes the clone against the engine's shared digest memo, so subtrees
+// whose digests were computed for any earlier ingest are not rehashed. The
+// returned tree is what Clone would have produced; only the hashing work
+// differs. Use this mode when the caller owns the URI space (e.g. to keep
+// URIs small and deterministic per document).
+//
+// With a nil alloc, the tree enters the engine-managed store: its URIs come
+// from the engine's own space (globally unique across everything the engine
+// has ingested), and trees are interned by content digest — re-ingesting a
+// content-identical tree returns the previously ingested tree outright, at
+// the cost of a single map lookup. This is the fast path for batch replays,
+// where consecutive versions of a document share endpoints. Trees that
+// already carry digests of the engine's hash kind are admitted by copying
+// those digests (digests never depend on URIs), skipping hashing entirely.
+func (e *Engine) Ingest(root *tree.Node, alloc *uri.Allocator) *tree.Node {
+	if root == nil {
+		return nil
+	}
+	if alloc != nil {
+		c := tree.CloneMemo(root, alloc, e.cfg.Hash, e.memo)
+		e.m.ingestedTrees.Add(1)
+		e.m.ingestedNodes.Add(uint64(c.Size()))
+		return c
+	}
+	prehashed := tree.HashedWith(root, e.cfg.Hash)
+	if prehashed {
+		if c := e.store.get(root.ExactHash()); c != nil {
+			e.m.storeHits.Add(1)
+			return c
+		}
+	}
+	la := uri.NewAllocator()
+	la.Reserve(e.reserveBlock(0, root.Size()))
+	var c *tree.Node
+	if prehashed {
+		c = tree.CloneKeepDigests(root, la)
+	} else {
+		c = tree.CloneMemo(root, la, e.cfg.Hash, e.memo)
+	}
+	e.m.storeMisses.Add(1)
+	e.m.ingestedTrees.Add(1)
+	e.m.ingestedNodes.Add(uint64(c.Size()))
+	return e.store.put(c.ExactHash(), c)
+}
+
+// Pair is one diffing task of a batch.
+type Pair struct {
+	Source *tree.Node
+	Target *tree.Node
+	// Alloc supplies fresh URIs for nodes the diff loads. It must dominate
+	// every URI in Source and Target (pass the allocator the trees were
+	// built or ingested with). If nil, the engine carves a URI block out of
+	// its own space, past every URI of both trees — the right choice for
+	// engine-managed (nil-alloc-ingested) trees, whose URI numbering then
+	// stays globally collision-free, at the cost of load URIs that depend
+	// on batch scheduling. Allocators are not concurrency-safe, so pairs of
+	// one batch must not share an Alloc.
+	Alloc *uri.Allocator
+}
+
+// DiffStats instruments one diff of a batch.
+type DiffStats struct {
+	// Wall is the time the diff itself took (excluding queueing).
+	Wall time.Duration
+	// Edits is the script's compound edit count, the paper's conciseness
+	// metric.
+	Edits int
+	// SourceSize and TargetSize count the nodes of the input trees.
+	SourceSize int
+	TargetSize int
+	// ReuseRatio is the fraction of target nodes obtained by reusing
+	// source nodes rather than loading fresh ones: 1 means the diff moved
+	// and updated existing structure only, 0 means it rebuilt everything.
+	ReuseRatio float64
+}
+
+// PairResult is the outcome of one diffing task.
+type PairResult struct {
+	Result *truediff.Result
+	Stats  DiffStats
+	Err    error
+}
+
+// Diff runs a single diff through the engine: scratch state is drawn from
+// the pool and the per-diff counters feed Snapshot. See truediff.Differ.Diff
+// for the contract on source, target, and alloc.
+func (e *Engine) Diff(ctx context.Context, source, target *tree.Node, alloc *uri.Allocator) (*truediff.Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	pr := e.diffOne(Pair{Source: source, Target: target, Alloc: alloc})
+	return pr.Result, pr.Err
+}
+
+// DiffBatch diffs every pair, fanning the work over the engine's worker
+// pool, and returns one result per pair, index-aligned with pairs. A failed
+// pair carries its error in its slot; DiffBatch itself only returns an
+// error when ctx is cancelled, in which case pairs that never ran have
+// their Err set to the context error.
+func (e *Engine) DiffBatch(ctx context.Context, pairs []Pair) ([]PairResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.m.batches.Add(1)
+	results := make([]PairResult, len(pairs))
+	if len(pairs) == 0 {
+		return results, ctx.Err()
+	}
+
+	workers := e.workers()
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// Each slot of results is written by exactly one worker, so no
+			// further synchronization is needed beyond wg.Wait.
+			for i := range idx {
+				results[i] = e.diffOne(pairs[i])
+			}
+		}()
+	}
+
+	cancelled := false
+feed:
+	for i := range pairs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			cancelled = true
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if cancelled {
+		err := fmt.Errorf("engine: batch cancelled: %w", context.Cause(ctx))
+		for i := range results {
+			if results[i].Result == nil && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// diffOne executes one task with pooled scratch state.
+func (e *Engine) diffOne(p Pair) PairResult {
+	if p.Source != nil && p.Source == p.Target {
+		// Interned trees make content equality a pointer comparison: both
+		// ingests hit the same store entry, so the minimal script is empty
+		// and the patched tree is the source itself.
+		st := DiffStats{
+			SourceSize: p.Source.Size(),
+			TargetSize: p.Target.Size(),
+			ReuseRatio: 1,
+		}
+		e.m.diffs.Add(1)
+		e.m.sourceNodes.Add(uint64(st.SourceSize))
+		e.m.targetNodes.Add(uint64(st.TargetSize))
+		return PairResult{
+			Result: &truediff.Result{Script: &truechange.Script{}, Patched: p.Source},
+			Stats:  st,
+		}
+	}
+
+	e.m.poolGets.Add(1)
+	s := e.pool.Get().(*truediff.Scratch)
+	defer e.pool.Put(s)
+
+	alloc := p.Alloc
+	if alloc == nil && p.Source != nil && p.Target != nil {
+		// Carve a load-URI block out of the engine's space, past every URI
+		// of both trees. A diff loads at most TargetSize fresh nodes, so the
+		// block is always large enough, and blocks never overlap, so a
+		// patched tree's URIs stay unique engine-wide.
+		var max uri.URI
+		walkMax := func(n *tree.Node) {
+			if n.URI > max {
+				max = n.URI
+			}
+		}
+		tree.Walk(p.Source, walkMax)
+		tree.Walk(p.Target, walkMax)
+		alloc = uri.NewAllocator()
+		alloc.Reserve(e.reserveBlock(max, p.Target.Size()))
+	}
+
+	start := time.Now()
+	res, err := e.differ.DiffScratch(p.Source, p.Target, alloc, s)
+	wall := time.Since(start)
+	if err != nil {
+		e.m.errors.Add(1)
+		return PairResult{Err: err}
+	}
+
+	st := DiffStats{
+		Wall:       wall,
+		Edits:      res.Script.EditCount(),
+		SourceSize: p.Source.Size(),
+		TargetSize: p.Target.Size(),
+	}
+	if st.TargetSize > 0 {
+		loads := truechange.ComputeStats(res.Script).Loads
+		st.ReuseRatio = float64(st.TargetSize-loads) / float64(st.TargetSize)
+	}
+	e.m.diffs.Add(1)
+	e.m.edits.Add(uint64(st.Edits))
+	e.m.sourceNodes.Add(uint64(st.SourceSize))
+	e.m.targetNodes.Add(uint64(st.TargetSize))
+	e.m.wallNanos.Add(uint64(wall.Nanoseconds()))
+	return PairResult{Result: res, Stats: st}
+}

@@ -1,0 +1,467 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/derrors"
+	"repro/internal/exp"
+	"repro/internal/mtree"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+// testPair is one generated diffing task together with an independent,
+// identically-numbered copy for the sequential reference run: both sides
+// are cloned with fresh allocators in the same state, so a deterministic
+// differ must produce identical scripts for them.
+type testPair struct {
+	pair     Pair
+	refSrc   *tree.Node
+	refDst   *tree.Node
+	refAlloc *uri.Allocator
+}
+
+func makePairs(tb testing.TB, n int) []testPair {
+	tb.Helper()
+	pairs := make([]testPair, n)
+	for i := range pairs {
+		g := exp.NewGen(int64(1000 + i))
+		before := g.Tree(80 + 40*(i%4))
+		after := g.MutateN(before, 1+i%5)
+
+		allocA := uri.NewAllocator()
+		srcA := tree.Clone(before, allocA, tree.SHA256)
+		dstA := tree.Clone(after, allocA, tree.SHA256)
+
+		allocB := uri.NewAllocator()
+		srcB := tree.Clone(before, allocB, tree.SHA256)
+		dstB := tree.Clone(after, allocB, tree.SHA256)
+
+		pairs[i] = testPair{
+			pair:     Pair{Source: srcA, Target: dstA, Alloc: allocA},
+			refSrc:   srcB,
+			refDst:   dstB,
+			refAlloc: allocB,
+		}
+	}
+	return pairs
+}
+
+func enginePairs(tps []testPair) []Pair {
+	ps := make([]Pair, len(tps))
+	for i, tp := range tps {
+		ps[i] = tp.pair
+	}
+	return ps
+}
+
+// TestBatchMatchesSequential is the engine's core correctness property:
+// a concurrent batch produces, pair for pair, exactly the script and
+// patched tree a fresh sequential differ produces. Run with -race this
+// also exercises the memo striping and the scratch pool under contention.
+func TestBatchMatchesSequential(t *testing.T) {
+	tps := makePairs(t, 24)
+	e := New(exp.Schema(), Config{Workers: 8})
+	results, err := e.DiffBatch(context.Background(), enginePairs(tps))
+	if err != nil {
+		t.Fatalf("DiffBatch: %v", err)
+	}
+
+	d := truediff.New(exp.Schema())
+	for i, tp := range tps {
+		if results[i].Err != nil {
+			t.Fatalf("pair %d: %v", i, results[i].Err)
+		}
+		want, err := d.Diff(tp.refSrc, tp.refDst, tp.refAlloc)
+		if err != nil {
+			t.Fatalf("pair %d sequential: %v", i, err)
+		}
+		got := results[i].Result
+		if !reflect.DeepEqual(got.Script.Edits, want.Script.Edits) {
+			t.Errorf("pair %d: batch script differs from sequential script\nbatch: %v\nseq:   %v",
+				i, got.Script.Edits, want.Script.Edits)
+		}
+		if !tree.Equal(got.Patched, want.Patched) {
+			t.Errorf("pair %d: batch patched tree differs from sequential", i)
+		}
+		if !tree.Equal(got.Patched, tp.pair.Target) {
+			t.Errorf("pair %d: patched tree does not equal the target", i)
+		}
+	}
+}
+
+// TestScratchRecyclingLeavesNoTrace runs two identical batches through a
+// single-worker engine, so the second batch demonstrably runs on recycled
+// scratch state (registry, assignment map, edit buffer, heap). Any state
+// leaking across diffs would perturb the second batch's scripts.
+func TestScratchRecyclingLeavesNoTrace(t *testing.T) {
+	first := makePairs(t, 12)
+	second := makePairs(t, 12) // identical by construction (same seeds)
+
+	e := New(exp.Schema(), Config{Workers: 1})
+	r1, err := e.DiffBatch(context.Background(), enginePairs(first))
+	if err != nil {
+		t.Fatalf("batch 1: %v", err)
+	}
+	r2, err := e.DiffBatch(context.Background(), enginePairs(second))
+	if err != nil {
+		t.Fatalf("batch 2: %v", err)
+	}
+	for i := range r1 {
+		if r1[i].Err != nil || r2[i].Err != nil {
+			t.Fatalf("pair %d: errs %v / %v", i, r1[i].Err, r2[i].Err)
+		}
+		if !reflect.DeepEqual(r1[i].Result.Script.Edits, r2[i].Result.Script.Edits) {
+			t.Errorf("pair %d: recycled scratch changed the script", i)
+		}
+	}
+	if snap := e.Snapshot(); snap.PoolHitRate <= 0 {
+		t.Errorf("pool hit rate = %v, want > 0 after %d diffs on 1 worker", snap.PoolHitRate, snap.Diffs)
+	}
+}
+
+// TestDiffBatchCancel checks that a cancelled context stops the batch: the
+// call reports the cancellation and pairs that never ran carry it as their
+// error.
+func TestDiffBatchCancel(t *testing.T) {
+	tps := makePairs(t, 64)
+	e := New(exp.Schema(), Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	results, err := e.DiffBatch(ctx, enginePairs(tps))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DiffBatch error = %v, want context.Canceled", err)
+	}
+	skipped := 0
+	for _, r := range results {
+		if r.Err != nil && errors.Is(r.Err, context.Canceled) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("no pair carries the cancellation error")
+	}
+}
+
+// TestErrorsSurfacePerPair checks that a failing pair does not fail the
+// batch: its slot carries a typed error and the other pairs complete.
+func TestErrorsSurfacePerPair(t *testing.T) {
+	tps := makePairs(t, 2)
+
+	foreign := sig.NewSchema("foreign")
+	foreign.MustDeclare(sig.Sig{Tag: "Alien", Result: "Thing"})
+	falloc := uri.NewAllocator()
+	alien, err := tree.New(foreign, falloc, "Alien", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pairs := []Pair{
+		tps[0].pair,
+		{Source: nil, Target: tps[1].pair.Target},
+		{Source: alien, Target: tps[1].pair.Target, Alloc: falloc},
+	}
+	e := New(exp.Schema(), Config{Workers: 4})
+	results, err := e.DiffBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatalf("DiffBatch: %v", err)
+	}
+	if results[0].Err != nil || results[0].Result == nil {
+		t.Errorf("healthy pair failed: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, derrors.ErrNilTree) {
+		t.Errorf("nil-source pair: err = %v, want ErrNilTree", results[1].Err)
+	}
+	if !errors.Is(results[2].Err, derrors.ErrSchemaMismatch) {
+		t.Errorf("foreign-schema pair: err = %v, want ErrSchemaMismatch", results[2].Err)
+	}
+	if snap := e.Snapshot(); snap.Errors != 2 {
+		t.Errorf("Snapshot().Errors = %d, want 2", snap.Errors)
+	}
+}
+
+// TestSnapshotCounters checks the instrumentation a batch leaves behind.
+func TestSnapshotCounters(t *testing.T) {
+	tps := makePairs(t, 16)
+	e := New(exp.Schema(), Config{Workers: 4})
+	results, err := e.DiffBatch(context.Background(), enginePairs(tps))
+	if err != nil {
+		t.Fatalf("DiffBatch: %v", err)
+	}
+
+	snap := e.Snapshot()
+	if snap.Diffs != 16 {
+		t.Errorf("Diffs = %d, want 16", snap.Diffs)
+	}
+	if snap.Batches != 1 {
+		t.Errorf("Batches = %d, want 1", snap.Batches)
+	}
+	if snap.PoolGets != 16 {
+		t.Errorf("PoolGets = %d, want 16", snap.PoolGets)
+	}
+	if snap.PoolMisses > snap.PoolGets {
+		t.Errorf("PoolMisses = %d > PoolGets = %d", snap.PoolMisses, snap.PoolGets)
+	}
+	var edits, srcN, dstN int
+	for _, r := range results {
+		edits += r.Stats.Edits
+		srcN += r.Stats.SourceSize
+		dstN += r.Stats.TargetSize
+		if r.Stats.Wall <= 0 {
+			t.Error("per-diff wall time not recorded")
+		}
+		if r.Stats.ReuseRatio < 0 || r.Stats.ReuseRatio > 1 {
+			t.Errorf("ReuseRatio = %v out of range", r.Stats.ReuseRatio)
+		}
+	}
+	if snap.Edits != uint64(edits) {
+		t.Errorf("Edits = %d, want sum of per-diff edits %d", snap.Edits, edits)
+	}
+	if snap.SourceNodes != uint64(srcN) || snap.TargetNodes != uint64(dstN) {
+		t.Errorf("node totals = %d+%d, want %d+%d", snap.SourceNodes, snap.TargetNodes, srcN, dstN)
+	}
+	if snap.NodesPerSecond() <= 0 {
+		t.Error("NodesPerSecond should be positive after a batch")
+	}
+	if snap.String() == "" {
+		t.Error("empty snapshot rendering")
+	}
+}
+
+// TestIngestMemoReusesDigests ingests the same tree twice and expects the
+// second pass to be served from the digest memo, with clones identical to
+// what plain Clone produces.
+func TestIngestMemoReusesDigests(t *testing.T) {
+	g := exp.NewGen(7)
+	orig := g.Tree(200)
+	e := New(g.Schema(), Config{})
+
+	c1 := e.Ingest(orig, uri.NewAllocator())
+	afterFirst := e.Snapshot()
+	c2 := e.Ingest(orig, uri.NewAllocator())
+	afterSecond := e.Snapshot()
+
+	plain := tree.Clone(orig, uri.NewAllocator(), tree.SHA256)
+	for _, c := range []*tree.Node{c1, c2} {
+		if !tree.Equal(c, plain) {
+			t.Fatal("memoized clone differs from plain clone")
+		}
+		if c.StructHash() != plain.StructHash() || c.LitHash() != plain.LitHash() {
+			t.Fatal("memoized digests differ from freshly computed digests")
+		}
+	}
+	if afterFirst.MemoMisses == 0 {
+		t.Error("first ingest should populate the memo")
+	}
+	if gained := afterSecond.MemoHits - afterFirst.MemoHits; gained == 0 {
+		t.Error("second ingest of the same tree should hit the memo")
+	}
+	if afterSecond.IngestedTrees != 2 {
+		t.Errorf("IngestedTrees = %d, want 2", afterSecond.IngestedTrees)
+	}
+	if afterSecond.MemoEntries == 0 {
+		t.Error("memo should hold entries")
+	}
+}
+
+// TestIngestMemoDisabled checks the ablation switch.
+func TestIngestMemoDisabled(t *testing.T) {
+	g := exp.NewGen(8)
+	orig := g.Tree(64)
+	e := New(g.Schema(), Config{DisableMemo: true})
+	c := e.Ingest(orig, nil)
+	if !tree.Equal(c, orig) {
+		t.Fatal("ingest without memo should still clone faithfully")
+	}
+	snap := e.Snapshot()
+	if snap.MemoHits != 0 || snap.MemoMisses != 0 || snap.MemoEntries != 0 {
+		t.Errorf("disabled memo reported activity: %+v", snap)
+	}
+}
+
+// TestIngestInternsTrees checks engine-managed ingest (nil allocator):
+// content-identical trees — even ones built by different factories with
+// different URI numberings — intern to the same node, and the store
+// counters record the hit.
+func TestIngestInternsTrees(t *testing.T) {
+	gA, gB := exp.NewGen(9), exp.NewGen(9)
+	a, b := gA.Tree(120), gB.Tree(120) // same seed, same content, fresh URIs
+
+	e := New(gA.Schema(), Config{})
+	ia := e.Ingest(a, nil)
+	ib := e.Ingest(b, nil)
+	if ia != ib {
+		t.Fatal("content-identical trees should intern to the same node")
+	}
+	if !tree.Equal(ia, a) {
+		t.Fatal("interned tree differs from its original")
+	}
+	snap := e.Snapshot()
+	if snap.StoreHits != 1 || snap.StoreMisses != 1 || snap.StoreEntries != 1 {
+		t.Errorf("store counters = %d hits / %d misses / %d entries, want 1/1/1",
+			snap.StoreHits, snap.StoreMisses, snap.StoreEntries)
+	}
+	if snap.StoreHitRate != 0.5 {
+		t.Errorf("StoreHitRate = %v, want 0.5", snap.StoreHitRate)
+	}
+	// Interned trees skip hashing when the input already carries digests of
+	// the engine's kind, so the memo must not have been touched.
+	if snap.MemoMisses != 0 {
+		t.Errorf("pre-hashed ingest touched the digest memo: %d misses", snap.MemoMisses)
+	}
+	// A different tree must not be conflated.
+	ic := e.Ingest(gA.MutateN(a, 2), nil)
+	if ic == ia {
+		t.Fatal("distinct trees interned to the same node")
+	}
+}
+
+// TestEngineManagedBatch diffs a version chain through the store: every
+// pair's trees are ingested with nil allocators, sharing interned endpoints.
+// The scripts must be well-typed and patch each source into its target, and
+// every re-ingested endpoint must come from the store.
+func TestEngineManagedBatch(t *testing.T) {
+	g := exp.NewGen(11)
+	const steps = 8
+	versions := make([]*tree.Node, steps+1)
+	versions[0] = g.Tree(150)
+	for i := 1; i <= steps; i++ {
+		versions[i] = g.MutateN(versions[i-1], 1+i%3)
+	}
+
+	e := New(g.Schema(), Config{Workers: 4})
+	pairs := make([]Pair, steps)
+	for i := range pairs {
+		// Before_i equals After_{i-1}, so all but the first Source hit the
+		// store; the shared node then serves as Target of one pair and
+		// Source of the next, concurrently.
+		pairs[i] = Pair{
+			Source: e.Ingest(versions[i], nil),
+			Target: e.Ingest(versions[i+1], nil),
+		}
+	}
+	results, err := e.DiffBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatalf("DiffBatch: %v", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("pair %d: %v", i, r.Err)
+		}
+		if err := truechange.WellTyped(g.Schema(), r.Result.Script); err != nil {
+			t.Errorf("pair %d: script ill-typed: %v", i, err)
+		}
+		if !tree.Equal(r.Result.Patched, versions[i+1]) {
+			t.Errorf("pair %d: patched tree does not equal the target version", i)
+		}
+		mt, err := mtree.FromTree(g.Schema(), pairs[i].Source)
+		if err != nil {
+			t.Fatalf("pair %d: FromTree: %v", i, err)
+		}
+		if err := mt.Patch(r.Result.Script); err != nil {
+			t.Errorf("pair %d: script does not apply to its source: %v", i, err)
+		} else if !mt.EqualTree(versions[i+1]) {
+			t.Errorf("pair %d: patching the source does not yield the target", i)
+		}
+	}
+	snap := e.Snapshot()
+	if want := uint64(steps - 1); snap.StoreHits != want {
+		t.Errorf("StoreHits = %d, want %d (every chained endpoint)", snap.StoreHits, want)
+	}
+	if snap.StoreEntries != steps+1 {
+		t.Errorf("StoreEntries = %d, want %d distinct versions", snap.StoreEntries, steps+1)
+	}
+}
+
+// TestIdenticalPairShortCircuits checks the interning payoff inside the
+// differ: a pair whose endpoints interned to the same node yields an empty
+// script without running the diff at all.
+func TestIdenticalPairShortCircuits(t *testing.T) {
+	g := exp.NewGen(12)
+	v := g.Tree(100)
+	e := New(g.Schema(), Config{})
+	src := e.Ingest(v, nil)
+	dst := e.Ingest(v, nil)
+
+	res, err := e.Diff(context.Background(), src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Script.Len() != 0 {
+		t.Errorf("identical pair produced %d edits, want 0", res.Script.Len())
+	}
+	if res.Patched != src {
+		t.Error("identical pair should return the source as the patched tree")
+	}
+	snap := e.Snapshot()
+	if snap.PoolGets != 0 {
+		t.Errorf("identical pair checked out scratch state (%d gets)", snap.PoolGets)
+	}
+	if snap.Diffs != 1 {
+		t.Errorf("Diffs = %d, want 1 (fast path still counts)", snap.Diffs)
+	}
+}
+
+// TestEngineManagedMatchesExplicit cross-validates the two ingest modes:
+// the same content diffed through the store (engine URI space) and through
+// caller allocators must produce scripts of identical shape — the same
+// per-kind edit counts — and equal patched content. Only URI numbering may
+// differ.
+func TestEngineManagedMatchesExplicit(t *testing.T) {
+	tps := makePairs(t, 6)
+	e := New(exp.Schema(), Config{Workers: 2})
+
+	managed := make([]Pair, len(tps))
+	for i, tp := range tps {
+		managed[i] = Pair{
+			Source: e.Ingest(tp.refSrc, nil),
+			Target: e.Ingest(tp.refDst, nil),
+		}
+	}
+	mres, err := e.DiffBatch(context.Background(), managed)
+	if err != nil {
+		t.Fatalf("managed batch: %v", err)
+	}
+	eres, err := e.DiffBatch(context.Background(), enginePairs(tps))
+	if err != nil {
+		t.Fatalf("explicit batch: %v", err)
+	}
+	for i := range tps {
+		if mres[i].Err != nil || eres[i].Err != nil {
+			t.Fatalf("pair %d: errs %v / %v", i, mres[i].Err, eres[i].Err)
+		}
+		ms := truechange.ComputeStats(mres[i].Result.Script)
+		es := truechange.ComputeStats(eres[i].Result.Script)
+		if !reflect.DeepEqual(ms, es) {
+			t.Errorf("pair %d: managed script stats %+v differ from explicit %+v", i, ms, es)
+		}
+		if !tree.Equal(mres[i].Result.Patched, eres[i].Result.Patched) {
+			t.Errorf("pair %d: managed and explicit patched trees differ in content", i)
+		}
+	}
+}
+
+// TestEngineDiffSingle covers the non-batch entry point.
+func TestEngineDiffSingle(t *testing.T) {
+	tps := makePairs(t, 1)
+	e := New(exp.Schema(), Config{})
+	res, err := e.Diff(context.Background(), tps[0].pair.Source, tps[0].pair.Target, tps[0].pair.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(res.Patched, tps[0].pair.Target) {
+		t.Error("patched tree does not equal target")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Diff(ctx, tps[0].refSrc, tps[0].refDst, tps[0].refAlloc); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Diff: err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the engine's cumulative counters. All fields are atomics so
+// workers update them without locking; Snapshot reads them without stopping
+// the world, so a snapshot taken mid-batch is internally consistent only per
+// counter (which is all the throughput arithmetic needs).
+type metrics struct {
+	diffs       atomic.Uint64
+	errors      atomic.Uint64
+	batches     atomic.Uint64
+	edits       atomic.Uint64
+	sourceNodes atomic.Uint64
+	targetNodes atomic.Uint64
+	wallNanos   atomic.Uint64
+
+	poolGets   atomic.Uint64
+	poolMisses atomic.Uint64
+
+	ingestedTrees atomic.Uint64
+	ingestedNodes atomic.Uint64
+
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+}
+
+// Snapshot is a point-in-time view of an engine's cumulative counters.
+type Snapshot struct {
+	// Diffs counts completed diffs; Errors counts failed ones (schema
+	// mismatches, nil trees). Batches counts DiffBatch invocations.
+	Diffs   uint64
+	Errors  uint64
+	Batches uint64
+
+	// Edits is the total compound edit count over all scripts produced.
+	Edits uint64
+	// SourceNodes and TargetNodes total the input tree sizes.
+	SourceNodes uint64
+	TargetNodes uint64
+	// DiffWall totals per-diff wall time. With concurrent workers it
+	// exceeds elapsed time; divide node totals by it for per-worker
+	// throughput.
+	DiffWall time.Duration
+
+	// PoolGets counts scratch-state checkouts; PoolMisses counts the ones
+	// that had to allocate fresh state. PoolHitRate is their complement's
+	// ratio (1 means every diff after warm-up recycled scratch state).
+	PoolGets    uint64
+	PoolMisses  uint64
+	PoolHitRate float64
+
+	// MemoHits and MemoMisses count digest lookups served from and added
+	// to the cross-diff memo; MemoEntries is its current size. All zero
+	// when the memo is disabled.
+	MemoHits    uint64
+	MemoMisses  uint64
+	MemoHitRate float64
+	MemoEntries int
+
+	// IngestedTrees and IngestedNodes count what passed through Ingest.
+	// Store hits (below) do not ingest anything new and are not counted
+	// here.
+	IngestedTrees uint64
+	IngestedNodes uint64
+
+	// StoreHits counts nil-alloc Ingest calls served from the engine's
+	// whole-tree intern store; StoreMisses the ones that had to clone.
+	// StoreEntries is the number of distinct trees interned. All zero when
+	// the engine is used with caller-owned allocators only.
+	StoreHits    uint64
+	StoreMisses  uint64
+	StoreHitRate float64
+	StoreEntries int
+}
+
+// Snapshot returns the engine's counters at this instant.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Diffs:         e.m.diffs.Load(),
+		Errors:        e.m.errors.Load(),
+		Batches:       e.m.batches.Load(),
+		Edits:         e.m.edits.Load(),
+		SourceNodes:   e.m.sourceNodes.Load(),
+		TargetNodes:   e.m.targetNodes.Load(),
+		DiffWall:      time.Duration(e.m.wallNanos.Load()),
+		PoolGets:      e.m.poolGets.Load(),
+		PoolMisses:    e.m.poolMisses.Load(),
+		IngestedTrees: e.m.ingestedTrees.Load(),
+		IngestedNodes: e.m.ingestedNodes.Load(),
+		StoreHits:     e.m.storeHits.Load(),
+		StoreMisses:   e.m.storeMisses.Load(),
+		StoreEntries:  e.store.len(),
+	}
+	if total := s.StoreHits + s.StoreMisses; total > 0 {
+		s.StoreHitRate = float64(s.StoreHits) / float64(total)
+	}
+	if s.PoolGets > 0 {
+		s.PoolHitRate = float64(s.PoolGets-s.PoolMisses) / float64(s.PoolGets)
+	}
+	if e.memo != nil {
+		s.MemoHits, s.MemoMisses = e.memo.Stats()
+		if total := s.MemoHits + s.MemoMisses; total > 0 {
+			s.MemoHitRate = float64(s.MemoHits) / float64(total)
+		}
+		s.MemoEntries = e.memo.Len()
+	}
+	return s
+}
+
+// NodesPerSecond is the engine's processing rate: input nodes handled per
+// second of per-diff wall time (per-worker throughput).
+func (s Snapshot) NodesPerSecond() float64 {
+	if s.DiffWall <= 0 {
+		return 0
+	}
+	return float64(s.SourceNodes+s.TargetNodes) / s.DiffWall.Seconds()
+}
+
+// String renders the snapshot on a few lines for CLI output.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"diffs %d (%d errors, %d batches), %d edits, %d+%d nodes in %v (%.0f nodes/s)\n"+
+			"scratch pool: %d gets, %d misses (%.1f%% hit)\n"+
+			"digest memo: %d hits, %d misses (%.1f%% hit), %d entries; ingested %d trees / %d nodes\n"+
+			"tree store: %d hits, %d misses (%.1f%% hit), %d trees interned",
+		s.Diffs, s.Errors, s.Batches, s.Edits, s.SourceNodes, s.TargetNodes,
+		s.DiffWall.Round(time.Millisecond), s.NodesPerSecond(),
+		s.PoolGets, s.PoolMisses, 100*s.PoolHitRate,
+		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate, s.MemoEntries,
+		s.IngestedTrees, s.IngestedNodes,
+		s.StoreHits, s.StoreMisses, 100*s.StoreHitRate, s.StoreEntries,
+	)
+}

@@ -3,6 +3,7 @@ package mtree
 import (
 	"fmt"
 
+	"repro/internal/derrors"
 	"repro/internal/sig"
 	"repro/internal/truechange"
 	"repro/internal/uri"
@@ -141,10 +142,11 @@ func (mt *MTree) Comply(s *truechange.Script) error {
 	scratch := mt.cloneShallow()
 	for i, e := range s.Edits {
 		if err := scratch.complyEdit(e, s); err != nil {
-			return fmt.Errorf("mtree: edit #%d does not comply: %w", i, err)
+			return fmt.Errorf("mtree: %w: edit #%d: %w", derrors.ErrNonCompliantScript, i, err)
 		}
 		if err := scratch.ProcessEdit(e); err != nil {
-			return fmt.Errorf("mtree: edit #%d failed while checking compliance: %w", i, err)
+			return fmt.Errorf("mtree: %w: edit #%d failed while checking compliance: %w",
+				derrors.ErrNonCompliantScript, i, err)
 		}
 	}
 	return nil

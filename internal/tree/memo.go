@@ -1,0 +1,259 @@
+package tree
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/uri"
+)
+
+// This file implements cross-diff digest reuse, the hashing half of the
+// batch engine's amortization strategy (ROADMAP: corpus-scale workloads).
+// Subtree hashing dominates truediff's cost (paper §6 attributes most of
+// the running time to tree preparation), yet across a stream of diffs the
+// same subtrees are hashed over and over: unchanged files recur commit
+// after commit, and idiomatic code repeats whole sub-expressions. Two
+// mechanisms avoid the repeated work:
+//
+//   - a DigestMemo caches digests keyed by their exact hash input, so a
+//     subtree whose (tag, kid digests) or (literals, kid digests) were
+//     already hashed — in any earlier tree sharing the memo — reuses the
+//     cached digest instead of recomputing it;
+//   - Rebuilt constructs a node content-identical to an existing template
+//     node and copies the template's digests outright, which the differ
+//     uses when assembling patched trees (every patched node is
+//     content-identical to its target counterpart by construction);
+//   - CloneKeepDigests extends the same observation to whole trees that
+//     already carry digests of the desired kind: digests never depend on
+//     URIs, so a re-numbered copy keeps them verbatim (the engine admits
+//     pre-hashed trees into its store this way, and HashedWith tells it
+//     when that is sound).
+
+// memoShards is the number of lock stripes in a DigestMemo. Striping keeps
+// concurrent engine workers from serializing on one mutex.
+const memoShards = 32
+
+// DigestMemo is a concurrency-safe cache of subtree digests keyed by their
+// hash pre-image. One memo is meant to be shared across many trees and many
+// diffs (the engine owns one per schema); the namespace string partitions
+// keys so memos fed by different schemas or hash kinds cannot collide.
+type DigestMemo struct {
+	namespace string
+	seed      maphash.Seed
+	shards    [memoShards]memoShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// NewDigestMemo returns an empty memo. The namespace is mixed into every
+// key; use a schema fingerprint (plus hash kind) so one process can run
+// memos for several tree languages side by side.
+func NewDigestMemo(namespace string) *DigestMemo {
+	dm := &DigestMemo{namespace: namespace, seed: maphash.MakeSeed()}
+	for i := range dm.shards {
+		dm.shards[i].m = make(map[string]string)
+	}
+	return dm
+}
+
+// lookup returns the cached digest for key, or computes it via fresh,
+// stores it, and returns it. Hit/miss counters feed the engine's Snapshot.
+func (dm *DigestMemo) lookup(key string, fresh func() string) string {
+	s := &dm.shards[maphash.String(dm.seed, key)%memoShards]
+	s.mu.Lock()
+	if d, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		dm.hits.Add(1)
+		return d
+	}
+	s.mu.Unlock()
+	// Compute outside the lock: digesting is the expensive part, and a
+	// duplicate computation by a racing worker is harmless (same value).
+	d := fresh()
+	s.mu.Lock()
+	s.m[key] = d
+	s.mu.Unlock()
+	dm.misses.Add(1)
+	return d
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (dm *DigestMemo) Stats() (hits, misses uint64) {
+	return dm.hits.Load(), dm.misses.Load()
+}
+
+// Len returns the number of cached digests.
+func (dm *DigestMemo) Len() int {
+	n := 0
+	for i := range dm.shards {
+		s := &dm.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// structKey builds the memo key for n's structure digest: the namespace
+// followed by the exact pre-image of hashStructure (tag and kid structure
+// digests, length-prefixed). Kids must already carry their digests.
+func (dm *DigestMemo) structKey(n *Node) string {
+	b := make([]byte, 0, len(dm.namespace)+2+len(n.Tag)+len(n.Kids)*34)
+	b = append(b, dm.namespace...)
+	b = append(b, 's')
+	b = appendLenStr(b, string(n.Tag))
+	for _, k := range n.Kids {
+		b = appendLenStr(b, k.structHash)
+	}
+	return string(b)
+}
+
+// litKey builds the memo key for n's literal digest (the pre-image of
+// hashLiterals: literal values and kid literal digests).
+func (dm *DigestMemo) litKey(n *Node) string {
+	b := make([]byte, 0, len(dm.namespace)+2+len(n.Lits)*12+len(n.Kids)*34)
+	b = append(b, dm.namespace...)
+	b = append(b, 'l')
+	for _, l := range n.Lits {
+		b = appendLit(b, l)
+	}
+	for _, k := range n.Kids {
+		b = appendLenStr(b, k.litHash)
+	}
+	return string(b)
+}
+
+// CloneMemo is Clone with digest reuse: the copy's digests are drawn from
+// the memo when their pre-images were seen before, and computed (then
+// cached) otherwise. The clone is identical to Clone's output; only the
+// hashing work differs. Safe for concurrent use with a shared memo as long
+// as alloc is not shared.
+func CloneMemo(n *Node, alloc *uri.Allocator, kind HashKind, memo *DigestMemo) *Node {
+	if memo == nil {
+		return Clone(n, alloc, kind)
+	}
+	kids := make([]*Node, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = CloneMemo(k, alloc, kind, memo)
+	}
+	c := &Node{
+		Tag:  n.Tag,
+		URI:  alloc.Fresh(),
+		Kids: kids,
+		Lits: append([]any(nil), n.Lits...),
+	}
+	h, sz := 0, 1
+	for _, k := range kids {
+		if k.height+1 > h {
+			h = k.height + 1
+		}
+		sz += k.size
+	}
+	c.height, c.size = h, sz
+	c.structHash = memo.lookup(memo.structKey(c), func() string { return hashStructure(c, kind) })
+	c.litHash = memo.lookup(memo.litKey(c), func() string { return hashLiterals(c, kind) })
+	return c
+}
+
+// Rebuilt constructs a node with the given URI, kids, and the tag and
+// literals of the template node like, copying like's digests instead of
+// recomputing them. It is valid only when the result is content-identical
+// to like: same tag, equal literal values, and kids whose digests equal
+// like's kids' digests. The differ satisfies this by construction when it
+// reassembles patched trees — each patched subtree is content-identical to
+// its target counterpart — which makes rehashing provably redundant there.
+// The URI is reserved in alloc so future allocations cannot collide.
+func Rebuilt(like *Node, alloc *uri.Allocator, u uri.URI, kids []*Node) *Node {
+	alloc.Reserve(u)
+	return &Node{
+		Tag:        like.Tag,
+		URI:        u,
+		Kids:       kids,
+		Lits:       append([]any(nil), like.Lits...),
+		height:     like.height,
+		size:       like.size,
+		structHash: like.structHash,
+		litHash:    like.litHash,
+	}
+}
+
+// HashedWith reports whether n carries digests of the given kind. A node
+// does not record the algorithm its digests were computed with, but the two
+// kinds have distinct digest sizes (32 bytes for SHA-256, 8 for FNV-64), so
+// the length identifies the kind unambiguously.
+func HashedWith(n *Node, kind HashKind) bool {
+	want := 8
+	if kind == SHA256 {
+		want = 32
+	}
+	return len(n.structHash) == want && len(n.litHash) == want
+}
+
+// CloneKeepDigests deep-copies the tree with fresh URIs from alloc, copying
+// the existing digests instead of recomputing them. Digests are functions of
+// structure and literals only — never URIs — so the copy's digests are the
+// original's by construction. Valid only when n already carries digests of
+// the desired kind (check with HashedWith); the engine uses it to admit
+// pre-hashed trees into its store without paying for hashing at all.
+func CloneKeepDigests(n *Node, alloc *uri.Allocator) *Node {
+	kids := make([]*Node, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = CloneKeepDigests(k, alloc)
+	}
+	return &Node{
+		Tag:        n.Tag,
+		URI:        alloc.Fresh(),
+		Kids:       kids,
+		Lits:       append([]any(nil), n.Lits...),
+		height:     n.height,
+		size:       n.size,
+		structHash: n.structHash,
+		litHash:    n.litHash,
+	}
+}
+
+// appendLenStr appends s length-prefixed, mirroring hasher.str so memo keys
+// are unambiguous concatenations.
+func appendLenStr(b []byte, s string) []byte {
+	b = appendU64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// appendLit appends a literal with the same type discriminators as
+// hasher.lit.
+func appendLit(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		b = append(b, 's')
+		return appendLenStr(b, x)
+	case int64:
+		b = append(b, 'i')
+		return appendU64(b, uint64(x))
+	case float64:
+		b = append(b, 'f')
+		return appendU64(b, math.Float64bits(x))
+	case bool:
+		b = append(b, 'b')
+		if x {
+			return appendU64(b, 1)
+		}
+		return appendU64(b, 0)
+	default:
+		b = append(b, '?')
+		return appendLenStr(b, fmt.Sprint(v))
+	}
+}

@@ -25,6 +25,16 @@ func (b *Buffer) Add(e Edit) {
 // Len returns the total number of buffered edits.
 func (b *Buffer) Len() int { return len(b.neg) + len(b.pos) }
 
+// Reset empties the buffer while keeping its capacity, so pooled diffing
+// state can reuse the backing arrays across invocations. The elements are
+// zeroed first so the arrays do not pin edits of earlier scripts.
+func (b *Buffer) Reset() {
+	clear(b.neg)
+	clear(b.pos)
+	b.neg = b.neg[:0]
+	b.pos = b.pos[:0]
+}
+
 // Script finalizes the buffer into a script: all negative edits, in the
 // order they were added, followed by all positive edits.
 func (b *Buffer) Script() *Script {

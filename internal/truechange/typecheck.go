@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/derrors"
 	"repro/internal/sig"
 	"repro/internal/uri"
 )
@@ -357,11 +358,11 @@ func Check(sch *sig.Schema, s *Script, st *State) error {
 func WellTyped(sch *sig.Schema, s *Script) error {
 	st := ClosedState()
 	if err := Check(sch, s, st); err != nil {
-		return err
+		return fmt.Errorf("truechange: %w: %w", derrors.ErrIllTyped, err)
 	}
 	if !st.Equal(ClosedState()) {
-		return fmt.Errorf("truechange: script leaks resources: final state %s, want %s",
-			st, ClosedState())
+		return fmt.Errorf("truechange: %w: script leaks resources: final state %s, want %s",
+			derrors.ErrIllTyped, st, ClosedState())
 	}
 	return nil
 }
@@ -371,11 +372,11 @@ func WellTyped(sch *sig.Schema, s *Script) error {
 func WellTypedInit(sch *sig.Schema, s *Script) error {
 	st := InitState()
 	if err := Check(sch, s, st); err != nil {
-		return err
+		return fmt.Errorf("truechange: %w: %w", derrors.ErrIllTyped, err)
 	}
 	if !st.Equal(ClosedState()) {
-		return fmt.Errorf("truechange: initializing script leaks resources: final state %s, want %s",
-			st, ClosedState())
+		return fmt.Errorf("truechange: %w: initializing script leaks resources: final state %s, want %s",
+			derrors.ErrIllTyped, st, ClosedState())
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"repro/internal/derrors"
 	"repro/internal/sig"
 	"repro/internal/tree"
 	"repro/internal/truechange"
@@ -54,6 +55,9 @@ type Options struct {
 }
 
 // Differ computes truechange edit scripts between trees of one schema.
+// A Differ is immutable after construction and safe for concurrent use by
+// multiple goroutines; per-invocation state lives in a Scratch (one per
+// goroutine) or is allocated per call.
 type Differ struct {
 	sch  *sig.Schema
 	opts Options
@@ -67,6 +71,9 @@ func NewWithOptions(sch *sig.Schema, opts Options) *Differ {
 	return &Differ{sch: sch, opts: opts}
 }
 
+// Schema returns the schema the differ validates trees against.
+func (d *Differ) Schema() *sig.Schema { return d.sch }
+
 // Result carries the outcome of a diff: the edit script transforming the
 // source into the target, and the patched tree, which reuses source
 // subtrees (keeping their URIs) plus freshly loaded nodes and can serve as
@@ -74,6 +81,42 @@ func NewWithOptions(sch *sig.Schema, opts Options) *Differ {
 type Result struct {
 	Script  *truechange.Script
 	Patched *tree.Node
+}
+
+// Scratch holds the reusable per-invocation state of the algorithm: the
+// subtree registry, the assignment map, the edit buffer, and the selection
+// heap. Allocating these dominates the fixed cost of small diffs, so
+// high-throughput callers (the batch engine's workers) recycle one Scratch
+// across many diffs instead of allocating fresh maps each time.
+//
+// A Scratch is not safe for concurrent use; use one per goroutine. Reuse
+// is invisible in the output: a recycled Scratch produces scripts
+// identical to a fresh one.
+type Scratch struct {
+	reg      registry
+	assigned map[*tree.Node]*tree.Node
+	buf      *truechange.Buffer
+	heap     nodeHeap
+	queue    []*tree.Node
+}
+
+// NewScratch returns an empty Scratch ready for DiffScratch.
+func NewScratch() *Scratch {
+	return &Scratch{
+		reg:      newRegistry(),
+		assigned: make(map[*tree.Node]*tree.Node),
+		buf:      truechange.NewBuffer(),
+	}
+}
+
+// Reset clears the scratch state while keeping its allocations.
+func (s *Scratch) Reset() {
+	s.reg.reset()
+	clear(s.assigned)
+	s.buf.Reset()
+	s.heap.reset()
+	clear(s.queue)
+	s.queue = s.queue[:0]
 }
 
 // Diff compares source against target and returns the edit script and
@@ -85,8 +128,15 @@ type Result struct {
 // The source and target trees must be distinct structures: no *tree.Node
 // may occur in both. Diff does not mutate either tree.
 func (d *Differ) Diff(source, target *tree.Node, alloc *uri.Allocator) (*Result, error) {
+	return d.DiffScratch(source, target, alloc, NewScratch())
+}
+
+// DiffScratch is Diff drawing its working state from s, which the caller
+// may recycle across any number of diffs (the scratch is reset on entry).
+// s must not be used by two goroutines at once.
+func (d *Differ) DiffScratch(source, target *tree.Node, alloc *uri.Allocator, s *Scratch) (*Result, error) {
 	if source == nil || target == nil {
-		return nil, fmt.Errorf("truediff: nil tree")
+		return nil, fmt.Errorf("truediff: %w", derrors.ErrNilTree)
 	}
 	if alloc == nil {
 		alloc = uri.NewAllocator()
@@ -98,23 +148,14 @@ func (d *Differ) Diff(source, target *tree.Node, alloc *uri.Allocator) (*Result,
 	if err := d.checkSchema(target); err != nil {
 		return nil, err
 	}
-	r := &run{
-		sch:      d.sch,
-		opts:     d.opts,
-		reg:      newRegistry(),
-		assigned: make(map[*tree.Node]*tree.Node),
-		alloc:    alloc,
-		buf:      truechange.NewBuffer(),
-	}
+	s.Reset()
+	r := &run{sch: d.sch, opts: d.opts, s: s, alloc: alloc}
 	// Step 1 happened at tree construction: every node carries its
 	// structure and literal hashes.
-	r.assignShares(source, target)                                                   // step 2
-	r.assignSubtrees(target)                                                         // step 3
-	patched, err := r.computeEdits(source, target, truechange.RootRef, sig.RootLink) // step 4
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Script: r.buf.Script(), Patched: patched}, nil
+	r.assignShares(source, target)                                              // step 2
+	r.assignSubtrees(target)                                                    // step 3
+	patched := r.computeEdits(source, target, truechange.RootRef, sig.RootLink) // step 4
+	return &Result{Script: s.buf.Script(), Patched: patched}, nil
 }
 
 // checkSchema verifies every tag of the tree is declared in the differ's
@@ -127,7 +168,8 @@ func (d *Differ) checkSchema(t *tree.Node) error {
 		}
 	})
 	if bad != "" {
-		return fmt.Errorf("truediff: tree uses tag %s, which is not declared in schema %q", bad, d.sch.Name())
+		return fmt.Errorf("truediff: %w: tree uses tag %s, which is not declared in schema %q",
+			derrors.ErrSchemaMismatch, bad, d.sch.Name())
 	}
 	return nil
 }
@@ -137,7 +179,7 @@ func (d *Differ) checkSchema(t *tree.Node) error {
 // bottom-up, followed by an attach to the pre-defined root.
 func (d *Differ) InitialScript(target *tree.Node, alloc *uri.Allocator) (*Result, error) {
 	if target == nil {
-		return nil, fmt.Errorf("truediff: nil tree")
+		return nil, fmt.Errorf("truediff: %w", derrors.ErrNilTree)
 	}
 	if err := d.checkSchema(target); err != nil {
 		return nil, err
@@ -145,32 +187,21 @@ func (d *Differ) InitialScript(target *tree.Node, alloc *uri.Allocator) (*Result
 	if alloc == nil {
 		alloc = uri.NewAllocator()
 	}
-	r := &run{
-		sch:      d.sch,
-		opts:     d.opts,
-		reg:      newRegistry(),
-		assigned: make(map[*tree.Node]*tree.Node),
-		alloc:    alloc,
-		buf:      truechange.NewBuffer(),
-	}
-	loaded, err := r.loadUnassigned(target)
-	if err != nil {
-		return nil, err
-	}
-	r.buf.Add(truechange.Attach{Node: ref(loaded), Link: sig.RootLink, Parent: truechange.RootRef})
-	return &Result{Script: r.buf.Script(), Patched: loaded}, nil
+	r := &run{sch: d.sch, opts: d.opts, s: NewScratch(), alloc: alloc}
+	loaded := r.loadUnassigned(target)
+	r.s.buf.Add(truechange.Attach{Node: ref(loaded), Link: sig.RootLink, Parent: truechange.RootRef})
+	return &Result{Script: r.s.buf.Script(), Patched: loaded}, nil
 }
 
-// run is the per-invocation state of the algorithm.
+// run is the per-invocation state of the algorithm: the configuration plus
+// a borrowed Scratch. The assigned map in the scratch records the
+// symmetric subtree assignment between source and target subtrees (paper:
+// the assigned field of Diffable).
 type run struct {
-	sch  *sig.Schema
-	opts Options
-	reg  *registry
-	// assigned records the symmetric subtree assignment between source and
-	// target subtrees (paper: the assigned field of Diffable).
-	assigned map[*tree.Node]*tree.Node
-	alloc    *uri.Allocator
-	buf      *truechange.Buffer
+	sch   *sig.Schema
+	opts  Options
+	s     *Scratch
+	alloc *uri.Allocator
 	// external marks runs whose assignment came from an outside matching
 	// (DiffWithMatching). truediff's own assignment guarantees that the
 	// descendants of an assigned pair carry no assignments of their own
@@ -194,14 +225,14 @@ func (r *run) preferKey(n *tree.Node) string { return n.LitHash() }
 
 // assign records a symmetric subtree assignment.
 func (r *run) assign(src, dst *tree.Node) {
-	r.assigned[src] = dst
-	r.assigned[dst] = src
+	r.s.assigned[src] = dst
+	r.s.assigned[dst] = src
 }
 
 // unassign dissolves a symmetric subtree assignment.
 func (r *run) unassign(src, dst *tree.Node) {
-	delete(r.assigned, src)
-	delete(r.assigned, dst)
+	delete(r.s.assigned, src)
+	delete(r.s.assigned, dst)
 }
 
 // --- Step 2: find reuse candidates ------------------------------------
@@ -212,8 +243,8 @@ func (r *run) unassign(src, dst *tree.Node) {
 // becomes available, while fully mismatched source subtrees register all
 // their nodes as available resources (paper §4.2).
 func (r *run) assignShares(src, dst *tree.Node) {
-	ss := r.reg.shareFor(r.candidateKey(src))
-	ds := r.reg.shareFor(r.candidateKey(dst))
+	ss := r.s.reg.shareFor(r.candidateKey(src))
+	ds := r.s.reg.shareFor(r.candidateKey(dst))
 	if ss == ds {
 		r.assign(src, dst) // preemptive: reuse in place, stop recursing
 		return
@@ -226,10 +257,10 @@ func (r *run) assignShares(src, dst *tree.Node) {
 		return
 	}
 	tree.Walk(src, func(n *tree.Node) {
-		r.reg.shareFor(r.candidateKey(n)).registerAvailable(n, r.preferKey(n))
+		r.s.reg.shareFor(r.candidateKey(n)).registerAvailable(n, r.preferKey(n))
 	})
 	tree.Walk(dst, func(n *tree.Node) {
-		r.reg.shareFor(r.candidateKey(n))
+		r.s.reg.shareFor(r.candidateKey(n))
 	})
 }
 
@@ -261,9 +292,18 @@ func (h *nodeHeap) Push(x any) {
 }
 func (h *nodeHeap) Pop() any {
 	n := h.nodes[len(h.nodes)-1]
+	h.nodes[len(h.nodes)-1] = nil
 	h.nodes = h.nodes[:len(h.nodes)-1]
 	h.seq = h.seq[:len(h.seq)-1]
 	return n
+}
+
+// reset empties the heap keeping its backing arrays.
+func (h *nodeHeap) reset() {
+	clear(h.nodes)
+	h.nodes = h.nodes[:0]
+	h.seq = h.seq[:0]
+	h.next = 0
 }
 
 // assignSubtrees traverses the target's subtrees in highest-first order,
@@ -275,7 +315,7 @@ func (r *run) assignSubtrees(target *tree.Node) {
 		r.assignSubtreesFIFO(target)
 		return
 	}
-	h := &nodeHeap{}
+	h := &r.s.heap
 	heap.Push(h, target)
 	for h.Len() > 0 {
 		level := h.nodes[0].Height()
@@ -296,11 +336,11 @@ func (r *run) assignSubtrees(target *tree.Node) {
 // assignSubtreesFIFO is the ablation variant: plain breadth-first order,
 // trying the preferred candidate then any candidate per node.
 func (r *run) assignSubtreesFIFO(target *tree.Node) {
-	queue := []*tree.Node{target}
+	queue := append(r.s.queue, target)
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
-		if r.assigned[n] != nil {
+		if r.s.assigned[n] != nil {
 			continue
 		}
 		rest := r.selectTrees([]*tree.Node{n}, true)
@@ -322,10 +362,10 @@ func (r *run) selectTrees(trees []*tree.Node, preferred bool) []*tree.Node {
 	}
 	var unassigned []*tree.Node
 	for _, n := range trees {
-		if r.assigned[n] != nil {
+		if r.s.assigned[n] != nil {
 			continue // preemptively assigned in step 2
 		}
-		s := r.reg.lookup(r.candidateKey(n))
+		s := r.s.reg.lookup(r.candidateKey(n))
 		var src *tree.Node
 		if s != nil {
 			if preferred {
@@ -362,19 +402,19 @@ func (r *run) selectTrees(trees []*tree.Node, preferred bool) []*tree.Node {
 func (r *run) deregisterSubtree(src, dst *tree.Node) {
 	for _, kid := range src.Kids {
 		tree.Walk(kid, func(n *tree.Node) {
-			if s := r.reg.lookup(r.candidateKey(n)); s != nil {
+			if s := r.s.reg.lookup(r.candidateKey(n)); s != nil {
 				s.removeAvailable(n)
 			}
-			if partner := r.assigned[n]; partner != nil {
+			if partner := r.s.assigned[n]; partner != nil {
 				r.unassign(n, partner)
 			}
 		})
 	}
 	for _, kid := range dst.Kids {
 		tree.Walk(kid, func(n *tree.Node) {
-			if partner := r.assigned[n]; partner != nil {
+			if partner := r.s.assigned[n]; partner != nil {
 				r.unassign(partner, n)
-				r.reg.shareFor(r.candidateKey(partner)).registerAvailable(partner, r.preferKey(partner))
+				r.s.reg.shareFor(r.candidateKey(partner)).registerAvailable(partner, r.preferKey(partner))
 			}
 		})
 	}
@@ -426,62 +466,54 @@ func litsEqual(a, b *tree.Node) bool {
 
 // computeEdits compares src against dst at the position (parent, link) in
 // the source tree and emits the edits that transform src into dst,
-// returning the patched subtree (paper §4.4).
-func (r *run) computeEdits(src, dst *tree.Node, parent truechange.NodeRef, link sig.Link) (*tree.Node, error) {
-	if p := r.assigned[src]; p != nil && p == dst {
+// returning the patched subtree (paper §4.4). The patched subtree is
+// always content-identical to dst (it differs only in URIs), which is what
+// lets the rebuild reuse dst's digests via tree.Rebuilt instead of
+// rehashing.
+func (r *run) computeEdits(src, dst *tree.Node, parent truechange.NodeRef, link sig.Link) *tree.Node {
+	if p := r.s.assigned[src]; p != nil && p == dst {
 		// src stays in place; it is morphed into dst (literal updates only
 		// for the structurally equivalent pairs truediff's own assignment
 		// produces; full recursion for externally matched pairs).
 		return r.morphAssigned(src, dst)
 	}
-	if r.assigned[src] == nil && r.assigned[dst] == nil {
-		t, err := r.computeEditsRec(src, dst, parent, link)
-		if err != nil {
-			return nil, err
-		}
-		if t != nil {
-			return t, nil
+	if r.s.assigned[src] == nil && r.s.assigned[dst] == nil {
+		if t := r.computeEditsRec(src, dst, parent, link); t != nil {
+			return t
 		}
 	}
 	// Replace the subtree src by dst: detach src, unload its unassigned
 	// nodes, load dst's unassigned nodes (reusing assigned source
 	// subtrees), and attach the result.
-	r.buf.Add(truechange.Detach{Node: ref(src), Link: link, Parent: parent})
+	r.s.buf.Add(truechange.Detach{Node: ref(src), Link: link, Parent: parent})
 	r.unloadUnassigned(src)
-	t, err := r.loadUnassigned(dst)
-	if err != nil {
-		return nil, err
-	}
-	r.buf.Add(truechange.Attach{Node: ref(t), Link: link, Parent: parent})
-	return t, nil
+	t := r.loadUnassigned(dst)
+	r.s.buf.Add(truechange.Attach{Node: ref(t), Link: link, Parent: parent})
+	return t
 }
 
 // computeEditsRec continues the simultaneous traversal through src and dst
 // if their tags and literals coincide (with the UpdateOnLitMismatch
 // ablation, differing literals are updated instead of failing). It returns
 // nil if the nodes cannot be aligned.
-func (r *run) computeEditsRec(src, dst *tree.Node, parent truechange.NodeRef, link sig.Link) (*tree.Node, error) {
+func (r *run) computeEditsRec(src, dst *tree.Node, parent truechange.NodeRef, link sig.Link) *tree.Node {
 	if src.Tag != dst.Tag {
-		return nil, nil
+		return nil
 	}
 	litsOK := litsEqual(src, dst)
 	if !litsOK && !r.opts.UpdateOnLitMismatch {
-		return nil, nil
+		return nil
 	}
 	if !litsOK {
-		r.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+		r.s.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
 	}
 	g := r.sch.Lookup(src.Tag)
 	srcRef := ref(src)
 	kids := make([]*tree.Node, len(src.Kids))
 	for i := range src.Kids {
-		k, err := r.computeEdits(src.Kids[i], dst.Kids[i], srcRef, g.Kids[i].Link)
-		if err != nil {
-			return nil, err
-		}
-		kids[i] = k
+		kids[i] = r.computeEdits(src.Kids[i], dst.Kids[i], srcRef, g.Kids[i].Link)
 	}
-	return tree.NewWithURI(r.sch, r.alloc, src.URI, src.Tag, kids, dst.Lits, tree.SHA256)
+	return tree.Rebuilt(dst, r.alloc, src.URI, kids)
 }
 
 // morphAssigned transforms the assigned source subtree in place so it
@@ -490,56 +522,48 @@ func (r *run) computeEditsRec(src, dst *tree.Node, parent truechange.NodeRef, li
 // externally supplied matchings (DiffWithMatching) the pair may differ
 // below the root, so the traversal recurses into the children — the pair's
 // tags are equal by construction, so the arities line up.
-func (r *run) morphAssigned(src, dst *tree.Node) (*tree.Node, error) {
+func (r *run) morphAssigned(src, dst *tree.Node) *tree.Node {
 	if !r.external && src.StructHash() == dst.StructHash() {
 		return r.updateLits(src, dst)
 	}
 	if !litsEqual(src, dst) {
-		r.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+		r.s.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
 	}
 	g := r.sch.Lookup(src.Tag)
 	srcRef := ref(src)
 	kids := make([]*tree.Node, len(src.Kids))
 	for i := range src.Kids {
-		k, err := r.computeEdits(src.Kids[i], dst.Kids[i], srcRef, g.Kids[i].Link)
-		if err != nil {
-			return nil, err
-		}
-		kids[i] = k
+		kids[i] = r.computeEdits(src.Kids[i], dst.Kids[i], srcRef, g.Kids[i].Link)
 	}
-	return tree.NewWithURI(r.sch, r.alloc, src.URI, src.Tag, kids, dst.Lits, tree.SHA256)
+	return tree.Rebuilt(dst, r.alloc, src.URI, kids)
 }
 
 // updateLits reconciles the literals of the structurally equivalent pair
 // (src, dst): it emits an Update for every node whose literals differ and
 // returns the patched subtree, which keeps src's URIs and carries dst's
 // literals.
-func (r *run) updateLits(src, dst *tree.Node) (*tree.Node, error) {
+func (r *run) updateLits(src, dst *tree.Node) *tree.Node {
 	if src.LitHash() == dst.LitHash() {
-		return src, nil // equal everywhere, reuse as is
+		return src // equal everywhere, reuse as is
 	}
 	kids := make([]*tree.Node, len(src.Kids))
 	for i := range src.Kids {
-		k, err := r.updateLits(src.Kids[i], dst.Kids[i])
-		if err != nil {
-			return nil, err
-		}
-		kids[i] = k
+		kids[i] = r.updateLits(src.Kids[i], dst.Kids[i])
 	}
 	if !litsEqual(src, dst) {
-		r.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+		r.s.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
 	}
-	return tree.NewWithURI(r.sch, r.alloc, src.URI, src.Tag, kids, dst.Lits, tree.SHA256)
+	return tree.Rebuilt(dst, r.alloc, src.URI, kids)
 }
 
 // unloadUnassigned unloads the subtree src top-down, skipping subtrees that
 // are assigned for reuse elsewhere: those stay behind as unattached roots,
 // which their parent's Unload released.
 func (r *run) unloadUnassigned(src *tree.Node) {
-	if r.assigned[src] != nil {
+	if r.s.assigned[src] != nil {
 		return
 	}
-	r.buf.Add(truechange.Unload{Node: ref(src), Kids: r.kidArgs(src), Lits: r.litArgs(src)})
+	r.s.buf.Add(truechange.Unload{Node: ref(src), Kids: r.kidArgs(src), Lits: r.litArgs(src)})
 	for _, k := range src.Kids {
 		r.unloadUnassigned(k)
 	}
@@ -548,22 +572,15 @@ func (r *run) unloadUnassigned(src *tree.Node) {
 // loadUnassigned produces the subtree dst in the source document: assigned
 // subtrees are reused (with literal updates), everything else is loaded
 // bottom-up with fresh URIs. It returns the resulting tree.
-func (r *run) loadUnassigned(dst *tree.Node) (*tree.Node, error) {
-	if src := r.assigned[dst]; src != nil {
+func (r *run) loadUnassigned(dst *tree.Node) *tree.Node {
+	if src := r.s.assigned[dst]; src != nil {
 		return r.morphAssigned(src, dst)
 	}
 	kids := make([]*tree.Node, len(dst.Kids))
 	for i, k := range dst.Kids {
-		loaded, err := r.loadUnassigned(k)
-		if err != nil {
-			return nil, err
-		}
-		kids[i] = loaded
+		kids[i] = r.loadUnassigned(k)
 	}
-	n, err := tree.NewWithURI(r.sch, r.alloc, r.alloc.Fresh(), dst.Tag, kids, dst.Lits, tree.SHA256)
-	if err != nil {
-		return nil, err
-	}
-	r.buf.Add(truechange.Load{Node: ref(n), Kids: r.kidArgs(n), Lits: r.litArgs(n)})
-	return n, nil
+	n := tree.Rebuilt(dst, r.alloc, r.alloc.Fresh(), kids)
+	r.s.buf.Add(truechange.Load{Node: ref(n), Kids: r.kidArgs(n), Lits: r.litArgs(n)})
+	return n
 }

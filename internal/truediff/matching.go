@@ -3,6 +3,7 @@ package truediff
 import (
 	"fmt"
 
+	"repro/internal/derrors"
 	"repro/internal/sig"
 	"repro/internal/tree"
 	"repro/internal/truechange"
@@ -36,7 +37,7 @@ type MatchPair struct {
 // nodes do not belong to the given trees.
 func (d *Differ) DiffWithMatching(src, dst *tree.Node, matches []MatchPair, alloc *uri.Allocator) (*Result, error) {
 	if src == nil || dst == nil {
-		return nil, fmt.Errorf("truediff: nil tree")
+		return nil, fmt.Errorf("truediff: %w", derrors.ErrNilTree)
 	}
 	if alloc == nil {
 		alloc = uri.NewAllocator()
@@ -53,15 +54,7 @@ func (d *Differ) DiffWithMatching(src, dst *tree.Node, matches []MatchPair, allo
 	inDst := make(map[*tree.Node]bool, dst.Size())
 	tree.Walk(dst, func(n *tree.Node) { inDst[n] = true })
 
-	r := &run{
-		sch:      d.sch,
-		opts:     d.opts,
-		reg:      newRegistry(),
-		assigned: make(map[*tree.Node]*tree.Node, 2*len(matches)),
-		alloc:    alloc,
-		buf:      truechange.NewBuffer(),
-		external: true,
-	}
+	r := &run{sch: d.sch, opts: d.opts, s: NewScratch(), alloc: alloc, external: true}
 	for _, m := range matches {
 		if m.Src == nil || m.Dst == nil || m.Src.Tag != m.Dst.Tag {
 			continue
@@ -69,14 +62,11 @@ func (d *Differ) DiffWithMatching(src, dst *tree.Node, matches []MatchPair, allo
 		if !inSrc[m.Src] || !inDst[m.Dst] {
 			continue
 		}
-		if r.assigned[m.Src] != nil || r.assigned[m.Dst] != nil {
-			return nil, fmt.Errorf("truediff: matching is not one-to-one at %s/%s", m.Src.URI, m.Dst.URI)
+		if r.s.assigned[m.Src] != nil || r.s.assigned[m.Dst] != nil {
+			return nil, fmt.Errorf("truediff: %w: at %s/%s", derrors.ErrBadMatching, m.Src.URI, m.Dst.URI)
 		}
 		r.assign(m.Src, m.Dst)
 	}
-	patched, err := r.computeEdits(src, dst, truechange.RootRef, sig.RootLink)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Script: r.buf.Script(), Patched: patched}, nil
+	patched := r.computeEdits(src, dst, truechange.RootRef, sig.RootLink)
+	return &Result{Script: r.s.buf.Script(), Patched: patched}, nil
 }

@@ -97,23 +97,52 @@ func (s *share) takeAny() *tree.Node {
 	return nil
 }
 
+// recycle empties the share for reuse by a later diff, keeping the
+// allocated maps (and the queue's backing array) alive.
+func (s *share) recycle() {
+	s.key = ""
+	clear(s.member)
+	clear(s.byPrefer)
+	clear(s.queue)
+	s.queue = s.queue[:0]
+}
+
 // registry assigns shares to subtrees: two subtrees receive the same share
 // iff their candidate keys agree (the paper's SubtreeRegistry, which uses a
 // hash trie; a Go map over the hash provides the same constant-time
-// behaviour).
+// behaviour). A registry is recyclable: reset returns its shares to a free
+// list so repeated diffs through one Scratch amortize the map allocations.
 type registry struct {
 	shares map[string]*share
+	free   []*share
 }
 
-func newRegistry() *registry {
-	return &registry{shares: make(map[string]*share)}
+func newRegistry() registry {
+	return registry{shares: make(map[string]*share)}
 }
 
-// shareFor returns the share for candidate key, creating it on first use.
+// reset prepares the registry for the next diff, recycling every share.
+func (r *registry) reset() {
+	for _, s := range r.shares {
+		s.recycle()
+		r.free = append(r.free, s)
+	}
+	clear(r.shares)
+}
+
+// shareFor returns the share for candidate key, creating it on first use
+// (drawing recycled shares from the free list when available).
 func (r *registry) shareFor(key string) *share {
 	s, ok := r.shares[key]
 	if !ok {
-		s = newShare(key)
+		if n := len(r.free); n > 0 {
+			s = r.free[n-1]
+			r.free[n-1] = nil
+			r.free = r.free[:n-1]
+			s.key = key
+		} else {
+			s = newShare(key)
+		}
 		r.shares[key] = s
 	}
 	return s

@@ -1,0 +1,61 @@
+// Package analysis exposes the incremental program analysis stack of the
+// paper's case study (§6.3): a semi-naive Datalog engine with support for
+// incremental fact retraction, and the IncA-style driver that feeds tree
+// facts to it and maintains them under truechange edit scripts. It is the
+// public face of internal/inca and internal/datalog.
+package analysis
+
+import (
+	"repro/internal/datalog"
+	"repro/internal/inca"
+	"repro/internal/sig"
+)
+
+// --- Datalog (internal/datalog) -----------------------------------------
+
+type (
+	// Engine evaluates Rules semi-naively; Delta batches fact insertions
+	// and retractions; Atom, Tuple, and Var form the rule language.
+	Engine = datalog.Engine
+	Rule   = datalog.Rule
+	Atom   = datalog.Atom
+	Tuple  = datalog.Tuple
+	Var    = datalog.Var
+	Delta  = datalog.Delta
+)
+
+// NewEngine compiles the rules; A builds an atom; NewDelta an empty batch.
+func NewEngine(rules []Rule) (*Engine, error) { return datalog.NewEngine(rules) }
+func A(pred string, args ...any) Atom         { return datalog.A(pred, args...) }
+func NewDelta() *Delta                        { return datalog.NewDelta() }
+
+// --- IncA driver (internal/inca) ----------------------------------------
+
+type (
+	// Driver maintains tree facts under edit scripts; LinkIndex abstracts
+	// the parent-child fact index (OneToOne, ManyToOne).
+	Driver    = inca.Driver
+	LinkIndex = inca.LinkIndex
+	OneToOne  = inca.OneToOne
+	ManyToOne = inca.ManyToOne
+)
+
+// Predicate names of the tree facts the driver maintains.
+const (
+	PredNode = inca.PredNode
+	PredLit  = inca.PredLit
+)
+
+// NewDriver builds a driver for the schema over the given rules and index.
+func NewDriver(sch *sig.Schema, rules []Rule, index LinkIndex) (*Driver, error) {
+	return inca.NewDriver(sch, rules, index)
+}
+
+// NewOneToOne and NewManyToOne build the standard link indexes.
+func NewOneToOne() *OneToOne   { return inca.NewOneToOne() }
+func NewManyToOne() *ManyToOne { return inca.NewManyToOne() }
+
+// StandardRules returns the case study's analysis rules; ClosureRules the
+// transitive-closure helper rules.
+func StandardRules() []Rule { return inca.StandardRules() }
+func ClosureRules() []Rule  { return inca.ClosureRules() }

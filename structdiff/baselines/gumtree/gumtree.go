@@ -1,0 +1,51 @@
+// Package gumtree exposes the Gumtree baseline differ the evaluation
+// compares against (Falleri et al. 2014): top-down/bottom-up similarity
+// matching over rose trees and a classic insert/delete/update/move edit
+// script. Its MatchTyped bridge feeds structdiff.DiffWithMatching. It is
+// the public face of internal/gumtree.
+package gumtree
+
+import (
+	"repro/internal/gumtree"
+	"repro/internal/tree"
+)
+
+type (
+	// Node is Gumtree's untyped rose tree; Mapping a node matching;
+	// Script the classic edit script made of Actions.
+	Node       = gumtree.Node
+	Mapping    = gumtree.Mapping
+	Script     = gumtree.Script
+	Action     = gumtree.Action
+	ActionKind = gumtree.ActionKind
+	// Options tunes the matcher; TypedPair is a matched pair of
+	// structdiff tree nodes (see MatchTyped).
+	Options   = gumtree.Options
+	TypedPair = gumtree.TypedPair
+)
+
+const (
+	Insert      = gumtree.Insert
+	Delete      = gumtree.Delete
+	Move        = gumtree.Move
+	UpdateLabel = gumtree.UpdateLabel
+)
+
+// DefaultOptions mirrors the published Gumtree parameters.
+func DefaultOptions() Options { return gumtree.DefaultOptions() }
+
+// New builds a rose-tree node; FromTree converts a structdiff tree.
+func New(typ, label string, children ...*Node) *Node { return gumtree.New(typ, label, children...) }
+func FromTree(t *tree.Node) *Node                    { return gumtree.FromTree(t) }
+
+// Diff matches the trees and derives the classic edit script.
+func Diff(src, dst *Node, opts Options) (*Script, *Mapping) { return gumtree.Diff(src, dst, opts) }
+
+// Match computes the similarity mapping without deriving a script.
+func Match(src, dst *Node, opts Options) *Mapping { return gumtree.Match(src, dst, opts) }
+
+// MatchTyped runs the Gumtree matcher on structdiff trees and returns the
+// matched node pairs, ready for structdiff.DiffWithMatching.
+func MatchTyped(src, dst *tree.Node, opts Options) []TypedPair {
+	return gumtree.MatchTyped(src, dst, opts)
+}

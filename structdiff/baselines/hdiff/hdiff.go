@@ -1,0 +1,31 @@
+// Package hdiff exposes the hdiff baseline differ the evaluation compares
+// against (Miraldo and Swierstra 2019): hash-consed pattern/expression
+// patches over typed trees. It is the public face of internal/hdiff.
+package hdiff
+
+import (
+	"repro/internal/hdiff"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+type (
+	// Patch is an hdiff change: a deletion context and an insertion
+	// context over shared metavariables; PTree is its pattern tree.
+	Patch = hdiff.Patch
+	PTree = hdiff.PTree
+	// Options tunes sharing.
+	Options = hdiff.Options
+)
+
+// DefaultOptions mirrors the published hdiff parameters.
+func DefaultOptions() Options { return hdiff.DefaultOptions() }
+
+// Diff computes an hdiff patch between typed trees.
+func Diff(src, dst *tree.Node, opts Options) *Patch { return hdiff.Diff(src, dst, opts) }
+
+// Apply applies a patch to a tree.
+func Apply(p *Patch, src *tree.Node, sch *sig.Schema, alloc *uri.Allocator) (*tree.Node, error) {
+	return hdiff.Apply(p, src, sch, alloc)
+}

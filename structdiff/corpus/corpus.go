@@ -1,0 +1,27 @@
+// Package corpus exposes the synthetic version-history generator used by
+// the evaluation: deterministic multi-file repositories whose commits
+// apply realistic tree edits, standing in for the proprietary Python
+// corpus of the paper's §6. It is the public face of internal/corpus.
+package corpus
+
+import "repro/internal/corpus"
+
+type (
+	// Options configures corpus generation; History is the generated
+	// repository; Commit and FileChange are its history entries.
+	Options    = corpus.Options
+	History    = corpus.History
+	Commit     = corpus.Commit
+	FileChange = corpus.FileChange
+	// EditKind labels the tree edit a change applied.
+	EditKind = corpus.EditKind
+)
+
+// DefaultOptions mirrors the corpus shape of the paper's evaluation.
+func DefaultOptions() Options { return corpus.DefaultOptions() }
+
+// Generate deterministically generates a version history.
+func Generate(opts Options) *History { return corpus.Generate(opts) }
+
+// RenderChange renders a file change's before and after sources.
+func RenderChange(fc FileChange) (before, after string) { return corpus.RenderChange(fc) }

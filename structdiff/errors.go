@@ -1,0 +1,27 @@
+package structdiff
+
+import "repro/internal/derrors"
+
+// The package's failure modes are typed sentinel errors: every error
+// returned by the facade (and by the internal packages underneath it)
+// wraps exactly one of these, so callers branch with errors.Is instead of
+// matching message strings. The dynamic context — which tag, which edit
+// index, which URI — stays in the wrapping message.
+var (
+	// ErrNilTree reports a nil source or target tree.
+	ErrNilTree = derrors.ErrNilTree
+	// ErrNoSchema reports a facade call that requires WithSchema.
+	ErrNoSchema = derrors.ErrNoSchema
+	// ErrSchemaMismatch reports a tree using tags the schema does not
+	// declare, i.e. a tree built against a different schema.
+	ErrSchemaMismatch = derrors.ErrSchemaMismatch
+	// ErrIllTyped reports an edit script rejected by truechange's linear
+	// type system (WellTyped, WellTypedInit).
+	ErrIllTyped = derrors.ErrIllTyped
+	// ErrNonCompliantScript reports a script whose edits do not match the
+	// tree they are applied to (Definition 3.5).
+	ErrNonCompliantScript = derrors.ErrNonCompliantScript
+	// ErrBadMatching reports a DiffWithMatching matching that is not
+	// one-to-one.
+	ErrBadMatching = derrors.ErrBadMatching
+)

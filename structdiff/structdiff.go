@@ -1,0 +1,198 @@
+// Package structdiff is the public interface of this repository's
+// reproduction of "Concise, Type-Safe, and Efficient Structural Diffing"
+// (Erdweg, Szabó, Pacak; PLDI 2021). It is the single supported entry
+// point: everything an application needs — building typed trees, diffing
+// them into truechange edit scripts, patching trees, type-checking
+// scripts, and running corpus-scale batches through the concurrent engine
+// — is exported here or in a subpackage (langs/..., corpus, evaluation,
+// baselines/..., analysis). The internal/... packages remain importable
+// only by this module and may change shape without notice.
+//
+// # Quick start
+//
+//	sch := exp.Schema()                  // structdiff/langs/exp
+//	b := exp.NewBuilder()
+//	one, _ := b.N("Num", int64(1))
+//	two, _ := b.N("Num", int64(2))
+//	res, err := structdiff.Diff(one, two, structdiff.WithSchema(sch))
+//	// res.Script is the edit script, res.Patched the patched tree.
+//
+// # Batch diffing
+//
+// For many diffs over one schema, create an Engine: it fans batches over a
+// worker pool, recycles per-diff scratch state, and memoizes subtree
+// digests across diffs. See NewEngine and docs/API.md.
+package structdiff
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/mtree"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+// Option configures Diff, Patch, NewDiffer, and NewEngine. Options that do
+// not apply to a call are ignored, so one option slice can be shared.
+type Option func(*config)
+
+type config struct {
+	sch     *sig.Schema
+	alloc   *uri.Allocator
+	diff    truediff.Options
+	hash    tree.HashKind
+	workers int
+	noMemo  bool
+}
+
+func newConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithSchema sets the schema the trees are typed against. Diff, Patch, and
+// InitialScript require it.
+func WithSchema(sch *Schema) Option { return func(c *config) { c.sch = sch } }
+
+// WithAllocator supplies the URI allocator fresh URIs are drawn from. It
+// must dominate every URI of the (source) tree; pass the allocator the
+// tree was built with. Without it, an allocator is derived by reserving
+// the source tree's URIs.
+func WithAllocator(a *Allocator) Option { return func(c *config) { c.alloc = a } }
+
+// WithEquivalence selects the subtree equivalence mode used to find reuse
+// candidates (default StructuralWithLiteralPreference, the paper's choice).
+func WithEquivalence(m EquivMode) Option { return func(c *config) { c.diff.Equiv = m } }
+
+// WithSelectionOrder selects the candidate selection order (default
+// HighestFirst, the paper's choice).
+func WithSelectionOrder(o SelectionOrder) Option { return func(c *config) { c.diff.Order = o } }
+
+// WithUpdateOnLitMismatch lets the edit-computation traversal continue
+// across equal-tagged nodes whose literals differ, emitting updates
+// instead of replacing the subtree (an ablation of the paper's algorithm).
+func WithUpdateOnLitMismatch() Option { return func(c *config) { c.diff.UpdateOnLitMismatch = true } }
+
+// WithHashKind selects the subtree hash for trees ingested by an Engine
+// (default SHA256, the paper's choice).
+func WithHashKind(k HashKind) Option { return func(c *config) { c.hash = k } }
+
+// WithWorkers bounds the goroutines an Engine fans a batch over (default:
+// one per CPU).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithoutMemo disables an Engine's cross-diff digest memo (for ablation
+// measurements; the memo is on by default).
+func WithoutMemo() Option { return func(c *config) { c.noMemo = true } }
+
+// Diff computes the truechange edit script that transforms src into dst,
+// together with the patched tree. WithSchema is required; WithAllocator,
+// WithEquivalence, WithSelectionOrder, and WithUpdateOnLitMismatch apply.
+//
+// Failures are reported via the package's sentinel errors: ErrNoSchema,
+// ErrNilTree, ErrSchemaMismatch.
+func Diff(src, dst *Node, opts ...Option) (*Result, error) {
+	cfg := newConfig(opts)
+	if cfg.sch == nil {
+		return nil, fmt.Errorf("structdiff: %w", ErrNoSchema)
+	}
+	return truediff.NewWithOptions(cfg.sch, cfg.diff).Diff(src, dst, cfg.alloc)
+}
+
+// InitialScript returns a well-typed initializing edit script that builds
+// target from the empty tree. WithSchema is required.
+func InitialScript(target *Node, opts ...Option) (*Result, error) {
+	cfg := newConfig(opts)
+	if cfg.sch == nil {
+		return nil, fmt.Errorf("structdiff: %w", ErrNoSchema)
+	}
+	return truediff.NewWithOptions(cfg.sch, cfg.diff).InitialScript(target, cfg.alloc)
+}
+
+// DiffWithMatching generates a well-typed script realizing an externally
+// computed node matching (for example from baselines/gumtree.MatchTyped)
+// instead of truediff's own subtree assignment. WithSchema is required;
+// a matching that is not one-to-one yields ErrBadMatching.
+func DiffWithMatching(src, dst *Node, matches []MatchPair, opts ...Option) (*Result, error) {
+	cfg := newConfig(opts)
+	if cfg.sch == nil {
+		return nil, fmt.Errorf("structdiff: %w", ErrNoSchema)
+	}
+	return truediff.NewWithOptions(cfg.sch, cfg.diff).DiffWithMatching(src, dst, matches, cfg.alloc)
+}
+
+// Patch applies the edit script to the tree and returns the patched tree.
+// The input tree is not mutated. WithSchema is required; WithAllocator
+// supplies URIs for the rebuilt tree (defaulting to a fresh allocator that
+// learns the tree's URIs).
+//
+// The script must comply with the tree (Definition 3.5 of the paper): an
+// edit that does not — wrong URIs, tags, links, stale literal values —
+// fails with an error matching ErrNonCompliantScript, and scripts from
+// Diff always comply with Diff's source tree.
+func Patch(t *Node, s *Script, opts ...Option) (*Node, error) {
+	cfg := newConfig(opts)
+	if cfg.sch == nil {
+		return nil, fmt.Errorf("structdiff: %w", ErrNoSchema)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("structdiff: %w", ErrNilTree)
+	}
+	mt, err := mtree.FromTree(cfg.sch, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := mt.Patch(s); err != nil {
+		return nil, fmt.Errorf("structdiff: %w: %w", ErrNonCompliantScript, err)
+	}
+	alloc := cfg.alloc
+	if alloc == nil {
+		alloc = uri.NewAllocator()
+		tree.Walk(t, func(n *Node) { alloc.Reserve(n.URI) })
+	}
+	return mt.ToTree(alloc)
+}
+
+// NewDiffer returns a reusable differ for the schema, honouring
+// WithEquivalence, WithSelectionOrder, and WithUpdateOnLitMismatch. The
+// differ is immutable and safe for concurrent use.
+func NewDiffer(sch *Schema, opts ...Option) *Differ {
+	cfg := newConfig(opts)
+	return truediff.NewWithOptions(sch, cfg.diff)
+}
+
+// NewEngine returns a concurrent batch diffing engine for trees of the
+// schema, honouring WithWorkers, WithHashKind, WithoutMemo, and the diff
+// options. See the Engine type (internal/engine re-exported here) for the
+// batch API and Snapshot for its metrics.
+func NewEngine(sch *Schema, opts ...Option) (*Engine, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("structdiff: %w", ErrNoSchema)
+	}
+	cfg := newConfig(opts)
+	return engine.New(sch, engine.Config{
+		Workers:     cfg.workers,
+		Diff:        cfg.diff,
+		Hash:        cfg.hash,
+		DisableMemo: cfg.noMemo,
+	}), nil
+}
+
+// DiffBatch is a convenience wrapper: it builds a one-shot engine and runs
+// the pairs through it. Applications running more than one batch should
+// keep an Engine (NewEngine) so scratch state and the digest memo carry
+// over between batches.
+func DiffBatch(ctx context.Context, sch *Schema, pairs []Pair, opts ...Option) ([]PairResult, error) {
+	e, err := NewEngine(sch, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return e.DiffBatch(ctx, pairs)
+}
