@@ -8,28 +8,40 @@
 //	evaluate -experiment engine   # batch engine vs sequential replay
 //	evaluate -experiment all
 //
+// Observability (engine-backed experiments):
+//
+//	evaluate -experiment engine -metrics-addr :9090   # live /metrics, expvar, pprof
+//	evaluate -experiment engine -trace out.jsonl      # one JSONL record per diff
+//	evaluate -experiment engine -slow-diff 5ms        # log diffs at/above 5ms
+//
 // Corpus scale is configurable; the defaults finish in well under a minute.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
+	"repro/structdiff"
 	"repro/structdiff/corpus"
 	"repro/structdiff/evaluation"
+	"repro/structdiff/langs/pylang"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4 | fig5 | inca | scaling | ablation | matching | engine | all")
-		seed       = flag.Int64("seed", 1, "corpus seed")
-		files      = flag.Int("files", 20, "number of files in the synthetic repository")
-		commits    = flag.Int("commits", 100, "number of commits to generate")
-		minNodes   = flag.Int("min-nodes", 300, "minimum module size in AST nodes")
-		maxNodes   = flag.Int("max-nodes", 2500, "maximum module size in AST nodes")
-		reps       = flag.Int("reps", 3, "repetitions per file, fastest kept")
-		workers    = flag.Int("workers", 8, "worker goroutines for the engine experiment")
+		experiment  = flag.String("experiment", "all", "fig4 | fig5 | inca | scaling | ablation | matching | engine | all")
+		seed        = flag.Int64("seed", 1, "corpus seed")
+		files       = flag.Int("files", 20, "number of files in the synthetic repository")
+		commits     = flag.Int("commits", 100, "number of commits to generate")
+		minNodes    = flag.Int("min-nodes", 300, "minimum module size in AST nodes")
+		maxNodes    = flag.Int("max-nodes", 2500, "maximum module size in AST nodes")
+		reps        = flag.Int("reps", 3, "repetitions per file, fastest kept")
+		workers     = flag.Int("workers", 8, "worker goroutines for the engine experiment")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running")
+		tracePath   = flag.String("trace", "", "write one JSONL trace record per engine diff to this file")
+		slowDiff    = flag.Duration("slow-diff", 0, "log engine diffs whose wall time meets or exceeds this threshold (0 disables)")
 	)
 	flag.Parse()
 
@@ -44,6 +56,41 @@ func main() {
 		MaxEditsPerFile: 4,
 	}
 	engineCfg := evaluation.Config{Corpus: halfOpts, Reps: *reps, Warmup: 20}
+
+	// One engine serves every engine-backed experiment of the invocation,
+	// with tracing, slow-diff logging, and the metrics endpoint wired to
+	// it. Experiments that never touch it leave its counters at zero.
+	engOpts := []structdiff.Option{structdiff.WithWorkers(*workers)}
+	if *slowDiff > 0 {
+		engOpts = append(engOpts, structdiff.WithSlowDiffThreshold(*slowDiff))
+	}
+	var traceWriter *structdiff.TraceWriter
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evaluate: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		traceWriter = structdiff.NewTraceWriter(f)
+		engOpts = append(engOpts, structdiff.WithObserver(func(ev structdiff.DiffEvent) {
+			_ = traceWriter.Write(ev.TraceRecord())
+		}))
+	}
+	eng, err := structdiff.NewEngine(pylang.Schema(), engOpts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
+		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", *metricsAddr)
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, structdiff.MetricsHandler(eng)); err != nil {
+				fmt.Fprintf(os.Stderr, "evaluate: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	needCorpus := *experiment == "fig4" || *experiment == "fig5" || *experiment == "all"
 	var results []evaluation.FileResult
@@ -70,7 +117,7 @@ func main() {
 	case "matching":
 		fmt.Println(evaluation.RunMatching(halfOpts).Report())
 	case "engine":
-		fmt.Println(evaluation.RunEngineReplay(engineCfg, *workers).Report())
+		fmt.Println(evaluation.RunEngineReplayOn(eng, engineCfg).Report())
 	case "all":
 		fmt.Println(evaluation.Fig4(results).Report())
 		fmt.Println(evaluation.Fig5(results).Report())
@@ -79,10 +126,29 @@ func main() {
 			evaluation.RunScaling([]int{100, 1000, 10000, 100000}, 3)))
 		fmt.Println(evaluation.AblationReport(evaluation.RunAblations(halfOpts)))
 		fmt.Println(evaluation.RunMatching(halfOpts).Report())
-		fmt.Println(evaluation.RunEngineReplay(engineCfg, *workers).Report())
+		fmt.Println(evaluation.RunEngineReplayOn(eng, engineCfg).Report())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Every experiment that routed diffs through the shared engine gets a
+	// final cumulative snapshot (the per-experiment reports above show
+	// per-replay deltas).
+	if snap := eng.Snapshot(); snap.Diffs > 0 {
+		fmt.Printf("final engine snapshot:\n%s\n", snap)
+		if *slowDiff > 0 {
+			fmt.Printf("slow diffs (>= %v): %d\n", *slowDiff, snap.SlowDiffs)
+		}
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "evaluate: trace: %v\n", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "evaluate: trace: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d records written to %s\n", traceWriter.Count(), *tracePath)
 	}
 }

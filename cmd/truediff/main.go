@@ -8,13 +8,21 @@
 //	truediff -baselines old.py new.py  # compare against gumtree and hdiff
 //	truediff -lang json a.json b.json  # diff JSON documents
 //
+// With -metrics-addr the diff runs through a batch engine whose telemetry
+// (Prometheus /metrics, expvar, pprof) is served on the given address; the
+// process then stays up until interrupted so the endpoint can be scraped:
+//
+//	truediff -stats -metrics-addr :9090 old.py new.py
+//
 // Exit status: 0 on success (even for non-empty diffs), 1 on errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/structdiff"
@@ -26,18 +34,19 @@ import (
 
 func main() {
 	var (
-		check     = flag.Bool("check", false, "type-check the script and verify patching")
-		stat      = flag.Bool("stats", false, "print sizes, edit counts, and timing")
-		baselines = flag.Bool("baselines", false, "also run gumtree and hdiff")
-		quiet     = flag.Bool("quiet", false, "suppress the edit script itself")
-		lang      = flag.String("lang", "python", "input language: python | json")
+		check       = flag.Bool("check", false, "type-check the script and verify patching")
+		stat        = flag.Bool("stats", false, "print sizes, edit counts, and timing")
+		baselines   = flag.Bool("baselines", false, "also run gumtree and hdiff")
+		quiet       = flag.Bool("quiet", false, "suppress the edit script itself")
+		lang        = flag.String("lang", "python", "input language: python | json")
+		metricsAddr = flag.String("metrics-addr", "", "run the diff through an engine and serve its /metrics, /debug/vars, and /debug/pprof on this address until interrupted")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: truediff [-check] [-stats] [-baselines] [-quiet] [-lang python|json] OLD NEW")
+		fmt.Fprintln(os.Stderr, "usage: truediff [-check] [-stats] [-baselines] [-quiet] [-lang python|json] [-metrics-addr ADDR] OLD NEW")
 		os.Exit(1)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *lang, *check, *stat, *baselines, *quiet); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *lang, *metricsAddr, *check, *stat, *baselines, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "truediff:", err)
 		os.Exit(1)
 	}
@@ -81,18 +90,52 @@ func parseBoth(lang, oldPath, newPath string) (*structdiff.Schema, *structdiff.A
 	}
 }
 
-func run(oldPath, newPath, lang string, check, stat, baselines, quiet bool) error {
+func run(oldPath, newPath, lang, metricsAddr string, check, stat, baselines, quiet bool) error {
 	sch, alloc, before, after, err := parseBoth(lang, oldPath, newPath)
 	if err != nil {
 		return err
 	}
 
-	start := time.Now()
-	res, err := structdiff.Diff(before, after,
-		structdiff.WithSchema(sch), structdiff.WithAllocator(alloc))
-	elapsed := time.Since(start)
-	if err != nil {
-		return err
+	// Without -metrics-addr the diff runs directly; with it, the pair is
+	// routed through an engine so the endpoint has real telemetry (phase
+	// histograms, counters) to serve. The engine ingests clones drawn from
+	// the parse allocator, so -check verifies against the ingested pair.
+	var (
+		res     *structdiff.Result
+		elapsed time.Duration
+		eng     *structdiff.Engine
+	)
+	src, dst := before, after
+	if metricsAddr != "" {
+		eng, err = structdiff.NewEngine(sch)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", metricsAddr)
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, structdiff.MetricsHandler(eng)); err != nil {
+				fmt.Fprintln(os.Stderr, "truediff: metrics server:", err)
+			}
+		}()
+		start := time.Now()
+		src, dst = eng.Ingest(before, alloc), eng.Ingest(after, alloc)
+		results, derr := eng.DiffBatch(nil, []structdiff.Pair{{Source: src, Target: dst, Label: oldPath + " -> " + newPath}})
+		elapsed = time.Since(start)
+		if derr != nil {
+			return derr
+		}
+		if results[0].Err != nil {
+			return results[0].Err
+		}
+		res = results[0].Result
+	} else {
+		start := time.Now()
+		res, err = structdiff.Diff(before, after,
+			structdiff.WithSchema(sch), structdiff.WithAllocator(alloc))
+		elapsed = time.Since(start)
+		if err != nil {
+			return err
+		}
 	}
 
 	if !quiet {
@@ -110,7 +153,7 @@ func run(oldPath, newPath, lang string, check, stat, baselines, quiet bool) erro
 		if err := structdiff.WellTyped(sch, res.Script); err != nil {
 			return fmt.Errorf("script is ill-typed: %w", err)
 		}
-		mt, err := structdiff.MTreeFromTree(sch, before)
+		mt, err := structdiff.MTreeFromTree(sch, src)
 		if err != nil {
 			return err
 		}
@@ -120,7 +163,7 @@ func run(oldPath, newPath, lang string, check, stat, baselines, quiet bool) erro
 		if err := mt.Patch(res.Script); err != nil {
 			return fmt.Errorf("patching failed: %w", err)
 		}
-		if !mt.EqualTree(after) {
+		if !mt.EqualTree(dst) {
 			return fmt.Errorf("patched tree does not equal the target tree")
 		}
 		fmt.Println("check: script is well-typed and patches the source into the target ✓")
@@ -136,6 +179,13 @@ func run(oldPath, newPath, lang string, check, stat, baselines, quiet bool) erro
 		fmt.Printf("baseline gumtree: %d actions in %s\n", gScript.Len(), gElapsed)
 		fmt.Printf("baseline hdiff:   %d constructors in %s\n", patch.Size(), hElapsed)
 		fmt.Printf("truediff:         %d compound edits in %s\n", res.Script.EditCount(), elapsed)
+	}
+	if eng != nil {
+		fmt.Printf("engine snapshot:\n%s\n", eng.Snapshot())
+		fmt.Fprintln(os.Stderr, "metrics endpoint is live; press Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 	return nil
 }

@@ -25,11 +25,13 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/sig"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/truechange"
 	"repro/internal/truediff"
@@ -51,6 +53,25 @@ type Config struct {
 	// DisableMemo turns off the cross-diff digest memo; Ingest then hashes
 	// every subtree from scratch. Intended for ablation measurements.
 	DisableMemo bool
+
+	// Tracer, when non-nil, receives span events for every diff the engine
+	// runs (BeginDiff, one Phase per truediff step, EndDiff). With
+	// Workers > 1 the tracer observes diffs from several goroutines at
+	// once, so it must be concurrency-safe; per-diff ordering holds within
+	// each worker. Equivalent to setting Diff.Tracer, which it overrides.
+	Tracer telemetry.Tracer
+	// Observer, when non-nil, is called synchronously after every diff —
+	// successful, failed, or short-circuited — with that diff's event.
+	// It runs on worker goroutines: keep it cheap and concurrency-safe
+	// (telemetry.TraceWriter is; so is recording into histograms).
+	Observer func(DiffEvent)
+	// SlowDiffThreshold enables slow-diff logging: completed diffs whose
+	// wall time meets or exceeds it are reported through SlowDiffLog. Zero
+	// disables the check.
+	SlowDiffThreshold time.Duration
+	// SlowDiffLog overrides where slow diffs are reported. Nil logs one
+	// line per slow diff via the standard library logger.
+	SlowDiffLog func(DiffEvent)
 }
 
 // Engine diffs batches of tree pairs concurrently. Create one with New and
@@ -67,6 +88,18 @@ type Engine struct {
 		next uri.URI
 	}
 	m metrics
+	h histograms
+}
+
+// histograms holds the engine-level distributions: overall diff latency,
+// per-phase latency (merged from scratch-local timings on each diff's
+// completion), compound edit counts, and input tree sizes. All lock-free;
+// see telemetry.Histogram for the bucket layout.
+type histograms struct {
+	latency telemetry.Histogram // per-diff wall time, nanoseconds
+	phases  [telemetry.NumPhases]telemetry.Histogram
+	edits   telemetry.Histogram // compound edits per script
+	nodes   telemetry.Histogram // input tree sizes (two per diff)
 }
 
 // treeStore interns engine-managed trees by content digest, so ingesting a
@@ -126,6 +159,9 @@ func (e *Engine) reserveBlock(min uri.URI, n int) uri.URI {
 
 // New returns an Engine for trees of the given schema.
 func New(sch *sig.Schema, cfg Config) *Engine {
+	if cfg.Tracer != nil {
+		cfg.Diff.Tracer = cfg.Tracer
+	}
 	e := &Engine{
 		sch:    sch,
 		differ: truediff.NewWithOptions(sch, cfg.Diff),
@@ -218,6 +254,9 @@ type Pair struct {
 	// on batch scheduling. Allocators are not concurrency-safe, so pairs of
 	// one batch must not share an Alloc.
 	Alloc *uri.Allocator
+	// Label identifies the pair in observer events and trace records (for
+	// example a file path). The engine does not interpret it.
+	Label string
 }
 
 // DiffStats instruments one diff of a batch.
@@ -234,6 +273,16 @@ type DiffStats struct {
 	// source nodes rather than loading fresh ones: 1 means the diff moved
 	// and updated existing structure only, 0 means it rebuilt everything.
 	ReuseRatio float64
+	// Phases breaks Wall down into the four truediff steps (all zero for
+	// short-circuited pairs, where no step ran).
+	Phases telemetry.PhaseTimes
+	// SourceInterned and TargetInterned report whether the respective
+	// input tree is the canonical copy of the engine's whole-tree intern
+	// store (engine-managed ingest). Identical marks pairs whose endpoints
+	// are the same tree: the diff short-circuited to an empty script.
+	SourceInterned bool
+	TargetInterned bool
+	Identical      bool
 }
 
 // PairResult is the outcome of one diffing task.
@@ -321,17 +370,27 @@ func (e *Engine) diffOne(p Pair) PairResult {
 		// ingests hit the same store entry, so the minimal script is empty
 		// and the patched tree is the source itself.
 		st := DiffStats{
-			SourceSize: p.Source.Size(),
-			TargetSize: p.Target.Size(),
-			ReuseRatio: 1,
+			SourceSize:     p.Source.Size(),
+			TargetSize:     p.Target.Size(),
+			ReuseRatio:     1,
+			SourceInterned: true,
+			TargetInterned: true,
+			Identical:      true,
 		}
 		e.m.diffs.Add(1)
 		e.m.sourceNodes.Add(uint64(st.SourceSize))
 		e.m.targetNodes.Add(uint64(st.TargetSize))
-		return PairResult{
+		// The pair was served in effectively zero time; it belongs in the
+		// latency and size distributions, but not in the phase histograms
+		// (no truediff step ran).
+		e.h.latency.Record(0)
+		e.h.edits.Record(0)
+		e.h.nodes.Record(int64(st.SourceSize))
+		e.h.nodes.Record(int64(st.TargetSize))
+		return e.finish(p, PairResult{
 			Result: &truediff.Result{Script: &truechange.Script{}, Patched: p.Source},
 			Stats:  st,
-		}
+		})
 	}
 
 	e.m.poolGets.Add(1)
@@ -361,14 +420,17 @@ func (e *Engine) diffOne(p Pair) PairResult {
 	wall := time.Since(start)
 	if err != nil {
 		e.m.errors.Add(1)
-		return PairResult{Err: err}
+		return e.finish(p, PairResult{Err: err})
 	}
 
 	st := DiffStats{
-		Wall:       wall,
-		Edits:      res.Script.EditCount(),
-		SourceSize: p.Source.Size(),
-		TargetSize: p.Target.Size(),
+		Wall:           wall,
+		Edits:          res.Script.EditCount(),
+		SourceSize:     p.Source.Size(),
+		TargetSize:     p.Target.Size(),
+		Phases:         s.PhaseTimes(),
+		SourceInterned: e.internedTree(p.Source),
+		TargetInterned: e.internedTree(p.Target),
 	}
 	if st.TargetSize > 0 {
 		loads := truechange.ComputeStats(res.Script).Loads
@@ -379,5 +441,55 @@ func (e *Engine) diffOne(p Pair) PairResult {
 	e.m.sourceNodes.Add(uint64(st.SourceSize))
 	e.m.targetNodes.Add(uint64(st.TargetSize))
 	e.m.wallNanos.Add(uint64(wall.Nanoseconds()))
-	return PairResult{Result: res, Stats: st}
+	e.h.latency.Record(wall.Nanoseconds())
+	for ph, d := range st.Phases {
+		e.h.phases[ph].Record(d.Nanoseconds())
+	}
+	e.h.edits.Record(int64(st.Edits))
+	e.h.nodes.Record(int64(st.SourceSize))
+	e.h.nodes.Record(int64(st.TargetSize))
+	return e.finish(p, PairResult{Result: res, Stats: st})
+}
+
+// internedTree reports whether n is the canonical copy held by the
+// engine's whole-tree intern store (an RLocked map lookup; the store is
+// empty, and the lookup free, when only caller-owned ingest is used).
+func (e *Engine) internedTree(n *tree.Node) bool {
+	if n == nil {
+		return false
+	}
+	return e.store.get(n.ExactHash()) == n
+}
+
+// finish runs the per-diff observability tail — slow-diff reporting and
+// the observer callback — and passes the result through.
+func (e *Engine) finish(p Pair, pr PairResult) PairResult {
+	slow := e.cfg.SlowDiffThreshold > 0 && pr.Err == nil && pr.Stats.Wall >= e.cfg.SlowDiffThreshold
+	if slow {
+		e.m.slowDiffs.Add(1)
+	}
+	if !slow && e.cfg.Observer == nil {
+		return pr
+	}
+	ev := DiffEvent{Label: p.Label, Stats: pr.Stats, Err: pr.Err}
+	if slow {
+		if e.cfg.SlowDiffLog != nil {
+			e.cfg.SlowDiffLog(ev)
+		} else {
+			log.Printf("structdiff: slow diff %s: wall %v (threshold %v), %d+%d nodes, %d edits, phases %v",
+				labelOr(ev.Label, "<unlabelled>"), ev.Stats.Wall, e.cfg.SlowDiffThreshold,
+				ev.Stats.SourceSize, ev.Stats.TargetSize, ev.Stats.Edits, ev.Stats.Phases)
+		}
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(ev)
+	}
+	return pr
+}
+
+func labelOr(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
 }

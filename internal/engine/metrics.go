@@ -13,6 +13,7 @@ import (
 type metrics struct {
 	diffs       atomic.Uint64
 	errors      atomic.Uint64
+	slowDiffs   atomic.Uint64
 	batches     atomic.Uint64
 	edits       atomic.Uint64
 	sourceNodes atomic.Uint64
@@ -33,9 +34,12 @@ type metrics struct {
 type Snapshot struct {
 	// Diffs counts completed diffs; Errors counts failed ones (schema
 	// mismatches, nil trees). Batches counts DiffBatch invocations.
-	Diffs   uint64
-	Errors  uint64
-	Batches uint64
+	// SlowDiffs counts diffs at or above Config.SlowDiffThreshold (always
+	// zero when the threshold is unset).
+	Diffs     uint64
+	Errors    uint64
+	SlowDiffs uint64
+	Batches   uint64
 
 	// Edits is the total compound edit count over all scripts produced.
 	Edits uint64
@@ -83,6 +87,7 @@ func (e *Engine) Snapshot() Snapshot {
 	s := Snapshot{
 		Diffs:         e.m.diffs.Load(),
 		Errors:        e.m.errors.Load(),
+		SlowDiffs:     e.m.slowDiffs.Load(),
 		Batches:       e.m.batches.Load(),
 		Edits:         e.m.edits.Load(),
 		SourceNodes:   e.m.sourceNodes.Load(),
@@ -112,8 +117,62 @@ func (e *Engine) Snapshot() Snapshot {
 	return s
 }
 
+// Sub returns the per-interval delta s − prev: every cumulative counter is
+// subtracted (saturating at zero, so a snapshot of a different engine or a
+// stale prev cannot wrap around), the hit rates are recomputed over the
+// interval, and the gauges (MemoEntries, StoreEntries) keep s's current
+// values. Taking a snapshot before and after a batch and subtracting gives
+// per-batch metrics without resetting the engine:
+//
+//	before := e.Snapshot()
+//	results, _ := e.DiffBatch(ctx, pairs)
+//	delta := e.Snapshot().Sub(before)
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Diffs:         sub64(s.Diffs, prev.Diffs),
+		Errors:        sub64(s.Errors, prev.Errors),
+		SlowDiffs:     sub64(s.SlowDiffs, prev.SlowDiffs),
+		Batches:       sub64(s.Batches, prev.Batches),
+		Edits:         sub64(s.Edits, prev.Edits),
+		SourceNodes:   sub64(s.SourceNodes, prev.SourceNodes),
+		TargetNodes:   sub64(s.TargetNodes, prev.TargetNodes),
+		PoolGets:      sub64(s.PoolGets, prev.PoolGets),
+		PoolMisses:    sub64(s.PoolMisses, prev.PoolMisses),
+		MemoHits:      sub64(s.MemoHits, prev.MemoHits),
+		MemoMisses:    sub64(s.MemoMisses, prev.MemoMisses),
+		IngestedTrees: sub64(s.IngestedTrees, prev.IngestedTrees),
+		IngestedNodes: sub64(s.IngestedNodes, prev.IngestedNodes),
+		StoreHits:     sub64(s.StoreHits, prev.StoreHits),
+		StoreMisses:   sub64(s.StoreMisses, prev.StoreMisses),
+		MemoEntries:   s.MemoEntries,
+		StoreEntries:  s.StoreEntries,
+	}
+	if s.DiffWall > prev.DiffWall {
+		d.DiffWall = s.DiffWall - prev.DiffWall
+	}
+	if total := d.StoreHits + d.StoreMisses; total > 0 {
+		d.StoreHitRate = float64(d.StoreHits) / float64(total)
+	}
+	if d.PoolGets > 0 {
+		d.PoolHitRate = float64(d.PoolGets-d.PoolMisses) / float64(d.PoolGets)
+	}
+	if total := d.MemoHits + d.MemoMisses; total > 0 {
+		d.MemoHitRate = float64(d.MemoHits) / float64(total)
+	}
+	return d
+}
+
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
 // NodesPerSecond is the engine's processing rate: input nodes handled per
-// second of per-diff wall time (per-worker throughput).
+// second of per-diff wall time (per-worker throughput). It returns 0 (never
+// NaN or Inf) for snapshots with zero wall time, e.g. a fresh engine or an
+// all-short-circuit batch delta.
 func (s Snapshot) NodesPerSecond() float64 {
 	if s.DiffWall <= 0 {
 		return 0
@@ -121,7 +180,10 @@ func (s Snapshot) NodesPerSecond() float64 {
 	return float64(s.SourceNodes+s.TargetNodes) / s.DiffWall.Seconds()
 }
 
-// String renders the snapshot on a few lines for CLI output.
+// String renders the snapshot on a few lines for CLI output. The format is
+// a pure function of the snapshot's fields (fixed precision, millisecond-
+// rounded wall time, no maps), so fixed-value snapshots render identically
+// across runs and platforms and the output can be golden-tested.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"diffs %d (%d errors, %d batches), %d edits, %d+%d nodes in %v (%.0f nodes/s)\n"+

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"repro/internal/telemetry"
+)
+
+// DiffEvent is the per-diff notification delivered to Config.Observer and
+// Config.SlowDiffLog: the pair's label, its full DiffStats (wall time,
+// per-phase breakdown, sizes, edit count, intern flags), and the error of
+// a failed diff.
+type DiffEvent struct {
+	Label string
+	Stats DiffStats
+	Err   error
+}
+
+// TraceRecord converts the event into the JSONL trace schema consumed by
+// telemetry.TraceWriter (the -trace flag of cmd/evaluate).
+func (ev DiffEvent) TraceRecord() telemetry.TraceRecord {
+	rec := telemetry.TraceRecord{
+		Pair:           ev.Label,
+		SourceNodes:    ev.Stats.SourceSize,
+		TargetNodes:    ev.Stats.TargetSize,
+		WallNS:         ev.Stats.Wall.Nanoseconds(),
+		Edits:          ev.Stats.Edits,
+		SourceInterned: ev.Stats.SourceInterned,
+		TargetInterned: ev.Stats.TargetInterned,
+		Identical:      ev.Stats.Identical,
+	}
+	rec.SetPhases(ev.Stats.Phases)
+	if ev.Err != nil {
+		rec.Err = ev.Err.Error()
+	}
+	return rec
+}
+
+// GatherMetrics implements telemetry.Gatherer: it renders the engine's
+// cumulative counters, cache gauges, and latency/edit/size histograms as
+// an exposition sample set. telemetry.Handler(engine) serves it at
+// /metrics in Prometheus text format; metric names and semantics are
+// documented in docs/OBSERVABILITY.md.
+func (e *Engine) GatherMetrics() []telemetry.Metric {
+	s := e.Snapshot()
+	counter := func(name, help string, v uint64) telemetry.Metric {
+		return telemetry.Metric{Name: name, Help: help, Kind: telemetry.KindCounter, Value: float64(v)}
+	}
+	gauge := func(name, help string, v int) telemetry.Metric {
+		return telemetry.Metric{Name: name, Help: help, Kind: telemetry.KindGauge, Value: float64(v)}
+	}
+
+	ms := []telemetry.Metric{
+		counter("structdiff_diffs_total", "Completed diffs.", s.Diffs),
+		counter("structdiff_diff_errors_total", "Failed diffs (schema mismatches, nil trees).", s.Errors),
+		counter("structdiff_slow_diffs_total", "Diffs at or above the slow-diff threshold.", s.SlowDiffs),
+		counter("structdiff_batches_total", "DiffBatch invocations.", s.Batches),
+		counter("structdiff_edits_total", "Compound edits over all scripts produced.", s.Edits),
+		counter("structdiff_source_nodes_total", "Source-tree nodes diffed.", s.SourceNodes),
+		counter("structdiff_target_nodes_total", "Target-tree nodes diffed.", s.TargetNodes),
+		{
+			Name: "structdiff_diff_wall_seconds_total", Kind: telemetry.KindCounter,
+			Help:  "Summed per-diff wall time (exceeds elapsed time with concurrent workers).",
+			Value: s.DiffWall.Seconds(),
+		},
+		counter("structdiff_pool_gets_total", "Scratch-pool checkouts.", s.PoolGets),
+		counter("structdiff_pool_misses_total", "Scratch-pool checkouts that allocated fresh state.", s.PoolMisses),
+		counter("structdiff_memo_hits_total", "Digest lookups served from the cross-diff memo.", s.MemoHits),
+		counter("structdiff_memo_misses_total", "Digest lookups that had to hash.", s.MemoMisses),
+		gauge("structdiff_memo_entries", "Digests currently cached in the cross-diff memo.", s.MemoEntries),
+		counter("structdiff_store_hits_total", "Nil-alloc ingests served from the whole-tree intern store.", s.StoreHits),
+		counter("structdiff_store_misses_total", "Nil-alloc ingests that had to clone.", s.StoreMisses),
+		gauge("structdiff_store_entries", "Distinct trees interned in the whole-tree store.", s.StoreEntries),
+		counter("structdiff_ingested_trees_total", "Trees that passed through Ingest.", s.IngestedTrees),
+		counter("structdiff_ingested_nodes_total", "Nodes that passed through Ingest.", s.IngestedNodes),
+		{
+			Name: "structdiff_diff_duration_seconds", Kind: telemetry.KindHistogram,
+			Help: "Per-diff wall time.",
+			Hist: e.h.latency.Snapshot(), Scale: 1e-9,
+		},
+	}
+	for ph := 0; ph < telemetry.NumPhases; ph++ {
+		ms = append(ms, telemetry.Metric{
+			Name: "structdiff_phase_duration_seconds", Kind: telemetry.KindHistogram,
+			Help:   "Per-phase diff time (the four truediff steps); short-circuited pairs record no phases.",
+			Labels: []telemetry.Label{{Key: "phase", Value: telemetry.Phase(ph).String()}},
+			Hist:   e.h.phases[ph].Snapshot(), Scale: 1e-9,
+		})
+	}
+	ms = append(ms,
+		telemetry.Metric{
+			Name: "structdiff_script_edits", Kind: telemetry.KindHistogram,
+			Help: "Compound edit count per script (the paper's conciseness metric).",
+			Hist: e.h.edits.Snapshot(),
+		},
+		telemetry.Metric{
+			Name: "structdiff_tree_nodes", Kind: telemetry.KindHistogram,
+			Help: "Input tree sizes in nodes (two observations per diff).",
+			Hist: e.h.nodes.Snapshot(),
+		},
+	)
+	return ms
+}
+
+// PhaseHistogram returns a snapshot of the engine-level distribution of
+// one phase's per-diff durations (in nanoseconds).
+func (e *Engine) PhaseHistogram(p telemetry.Phase) telemetry.HistogramSnapshot {
+	return e.h.phases[p].Snapshot()
+}
+
+// LatencyHistogram returns a snapshot of the per-diff wall-time
+// distribution (in nanoseconds).
+func (e *Engine) LatencyHistogram() telemetry.HistogramSnapshot {
+	return e.h.latency.Snapshot()
+}

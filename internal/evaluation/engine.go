@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/engine"
+	"repro/internal/pylang"
 	"repro/internal/tree"
 	"repro/internal/truechange"
 	"repro/internal/truediff"
@@ -41,8 +42,10 @@ type EngineReplayResult struct {
 	ScriptsAgree bool
 	Mismatches   int
 
-	// Snapshot is the engine's cumulative metrics after the replay (pool,
-	// memo, and tree-store hit rates, per-diff wall totals).
+	// Snapshot is the engine's metrics delta over the replay (pool, memo,
+	// and tree-store hit rates, per-diff wall totals): the difference of
+	// the snapshots taken after and before the batch (Snapshot.Sub), so a
+	// reused engine reports this replay's numbers, not its lifetime's.
 	Snapshot engine.Snapshot
 }
 
@@ -51,6 +54,18 @@ type EngineReplayResult struct {
 // with the given worker count — and returns timings, the script-agreement
 // verdict, and the engine's metrics snapshot.
 func RunEngineReplay(cfg Config, workers int) *EngineReplayResult {
+	// Schema validation is by tag name, so an engine over a fresh pylang
+	// schema accepts trees built by the corpus generator's own factory.
+	return RunEngineReplayOn(engine.New(pylang.Schema(), engine.Config{Workers: workers}), cfg)
+}
+
+// RunEngineReplayOn is RunEngineReplay over a caller-supplied engine — the
+// one cmd/evaluate wires tracing, observers, and the metrics endpoint to.
+// The engine must accept pylang trees (any engine over a pylang schema
+// does); its worker count is whatever it was configured with. The result's
+// Snapshot is the engine's per-replay delta, leaving the engine's
+// cumulative counters untouched for the caller.
+func RunEngineReplayOn(e *engine.Engine, cfg Config) *EngineReplayResult {
 	h := corpus.Generate(cfg.Corpus)
 	sch := h.Factory.Schema()
 	changes := h.Changes()
@@ -79,13 +94,14 @@ func RunEngineReplay(cfg Config, workers int) *EngineReplayResult {
 
 	// Engine replay: engine-managed ingest (nil allocator interns trees by
 	// content) and batch diffing over the shared store.
-	e := engine.New(sch, engine.Config{Workers: workers})
+	before := e.Snapshot()
 	engStart := time.Now()
 	pairs := make([]engine.Pair, len(changes))
 	for i, fc := range changes {
 		pairs[i] = engine.Pair{
 			Source: e.Ingest(fc.Before, nil),
 			Target: e.Ingest(fc.After, nil),
+			Label:  fmt.Sprintf("%s#%d", fc.Path, i),
 		}
 	}
 	results, err := e.DiffBatch(nil, pairs)
@@ -108,7 +124,7 @@ func RunEngineReplay(cfg Config, workers int) *EngineReplayResult {
 	if res.EngineNS > 0 {
 		res.Speedup = float64(res.SequentialNS) / float64(res.EngineNS)
 	}
-	res.Snapshot = e.Snapshot()
+	res.Snapshot = e.Snapshot().Sub(before)
 	return res
 }
 

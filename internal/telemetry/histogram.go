@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of buckets of a Histogram: bucket 0 holds the
+// value 0 and bucket i (1 ≤ i ≤ 64) holds values v with 2^(i-1) ≤ v < 2^i,
+// i.e. values whose binary representation is i bits long.
+const NumBuckets = 65
+
+// Histogram is a lock-free histogram of non-negative int64 values with
+// logarithmic (power-of-two) buckets. Record is three atomic adds and is
+// safe for any number of concurrent writers; Snapshot reads the counters
+// without stopping writers, so a snapshot taken mid-flight is internally
+// consistent only per counter — which is all that exposition needs.
+//
+// The log-bucket resolution (one bucket per binary order of magnitude,
+// ≤ 100% relative error) matches what latency, edit-count, and tree-size
+// distributions are consumed for: percentile estimates and shape, not
+// exact values. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketIndex returns the bucket v falls into; negative values clamp to
+// bucket 0.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the largest value bucket i admits (inclusive).
+// For the last bucket it returns math.MaxInt64.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Record adds one observation. Negative values count as 0.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot captures the histogram's current counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram's counters.
+// Buckets[i] counts observations that fell into bucket i (see NumBuckets
+// for the bucket layout); the counts are per-bucket, not cumulative.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Mean returns the arithmetic mean of the observations, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the upper bound of the
+// bucket containing it, 0 when empty. The estimate overshoots by at most
+// one binary order of magnitude.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// maxBucket returns the index of the highest non-empty bucket, -1 when
+// empty. Exposition emits buckets 0..maxBucket plus +Inf.
+func (s HistogramSnapshot) maxBucket() int {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}

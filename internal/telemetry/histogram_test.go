@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the bucket layout down exactly: bucket 0 holds
+// the value 0, and bucket i (i ≥ 1) holds values whose binary representation
+// is i bits long, i.e. 2^(i-1) ≤ v < 2^i.
+func TestBucketBoundaries(t *testing.T) {
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(-17); got != 0 {
+		t.Errorf("bucketIndex(-17) = %d, want 0 (negatives clamp)", got)
+	}
+	for i := 1; i <= 62; i++ {
+		lo := int64(1) << uint(i-1) // smallest value of bucket i
+		hi := int64(1)<<uint(i) - 1 // largest value of bucket i
+		if got := bucketIndex(lo); got != i {
+			t.Errorf("bucketIndex(%d) = %d, want %d", lo, got, i)
+		}
+		if got := bucketIndex(hi); got != i {
+			t.Errorf("bucketIndex(%d) = %d, want %d", hi, got, i)
+		}
+	}
+	if got := bucketIndex(math.MaxInt64); got != 63 {
+		t.Errorf("bucketIndex(MaxInt64) = %d, want 63", got)
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	cases := []struct {
+		i    int
+		want int64
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 3}, {3, 7}, {10, 1023},
+		{63, 1<<63 - 1}, {64, math.MaxInt64}, {99, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := BucketUpper(c.i); got != c.want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+	// Consistency: every value lands in a bucket whose upper bound admits
+	// it and whose predecessor's does not.
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 100, 1023, 1024, math.MaxInt64} {
+		i := bucketIndex(v)
+		if v > BucketUpper(i) {
+			t.Errorf("value %d exceeds its bucket %d upper bound %d", v, i, BucketUpper(i))
+		}
+		if i > 0 && v <= BucketUpper(i-1) {
+			t.Errorf("value %d also fits bucket %d (upper %d)", v, i-1, BucketUpper(i-1))
+		}
+	}
+}
+
+func TestHistogramRecordAndSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 900, -5} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 906 { // negative observation counted as 0
+		t.Fatalf("Sum = %d, want 906", s.Sum)
+	}
+	wantBuckets := map[int]uint64{0: 2, 1: 1, 2: 2, 10: 1}
+	for i, c := range s.Buckets {
+		if c != wantBuckets[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, wantBuckets[i])
+		}
+	}
+	if got, want := s.Mean(), 906.0/6; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("Count() = %d, want 6", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+
+	var h Histogram
+	// 90 fast observations (bucket 4: 8..15) and 10 slow (bucket 10).
+	for i := 0; i < 90; i++ {
+		h.Record(12)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1000)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 15 {
+		t.Errorf("Quantile(0.5) = %d, want 15 (upper bound of bucket 4)", got)
+	}
+	if got := s.Quantile(0.9); got != 15 {
+		t.Errorf("Quantile(0.9) = %d, want 15", got)
+	}
+	if got := s.Quantile(0.99); got != 1023 {
+		t.Errorf("Quantile(0.99) = %d, want 1023 (upper bound of bucket 10)", got)
+	}
+	if got := s.Quantile(1); got != 1023 {
+		t.Errorf("Quantile(1) = %d, want 1023", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := s.Quantile(-3); got != 15 {
+		t.Errorf("Quantile(-3) = %d, want 15 (clamped to smallest rank)", got)
+	}
+	if got := s.Quantile(7); got != 1023 {
+		t.Errorf("Quantile(7) = %d, want 1023 (clamped to 1)", got)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many goroutines;
+// under -race this verifies Record is genuinely lock-free-safe, and the
+// final snapshot proves no observation was lost.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(int64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := uint64(goroutines * perG); s.Count != want {
+		t.Fatalf("Count = %d, want %d", s.Count, want)
+	}
+	var inBuckets uint64
+	for _, c := range s.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+	// Sum of 0..N-1 where N = goroutines*perG.
+	n := uint64(goroutines * perG)
+	if want := n * (n - 1) / 2; s.Sum != want {
+		t.Fatalf("Sum = %d, want %d", s.Sum, want)
+	}
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a Metric for the Prometheus exposition.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down (cache sizes).
+	KindGauge
+	// KindHistogram is a bucketed distribution (Hist holds the data).
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name/value pair attached to a Metric. Labels are kept as an
+// ordered slice (not a map) so exposition output is deterministic.
+type Label struct {
+	Key, Value string
+}
+
+// Metric is one sample of the exposition: a counter or gauge Value, or a
+// histogram snapshot. Metrics sharing a Name (e.g. a per-phase histogram
+// family distinguished by labels) must be adjacent in a Gather result and
+// agree on Kind and Help; the writer emits the HELP/TYPE header once per
+// name.
+type Metric struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+
+	// Value carries counters and gauges.
+	Value float64
+
+	// Hist carries histograms. Scale multiplies observed values (bucket
+	// bounds and the sum) on the way out — e.g. 1e-9 turns nanosecond
+	// observations into the seconds Prometheus conventions expect. Zero
+	// means 1.
+	Hist  HistogramSnapshot
+	Scale float64
+}
+
+// Gatherer is anything that can report its current metrics; the Engine
+// implements it, and Handler serves any implementation.
+type Gatherer interface {
+	GatherMetrics() []Metric
+}
+
+// GathererFunc adapts a function to the Gatherer interface.
+type GathererFunc func() []Metric
+
+func (f GathererFunc) GatherMetrics() []Metric { return f() }
+
+// WritePrometheus renders the metrics in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic for a given input.
+func WritePrometheus(w io.Writer, metrics []Metric) error {
+	var b strings.Builder
+	prevName := ""
+	for i := range metrics {
+		m := &metrics[i]
+		if m.Name != prevName {
+			if m.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Kind)
+			prevName = m.Name
+		}
+		switch m.Kind {
+		case KindHistogram:
+			writeHistogram(&b, m)
+		default:
+			b.WriteString(m.Name)
+			writeLabels(&b, m.Labels, "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(m.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the _bucket (cumulative, with le), _sum, and _count
+// series of one histogram metric.
+func writeHistogram(b *strings.Builder, m *Metric) {
+	scale := m.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	var cum uint64
+	last := m.Hist.maxBucket()
+	for i := 0; i <= last; i++ {
+		cum += m.Hist.Buckets[i]
+		le := formatFloat(float64(BucketUpper(i)) * scale)
+		b.WriteString(m.Name)
+		b.WriteString("_bucket")
+		writeLabels(b, m.Labels, le)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(m.Name)
+	b.WriteString("_bucket")
+	writeLabels(b, m.Labels, "+Inf")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(m.Hist.Count, 10))
+	b.WriteByte('\n')
+
+	b.WriteString(m.Name)
+	b.WriteString("_sum")
+	writeLabels(b, m.Labels, "")
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(float64(m.Hist.Sum) * scale))
+	b.WriteByte('\n')
+
+	b.WriteString(m.Name)
+	b.WriteString("_count")
+	writeLabels(b, m.Labels, "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(m.Hist.Count, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}, appending an le label when non-empty.
+func writeLabels(b *strings.Builder, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the text exposition format exactly:
+// HELP/TYPE emitted once per metric name (including histogram families
+// sharing a name across label sets), cumulative le buckets, +Inf, _sum,
+// and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 3, 900} {
+		h.Record(v)
+	}
+	metrics := []Metric{
+		{Name: "structdiff_diffs_total", Help: "Completed diffs.", Kind: KindCounter, Value: 42},
+		{Name: "structdiff_store_entries", Help: "Interned trees.", Kind: KindGauge, Value: 7},
+		{
+			Name: "structdiff_phase_duration_seconds", Help: "Per-phase wall time.",
+			Kind:   KindHistogram,
+			Labels: []Label{{Key: "phase", Value: "emit"}},
+			Hist:   h.Snapshot(),
+		},
+		{
+			Name: "structdiff_phase_duration_seconds", Help: "Per-phase wall time.",
+			Kind:   KindHistogram,
+			Labels: []Label{{Key: "phase", Value: "select"}},
+		},
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, metrics); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP structdiff_diffs_total Completed diffs.
+# TYPE structdiff_diffs_total counter
+structdiff_diffs_total 42
+# HELP structdiff_store_entries Interned trees.
+# TYPE structdiff_store_entries gauge
+structdiff_store_entries 7
+# HELP structdiff_phase_duration_seconds Per-phase wall time.
+# TYPE structdiff_phase_duration_seconds histogram
+structdiff_phase_duration_seconds_bucket{phase="emit",le="0"} 1
+structdiff_phase_duration_seconds_bucket{phase="emit",le="1"} 2
+structdiff_phase_duration_seconds_bucket{phase="emit",le="3"} 3
+structdiff_phase_duration_seconds_bucket{phase="emit",le="7"} 3
+structdiff_phase_duration_seconds_bucket{phase="emit",le="15"} 3
+structdiff_phase_duration_seconds_bucket{phase="emit",le="31"} 3
+structdiff_phase_duration_seconds_bucket{phase="emit",le="63"} 3
+structdiff_phase_duration_seconds_bucket{phase="emit",le="127"} 3
+structdiff_phase_duration_seconds_bucket{phase="emit",le="255"} 3
+structdiff_phase_duration_seconds_bucket{phase="emit",le="511"} 3
+structdiff_phase_duration_seconds_bucket{phase="emit",le="1023"} 4
+structdiff_phase_duration_seconds_bucket{phase="emit",le="+Inf"} 4
+structdiff_phase_duration_seconds_sum{phase="emit"} 904
+structdiff_phase_duration_seconds_count{phase="emit"} 4
+structdiff_phase_duration_seconds_bucket{phase="select",le="+Inf"} 0
+structdiff_phase_duration_seconds_sum{phase="select"} 0
+structdiff_phase_duration_seconds_count{phase="select"} 0
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusScale verifies Scale converts nanosecond observations
+// into seconds on the way out (bucket bounds and the sum).
+func TestWritePrometheusScale(t *testing.T) {
+	var h Histogram
+	h.Record(1500000000) // 1.5s in nanoseconds, bucket 31
+	var b strings.Builder
+	err := WritePrometheus(&b, []Metric{{
+		Name: "d_seconds", Kind: KindHistogram, Hist: h.Snapshot(), Scale: 1e-9,
+	}})
+	if err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `d_seconds_bucket{le="2.147483647"} 1`) {
+		t.Errorf("missing scaled bucket bound:\n%s", out)
+	}
+	if !strings.Contains(out, "d_seconds_sum 1.5\n") {
+		t.Errorf("missing scaled sum:\n%s", out)
+	}
+	if !strings.Contains(out, "d_seconds_count 1\n") {
+		t.Errorf("missing count:\n%s", out)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	var b strings.Builder
+	err := WritePrometheus(&b, []Metric{{
+		Name: "m", Help: "line1\nline2 with \\ backslash", Kind: KindCounter,
+		Labels: []Label{{Key: "pair", Value: `a"b\c` + "\n"}}, Value: 1,
+	}})
+	if err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP m line1\nline2 with \\ backslash`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `m{pair="a\"b\\c\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}

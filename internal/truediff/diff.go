@@ -3,9 +3,11 @@ package truediff
 import (
 	"container/heap"
 	"fmt"
+	"time"
 
 	"repro/internal/derrors"
 	"repro/internal/sig"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/truechange"
 	"repro/internal/uri"
@@ -52,6 +54,13 @@ type Options struct {
 	// instead of replacing the node. The paper's traversal requires tag
 	// and literals to coincide; this is an ablation.
 	UpdateOnLitMismatch bool
+	// Tracer, when non-nil, receives span events for every diff: BeginDiff,
+	// one Phase event per truediff step in order, EndDiff. Phase durations
+	// are recorded into the Scratch regardless (see Scratch.PhaseTimes), so
+	// a nil Tracer costs only the monotonic clock reads. A Tracer shared by
+	// concurrent goroutines (the engine with Workers > 1) must be
+	// concurrency-safe.
+	Tracer telemetry.Tracer
 }
 
 // Differ computes truechange edit scripts between trees of one schema.
@@ -98,7 +107,13 @@ type Scratch struct {
 	buf      *truechange.Buffer
 	heap     nodeHeap
 	queue    []*tree.Node
+	phases   telemetry.PhaseTimes
 }
+
+// PhaseTimes returns the per-phase durations of the most recent DiffScratch
+// run through this scratch (zeroed on entry to each run). The engine reads
+// it after every diff to feed its phase histograms.
+func (s *Scratch) PhaseTimes() telemetry.PhaseTimes { return s.phases }
 
 // NewScratch returns an empty Scratch ready for DiffScratch.
 func NewScratch() *Scratch {
@@ -117,6 +132,7 @@ func (s *Scratch) Reset() {
 	s.heap.reset()
 	clear(s.queue)
 	s.queue = s.queue[:0]
+	s.phases = telemetry.PhaseTimes{}
 }
 
 // Diff compares source against target and returns the edit script and
@@ -138,6 +154,7 @@ func (d *Differ) DiffScratch(source, target *tree.Node, alloc *uri.Allocator, s 
 	if source == nil || target == nil {
 		return nil, fmt.Errorf("truediff: %w", derrors.ErrNilTree)
 	}
+	began := time.Now()
 	if alloc == nil {
 		alloc = uri.NewAllocator()
 		tree.Walk(source, func(n *tree.Node) { alloc.Reserve(n.URI) })
@@ -149,13 +166,41 @@ func (d *Differ) DiffScratch(source, target *tree.Node, alloc *uri.Allocator, s 
 		return nil, err
 	}
 	s.Reset()
+	// A diff that passed validation emits the full span: BeginDiff, one
+	// Phase per step in order, EndDiff. Failed validation emits nothing.
+	tr := d.opts.Tracer
+	if tr != nil {
+		tr.BeginDiff(source.Size(), target.Size())
+	}
 	r := &run{sch: d.sch, opts: d.opts, s: s, alloc: alloc}
 	// Step 1 happened at tree construction: every node carries its
-	// structure and literal hashes.
-	r.assignShares(source, target)                                              // step 2
-	r.assignSubtrees(target)                                                    // step 3
+	// structure and literal hashes; the per-diff residue (allocator
+	// derivation, schema validation, scratch reset) is the prepare phase.
+	var mark time.Time
+	s.phase(tr, telemetry.PhasePrepare, began, &mark)
+	r.assignShares(source, target) // step 2
+	s.phase(tr, telemetry.PhaseShares, mark, &mark)
+	r.assignSubtrees(target) // step 3
+	s.phase(tr, telemetry.PhaseSelect, mark, &mark)
 	patched := r.computeEdits(source, target, truechange.RootRef, sig.RootLink) // step 4
-	return &Result{Script: s.buf.Script(), Patched: patched}, nil
+	s.phase(tr, telemetry.PhaseEmit, mark, &mark)
+	res := &Result{Script: s.buf.Script(), Patched: patched}
+	if tr != nil {
+		tr.EndDiff(res.Script.EditCount(), mark.Sub(began))
+	}
+	return res, nil
+}
+
+// phase closes one phase span: it records the duration since start into
+// the scratch, forwards it to the tracer, and advances *mark to now.
+func (s *Scratch) phase(tr telemetry.Tracer, p telemetry.Phase, start time.Time, mark *time.Time) {
+	now := time.Now()
+	d := now.Sub(start)
+	s.phases[p] = d
+	if tr != nil {
+		tr.Phase(p, d)
+	}
+	*mark = now
 }
 
 // checkSchema verifies every tag of the tree is declared in the differ's

@@ -9,6 +9,7 @@ package evaluation
 import (
 	"repro/internal/corpus"
 	"repro/internal/evaluation"
+	"repro/structdiff"
 )
 
 type (
@@ -68,4 +69,12 @@ func RunMatching(opts corpus.Options) *MatchingResult { return evaluation.RunMat
 // speedup and cache effectiveness.
 func RunEngineReplay(cfg Config, workers int) *EngineReplayResult {
 	return evaluation.RunEngineReplay(cfg, workers)
+}
+
+// RunEngineReplayOn is RunEngineReplay over a caller-supplied engine (any
+// engine over a pylang schema), so observers, tracers, and a live metrics
+// endpoint wired to that engine see the replay. The result's Snapshot is
+// the engine's per-replay delta (Snapshot.Sub of after and before).
+func RunEngineReplayOn(e *structdiff.Engine, cfg Config) *EngineReplayResult {
+	return evaluation.RunEngineReplayOn(e, cfg)
 }

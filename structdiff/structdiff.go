@@ -27,10 +27,14 @@ package structdiff
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/mtree"
 	"repro/internal/sig"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/truediff"
 	"repro/internal/uri"
@@ -41,12 +45,15 @@ import (
 type Option func(*config)
 
 type config struct {
-	sch     *sig.Schema
-	alloc   *uri.Allocator
-	diff    truediff.Options
-	hash    tree.HashKind
-	workers int
-	noMemo  bool
+	sch      *sig.Schema
+	alloc    *uri.Allocator
+	diff     truediff.Options
+	hash     tree.HashKind
+	workers  int
+	noMemo   bool
+	observer func(DiffEvent)
+	slow     time.Duration
+	slowLog  func(DiffEvent)
 }
 
 func newConfig(opts []Option) config {
@@ -91,6 +98,31 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // WithoutMemo disables an Engine's cross-diff digest memo (for ablation
 // measurements; the memo is on by default).
 func WithoutMemo() Option { return func(c *config) { c.noMemo = true } }
+
+// WithTracer attaches a telemetry tracer: every diff emits BeginDiff, one
+// Phase event per truediff step (prepare, shares, select, emit) in order,
+// and EndDiff. It applies to Diff, NewDiffer, and NewEngine; with an
+// engine running Workers > 1 the tracer observes diffs from several
+// goroutines at once, so it must be concurrency-safe. See
+// docs/OBSERVABILITY.md.
+func WithTracer(t Tracer) Option { return func(c *config) { c.diff.Tracer = t } }
+
+// WithObserver registers a per-diff callback on an Engine: after every
+// diff (successful, failed, or short-circuited) the observer receives a
+// DiffEvent with the pair's label, stats (including the per-phase
+// breakdown), and error. It runs synchronously on worker goroutines; keep
+// it cheap and concurrency-safe. Engine entry points only.
+func WithObserver(fn func(DiffEvent)) Option { return func(c *config) { c.observer = fn } }
+
+// WithSlowDiffThreshold enables slow-diff logging on an Engine: completed
+// diffs whose wall time meets or exceeds d are counted (Snapshot.SlowDiffs)
+// and reported — through log, the logger's default destination, unless a
+// custom sink is given via WithSlowDiffLog. Engine entry points only.
+func WithSlowDiffThreshold(d time.Duration) Option { return func(c *config) { c.slow = d } }
+
+// WithSlowDiffLog overrides where slow diffs are reported (default: the
+// standard library logger). Only meaningful with WithSlowDiffThreshold.
+func WithSlowDiffLog(fn func(DiffEvent)) Option { return func(c *config) { c.slowLog = fn } }
 
 // Diff computes the truechange edit script that transforms src into dst,
 // together with the patched tree. WithSchema is required; WithAllocator,
@@ -178,12 +210,27 @@ func NewEngine(sch *Schema, opts ...Option) (*Engine, error) {
 	}
 	cfg := newConfig(opts)
 	return engine.New(sch, engine.Config{
-		Workers:     cfg.workers,
-		Diff:        cfg.diff,
-		Hash:        cfg.hash,
-		DisableMemo: cfg.noMemo,
+		Workers:           cfg.workers,
+		Diff:              cfg.diff,
+		Hash:              cfg.hash,
+		DisableMemo:       cfg.noMemo,
+		Observer:          cfg.observer,
+		SlowDiffThreshold: cfg.slow,
+		SlowDiffLog:       cfg.slowLog,
 	}), nil
 }
+
+// MetricsHandler returns the observability endpoint for an Engine (or any
+// Gatherer): /metrics in Prometheus text format, /debug/vars (expvar), and
+// /debug/pprof. Mount it on its own listener — cmd/evaluate and
+// cmd/truediff expose it via -metrics-addr — or under a route of an
+// existing server. See docs/OBSERVABILITY.md for the metric inventory.
+func MetricsHandler(g Gatherer) http.Handler { return telemetry.Handler(g) }
+
+// NewTraceWriter returns a concurrency-safe JSONL sink for per-diff trace
+// records; wire it to an engine with
+// WithObserver(func(ev DiffEvent) { tw.Write(ev.TraceRecord()) }).
+func NewTraceWriter(w io.Writer) *TraceWriter { return telemetry.NewTraceWriter(w) }
 
 // DiffBatch is a convenience wrapper: it builds a one-shot engine and runs
 // the pairs through it. Applications running more than one batch should

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mtree"
 	"repro/internal/sig"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/truechange"
 	"repro/internal/truediff"
@@ -236,6 +237,45 @@ type (
 	Pair       = engine.Pair
 	PairResult = engine.PairResult
 	DiffStats  = engine.DiffStats
-	// Snapshot is a point-in-time view of an engine's cumulative metrics.
+	// Snapshot is a point-in-time view of an engine's cumulative metrics;
+	// Snapshot.Sub derives per-batch deltas.
 	Snapshot = engine.Snapshot
+	// DiffEvent is the per-diff notification delivered to WithObserver and
+	// WithSlowDiffLog callbacks.
+	DiffEvent = engine.DiffEvent
+)
+
+// --- Telemetry (internal/telemetry) -------------------------------------
+
+type (
+	// Tracer receives span events for every diff (see WithTracer);
+	// TracerFuncs adapts plain functions into one.
+	Tracer      = telemetry.Tracer
+	TracerFuncs = telemetry.TracerFuncs
+	// Phase identifies one of the four truediff steps; PhaseTimes holds
+	// one diff's per-phase durations.
+	Phase      = telemetry.Phase
+	PhaseTimes = telemetry.PhaseTimes
+	// Histogram is the lock-free log-bucketed histogram the engine
+	// aggregates latencies into; HistogramSnapshot is its point-in-time
+	// view (Mean, Quantile).
+	Histogram         = telemetry.Histogram
+	HistogramSnapshot = telemetry.HistogramSnapshot
+	// Metric is one exposition sample; Gatherer is anything that reports
+	// them (an Engine is one); MetricsHandler serves a Gatherer over HTTP.
+	Metric   = telemetry.Metric
+	Gatherer = telemetry.Gatherer
+	// TraceRecord is one line of the JSONL diff trace; TraceWriter is the
+	// concurrency-safe sink (see NewTraceWriter).
+	TraceRecord = telemetry.TraceRecord
+	TraceWriter = telemetry.TraceWriter
+)
+
+// The four truediff phases, in execution order.
+const (
+	PhasePrepare = telemetry.PhasePrepare
+	PhaseShares  = telemetry.PhaseShares
+	PhaseSelect  = telemetry.PhaseSelect
+	PhaseEmit    = telemetry.PhaseEmit
+	NumPhases    = telemetry.NumPhases
 )
