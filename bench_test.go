@@ -524,6 +524,10 @@ func BenchmarkEngineBatch(b *testing.B) {
 	for _, workers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("engine-%d", workers), func(b *testing.B) {
 			e := engine.New(sch, engine.Config{Workers: workers})
+			// A cancellable context keeps the in-phase cancellation
+			// checkpoints live, so the benchmark prices them in.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
 			for i := 0; i < b.N; i++ {
 				pairs := make([]engine.Pair, len(changes))
 				for j, fc := range changes {
@@ -536,7 +540,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 						Target: e.Ingest(fc.After, nil),
 					}
 				}
-				results, err := e.DiffBatch(context.Background(), pairs)
+				results, err := e.DiffBatch(ctx, pairs)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -37,4 +37,16 @@ var (
 	// ErrNoSchema reports a facade call that requires a schema but received
 	// none (structdiff.WithSchema was not passed).
 	ErrNoSchema = errors.New("no schema provided")
+
+	// ErrDiffPanic reports a diff that panicked and was recovered by the
+	// engine's per-worker isolation: the pair fails alone, the batch and
+	// the process survive. The wrapping error (engine.PanicError) carries
+	// the recovered value and the goroutine stack.
+	ErrDiffPanic = errors.New("diff panicked")
+
+	// ErrDiffTimeout reports a diff aborted mid-phase because it exceeded
+	// the per-diff deadline (engine Config.DiffTimeout, facade
+	// WithDiffTimeout). Distinct from the caller's context deadline, which
+	// surfaces as context.DeadlineExceeded.
+	ErrDiffTimeout = errors.New("diff exceeded per-diff timeout")
 )

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/sig"
 	"repro/internal/telemetry"
 	"repro/internal/tree"
@@ -72,6 +73,27 @@ type Config struct {
 	// SlowDiffLog overrides where slow diffs are reported. Nil logs one
 	// line per slow diff via the standard library logger.
 	SlowDiffLog func(DiffEvent)
+
+	// DiffTimeout bounds each individual diff: a diff still running when
+	// the deadline passes is aborted at its next cancellation checkpoint
+	// with an error matching derrors.ErrDiffTimeout. The deadline starts
+	// when the diff starts (not when the batch does), so large batches
+	// don't starve late pairs. Zero disables the per-diff deadline.
+	DiffTimeout time.Duration
+	// CheckpointEvery overrides how many nodes a diff processes between
+	// cancellation-checkpoint polls (truediff.Options.CheckpointEvery).
+	// Zero selects truediff.DefaultCheckpointEvery. Equivalent to setting
+	// Diff.CheckpointEvery, which it overrides when positive.
+	CheckpointEvery int
+	// Fallback selects the graceful-degradation policy for diffs that
+	// panic, overrun DiffTimeout, or emit an ill-typed script. See
+	// FallbackMode.
+	Fallback FallbackMode
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// engine's sites (FaultSiteDiff, FaultSiteCheckpoint) and is forwarded
+	// to patching helpers. Intended for resilience tests; nil in
+	// production.
+	Faults *faultinject.Injector
 }
 
 // Engine diffs batches of tree pairs concurrently. Create one with New and
@@ -161,6 +183,9 @@ func (e *Engine) reserveBlock(min uri.URI, n int) uri.URI {
 func New(sch *sig.Schema, cfg Config) *Engine {
 	if cfg.Tracer != nil {
 		cfg.Diff.Tracer = cfg.Tracer
+	}
+	if cfg.CheckpointEvery > 0 {
+		cfg.Diff.CheckpointEvery = cfg.CheckpointEvery
 	}
 	e := &Engine{
 		sch:    sch,
@@ -283,6 +308,12 @@ type DiffStats struct {
 	SourceInterned bool
 	TargetInterned bool
 	Identical      bool
+	// Fallback marks pairs served by graceful degradation: the real diff
+	// panicked, timed out, or emitted an ill-typed script, and the result
+	// is a synthesized root-replacement script instead (Edits and
+	// ReuseRatio describe that script, so expect ReuseRatio 0). Always
+	// false under FallbackNone.
+	Fallback bool
 }
 
 // PairResult is the outcome of one diffing task.
@@ -294,14 +325,18 @@ type PairResult struct {
 
 // Diff runs a single diff through the engine: scratch state is drawn from
 // the pool and the per-diff counters feed Snapshot. See truediff.Differ.Diff
-// for the contract on source, target, and alloc.
+// for the contract on source, target, and alloc. A nil ctx is treated as
+// context.Background(), matching DiffBatch; a cancellable ctx (or a
+// configured DiffTimeout) is polled at cancellation checkpoints, so the
+// diff aborts mid-algorithm rather than only between calls.
 func (e *Engine) Diff(ctx context.Context, source, target *tree.Node, alloc *uri.Allocator) (*truediff.Result, error) {
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("engine: %w", err)
-		}
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	pr := e.diffOne(Pair{Source: source, Target: target, Alloc: alloc})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	pr := e.diffOne(ctx, Pair{Source: source, Target: target, Alloc: alloc})
 	return pr.Result, pr.Err
 }
 
@@ -309,7 +344,10 @@ func (e *Engine) Diff(ctx context.Context, source, target *tree.Node, alloc *uri
 // pool, and returns one result per pair, index-aligned with pairs. A failed
 // pair carries its error in its slot; DiffBatch itself only returns an
 // error when ctx is cancelled, in which case pairs that never ran have
-// their Err set to the context error.
+// their Err set to the context error, and pairs that were mid-diff abort
+// at their next cancellation checkpoint with the context's cause in their
+// slot. Every pair therefore ends with exactly one of Result or Err set.
+// A nil ctx is treated as context.Background(), matching Diff.
 func (e *Engine) DiffBatch(ctx context.Context, pairs []Pair) ([]PairResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -333,7 +371,7 @@ func (e *Engine) DiffBatch(ctx context.Context, pairs []Pair) ([]PairResult, err
 			// Each slot of results is written by exactly one worker, so no
 			// further synchronization is needed beyond wg.Wait.
 			for i := range idx {
-				results[i] = e.diffOne(pairs[i])
+				results[i] = e.diffOne(ctx, pairs[i])
 			}
 		}()
 	}
@@ -363,8 +401,12 @@ feed:
 	return results, nil
 }
 
-// diffOne executes one task with pooled scratch state.
-func (e *Engine) diffOne(p Pair) PairResult {
+// diffOne executes one task with pooled scratch state. The diff runs
+// inside the panic-isolation boundary (runDiff) with a cancellation
+// checkpoint derived from ctx, Config.DiffTimeout, and the fault injector;
+// failures eligible for graceful degradation are served a synthesized
+// root-replacement script instead when Config.Fallback asks for it.
+func (e *Engine) diffOne(ctx context.Context, p Pair) PairResult {
 	if p.Source != nil && p.Source == p.Target {
 		// Interned trees make content equality a pointer comparison: both
 		// ingests hit the same store entry, so the minimal script is empty
@@ -416,7 +458,18 @@ func (e *Engine) diffOne(p Pair) PairResult {
 	}
 
 	start := time.Now()
-	res, err := e.differ.DiffScratch(p.Source, p.Target, alloc, s)
+	res, err := e.runDiff(ctx, p, alloc, s)
+	if err == nil {
+		err = e.wellTypedOut(res)
+	}
+	fellBack := false
+	if err != nil {
+		e.classify(err)
+		if e.shouldFallback(err) {
+			res, err = e.fallback(p, alloc, err)
+			fellBack = err == nil
+		}
+	}
 	wall := time.Since(start)
 	if err != nil {
 		e.m.errors.Add(1)
@@ -425,6 +478,7 @@ func (e *Engine) diffOne(p Pair) PairResult {
 
 	st := DiffStats{
 		Wall:           wall,
+		Fallback:       fellBack,
 		Edits:          res.Script.EditCount(),
 		SourceSize:     p.Source.Size(),
 		TargetSize:     p.Target.Size(),

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/mtree"
 )
 
 // metrics holds the engine's cumulative counters. All fields are atomics so
@@ -19,6 +21,10 @@ type metrics struct {
 	sourceNodes atomic.Uint64
 	targetNodes atomic.Uint64
 	wallNanos   atomic.Uint64
+
+	panics    atomic.Uint64
+	timeouts  atomic.Uint64
+	fallbacks atomic.Uint64
 
 	poolGets   atomic.Uint64
 	poolMisses atomic.Uint64
@@ -40,6 +46,19 @@ type Snapshot struct {
 	Errors    uint64
 	SlowDiffs uint64
 	Batches   uint64
+
+	// Panics counts diffs that panicked and were recovered into a
+	// PanicError; Timeouts counts diffs aborted by the per-diff deadline
+	// (Config.DiffTimeout). Both count the failure even when graceful
+	// degradation rescued the pair. Fallbacks counts pairs served a
+	// synthesized root-replacement script (Config.Fallback). Rollbacks
+	// counts transactional patch rollbacks (mtree.Rollbacks); it is
+	// process-wide, not per-engine, because patching happens on trees the
+	// engine no longer owns.
+	Panics    uint64
+	Timeouts  uint64
+	Fallbacks uint64
+	Rollbacks uint64
 
 	// Edits is the total compound edit count over all scripts produced.
 	Edits uint64
@@ -89,6 +108,10 @@ func (e *Engine) Snapshot() Snapshot {
 		Errors:        e.m.errors.Load(),
 		SlowDiffs:     e.m.slowDiffs.Load(),
 		Batches:       e.m.batches.Load(),
+		Panics:        e.m.panics.Load(),
+		Timeouts:      e.m.timeouts.Load(),
+		Fallbacks:     e.m.fallbacks.Load(),
+		Rollbacks:     mtree.Rollbacks(),
 		Edits:         e.m.edits.Load(),
 		SourceNodes:   e.m.sourceNodes.Load(),
 		TargetNodes:   e.m.targetNodes.Load(),
@@ -133,6 +156,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Errors:        sub64(s.Errors, prev.Errors),
 		SlowDiffs:     sub64(s.SlowDiffs, prev.SlowDiffs),
 		Batches:       sub64(s.Batches, prev.Batches),
+		Panics:        sub64(s.Panics, prev.Panics),
+		Timeouts:      sub64(s.Timeouts, prev.Timeouts),
+		Fallbacks:     sub64(s.Fallbacks, prev.Fallbacks),
+		Rollbacks:     sub64(s.Rollbacks, prev.Rollbacks),
 		Edits:         sub64(s.Edits, prev.Edits),
 		SourceNodes:   sub64(s.SourceNodes, prev.SourceNodes),
 		TargetNodes:   sub64(s.TargetNodes, prev.TargetNodes),
@@ -187,11 +214,13 @@ func (s Snapshot) NodesPerSecond() float64 {
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"diffs %d (%d errors, %d batches), %d edits, %d+%d nodes in %v (%.0f nodes/s)\n"+
+			"resilience: %d panics, %d timeouts, %d fallbacks, %d rollbacks\n"+
 			"scratch pool: %d gets, %d misses (%.1f%% hit)\n"+
 			"digest memo: %d hits, %d misses (%.1f%% hit), %d entries; ingested %d trees / %d nodes\n"+
 			"tree store: %d hits, %d misses (%.1f%% hit), %d trees interned",
 		s.Diffs, s.Errors, s.Batches, s.Edits, s.SourceNodes, s.TargetNodes,
 		s.DiffWall.Round(time.Millisecond), s.NodesPerSecond(),
+		s.Panics, s.Timeouts, s.Fallbacks, s.Rollbacks,
 		s.PoolGets, s.PoolMisses, 100*s.PoolHitRate,
 		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate, s.MemoEntries,
 		s.IngestedTrees, s.IngestedNodes,

@@ -26,6 +26,7 @@ func (ev DiffEvent) TraceRecord() telemetry.TraceRecord {
 		SourceInterned: ev.Stats.SourceInterned,
 		TargetInterned: ev.Stats.TargetInterned,
 		Identical:      ev.Stats.Identical,
+		Fallback:       ev.Stats.Fallback,
 	}
 	rec.SetPhases(ev.Stats.Phases)
 	if ev.Err != nil {
@@ -53,6 +54,10 @@ func (e *Engine) GatherMetrics() []telemetry.Metric {
 		counter("structdiff_diff_errors_total", "Failed diffs (schema mismatches, nil trees).", s.Errors),
 		counter("structdiff_slow_diffs_total", "Diffs at or above the slow-diff threshold.", s.SlowDiffs),
 		counter("structdiff_batches_total", "DiffBatch invocations.", s.Batches),
+		counter("structdiff_engine_panics_total", "Diffs that panicked and were recovered by worker isolation.", s.Panics),
+		counter("structdiff_engine_timeouts_total", "Diffs aborted by the per-diff deadline.", s.Timeouts),
+		counter("structdiff_engine_fallbacks_total", "Pairs served a synthesized root-replacement script.", s.Fallbacks),
+		counter("structdiff_engine_rollbacks_total", "Transactional patch rollbacks (process-wide).", s.Rollbacks),
 		counter("structdiff_edits_total", "Compound edits over all scripts produced.", s.Edits),
 		counter("structdiff_source_nodes_total", "Source-tree nodes diffed.", s.SourceNodes),
 		counter("structdiff_target_nodes_total", "Target-tree nodes diffed.", s.TargetNodes),

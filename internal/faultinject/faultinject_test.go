@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("anywhere"); err != nil {
+		t.Fatalf("nil injector Hit = %v, want nil", err)
+	}
+	if in.Hits("anywhere") != 0 || in.Fired("anywhere") != 0 {
+		t.Fatal("nil injector reports nonzero counts")
+	}
+}
+
+func TestErrorFaultCounting(t *testing.T) {
+	in := New(1, Fault{Site: "s", Kind: Error, After: 2, Times: 2})
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, in.Hit("s"))
+	}
+	for i, err := range errs {
+		wantErr := i == 2 || i == 3 // hits 3 and 4: after 2, twice
+		if (err != nil) != wantErr {
+			t.Errorf("hit %d: err = %v, want error=%v", i+1, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Errorf("hit %d: %v does not match ErrInjected", i+1, err)
+		}
+	}
+	if got := in.Hits("s"); got != 6 {
+		t.Errorf("Hits = %d, want 6", got)
+	}
+	if got := in.Fired("s"); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+}
+
+func TestErrorFaultWrapsCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	in := New(1, Fault{Site: "s", Kind: Error, Err: custom})
+	err := in.Hit("s")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want match of both ErrInjected and the custom error", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New(1, Fault{Site: "boom", Kind: Panic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value %v does not name the site", r)
+		}
+	}()
+	_ = in.Hit("boom")
+}
+
+func TestDelayFault(t *testing.T) {
+	in := New(1, Fault{Site: "slow", Kind: Delay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Hit("slow"); err != nil {
+		t.Fatalf("delay fault returned error %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestProbabilisticModeIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := New(42, Fault{Site: "p", Kind: Error, Prob: 0.5})
+		var fired []bool
+		for i := 0; i < 64; i++ {
+			fired = append(fired, in.Hit("p") != nil)
+		}
+		return fired
+	}
+	a, b := run(), run()
+	var any bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identically seeded runs", i+1)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("probabilistic fault never fired in 64 hits at p=0.5")
+	}
+}
+
+func TestConcurrentHitsFireExactly(t *testing.T) {
+	in := New(1, Fault{Site: "c", Kind: Error, After: 10, Times: 5})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = in.Hit("c")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits("c"); got != 800 {
+		t.Errorf("Hits = %d, want 800", got)
+	}
+	if got := in.Fired("c"); got != 5 {
+		t.Errorf("Fired = %d, want 5", got)
+	}
+}

@@ -1,0 +1,137 @@
+package mtree
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/derrors"
+	"repro/internal/exp"
+	"repro/internal/sig"
+	"repro/internal/truechange"
+	"repro/internal/uri"
+)
+
+// decodeFuzzScript deterministically maps arbitrary bytes onto an edit
+// script over the exp schema. The decoder is deliberately loose — URIs,
+// tags, and links are drawn from small pools so that a meaningful fraction
+// of decoded scripts is compliant with a small tree, while the rest
+// exercises every rejection path.
+func decodeFuzzScript(data []byte) *truechange.Script {
+	tags := []sig.Tag{exp.Num, exp.Var, exp.Add, exp.Sub, exp.Mul, exp.Call, exp.Let}
+	links := []sig.Link{"e1", "e2", "a", "bound", "body", "n", "name", "f", "x", sig.RootLink}
+
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	nextURI := func() uri.URI { return uri.URI(next()) % 64 }
+	nextTag := func() sig.Tag { return tags[int(next())%len(tags)] }
+	nextLink := func() sig.Link { return links[int(next())%len(links)] }
+	nextRef := func() truechange.NodeRef {
+		if next()%8 == 0 {
+			return truechange.RootRef
+		}
+		return truechange.NodeRef{Tag: nextTag(), URI: nextURI()}
+	}
+	nextLit := func() any {
+		switch next() % 3 {
+		case 0:
+			return int64(next())
+		case 1:
+			return "s" + string(rune('a'+next()%26))
+		default:
+			return float64(next())
+		}
+	}
+	nextLits := func() []truechange.LitArg {
+		n := int(next()) % 3
+		out := make([]truechange.LitArg, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, truechange.LitArg{Link: nextLink(), Value: nextLit()})
+		}
+		return out
+	}
+
+	var s truechange.Script
+	for len(data) > 0 && len(s.Edits) < 24 {
+		switch next() % 5 {
+		case 0:
+			s.Edits = append(s.Edits, truechange.Detach{Node: nextRef(), Link: nextLink(), Parent: nextRef()})
+		case 1:
+			s.Edits = append(s.Edits, truechange.Attach{Node: nextRef(), Link: nextLink(), Parent: nextRef()})
+		case 2:
+			n := int(next()) % 3
+			kids := make([]truechange.KidArg, 0, n)
+			for i := 0; i < n; i++ {
+				kids = append(kids, truechange.KidArg{Link: nextLink(), URI: nextURI()})
+			}
+			s.Edits = append(s.Edits, truechange.Load{Node: nextRef(), Kids: kids, Lits: nextLits()})
+		case 3:
+			n := int(next()) % 3
+			kids := make([]truechange.KidArg, 0, n)
+			for i := 0; i < n; i++ {
+				kids = append(kids, truechange.KidArg{Link: nextLink(), URI: nextURI()})
+			}
+			s.Edits = append(s.Edits, truechange.Unload{Node: nextRef(), Kids: kids, Lits: nextLits()})
+		default:
+			s.Edits = append(s.Edits, truechange.Update{Node: nextRef(), Old: nextLits(), New: nextLits()})
+		}
+	}
+	return &s
+}
+
+// FuzzTypecheckPatchAgreement is the fuzzed form of the paper's safety
+// results (Theorem 3.6 / Definition 3.5): for an arbitrary decoded script
+// over a fixed tree,
+//
+//   - Comply and Patch agree — a script that passes the compliance check
+//     applies in full, and one that fails it is rejected with an error
+//     matching ErrNonCompliantScript;
+//   - a failed Patch is a no-op: the tree's observable state is exactly
+//     its pre-patch state (transactional rollback);
+//   - none of Comply, Patch, or the linear type checker panics, whatever
+//     the script.
+func FuzzTypecheckPatchAgreement(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	// A seed decoding to a detach of a plausible small-URI node.
+	f.Add([]byte{0, 1, 2, 9, 1, 3})
+	f.Add([]byte{2, 1, 5, 0, 3, 1, 7, 7, 4, 1, 1, 1, 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := decodeFuzzScript(data)
+
+		g := exp.NewGen(1)
+		mt, err := FromTree(g.Schema(), g.Tree(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := dump(mt)
+
+		// The linear type checker must never panic on arbitrary edits.
+		st := truechange.ClosedState()
+		_ = truechange.Check(g.Schema(), s, st)
+
+		complyErr := mt.Comply(s)
+		patchErr := mt.Patch(s)
+
+		if complyErr == nil && patchErr != nil {
+			t.Fatalf("script passes Comply but Patch failed: %v\nscript: %v", patchErr, s.Edits)
+		}
+		if complyErr != nil && patchErr == nil {
+			t.Fatalf("script fails Comply (%v) but Patch succeeded\nscript: %v", complyErr, s.Edits)
+		}
+		if patchErr != nil {
+			if !errors.Is(patchErr, derrors.ErrNonCompliantScript) {
+				t.Fatalf("patch error does not match ErrNonCompliantScript: %v", patchErr)
+			}
+			if after := dump(mt); after != before {
+				t.Fatalf("failed patch mutated the tree:\n--- before ---\n%s--- after ---\n%s", before, after)
+			}
+		}
+	})
+}

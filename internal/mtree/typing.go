@@ -141,7 +141,7 @@ func (mt *MTree) CheckClosed() error {
 func (mt *MTree) Comply(s *truechange.Script) error {
 	scratch := mt.cloneShallow()
 	for i, e := range s.Edits {
-		if err := scratch.complyEdit(e, s); err != nil {
+		if err := scratch.complyEdit(e); err != nil {
 			return fmt.Errorf("mtree: %w: edit #%d: %w", derrors.ErrNonCompliantScript, i, err)
 		}
 		if err := scratch.ProcessEdit(e); err != nil {
@@ -152,7 +152,7 @@ func (mt *MTree) Comply(s *truechange.Script) error {
 	return nil
 }
 
-func (mt *MTree) complyEdit(e truechange.Edit, s *truechange.Script) error {
+func (mt *MTree) complyEdit(e truechange.Edit) error {
 	switch ed := e.(type) {
 	case truechange.Detach:
 		p := mt.index[ed.Parent.URI]
@@ -180,18 +180,12 @@ func (mt *MTree) complyEdit(e truechange.Edit, s *truechange.Script) error {
 		return nil
 
 	case truechange.Load:
+		// Freshness is relative to the evolving tree: the URI must not be
+		// indexed at the point the load applies. (A URI may be loaded,
+		// unloaded, and loaded again within one script; each load is fresh
+		// at its own point.)
 		if _, exists := mt.index[ed.Node.URI]; exists {
 			return fmt.Errorf("load: URI %s is not fresh", ed.Node.URI)
-		}
-		// Freshness across the script: no other Load may reuse the URI.
-		seen := 0
-		for _, other := range s.Edits {
-			if l, ok := other.(truechange.Load); ok && l.Node.URI == ed.Node.URI {
-				seen++
-			}
-		}
-		if seen > 1 {
-			return fmt.Errorf("load: URI %s loaded more than once in the script", ed.Node.URI)
 		}
 		return nil
 

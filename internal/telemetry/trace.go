@@ -35,6 +35,9 @@ type TraceRecord struct {
 	SourceInterned bool `json:"source_interned,omitempty"`
 	TargetInterned bool `json:"target_interned,omitempty"`
 	Identical      bool `json:"identical,omitempty"`
+	// Fallback marks pairs served by graceful degradation: the script is a
+	// synthesized root replacement, not the algorithm's output.
+	Fallback bool `json:"fallback,omitempty"`
 	// Err carries the error message of a failed diff.
 	Err string `json:"err,omitempty"`
 }

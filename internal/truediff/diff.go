@@ -2,6 +2,7 @@ package truediff
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
@@ -59,9 +60,51 @@ type Options struct {
 	// are recorded into the Scratch regardless (see Scratch.PhaseTimes), so
 	// a nil Tracer costs only the monotonic clock reads. A Tracer shared by
 	// concurrent goroutines (the engine with Workers > 1) must be
-	// concurrency-safe.
+	// concurrency-safe. A diff aborted by a Checkpoint leaves its span
+	// unterminated: BeginDiff and the phases that completed are emitted,
+	// EndDiff is not.
 	Tracer telemetry.Tracer
+	// CheckpointEvery is the number of nodes a checked diff (see
+	// DiffScratchChecked) processes between polls of its Checkpoint. Zero
+	// or negative selects DefaultCheckpointEvery. Smaller values abort
+	// pathological diffs sooner at the cost of more polls.
+	CheckpointEvery int
 }
+
+// DefaultCheckpointEvery is the default node interval between Checkpoint
+// polls: frequent enough to bound abort latency to microseconds on
+// ordinary hardware, rare enough to be invisible in the phase timings.
+const DefaultCheckpointEvery = 1024
+
+// Checkpoint is a cooperative cancellation hook threaded through the four
+// phases of a checked diff: it is polled every Options.CheckpointEvery
+// processed nodes, and a non-nil return aborts the diff immediately — in
+// the middle of a phase, not just between diffs — with the returned error.
+// A Checkpoint runs on the diffing goroutine and must be cheap (a context
+// poll, a deadline comparison).
+type Checkpoint func() error
+
+// CtxCheckpoint adapts a context into a Checkpoint that aborts the diff
+// once the context is done, reporting the cancellation cause. A nil or
+// never-cancellable context (Done() == nil, e.g. context.Background())
+// yields a nil Checkpoint, keeping the unchecked fast path.
+func CtxCheckpoint(ctx context.Context) Checkpoint {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() error {
+		select {
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		default:
+			return nil
+		}
+	}
+}
+
+// diffAbort carries a Checkpoint error up the diffing recursion; it is the
+// only panic value DiffScratchChecked recovers, everything else propagates.
+type diffAbort struct{ err error }
 
 // Differ computes truechange edit scripts between trees of one schema.
 // A Differ is immutable after construction and safe for concurrent use by
@@ -144,13 +187,32 @@ func (s *Scratch) Reset() {
 // The source and target trees must be distinct structures: no *tree.Node
 // may occur in both. Diff does not mutate either tree.
 func (d *Differ) Diff(source, target *tree.Node, alloc *uri.Allocator) (*Result, error) {
-	return d.DiffScratch(source, target, alloc, NewScratch())
+	return d.DiffScratchChecked(source, target, alloc, NewScratch(), nil)
+}
+
+// DiffCtx is Diff with cooperative cancellation: the diff polls the
+// context every Options.CheckpointEvery nodes and aborts mid-phase once it
+// is done, returning the cancellation cause. With a never-cancellable
+// context this is exactly Diff.
+func (d *Differ) DiffCtx(ctx context.Context, source, target *tree.Node, alloc *uri.Allocator) (*Result, error) {
+	return d.DiffScratchChecked(source, target, alloc, NewScratch(), CtxCheckpoint(ctx))
 }
 
 // DiffScratch is Diff drawing its working state from s, which the caller
 // may recycle across any number of diffs (the scratch is reset on entry).
 // s must not be used by two goroutines at once.
 func (d *Differ) DiffScratch(source, target *tree.Node, alloc *uri.Allocator, s *Scratch) (*Result, error) {
+	return d.DiffScratchChecked(source, target, alloc, s, nil)
+}
+
+// DiffScratchChecked is DiffScratch with a cooperative abort hook: cp (when
+// non-nil) is polled every Options.CheckpointEvery processed nodes across
+// all four phases — schema validation walks, share assignment, candidate
+// selection, and edit emission — and its error, if any, aborts the diff
+// immediately and is returned wrapped. The scratch is safe to recycle after
+// an abort (it is reset on entry to every run); the partially built script
+// is discarded.
+func (d *Differ) DiffScratchChecked(source, target *tree.Node, alloc *uri.Allocator, s *Scratch, cp Checkpoint) (res *Result, err error) {
 	if source == nil || target == nil {
 		return nil, fmt.Errorf("truediff: %w", derrors.ErrNilTree)
 	}
@@ -159,10 +221,24 @@ func (d *Differ) DiffScratch(source, target *tree.Node, alloc *uri.Allocator, s 
 		alloc = uri.NewAllocator()
 		tree.Walk(source, func(n *tree.Node) { alloc.Reserve(n.URI) })
 	}
-	if err := d.checkSchema(source); err != nil {
+	every := d.opts.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	r := &run{sch: d.sch, opts: d.opts, s: s, alloc: alloc, cp: cp, cpEvery: every, cpLeft: every}
+	defer func() {
+		if p := recover(); p != nil {
+			a, ok := p.(diffAbort)
+			if !ok {
+				panic(p)
+			}
+			res, err = nil, fmt.Errorf("truediff: diff aborted: %w", a.err)
+		}
+	}()
+	if err := d.checkSchema(source, r); err != nil {
 		return nil, err
 	}
-	if err := d.checkSchema(target); err != nil {
+	if err := d.checkSchema(target, r); err != nil {
 		return nil, err
 	}
 	s.Reset()
@@ -172,7 +248,6 @@ func (d *Differ) DiffScratch(source, target *tree.Node, alloc *uri.Allocator, s 
 	if tr != nil {
 		tr.BeginDiff(source.Size(), target.Size())
 	}
-	r := &run{sch: d.sch, opts: d.opts, s: s, alloc: alloc}
 	// Step 1 happened at tree construction: every node carries its
 	// structure and literal hashes; the per-diff residue (allocator
 	// derivation, schema validation, scratch reset) is the prepare phase.
@@ -184,7 +259,7 @@ func (d *Differ) DiffScratch(source, target *tree.Node, alloc *uri.Allocator, s 
 	s.phase(tr, telemetry.PhaseSelect, mark, &mark)
 	patched := r.computeEdits(source, target, truechange.RootRef, sig.RootLink) // step 4
 	s.phase(tr, telemetry.PhaseEmit, mark, &mark)
-	res := &Result{Script: s.buf.Script(), Patched: patched}
+	res = &Result{Script: s.buf.Script(), Patched: patched}
 	if tr != nil {
 		tr.EndDiff(res.Script.EditCount(), mark.Sub(began))
 	}
@@ -204,10 +279,15 @@ func (s *Scratch) phase(tr telemetry.Tracer, p telemetry.Phase, start time.Time,
 }
 
 // checkSchema verifies every tag of the tree is declared in the differ's
-// schema, so trees built against a different schema fail cleanly.
-func (d *Differ) checkSchema(t *tree.Node) error {
+// schema, so trees built against a different schema fail cleanly. A non-nil
+// r threads the run's checkpoint through the validation walk, so even the
+// prepare phase of a checked diff honours cancellation.
+func (d *Differ) checkSchema(t *tree.Node, r *run) error {
 	var bad sig.Tag
 	tree.Walk(t, func(n *tree.Node) {
+		if r != nil {
+			r.tick()
+		}
 		if bad == "" && d.sch.Lookup(n.Tag) == nil {
 			bad = n.Tag
 		}
@@ -226,7 +306,7 @@ func (d *Differ) InitialScript(target *tree.Node, alloc *uri.Allocator) (*Result
 	if target == nil {
 		return nil, fmt.Errorf("truediff: %w", derrors.ErrNilTree)
 	}
-	if err := d.checkSchema(target); err != nil {
+	if err := d.checkSchema(target, nil); err != nil {
 		return nil, err
 	}
 	if alloc == nil {
@@ -255,6 +335,28 @@ type run struct {
 	// the morph must recurse node by node so descendants assigned across
 	// the pair's boundary are detached and reused where they belong.
 	external bool
+	// cp is the cooperative abort hook of a checked run (nil otherwise);
+	// tick polls it once per cpEvery processed nodes.
+	cp      Checkpoint
+	cpEvery int
+	cpLeft  int
+}
+
+// tick counts one processed node and, every cpEvery nodes of a checked
+// run, polls the checkpoint. A checkpoint error unwinds the diffing
+// recursion via diffAbort, which DiffScratchChecked recovers and returns.
+func (r *run) tick() {
+	if r.cp == nil {
+		return
+	}
+	r.cpLeft--
+	if r.cpLeft > 0 {
+		return
+	}
+	r.cpLeft = r.cpEvery
+	if err := r.cp(); err != nil {
+		panic(diffAbort{err})
+	}
 }
 
 // candidateKey returns the key under which subtrees share a reuse class.
@@ -288,6 +390,7 @@ func (r *run) unassign(src, dst *tree.Node) {
 // becomes available, while fully mismatched source subtrees register all
 // their nodes as available resources (paper §4.2).
 func (r *run) assignShares(src, dst *tree.Node) {
+	r.tick()
 	ss := r.s.reg.shareFor(r.candidateKey(src))
 	ds := r.s.reg.shareFor(r.candidateKey(dst))
 	if ss == ds {
@@ -302,9 +405,11 @@ func (r *run) assignShares(src, dst *tree.Node) {
 		return
 	}
 	tree.Walk(src, func(n *tree.Node) {
+		r.tick()
 		r.s.reg.shareFor(r.candidateKey(n)).registerAvailable(n, r.preferKey(n))
 	})
 	tree.Walk(dst, func(n *tree.Node) {
+		r.tick()
 		r.s.reg.shareFor(r.candidateKey(n))
 	})
 }
@@ -407,6 +512,7 @@ func (r *run) selectTrees(trees []*tree.Node, preferred bool) []*tree.Node {
 	}
 	var unassigned []*tree.Node
 	for _, n := range trees {
+		r.tick()
 		if r.s.assigned[n] != nil {
 			continue // preemptively assigned in step 2
 		}
@@ -516,6 +622,7 @@ func litsEqual(a, b *tree.Node) bool {
 // lets the rebuild reuse dst's digests via tree.Rebuilt instead of
 // rehashing.
 func (r *run) computeEdits(src, dst *tree.Node, parent truechange.NodeRef, link sig.Link) *tree.Node {
+	r.tick()
 	if p := r.s.assigned[src]; p != nil && p == dst {
 		// src stays in place; it is morphed into dst (literal updates only
 		// for the structurally equivalent pairs truediff's own assignment
@@ -588,6 +695,7 @@ func (r *run) morphAssigned(src, dst *tree.Node) *tree.Node {
 // returns the patched subtree, which keeps src's URIs and carries dst's
 // literals.
 func (r *run) updateLits(src, dst *tree.Node) *tree.Node {
+	r.tick()
 	if src.LitHash() == dst.LitHash() {
 		return src // equal everywhere, reuse as is
 	}
@@ -605,6 +713,7 @@ func (r *run) updateLits(src, dst *tree.Node) *tree.Node {
 // are assigned for reuse elsewhere: those stay behind as unattached roots,
 // which their parent's Unload released.
 func (r *run) unloadUnassigned(src *tree.Node) {
+	r.tick()
 	if r.s.assigned[src] != nil {
 		return
 	}
@@ -618,6 +727,7 @@ func (r *run) unloadUnassigned(src *tree.Node) {
 // subtrees are reused (with literal updates), everything else is loaded
 // bottom-up with fresh URIs. It returns the resulting tree.
 func (r *run) loadUnassigned(dst *tree.Node) *tree.Node {
+	r.tick()
 	if src := r.s.assigned[dst]; src != nil {
 		return r.morphAssigned(src, dst)
 	}

@@ -43,10 +43,10 @@ func (d *Differ) DiffWithMatching(src, dst *tree.Node, matches []MatchPair, allo
 		alloc = uri.NewAllocator()
 		tree.Walk(src, func(n *tree.Node) { alloc.Reserve(n.URI) })
 	}
-	if err := d.checkSchema(src); err != nil {
+	if err := d.checkSchema(src, nil); err != nil {
 		return nil, err
 	}
-	if err := d.checkSchema(dst); err != nil {
+	if err := d.checkSchema(dst, nil); err != nil {
 		return nil, err
 	}
 	inSrc := make(map[*tree.Node]bool, src.Size())

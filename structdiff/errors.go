@@ -1,6 +1,9 @@
 package structdiff
 
-import "repro/internal/derrors"
+import (
+	"repro/internal/derrors"
+	"repro/internal/faultinject"
+)
 
 // The package's failure modes are typed sentinel errors: every error
 // returned by the facade (and by the internal packages underneath it)
@@ -24,4 +27,16 @@ var (
 	// ErrBadMatching reports a DiffWithMatching matching that is not
 	// one-to-one.
 	ErrBadMatching = derrors.ErrBadMatching
+	// ErrDiffPanic reports a diff that panicked and was recovered by the
+	// engine's worker isolation (the wrapping PanicError carries the
+	// recovered value and stack); the pair fails alone, the batch
+	// completes.
+	ErrDiffPanic = derrors.ErrDiffPanic
+	// ErrDiffTimeout reports a diff aborted because it exceeded the
+	// per-diff deadline (WithDiffTimeout). Distinct from the caller's
+	// context deadline, which surfaces as context.DeadlineExceeded.
+	ErrDiffTimeout = derrors.ErrDiffTimeout
+	// ErrFaultInjected reports a failure fired by a test-only fault
+	// injector (WithFaultInjection), never a production failure.
+	ErrFaultInjected = faultinject.ErrInjected
 )

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/mtree"
 	"repro/internal/sig"
 	"repro/internal/telemetry"
@@ -54,6 +55,9 @@ type config struct {
 	observer func(DiffEvent)
 	slow     time.Duration
 	slowLog  func(DiffEvent)
+	timeout  time.Duration
+	fallback FallbackMode
+	faults   *faultinject.Injector
 }
 
 func newConfig(opts []Option) config {
@@ -124,6 +128,35 @@ func WithSlowDiffThreshold(d time.Duration) Option { return func(c *config) { c.
 // standard library logger). Only meaningful with WithSlowDiffThreshold.
 func WithSlowDiffLog(fn func(DiffEvent)) Option { return func(c *config) { c.slowLog = fn } }
 
+// WithDiffTimeout bounds each individual diff an Engine runs: a diff still
+// running when its deadline passes aborts at the next cancellation
+// checkpoint with an error matching ErrDiffTimeout. The deadline starts
+// when the diff starts — it bounds pairs, not batches, so large batches do
+// not starve late pairs. Combine with WithFallback to degrade instead of
+// fail. Engine entry points only; zero disables the deadline.
+func WithDiffTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithCheckpointEvery tunes how many nodes a diff processes between
+// cancellation-checkpoint polls (default truediff.DefaultCheckpointEvery).
+// Smaller values abort faster after a cancellation or deadline at slightly
+// higher overhead.
+func WithCheckpointEvery(n int) Option { return func(c *config) { c.diff.CheckpointEvery = n } }
+
+// WithFallback selects an Engine's graceful-degradation policy: under
+// FallbackRootReplace, a pair whose diff panics, exceeds WithDiffTimeout,
+// or emits an ill-typed script is served a synthesized root-replacement
+// script — maximally verbose, but well-typed by construction and
+// guaranteed to patch source into target. Degraded pairs are flagged in
+// DiffStats.Fallback and counted in Snapshot.Fallbacks. Engine entry
+// points only; the default (FallbackNone) propagates failures.
+func WithFallback(m FallbackMode) Option { return func(c *config) { c.fallback = m } }
+
+// WithFaultInjection arms deterministic fault injection on an Engine: the
+// injector's faults fire at the engine's sites (FaultSiteDiff on every
+// diff, FaultSiteCheckpoint on every checkpoint poll). Intended for
+// resilience tests and failure-path rehearsal; see NewFaultInjector.
+func WithFaultInjection(inj *FaultInjector) Option { return func(c *config) { c.faults = inj } }
+
 // Diff computes the truechange edit script that transforms src into dst,
 // together with the patched tree. WithSchema is required; WithAllocator,
 // WithEquivalence, WithSelectionOrder, and WithUpdateOnLitMismatch apply.
@@ -167,8 +200,12 @@ func DiffWithMatching(src, dst *Node, matches []MatchPair, opts ...Option) (*Res
 //
 // The script must comply with the tree (Definition 3.5 of the paper): an
 // edit that does not — wrong URIs, tags, links, stale literal values —
-// fails with an error matching ErrNonCompliantScript, and scripts from
-// Diff always comply with Diff's source tree.
+// fails with an error matching ErrNonCompliantScript (a *PatchError
+// carrying the offending edit's index and kind), and scripts from Diff
+// always comply with Diff's source tree. Patching is transactional: the
+// script applies in full or not at all, so a failure never leaks a
+// half-patched state (here that is invisible — the input tree is copied —
+// but the same guarantee holds for in-place patching via PatchAtomic).
 func Patch(t *Node, s *Script, opts ...Option) (*Node, error) {
 	cfg := newConfig(opts)
 	if cfg.sch == nil {
@@ -182,7 +219,9 @@ func Patch(t *Node, s *Script, opts ...Option) (*Node, error) {
 		return nil, err
 	}
 	if err := mt.Patch(s); err != nil {
-		return nil, fmt.Errorf("structdiff: %w: %w", ErrNonCompliantScript, err)
+		// mtree's PatchError already carries ErrNonCompliantScript; a
+		// second wrap here would make errors.Is matches ambiguous to read.
+		return nil, fmt.Errorf("structdiff: %w", err)
 	}
 	alloc := cfg.alloc
 	if alloc == nil {
@@ -190,6 +229,28 @@ func Patch(t *Node, s *Script, opts ...Option) (*Node, error) {
 		tree.Walk(t, func(n *Node) { alloc.Reserve(n.URI) })
 	}
 	return mt.ToTree(alloc)
+}
+
+// PatchAtomic applies the edit script to a mutable tree in place,
+// transactionally: either every edit applies and nil is returned, or the
+// first failing edit aborts the patch, every already-applied edit is
+// rolled back (restoring mt to exactly its pre-call state, same nodes and
+// all), and the returned error — a *PatchError matching
+// ErrNonCompliantScript — reports the offending edit's index and kind and
+// whether a rollback happened. Rollbacks are counted in
+// Snapshot.Rollbacks.
+//
+// Use this over Patch when the caller owns a long-lived MTree (for
+// example, replaying a version history) and cannot afford either the
+// per-patch tree conversion or a corrupted tree on a bad script.
+func PatchAtomic(mt *MTree, s *Script) error {
+	if mt == nil {
+		return fmt.Errorf("structdiff: %w", ErrNilTree)
+	}
+	if err := mt.Patch(s); err != nil {
+		return fmt.Errorf("structdiff: %w", err)
+	}
+	return nil
 }
 
 // NewDiffer returns a reusable differ for the schema, honouring
@@ -217,6 +278,9 @@ func NewEngine(sch *Schema, opts ...Option) (*Engine, error) {
 		Observer:          cfg.observer,
 		SlowDiffThreshold: cfg.slow,
 		SlowDiffLog:       cfg.slowLog,
+		DiffTimeout:       cfg.timeout,
+		Fallback:          cfg.fallback,
+		Faults:            cfg.faults,
 	}), nil
 }
 

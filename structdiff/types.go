@@ -8,6 +8,7 @@ package structdiff
 
 import (
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/mtree"
 	"repro/internal/sig"
 	"repro/internal/telemetry"
@@ -182,6 +183,11 @@ type (
 	// edit scripts operates on; MNode is its node type.
 	MTree = mtree.MTree
 	MNode = mtree.MNode
+	// PatchError is the typed failure of a transactional patch: the
+	// offending edit's index and kind, and whether already-applied edits
+	// were rolled back. Matches ErrNonCompliantScript via errors.Is; see
+	// Patch and PatchAtomic.
+	PatchError = mtree.PatchError
 )
 
 // NewMTree returns an empty mutable tree (just the pre-defined root);
@@ -243,7 +249,53 @@ type (
 	// DiffEvent is the per-diff notification delivered to WithObserver and
 	// WithSlowDiffLog callbacks.
 	DiffEvent = engine.DiffEvent
+	// FallbackMode selects the engine's graceful-degradation policy (see
+	// WithFallback); PanicError is the typed error of a recovered per-diff
+	// panic, matching ErrDiffPanic and carrying the goroutine stack.
+	FallbackMode = engine.FallbackMode
+	PanicError   = engine.PanicError
 )
+
+// The graceful-degradation policies of WithFallback.
+const (
+	FallbackNone        = engine.FallbackNone
+	FallbackRootReplace = engine.FallbackRootReplace
+)
+
+// --- Fault injection (internal/faultinject) ------------------------------
+
+type (
+	// FaultInjector fires pre-armed deterministic faults at named sites
+	// (see WithFaultInjection); Fault arms one, FaultKind selects what it
+	// does.
+	FaultInjector = faultinject.Injector
+	Fault         = faultinject.Fault
+	FaultKind     = faultinject.Kind
+)
+
+// The fault kinds an injector can fire.
+const (
+	FaultError = faultinject.Error
+	FaultPanic = faultinject.Panic
+	FaultDelay = faultinject.Delay
+)
+
+// The fault-injection sites the diffing pipeline exposes: once per diff
+// inside the engine's panic-isolation boundary, on every cancellation
+// checkpoint poll, and on every edit a transactional patch applies.
+const (
+	FaultSiteDiff       = engine.FaultSiteDiff
+	FaultSiteCheckpoint = engine.FaultSiteCheckpoint
+	FaultSiteEdit       = mtree.FaultSiteEdit
+)
+
+// NewFaultInjector returns an injector firing the given faults; a zero
+// Fault.Prob fault fires deterministically by hit count (After, Times),
+// a fractional one pseudo-randomly from the seed. See WithFaultInjection
+// for the engine sites and MTree.InjectFaults for the patch site.
+func NewFaultInjector(seed int64, faults ...Fault) *FaultInjector {
+	return faultinject.New(seed, faults...)
+}
 
 // --- Telemetry (internal/telemetry) -------------------------------------
 
