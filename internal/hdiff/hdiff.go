@@ -179,7 +179,7 @@ func match(pat *PTree, n *tree.Node, binding map[int]*tree.Node) error {
 		return fmt.Errorf("hdiff: arity mismatch at %s", pat.Tag)
 	}
 	for i := range pat.Lits {
-		if pat.Lits[i] != n.Lits[i] {
+		if !tree.LitEqual(pat.Lits[i], n.Lits[i]) {
 			return fmt.Errorf("hdiff: literal mismatch at %s: %#v vs %#v", pat.Tag, pat.Lits[i], n.Lits[i])
 		}
 	}

@@ -6,83 +6,8 @@ import (
 
 	"repro/internal/derrors"
 	"repro/internal/exp"
-	"repro/internal/sig"
 	"repro/internal/truechange"
-	"repro/internal/uri"
 )
-
-// decodeFuzzScript deterministically maps arbitrary bytes onto an edit
-// script over the exp schema. The decoder is deliberately loose — URIs,
-// tags, and links are drawn from small pools so that a meaningful fraction
-// of decoded scripts is compliant with a small tree, while the rest
-// exercises every rejection path.
-func decodeFuzzScript(data []byte) *truechange.Script {
-	tags := []sig.Tag{exp.Num, exp.Var, exp.Add, exp.Sub, exp.Mul, exp.Call, exp.Let}
-	links := []sig.Link{"e1", "e2", "a", "bound", "body", "n", "name", "f", "x", sig.RootLink}
-
-	next := func() byte {
-		if len(data) == 0 {
-			return 0
-		}
-		b := data[0]
-		data = data[1:]
-		return b
-	}
-	nextURI := func() uri.URI { return uri.URI(next()) % 64 }
-	nextTag := func() sig.Tag { return tags[int(next())%len(tags)] }
-	nextLink := func() sig.Link { return links[int(next())%len(links)] }
-	nextRef := func() truechange.NodeRef {
-		if next()%8 == 0 {
-			return truechange.RootRef
-		}
-		return truechange.NodeRef{Tag: nextTag(), URI: nextURI()}
-	}
-	nextLit := func() any {
-		switch next() % 3 {
-		case 0:
-			return int64(next())
-		case 1:
-			return "s" + string(rune('a'+next()%26))
-		default:
-			return float64(next())
-		}
-	}
-	nextLits := func() []truechange.LitArg {
-		n := int(next()) % 3
-		out := make([]truechange.LitArg, 0, n)
-		for i := 0; i < n; i++ {
-			out = append(out, truechange.LitArg{Link: nextLink(), Value: nextLit()})
-		}
-		return out
-	}
-
-	var s truechange.Script
-	for len(data) > 0 && len(s.Edits) < 24 {
-		switch next() % 5 {
-		case 0:
-			s.Edits = append(s.Edits, truechange.Detach{Node: nextRef(), Link: nextLink(), Parent: nextRef()})
-		case 1:
-			s.Edits = append(s.Edits, truechange.Attach{Node: nextRef(), Link: nextLink(), Parent: nextRef()})
-		case 2:
-			n := int(next()) % 3
-			kids := make([]truechange.KidArg, 0, n)
-			for i := 0; i < n; i++ {
-				kids = append(kids, truechange.KidArg{Link: nextLink(), URI: nextURI()})
-			}
-			s.Edits = append(s.Edits, truechange.Load{Node: nextRef(), Kids: kids, Lits: nextLits()})
-		case 3:
-			n := int(next()) % 3
-			kids := make([]truechange.KidArg, 0, n)
-			for i := 0; i < n; i++ {
-				kids = append(kids, truechange.KidArg{Link: nextLink(), URI: nextURI()})
-			}
-			s.Edits = append(s.Edits, truechange.Unload{Node: nextRef(), Kids: kids, Lits: nextLits()})
-		default:
-			s.Edits = append(s.Edits, truechange.Update{Node: nextRef(), Old: nextLits(), New: nextLits()})
-		}
-	}
-	return &s
-}
 
 // FuzzTypecheckPatchAgreement is the fuzzed form of the paper's safety
 // results (Theorem 3.6 / Definition 3.5): for an arbitrary decoded script
@@ -103,10 +28,10 @@ func FuzzTypecheckPatchAgreement(f *testing.F) {
 	f.Add([]byte{2, 1, 5, 0, 3, 1, 7, 7, 4, 1, 1, 1, 1, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s := decodeFuzzScript(data)
+		s := FuzzDecodeScript(data)
 
-		g := exp.NewGen(1)
-		mt, err := FromTree(g.Schema(), g.Tree(12))
+		g := exp.NewGen(FuzzTreeSeed)
+		mt, err := FromTree(g.Schema(), g.Tree(FuzzTreeSize))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,95 @@
+package mtree
+
+import (
+	"repro/internal/exp"
+	"repro/internal/sig"
+	"repro/internal/truechange"
+	"repro/internal/uri"
+)
+
+// FuzzDecodeScript deterministically maps arbitrary bytes onto an edit
+// script over the exp schema. The decoder is deliberately loose — URIs,
+// tags, and links are drawn from small pools so that a meaningful fraction
+// of decoded scripts is compliant with a small tree, while the rest
+// exercises every rejection path.
+//
+// It lives in the package proper (not the test file) because it is shared:
+// FuzzTypecheckPatchAgreement decodes its inputs with it, and the
+// property-testing harness (internal/proptest) uses it to select byte
+// seeds that decode to interesting scripts, so the native fuzz corpus and
+// the proptest corpus stay one vocabulary.
+func FuzzDecodeScript(data []byte) *truechange.Script {
+	tags := []sig.Tag{exp.Num, exp.Var, exp.Add, exp.Sub, exp.Mul, exp.Call, exp.Let}
+	links := []sig.Link{"e1", "e2", "a", "bound", "body", "n", "name", "f", "x", sig.RootLink}
+
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	nextURI := func() uri.URI { return uri.URI(next()) % 64 }
+	nextTag := func() sig.Tag { return tags[int(next())%len(tags)] }
+	nextLink := func() sig.Link { return links[int(next())%len(links)] }
+	nextRef := func() truechange.NodeRef {
+		if next()%8 == 0 {
+			return truechange.RootRef
+		}
+		return truechange.NodeRef{Tag: nextTag(), URI: nextURI()}
+	}
+	nextLit := func() any {
+		switch next() % 3 {
+		case 0:
+			return int64(next())
+		case 1:
+			return "s" + string(rune('a'+next()%26))
+		default:
+			return float64(next())
+		}
+	}
+	nextLits := func() []truechange.LitArg {
+		n := int(next()) % 3
+		out := make([]truechange.LitArg, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, truechange.LitArg{Link: nextLink(), Value: nextLit()})
+		}
+		return out
+	}
+
+	var s truechange.Script
+	for len(data) > 0 && len(s.Edits) < 24 {
+		switch next() % 5 {
+		case 0:
+			s.Edits = append(s.Edits, truechange.Detach{Node: nextRef(), Link: nextLink(), Parent: nextRef()})
+		case 1:
+			s.Edits = append(s.Edits, truechange.Attach{Node: nextRef(), Link: nextLink(), Parent: nextRef()})
+		case 2:
+			n := int(next()) % 3
+			kids := make([]truechange.KidArg, 0, n)
+			for i := 0; i < n; i++ {
+				kids = append(kids, truechange.KidArg{Link: nextLink(), URI: nextURI()})
+			}
+			s.Edits = append(s.Edits, truechange.Load{Node: nextRef(), Kids: kids, Lits: nextLits()})
+		case 3:
+			n := int(next()) % 3
+			kids := make([]truechange.KidArg, 0, n)
+			for i := 0; i < n; i++ {
+				kids = append(kids, truechange.KidArg{Link: nextLink(), URI: nextURI()})
+			}
+			s.Edits = append(s.Edits, truechange.Unload{Node: nextRef(), Kids: kids, Lits: nextLits()})
+		default:
+			s.Edits = append(s.Edits, truechange.Update{Node: nextRef(), Old: nextLits(), New: nextLits()})
+		}
+	}
+	return &s
+}
+
+// FuzzTreeSeed is the (seed, size) the agreement fuzz target builds its
+// fixed tree from; shared so proptest's seed selection classifies byte
+// inputs against exactly the tree the fuzz target uses.
+const (
+	FuzzTreeSeed = 1
+	FuzzTreeSize = 12
+)

@@ -383,7 +383,7 @@ func (mt *MTree) applyEdit(e truechange.Edit) (undo, error) {
 			if !ok {
 				return undo{}, fmt.Errorf("unload: node %s has no literal %q", ed.Node, l.Link)
 			}
-			if v != l.Value {
+			if !tree.LitEqual(v, l.Value) {
 				return undo{}, fmt.Errorf("unload: node %s literal %q is %#v, edit claims %#v", ed.Node, l.Link, v, l.Value)
 			}
 		}
@@ -403,7 +403,7 @@ func (mt *MTree) applyEdit(e truechange.Edit) (undo, error) {
 			if !ok {
 				return undo{}, fmt.Errorf("update: node %s has no literal %q", ed.Node, l.Link)
 			}
-			if v != l.Value {
+			if !tree.LitEqual(v, l.Value) {
 				return undo{}, fmt.Errorf("update: node %s literal %q is %#v, edit claims old value %#v", ed.Node, l.Link, v, l.Value)
 			}
 		}
@@ -488,7 +488,7 @@ func (mt *MTree) equalNode(m *MNode, t *tree.Node) bool {
 	}
 	for i, spec := range g.Lits {
 		v, ok := m.Lits[spec.Link]
-		if !ok || v != t.Lits[i] {
+		if !ok || !tree.LitEqual(v, t.Lits[i]) {
 			return false
 		}
 	}

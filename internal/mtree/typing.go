@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/derrors"
 	"repro/internal/sig"
+	"repro/internal/tree"
 	"repro/internal/truechange"
 	"repro/internal/uri"
 )
@@ -211,7 +212,7 @@ func (mt *MTree) complyEdit(e truechange.Edit) error {
 			if !ok {
 				return fmt.Errorf("unload: node %s has no literal %q", ed.Node, l.Link)
 			}
-			if v != l.Value {
+			if !tree.LitEqual(v, l.Value) {
 				return fmt.Errorf("unload: node %s literal %q is %#v, edit claims %#v", ed.Node, l.Link, v, l.Value)
 			}
 		}
@@ -230,7 +231,7 @@ func (mt *MTree) complyEdit(e truechange.Edit) error {
 			if !ok {
 				return fmt.Errorf("update: node %s has no literal %q", ed.Node, l.Link)
 			}
-			if v != l.Value {
+			if !tree.LitEqual(v, l.Value) {
 				return fmt.Errorf("update: node %s literal %q is %#v, edit claims old value %#v", ed.Node, l.Link, v, l.Value)
 			}
 		}

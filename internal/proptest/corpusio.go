@@ -1,0 +1,242 @@
+package proptest
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/derrors"
+	"repro/internal/exp"
+	"repro/internal/jsonlang"
+	"repro/internal/mtree"
+	"repro/internal/pylang"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truechange"
+	"repro/internal/uri"
+)
+
+// Reproducer is one committed regression-corpus entry: a minimized failing
+// pair, serialized as S-expressions (URIs are reallocated on load, which
+// is sound — every oracle property is URI-independent). Every property
+// failure the harness ever finds ships as one of these under
+// testdata/regress, and TestRegressionCorpus replays them all.
+type Reproducer struct {
+	// Lang names the generator schema: "pylang" or "jsonlang" (the
+	// pathological generator shares the jsonlang schema).
+	Lang string `json:"lang"`
+	// Property is the oracle property that failed (Prop* constants).
+	Property string `json:"property"`
+	// Seed is the run seed the failure was found under.
+	Seed int64 `json:"seed"`
+	// Note describes the failure and, once fixed, the fix.
+	Note string `json:"note,omitempty"`
+	// Source and Target are the shrunk pair, as tree S-expressions.
+	Source string `json:"source"`
+	Target string `json:"target"`
+}
+
+// SchemaFor maps a reproducer language name to its schema.
+func SchemaFor(lang string) (*sig.Schema, error) {
+	switch lang {
+	case "pylang":
+		return pylang.Schema(), nil
+	case "jsonlang", "patho":
+		return jsonlang.Schema(), nil
+	default:
+		return nil, fmt.Errorf("proptest: unknown reproducer language %q", lang)
+	}
+}
+
+// NewReproducer serializes a failure into a reproducer.
+func NewReproducer(f *Failure) Reproducer {
+	return Reproducer{
+		Lang:     f.Generator,
+		Property: f.Property,
+		Seed:     f.Seed,
+		Note:     f.Err.Error(),
+		Source:   tree.EncodeSExpr(f.Pair.Source),
+		Target:   tree.EncodeSExpr(f.Pair.Target),
+	}
+}
+
+// Trees decodes the reproducer's pair against its language schema, drawing
+// fresh URIs.
+func (r Reproducer) Trees() (sch *sig.Schema, src, dst *tree.Node, err error) {
+	sch, err = SchemaFor(r.Lang)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	alloc := uri.NewAllocator()
+	src, err = tree.DecodeSExpr(r.Source, sch, alloc)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("proptest: reproducer source: %w", err)
+	}
+	dst, err = tree.DecodeSExpr(r.Target, sch, alloc)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("proptest: reproducer target: %w", err)
+	}
+	return sch, src, dst, nil
+}
+
+// Save writes the reproducer into dir under a content-addressed name
+// (property + first 8 digest hex chars), returning the path. Saving the
+// same reproducer twice is idempotent.
+func (r Reproducer) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	sum := sha256.Sum256(data)
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s-%x.json", r.Lang, r.Property, sum[:4]))
+	return path, os.WriteFile(path, data, 0o644)
+}
+
+// LoadReproducers reads every *.json reproducer in dir, sorted by name.
+// A missing directory yields an empty slice.
+func LoadReproducers(dir string) ([]Reproducer, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]Reproducer, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var r Reproducer
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("proptest: %s: %w", name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// --- Native fuzz-target seeding -----------------------------------------
+//
+// The three native fuzz targets (truechange codec round trip, CheckEdit
+// no-panic, mtree Comply⟺Patch agreement) are seeded from
+// proptest-generated corpora, so fuzzing starts from structurally rich,
+// minimized inputs that the property harness also understands.
+
+// ScriptSeeds generates JSON-encoded edit scripts by diffing cfg.Iters
+// generated pairs per generator — real scripts covering every edit kind —
+// for the truechange codec and type-checker fuzz targets. Scripts are
+// deduplicated and capped at limit entries, smallest first (fuzz seeds
+// should be minimal).
+func ScriptSeeds(cfg Config, limit int) ([][]byte, error) {
+	var scripts []*truechange.Script
+	for _, gen := range Generators() {
+		run := NewRun(gen, cfg)
+		for i := 0; i < cfg.Iters; i++ {
+			p := run.Next()
+			script, err := CheckPair(gen.Schema(), p, int64(i)+cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			scripts = append(scripts, script)
+		}
+	}
+	sort.Slice(scripts, func(i, j int) bool { return len(scripts[i].Edits) < len(scripts[j].Edits) })
+	seen := make(map[string]bool)
+	var out [][]byte
+	for _, s := range scripts {
+		if len(s.Edits) == 0 {
+			continue
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			// Scripts carrying non-finite float literals (NaN, ±Inf) have
+			// no JSON encoding; they are valid diffs but useless as codec
+			// fuzz seeds, so skip rather than fail.
+			continue
+		}
+		if seen[string(data)] {
+			continue
+		}
+		seen[string(data)] = true
+		out = append(out, data)
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ByteSeeds searches deterministic pseudo-random byte strings for inputs
+// that FuzzDecodeScript maps to interesting scripts against the agreement
+// fuzz target's fixed tree: scripts that comply in full (the positive
+// path) and scripts that fail mid-application (the rollback path). It
+// returns up to limit inputs of each class, shortest first.
+func ByteSeeds(seed int64, limit int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	g := exp.NewGen(mtree.FuzzTreeSeed)
+	base := g.Tree(mtree.FuzzTreeSize)
+
+	var full, partial [][]byte
+	for tries := 0; tries < 200000 && (len(full) < limit || len(partial) < limit); tries++ {
+		n := 4 + rng.Intn(24)
+		data := make([]byte, n)
+		rng.Read(data)
+		s := mtree.FuzzDecodeScript(data)
+		if len(s.Edits) == 0 {
+			continue
+		}
+		mt, err := mtree.FromTree(g.Schema(), base)
+		if err != nil {
+			panic(err)
+		}
+		err = mt.Patch(s)
+		switch {
+		case err == nil && len(full) < limit:
+			full = append(full, data)
+		case err != nil && len(partial) < limit:
+			var pe *mtree.PatchError
+			if errors.As(err, &pe) && pe.EditIndex > 0 && errors.Is(err, derrors.ErrNonCompliantScript) {
+				partial = append(partial, data)
+			}
+		}
+	}
+	out := append(full, partial...)
+	sort.Slice(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+// WriteGoFuzzCorpus writes the inputs into dir as Go native fuzz corpus
+// files (the "go test fuzz v1" format), named seed-NNN. It returns the
+// number written.
+func WriteGoFuzzCorpus(dir string, inputs [][]byte) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	for i, in := range inputs {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(in)) + ")\n"
+		path := filepath.Join(dir, fmt.Sprintf("proptest-seed-%03d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			return i, err
+		}
+	}
+	return len(inputs), nil
+}

@@ -1,0 +1,87 @@
+package proptest
+
+import (
+	"repro/internal/gumtree"
+	"repro/internal/lineardiff"
+	"repro/internal/sig"
+	"repro/internal/uri"
+
+	"repro/structdiff"
+)
+
+// PropDifferential names the differential-mode property in failures.
+const PropDifferential = "differential"
+
+// DiffSizes compares one pair's edit-script sizes across the three
+// differs. Sizes are comparable in spirit, not unit — truediff counts
+// compound truechange edits, lineardiff counts non-copy line operations,
+// gumtree counts classic actions — so the harness reports ratios and
+// never asserts one differ beats another on a single pair.
+type DiffSizes struct {
+	Nodes             int // source size, for normalization
+	TruediffEdits     int
+	LineardiffChanges int
+	GumtreeActions    int
+}
+
+// Differential cross-checks one pair against the baselines:
+//
+//   - truediff's script must be well-typed (Conjecture 4.2) — the
+//     baselines carry no such obligation, which is the paper's point;
+//   - lineardiff's script must apply back to the target (its own
+//     correctness contract), sized for the ratio report;
+//   - gumtree's matching must drive DiffWithMatching to a script that is
+//     again well-typed and converges — the typed bridge makes even a
+//     foreign matcher's output type-safe.
+//
+// It returns the three script sizes for aggregate ratio reporting.
+func Differential(sch *sig.Schema, p Pair) (DiffSizes, error) {
+	sizes := DiffSizes{Nodes: p.Source.Size()}
+
+	// truediff, through the facade.
+	res, err := structdiff.Diff(p.Source, p.Target, structdiff.WithSchema(sch))
+	if err != nil {
+		return sizes, propErr(PropDifferential, "truediff failed: %w", err)
+	}
+	if err := structdiff.WellTyped(sch, res.Script); err != nil {
+		return sizes, propErr(PropDifferential, "truediff script ill-typed: %w", err)
+	}
+	sizes.TruediffEdits = res.Script.EditCount()
+
+	// lineardiff baseline: the linear script must reproduce the target.
+	ls, err := lineardiff.Diff(p.Source, p.Target)
+	if err != nil {
+		return sizes, propErr(PropDifferential, "lineardiff failed: %w", err)
+	}
+	sizes.LineardiffChanges = ls.ChangeCount()
+	rebuilt, err := lineardiff.Apply(ls, p.Source, sch, uri.NewAllocator())
+	if err != nil {
+		return sizes, propErr(PropDifferential, "lineardiff script failed to apply: %w", err)
+	}
+	if rebuilt.ExactHash() != p.Target.ExactHash() {
+		return sizes, propErr(PropDifferential, "lineardiff script does not reproduce the target")
+	}
+
+	// gumtree baseline: classic actions, no typedness obligation.
+	gs, _ := gumtree.Diff(gumtree.FromTree(p.Source), gumtree.FromTree(p.Target), gumtree.DefaultOptions())
+	sizes.GumtreeActions = gs.Len()
+
+	// Typed bridge: gumtree's matching realized as a truechange script
+	// must be well-typed and converge, whatever the matcher chose.
+	matches := gumtree.MatchTyped(p.Source, p.Target, gumtree.DefaultOptions())
+	pairs := make([]structdiff.MatchPair, len(matches))
+	for i, m := range matches {
+		pairs[i] = structdiff.MatchPair{Src: m.Src, Dst: m.Dst}
+	}
+	bres, err := structdiff.DiffWithMatching(p.Source, p.Target, pairs, structdiff.WithSchema(sch))
+	if err != nil {
+		return sizes, propErr(PropDifferential, "DiffWithMatching on gumtree matches failed: %w", err)
+	}
+	if err := structdiff.WellTyped(sch, bres.Script); err != nil {
+		return sizes, propErr(PropDifferential, "bridged gumtree script ill-typed: %w", err)
+	}
+	if bres.Patched == nil || bres.Patched.ExactHash() != p.Target.ExactHash() {
+		return sizes, propErr(PropDifferential, "bridged gumtree script does not converge to the target")
+	}
+	return sizes, nil
+}

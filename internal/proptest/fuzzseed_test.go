@@ -1,0 +1,86 @@
+package proptest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var flagRegen = flag.Bool("proptest.regen", false,
+	"regenerate the native fuzz corpora from proptest-generated seeds (writes into sibling packages' testdata)")
+
+// The three native fuzz targets and where their committed corpora live,
+// relative to this package. The truechange targets take JSON-encoded
+// scripts, so they share the ScriptSeeds corpus (real scripts from real
+// diffs, every edit kind represented); the mtree agreement target takes
+// raw bytes for its own decoder, so it gets ByteSeeds (inputs selected to
+// decode to fully-compliant and mid-script-failing scripts).
+var fuzzCorpora = []struct {
+	dir    string
+	script bool // ScriptSeeds (JSON) vs ByteSeeds (raw)
+}{
+	{dir: "../truechange/testdata/fuzz/FuzzCodecRoundTrip", script: true},
+	{dir: "../truechange/testdata/fuzz/FuzzCheckEditNoPanic", script: true},
+	{dir: "../mtree/testdata/fuzz/FuzzTypecheckPatchAgreement", script: false},
+}
+
+// TestRegenerateFuzzCorpora regenerates the committed fuzz corpora when
+// run with -proptest.regen:
+//
+//	go test ./internal/proptest -run TestRegenerateFuzzCorpora -proptest.regen
+//
+// Without the flag it instead verifies the committed corpora exist and are
+// well-formed (every file carries the native fuzz header), so a corpus
+// that rots — or a target that moves without its seeds — fails loudly.
+func TestRegenerateFuzzCorpora(t *testing.T) {
+	if *flagRegen {
+		cfg := DefaultConfig(*flagSeed)
+		cfg.Iters = 40 // enough pairs for a diverse script pool
+		scripts, err := ScriptSeeds(cfg, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes := ByteSeeds(*flagSeed, 6)
+		if len(bytes) == 0 {
+			t.Fatal("ByteSeeds found no interesting inputs")
+		}
+		for _, c := range fuzzCorpora {
+			in := scripts
+			if !c.script {
+				in = bytes
+			}
+			n, err := WriteGoFuzzCorpus(c.dir, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %d seeds into %s", n, c.dir)
+		}
+		return
+	}
+
+	for _, c := range fuzzCorpora {
+		entries, err := os.ReadDir(c.dir)
+		if err != nil {
+			t.Fatalf("fuzz corpus missing (regenerate with -proptest.regen): %v", err)
+		}
+		seeds := 0
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasPrefix(e.Name(), "proptest-seed-") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(c.dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(string(data), "go test fuzz v1\n") {
+				t.Fatalf("%s/%s is not a native fuzz corpus file", c.dir, e.Name())
+			}
+			seeds++
+		}
+		if seeds == 0 {
+			t.Fatalf("%s has no proptest seeds (regenerate with -proptest.regen)", c.dir)
+		}
+	}
+}

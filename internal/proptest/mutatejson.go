@@ -1,0 +1,238 @@
+package proptest
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/jsonlang"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+// JSON semantic mutation operators, mirroring the corpus edit kinds on the
+// jsonlang schema: literal change, member rename, element/member insertion
+// and deletion, element move, and adjacent-element swap. Each operator
+// rebuilds the whole tree with fresh URIs (modelling a reparsed document,
+// exactly like corpus mutations) and returns the kind applied. If the
+// randomly chosen kind has no applicable site another kind is tried; a
+// literal change is always applicable as a last resort via wrapping.
+
+// mutateJSON applies one random semantic edit to the JSON tree.
+func mutateJSON(rng *rand.Rand, sch *sig.Schema, alloc *uri.Allocator, t *tree.Node) (*tree.Node, string) {
+	kinds := []func(*rand.Rand, *sig.Schema, *uri.Allocator, *tree.Node) *tree.Node{
+		jsonLiteral, jsonRename, jsonInsert, jsonDelete, jsonMove, jsonSwap, jsonReplace,
+	}
+	names := []string{"literal", "rename", "insert", "delete", "move", "swap", "replace"}
+	order := rng.Perm(len(kinds))
+	for _, k := range order {
+		if out := kinds[k](rng, sch, alloc, t); out != nil {
+			return out, names[k]
+		}
+	}
+	// Last resort: wrap the whole document in a fresh single-element array.
+	spine := mustNode(sch, alloc, jsonlang.TagElCons,
+		[]*tree.Node{cloneFresh(alloc, t), mustNode(sch, alloc, jsonlang.TagElNil, nil, nil)}, nil)
+	return mustNode(sch, alloc, jsonlang.TagArray, []*tree.Node{spine}, nil), "wrap"
+}
+
+func cloneFresh(alloc *uri.Allocator, t *tree.Node) *tree.Node {
+	return tree.Clone(t, alloc, tree.SHA256)
+}
+
+// sitesWhere returns the preorder indices of nodes satisfying pred.
+func sitesWhere(t *tree.Node, pred func(*tree.Node) bool) []int {
+	var out []int
+	idx := 0
+	tree.Walk(t, func(n *tree.Node) {
+		if pred(n) {
+			out = append(out, idx)
+		}
+		idx++
+	})
+	return out
+}
+
+// rebuildJSONAt deep-copies t with fresh URIs, replacing the subtree at
+// preorder index target by repl(subtree).
+func rebuildJSONAt(sch *sig.Schema, alloc *uri.Allocator, t *tree.Node, target int, repl func(*tree.Node) *tree.Node) *tree.Node {
+	idx := 0
+	var walk func(n *tree.Node) *tree.Node
+	walk = func(n *tree.Node) *tree.Node {
+		here := idx
+		idx++
+		if here == target {
+			idx += n.Size() - 1
+			return repl(n)
+		}
+		kids := make([]*tree.Node, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = walk(k)
+		}
+		return mustNode(sch, alloc, n.Tag, kids, append([]any(nil), n.Lits...))
+	}
+	return walk(t)
+}
+
+func pickSite(rng *rand.Rand, sites []int) (int, bool) {
+	if len(sites) == 0 {
+		return 0, false
+	}
+	return sites[rng.Intn(len(sites))], true
+}
+
+// mutatedNumber returns a literal guaranteed to differ from old under
+// tree.LitEqual (bit-pattern inequality): specials collapse to a plain
+// number, plain numbers usually step, occasionally jump to a fresh draw
+// (which may itself be a special — keeping NaN/±Inf/-0 in the mutated
+// value mix, not just in freshly generated trees).
+func mutatedNumber(rng *rand.Rand, old float64) float64 {
+	if math.IsNaN(old) || math.IsInf(old, 0) {
+		return float64(1 + rng.Intn(100))
+	}
+	if rng.Intn(8) == 0 {
+		if v := jsonNumber(rng); math.Float64bits(v) != math.Float64bits(old) {
+			return v
+		}
+	}
+	return old + 1 + float64(rng.Intn(7))
+}
+
+// jsonLiteral tweaks a scalar's value in place.
+func jsonLiteral(rng *rand.Rand, sch *sig.Schema, alloc *uri.Allocator, t *tree.Node) *tree.Node {
+	site, ok := pickSite(rng, sitesWhere(t, func(n *tree.Node) bool {
+		return n.Tag == jsonlang.TagString || n.Tag == jsonlang.TagNumber || n.Tag == jsonlang.TagBool
+	}))
+	if !ok {
+		return nil
+	}
+	return rebuildJSONAt(sch, alloc, t, site, func(n *tree.Node) *tree.Node {
+		switch n.Tag {
+		case jsonlang.TagString:
+			return mustNode(sch, alloc, jsonlang.TagString, nil, []any{n.Lits[0].(string) + "x"})
+		case jsonlang.TagNumber:
+			return mustNode(sch, alloc, jsonlang.TagNumber, nil, []any{mutatedNumber(rng, n.Lits[0].(float64))})
+		default:
+			return mustNode(sch, alloc, jsonlang.TagBool, nil, []any{!n.Lits[0].(bool)})
+		}
+	})
+}
+
+// jsonRename renames an object member's key, keeping its value subtree.
+func jsonRename(rng *rand.Rand, sch *sig.Schema, alloc *uri.Allocator, t *tree.Node) *tree.Node {
+	site, ok := pickSite(rng, sitesWhere(t, func(n *tree.Node) bool {
+		return n.Tag == jsonlang.TagMember
+	}))
+	if !ok {
+		return nil
+	}
+	return rebuildJSONAt(sch, alloc, t, site, func(n *tree.Node) *tree.Node {
+		return mustNode(sch, alloc, jsonlang.TagMember,
+			[]*tree.Node{cloneFresh(alloc, n.Kids[0])}, []any{n.Lits[0].(string) + "_r"})
+	})
+}
+
+func isElemSpine(n *tree.Node) bool {
+	return n.Tag == jsonlang.TagElCons || n.Tag == jsonlang.TagElNil
+}
+
+func spineElems(spine *tree.Node) []*tree.Node {
+	var out []*tree.Node
+	for spine != nil && len(spine.Kids) == 2 {
+		out = append(out, spine.Kids[0])
+		spine = spine.Kids[1]
+	}
+	return out
+}
+
+func elemSpine(sch *sig.Schema, alloc *uri.Allocator, cons, nilTag sig.Tag, elems []*tree.Node) *tree.Node {
+	out := mustNode(sch, alloc, nilTag, nil, nil)
+	for i := len(elems) - 1; i >= 0; i-- {
+		out = mustNode(sch, alloc, cons, []*tree.Node{elems[i], out}, nil)
+	}
+	return out
+}
+
+// jsonInsert inserts a fresh scalar at the head of an element spine.
+func jsonInsert(rng *rand.Rand, sch *sig.Schema, alloc *uri.Allocator, t *tree.Node) *tree.Node {
+	site, ok := pickSite(rng, sitesWhere(t, isElemSpine))
+	if !ok {
+		return nil
+	}
+	fresh := mustNode(sch, alloc, jsonlang.TagNumber, nil, []any{jsonNumber(rng)})
+	return rebuildJSONAt(sch, alloc, t, site, func(spine *tree.Node) *tree.Node {
+		elems := spineElems(spine)
+		out := make([]*tree.Node, 0, len(elems)+1)
+		out = append(out, fresh)
+		for _, e := range elems {
+			out = append(out, cloneFresh(alloc, e))
+		}
+		return elemSpine(sch, alloc, jsonlang.TagElCons, jsonlang.TagElNil, out)
+	})
+}
+
+// jsonDelete drops the head of a non-trailing element or member spine.
+func jsonDelete(rng *rand.Rand, sch *sig.Schema, alloc *uri.Allocator, t *tree.Node) *tree.Node {
+	site, ok := pickSite(rng, sitesWhere(t, func(n *tree.Node) bool {
+		return (n.Tag == jsonlang.TagElCons || n.Tag == jsonlang.TagMemCons) && len(n.Kids) == 2
+	}))
+	if !ok {
+		return nil
+	}
+	return rebuildJSONAt(sch, alloc, t, site, func(spine *tree.Node) *tree.Node {
+		return cloneFresh(alloc, spine.Kids[1]) // drop the head, keep the tail
+	})
+}
+
+// jsonMove moves an array's head element to the end of the same array.
+func jsonMove(rng *rand.Rand, sch *sig.Schema, alloc *uri.Allocator, t *tree.Node) *tree.Node {
+	site, ok := pickSite(rng, sitesWhere(t, func(n *tree.Node) bool {
+		if n.Tag != jsonlang.TagArray {
+			return false
+		}
+		return len(spineElems(n.Kids[0])) >= 2
+	}))
+	if !ok {
+		return nil
+	}
+	return rebuildJSONAt(sch, alloc, t, site, func(arr *tree.Node) *tree.Node {
+		elems := spineElems(arr.Kids[0])
+		moved := make([]*tree.Node, 0, len(elems))
+		for _, e := range elems[1:] {
+			moved = append(moved, cloneFresh(alloc, e))
+		}
+		moved = append(moved, cloneFresh(alloc, elems[0]))
+		spine := elemSpine(sch, alloc, jsonlang.TagElCons, jsonlang.TagElNil, moved)
+		return mustNode(sch, alloc, jsonlang.TagArray, []*tree.Node{spine}, nil)
+	})
+}
+
+// jsonSwap swaps the two head elements of an element spine.
+func jsonSwap(rng *rand.Rand, sch *sig.Schema, alloc *uri.Allocator, t *tree.Node) *tree.Node {
+	site, ok := pickSite(rng, sitesWhere(t, func(n *tree.Node) bool {
+		return n.Tag == jsonlang.TagElCons && n.Kids[1].Tag == jsonlang.TagElCons
+	}))
+	if !ok {
+		return nil
+	}
+	return rebuildJSONAt(sch, alloc, t, site, func(spine *tree.Node) *tree.Node {
+		first := cloneFresh(alloc, spine.Kids[0])
+		second := cloneFresh(alloc, spine.Kids[1].Kids[0])
+		tail := cloneFresh(alloc, spine.Kids[1].Kids[1])
+		inner := mustNode(sch, alloc, jsonlang.TagElCons, []*tree.Node{first, tail}, nil)
+		return mustNode(sch, alloc, jsonlang.TagElCons, []*tree.Node{second, inner}, nil)
+	})
+}
+
+// jsonReplace replaces a value subtree with a fresh scalar.
+func jsonReplace(rng *rand.Rand, sch *sig.Schema, alloc *uri.Allocator, t *tree.Node) *tree.Node {
+	site, ok := pickSite(rng, sitesWhere(t, func(n *tree.Node) bool {
+		srt, _ := sch.ResultSort(n.Tag)
+		return srt == jsonlang.SortValue && n.Size() > 1
+	}))
+	if !ok {
+		return nil
+	}
+	repl := mustNode(sch, alloc, jsonlang.TagString, nil, []any{jsonStrings[rng.Intn(len(jsonStrings))]})
+	return rebuildJSONAt(sch, alloc, t, site, func(*tree.Node) *tree.Node { return repl })
+}

@@ -1,0 +1,69 @@
+package proptest
+
+import (
+	"testing"
+
+	"repro/structdiff"
+)
+
+// TestPropertiesOptionSweep runs the oracle over every diff-option
+// combination the facade exposes — equivalence mode × selection order ×
+// literal-mismatch handling — because the five properties must hold off
+// the default path too (ablated modes still have to emit well-typed,
+// convergent scripts; only conciseness may degrade). Fewer pairs per cell
+// than TestProperties: the sweep is about breadth of configuration, not
+// depth of input.
+func TestPropertiesOptionSweep(t *testing.T) {
+	equivs := []struct {
+		name string
+		mode structdiff.EquivMode
+	}{
+		{"structural-litpref", structdiff.StructuralWithLiteralPreference},
+		{"exact-only", structdiff.ExactOnly},
+		{"structural-nopref", structdiff.StructuralNoPreference},
+	}
+	orders := []struct {
+		name  string
+		order structdiff.SelectionOrder
+	}{
+		{"highest-first", structdiff.HighestFirst},
+		{"fifo", structdiff.FIFO},
+	}
+	lits := []struct {
+		name   string
+		update bool
+	}{{"reload-on-lit", false}, {"update-on-lit", true}}
+
+	cfg := runConfig()
+	iters := cfg.Iters / 10
+	if iters < 15 {
+		iters = 15
+	}
+	for _, eq := range equivs {
+		for _, ord := range orders {
+			for _, lit := range lits {
+				eq, ord, lit := eq, ord, lit
+				t.Run(eq.name+"/"+ord.name+"/"+lit.name, func(t *testing.T) {
+					t.Parallel()
+					opts := []structdiff.Option{
+						structdiff.WithEquivalence(eq.mode),
+						structdiff.WithSelectionOrder(ord.order),
+					}
+					if lit.update {
+						opts = append(opts, structdiff.WithUpdateOnLitMismatch())
+					}
+					for _, gen := range Generators() {
+						run := NewRun(gen, cfg)
+						for i := 0; i < iters; i++ {
+							p := run.Next()
+							if _, err := CheckPair(gen.Schema(), p, cfg.Seed+int64(i), opts...); err != nil {
+								t.Fatalf("%s iter %d (seed %d, pair %q): %v",
+									gen.Name(), i, cfg.Seed, p.Desc, err)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package proptest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/jsonlang"
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+// Regression tests for the special-float literal bug the property harness
+// surfaced (and TestRegressionCorpus replays from testdata/regress).
+//
+// The literal hash folds float64 values through math.Float64bits, but
+// every literal *comparison* — diff literal preference, mtree unload and
+// update checks, Comply, script normalization, hdiff pattern matching —
+// used Go ==. The two disagree exactly on NaN (bit-identical NaNs hash
+// equal but NaN != NaN) and on signed zero (-0 == +0 but their bit
+// patterns hash differently). Consequences before the fix:
+//
+//   - a (NaN, NaN) pair failed convergence: the patched source never
+//     compared equal to the target;
+//   - deleting a NaN-valued node emitted an Unload whose old-value check
+//     rejected its own source tree — the diff violated Conjecture 4.2
+//     against the very pair it was computed from.
+//
+// The fix is tree.LitEqual (bit-pattern equality for float64, == for all
+// other literal types), used at every comparison site, so comparison and
+// hash can never disagree again. jsonNumber keeps NaN/±Inf/-0 in every
+// run's generator mix so the class stays covered natively.
+
+// TestRegressNaNLiteral pins the scalar cases: self-diff and update for
+// each special value.
+func TestRegressNaNLiteral(t *testing.T) {
+	sch := jsonlang.Schema()
+	alloc := uri.NewAllocator()
+	mk := func(v float64) *tree.Node {
+		return mustNode(sch, alloc, jsonlang.TagNumber, nil, []any{v})
+	}
+	for _, tc := range []struct {
+		name string
+		v    float64
+	}{
+		{"nan", math.NaN()},
+		{"+inf", math.Inf(1)},
+		{"-inf", math.Inf(-1)},
+		{"-0", math.Copysign(0, -1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			same := Pair{Source: mk(tc.v), Target: mk(tc.v), Desc: "special-self"}
+			if _, err := CheckPair(sch, same, 3); err != nil {
+				t.Errorf("(%v, %v) pair: %v", tc.v, tc.v, err)
+			}
+			to := Pair{Source: mk(1), Target: mk(tc.v), Desc: "to-special"}
+			if _, err := CheckPair(sch, to, 3); err != nil {
+				t.Errorf("(1, %v) pair: %v", tc.v, err)
+			}
+			from := Pair{Source: mk(tc.v), Target: mk(1), Desc: "from-special"}
+			if _, err := CheckPair(sch, from, 3); err != nil {
+				t.Errorf("(%v, 1) pair: %v", tc.v, err)
+			}
+		})
+	}
+}
+
+// TestRegressNaNUnload pins the structural case: deleting a NaN element
+// emits an Unload carrying NaN as the old literal value, which must comply
+// with the source it was diffed from.
+func TestRegressNaNUnload(t *testing.T) {
+	sch := jsonlang.Schema()
+	alloc := uri.NewAllocator()
+	nan := mustNode(sch, alloc, jsonlang.TagNumber, nil, []any{math.NaN()})
+	tail := mustNode(sch, alloc, jsonlang.TagElNil, nil, nil)
+	spine := mustNode(sch, alloc, jsonlang.TagElCons, []*tree.Node{nan, tail}, nil)
+	src := mustNode(sch, alloc, jsonlang.TagArray, []*tree.Node{spine}, nil)
+	empty := mustNode(sch, alloc, jsonlang.TagElNil, nil, nil)
+	dst := mustNode(sch, alloc, jsonlang.TagArray, []*tree.Node{empty}, nil)
+	if _, err := CheckPair(sch, Pair{Source: src, Target: dst, Desc: "del-nan"}, 3); err != nil {
+		t.Errorf("delete NaN element: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package proptest
+
+import (
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+// Shrinker greedily minimizes a failing pair to a small reproducer. It is
+// schema-generic: candidate simplifications are derived from the signature
+// alone — hoist a subtree into its parent's place (when the sorts agree),
+// replace a subtree by the minimal tree of its slot's sort, or promote a
+// descendant to the root — so the same shrinker serves pylang, jsonlang,
+// and any future language. Shrinking only ever adopts a candidate that is
+// strictly smaller AND still fails the property, so it terminates and the
+// result reproduces the original failure.
+type Shrinker struct {
+	sch   *sig.Schema
+	alloc *uri.Allocator
+	// MaxEvals bounds property evaluations across the whole shrink (the
+	// property may be expensive — it usually runs a full diff).
+	MaxEvals int
+
+	minBySort map[sig.Sort]*tree.Node
+}
+
+// NewShrinker returns a shrinker over the schema drawing fresh URIs from
+// alloc.
+func NewShrinker(sch *sig.Schema, alloc *uri.Allocator) *Shrinker {
+	return &Shrinker{sch: sch, alloc: alloc, MaxEvals: 2000}
+}
+
+// Property is the predicate a shrinker preserves: nil means the pair
+// passes, non-nil means it fails (the failure being minimized).
+type Property func(src, dst *tree.Node) error
+
+// ShrinkPair minimizes (src, dst) while prop keeps failing. It returns the
+// smallest failing pair found, the failure it exhibits, and the number of
+// property evaluations spent. The input pair must fail prop; if it does
+// not, it is returned unchanged with a nil error.
+func (sh *Shrinker) ShrinkPair(src, dst *tree.Node, prop Property) (*tree.Node, *tree.Node, error, int) {
+	evals := 0
+	lastErr := prop(src, dst)
+	evals++
+	if lastErr == nil {
+		return src, dst, nil, evals
+	}
+	for {
+		improved := false
+		// Shrink the target first (failures usually live in the edit), then
+		// the source, then retry until neither side improves.
+		for _, side := range []bool{false, true} {
+			cur := dst
+			if side {
+				cur = src
+			}
+			for _, cand := range sh.candidates(cur) {
+				if cand.Size() >= cur.Size() {
+					continue
+				}
+				if evals >= sh.MaxEvals {
+					return src, dst, lastErr, evals
+				}
+				var err error
+				if side {
+					err = prop(cand, dst)
+				} else {
+					err = prop(src, cand)
+				}
+				evals++
+				if err == nil {
+					continue // candidate no longer fails; keep looking
+				}
+				lastErr = err
+				if side {
+					src = cand
+				} else {
+					dst = cand
+				}
+				improved = true
+				break // restart candidate enumeration from the smaller pair
+			}
+		}
+		if !improved {
+			return src, dst, lastErr, evals
+		}
+	}
+}
+
+// candidates enumerates simplifications of t, biggest reductions first:
+// promote a child of the root to be the whole tree, then per-position
+// replace a subtree by the minimal tree of its sort or hoist one of its
+// kids into its place.
+func (sh *Shrinker) candidates(t *tree.Node) []*tree.Node {
+	var out []*tree.Node
+
+	// Promote: any direct child becomes the new root (the root slot admits
+	// any sort).
+	for _, k := range t.Kids {
+		out = append(out, sh.clone(k))
+	}
+
+	// Positional shrinks, near-root first (breadth-first order) so big
+	// subtrees go early.
+	type pos struct {
+		index int
+		node  *tree.Node
+		sort  sig.Sort
+	}
+	var positions []pos
+	idx := 0
+	var walk func(n *tree.Node, srt sig.Sort)
+	walk = func(n *tree.Node, srt sig.Sort) {
+		positions = append(positions, pos{index: idx, node: n, sort: srt})
+		idx++
+		g := sh.sch.Lookup(n.Tag)
+		for i, k := range n.Kids {
+			walk(k, g.Kids[i].Sort)
+		}
+	}
+	walk(t, sig.Any)
+
+	for _, p := range positions {
+		// Replace the subtree by the minimal tree of its slot's sort.
+		if min := sh.minimalTree(p.sort); min != nil && min.Size() < p.node.Size() && min.ExactHash() != p.node.ExactHash() {
+			out = append(out, sh.replaceAt(t, p.index, min))
+		}
+		// Hoist a kid whose sort fits the slot.
+		g := sh.sch.Lookup(p.node.Tag)
+		for i, k := range p.node.Kids {
+			kidSort := g.Kids[i].Sort
+			res, _ := sh.sch.ResultSort(k.Tag)
+			if p.sort == sig.Any || sh.sch.IsSubsort(res, p.sort) || kidSort == p.sort {
+				out = append(out, sh.replaceAt(t, p.index, k))
+			}
+		}
+	}
+	return out
+}
+
+// replaceAt rebuilds t with fresh URIs, substituting repl (cloned) at
+// preorder index target.
+func (sh *Shrinker) replaceAt(t *tree.Node, target int, repl *tree.Node) *tree.Node {
+	idx := 0
+	var walk func(n *tree.Node) *tree.Node
+	walk = func(n *tree.Node) *tree.Node {
+		here := idx
+		idx++
+		if here == target {
+			idx += n.Size() - 1
+			return sh.clone(repl)
+		}
+		kids := make([]*tree.Node, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = walk(k)
+		}
+		return mustNode(sh.sch, sh.alloc, n.Tag, kids, append([]any(nil), n.Lits...))
+	}
+	return walk(t)
+}
+
+func (sh *Shrinker) clone(n *tree.Node) *tree.Node {
+	return tree.Clone(n, sh.alloc, tree.SHA256)
+}
+
+// minimalTree returns the smallest tree of the sort (computed once per
+// sort by fixpoint over the schema's signatures, with zero-valued
+// literals), or nil if the sort admits no finite tree.
+func (sh *Shrinker) minimalTree(srt sig.Sort) *tree.Node {
+	if sh.minBySort == nil {
+		sh.buildMinimal()
+	}
+	return sh.minBySort[srt]
+}
+
+// buildMinimal computes, for every sort mentioned by the schema, the
+// minimal finite tree of that sort: repeatedly pick signatures all of
+// whose kid sorts already have minimal trees, keeping the smallest result
+// per sort, until a fixpoint.
+func (sh *Shrinker) buildMinimal() {
+	sh.minBySort = make(map[sig.Sort]*tree.Node)
+	build := func(g *sig.Sig) *tree.Node {
+		kids := make([]*tree.Node, len(g.Kids))
+		for i, ks := range g.Kids {
+			min := sh.minBySort[ks.Sort]
+			if min == nil {
+				return nil
+			}
+			kids[i] = sh.clone(min)
+		}
+		lits := make([]any, len(g.Lits))
+		for i, ls := range g.Lits {
+			lits[i] = zeroLit(ls.Type)
+		}
+		n, err := tree.New(sh.sch, sh.alloc, g.Tag, kids, lits)
+		if err != nil {
+			return nil
+		}
+		return n
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, tag := range sh.sch.Tags() {
+			if tag == sig.RootTag {
+				continue
+			}
+			g := sh.sch.Lookup(tag)
+			n := build(g)
+			if n == nil {
+				continue
+			}
+			cur := sh.minBySort[g.Result]
+			if cur == nil || n.Size() < cur.Size() {
+				sh.minBySort[g.Result] = n
+				changed = true
+			}
+		}
+	}
+	// The Any sort admits every tree; its minimum is the global minimum.
+	var global *tree.Node
+	for _, n := range sh.minBySort {
+		if global == nil || n.Size() < global.Size() {
+			global = n
+		}
+	}
+	if global != nil {
+		if cur := sh.minBySort[sig.Any]; cur == nil || global.Size() < cur.Size() {
+			sh.minBySort[sig.Any] = global
+		}
+	}
+}
+
+func zeroLit(t sig.BaseType) any {
+	switch t {
+	case sig.StringLit:
+		return ""
+	case sig.IntLit:
+		return int64(0)
+	case sig.FloatLit:
+		return float64(0)
+	case sig.BoolLit:
+		return false
+	default:
+		return int64(0)
+	}
+}

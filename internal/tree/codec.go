@@ -2,6 +2,7 @@ package tree
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -43,8 +44,11 @@ func encodeSExpr(n *Node, b *strings.Builder) {
 		case int64:
 			b.WriteString(strconv.FormatInt(v, 10))
 		case float64:
+			// NaN and ±Inf format as words ParseFloat accepts back; only
+			// finite integral values need the ".0" marker that keeps them
+			// from re-parsing as int64.
 			s := strconv.FormatFloat(v, 'g', -1, 64)
-			if !strings.ContainsAny(s, ".eE") {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && !strings.ContainsAny(s, ".eE") {
 				s += ".0"
 			}
 			b.WriteString(s)

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -39,6 +40,27 @@ func TestSExprRoundTrip(t *testing.T) {
 		}
 		if !Equal(orig, back) {
 			t.Fatalf("round trip changed tree: %q\norig %s\nback %s", enc, orig, back)
+		}
+	}
+}
+
+// Special float values must survive the text format: NaN and ±Inf format
+// as words (no ".0" marker, which would make them unparseable) and -0
+// must keep its sign. Equality here is LitEqual-based, so a NaN that came
+// back as a different value would fail.
+func TestSExprRoundTripSpecialFloats(t *testing.T) {
+	sch := boolSchema()
+	alloc := uri.NewAllocator()
+	b := NewBuilder(sch, alloc)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)} {
+		orig := b.MustN("F", v)
+		enc := EncodeSExpr(orig)
+		back, err := DecodeSExpr(enc, sch, alloc)
+		if err != nil {
+			t.Fatalf("decode %q: %v", enc, err)
+		}
+		if !Equal(orig, back) {
+			t.Fatalf("round trip changed value: %q decoded to %#v", enc, back.Lits[0])
 		}
 	}
 }

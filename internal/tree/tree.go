@@ -311,7 +311,7 @@ func deepEqual(a, b *Node) bool {
 		return false
 	}
 	for i := range a.Lits {
-		if a.Lits[i] != b.Lits[i] {
+		if !LitEqual(a.Lits[i], b.Lits[i]) {
 			return false
 		}
 	}
@@ -321,6 +321,23 @@ func deepEqual(a, b *Node) bool {
 		}
 	}
 	return true
+}
+
+// LitEqual reports equality of two literal values under the semantics the
+// literal hash uses: float64 values compare by bit pattern, everything
+// else by Go equality. Go's == disagrees with the hash on exactly the
+// float specials — NaN != NaN although identical NaNs hash equal, and
+// -0 == +0 although they hash differently — so comparing literals with ==
+// lets hash-equal trees fail observable equality. Concretely, diffing
+// trees containing NaN emitted scripts whose unload/update edits could
+// never comply with their own source. Every literal comparison in the
+// module must go through this function.
+func LitEqual(a, b any) bool {
+	if af, ok := a.(float64); ok {
+		bf, ok := b.(float64)
+		return ok && math.Float64bits(af) == math.Float64bits(bf)
+	}
+	return a == b
 }
 
 // Clone deep-copies the tree, assigning fresh URIs from alloc and

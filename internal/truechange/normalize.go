@@ -2,6 +2,7 @@ package truechange
 
 import (
 	"repro/internal/sig"
+	"repro/internal/tree"
 	"repro/internal/uri"
 )
 
@@ -80,7 +81,7 @@ func litArgsEqual(a, b []LitArg) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].Link != b[i].Link || a[i].Value != b[i].Value {
+		if a[i].Link != b[i].Link || !tree.LitEqual(a[i].Value, b[i].Value) {
 			return false
 		}
 	}

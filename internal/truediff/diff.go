@@ -608,7 +608,7 @@ func litsEqual(a, b *tree.Node) bool {
 		return false
 	}
 	for i := range a.Lits {
-		if a.Lits[i] != b.Lits[i] {
+		if !tree.LitEqual(a.Lits[i], b.Lits[i]) {
 			return false
 		}
 	}
