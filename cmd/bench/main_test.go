@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/perfobs"
+)
+
+// writeReport writes a minimal single-scenario report with the given
+// median wall time.
+func writeReport(t *testing.T, path string, median float64) {
+	t.Helper()
+	r := &perfobs.Report{
+		SchemaVersion: perfobs.SchemaVersion,
+		Scenarios: []perfobs.ScenarioResult{{
+			Name:   "truediff/small/light",
+			WallNS: perfobs.Sample{N: 5, Median: median, IQR: median / 100},
+		}},
+	}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+// TestRunCompareFlagOrder pins that -tolerance and -allow-removed work
+// both before and after the two report paths: the flag package stops at
+// the first positional argument, and runCompare re-parses the rest.
+func TestRunCompareFlagOrder(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	writeReport(t, oldP, 100e6)
+	writeReport(t, newP, 150e6) // 1.5x slowdown, far beyond the 1% IQR
+
+	if got := runCompare([]string{oldP, newP}, perfobs.DefaultTolerance, false); got != 1 {
+		t.Errorf("1.5x slowdown at default tolerance: exit %d, want 1", got)
+	}
+	// Trailing flag widens the gate to 60% and the slowdown passes.
+	if got := runCompare([]string{oldP, newP, "-tolerance", "0.6"}, perfobs.DefaultTolerance, false); got != 0 {
+		t.Errorf("trailing -tolerance ignored: exit %d, want 0", got)
+	}
+	if got := runCompare([]string{oldP, newP, "-tolerance=0.6"}, perfobs.DefaultTolerance, false); got != 0 {
+		t.Errorf("trailing -tolerance=0.6 ignored: exit %d, want 0", got)
+	}
+
+	// Removal: drop the scenario from the new report.
+	emptyP := filepath.Join(dir, "empty.json")
+	empty := &perfobs.Report{SchemaVersion: perfobs.SchemaVersion}
+	if err := empty.WriteFile(emptyP); err != nil {
+		t.Fatal(err)
+	}
+	if got := runCompare([]string{oldP, emptyP}, perfobs.DefaultTolerance, false); got != 1 {
+		t.Errorf("removed scenario: exit %d, want 1", got)
+	}
+	if got := runCompare([]string{oldP, emptyP, "-allow-removed"}, perfobs.DefaultTolerance, false); got != 0 {
+		t.Errorf("trailing -allow-removed ignored: exit %d, want 0", got)
+	}
+
+	if got := runCompare([]string{oldP}, perfobs.DefaultTolerance, false); got != 2 {
+		t.Errorf("one path: exit %d, want 2", got)
+	}
+	if got := runCompare([]string{oldP, newP, "-bogus"}, perfobs.DefaultTolerance, false); got != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", got)
+	}
+}

@@ -14,6 +14,18 @@
 //	evaluate -experiment engine -trace out.jsonl      # one JSONL record per diff
 //	evaluate -experiment engine -slow-diff 5ms        # log diffs at/above 5ms
 //
+// Profiling and benchmarking (see docs/OBSERVABILITY.md; the same four
+// flags exist on cmd/truediff and cmd/bench):
+//
+//	evaluate -experiment fig5 -cpuprofile cpu.pprof   # pprof CPU profile
+//	evaluate -experiment engine -memprofile mem.pprof # post-run heap profile
+//	evaluate -experiment engine -exectrace trace.out  # runtime/trace; phases
+//	                                                  # appear as truediff/* regions
+//	evaluate -experiment engine -bench-out run.json   # perfobs-schema timing report
+//
+// Profiling flags enable pprof phase labels automatically, so
+// `go tool pprof -tagfocus phase=shares cpu.pprof` isolates one phase.
+//
 // Corpus scale is configurable; the defaults finish in well under a minute.
 package main
 
@@ -22,7 +34,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
+	"repro/internal/perfobs"
+	"repro/internal/profiling"
 	"repro/structdiff"
 	"repro/structdiff/corpus"
 	"repro/structdiff/evaluation"
@@ -42,8 +57,24 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running")
 		tracePath   = flag.String("trace", "", "write one JSONL trace record per engine diff to this file")
 		slowDiff    = flag.Duration("slow-diff", 0, "log engine diffs whose wall time meets or exceeds this threshold (0 disables)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (enables phase labels)")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
+		exectrace   = flag.String("exectrace", "", "write a runtime/trace execution trace to this file (phases appear as truediff/* regions)")
+		benchOut    = flag.String("bench-out", "", "write the experiment's wall time as a perfobs-schema JSON report to this file (comparable via bench -compare)")
 	)
 	flag.Parse()
+
+	prof := profiling.Config{CPUProfile: *cpuprofile, MemProfile: *memprofile, ExecTrace: *exectrace}
+	stopProf := func() error { return nil }
+	if prof.Enabled() {
+		var err error
+		stopProf, err = profiling.Start(prof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	expStart := time.Now()
 
 	fullOpts := corpus.Options{
 		Seed: *seed, Files: *files, Commits: *commits,
@@ -61,6 +92,9 @@ func main() {
 	// with tracing, slow-diff logging, and the metrics endpoint wired to
 	// it. Experiments that never touch it leave its counters at zero.
 	engOpts := []structdiff.Option{structdiff.WithWorkers(*workers)}
+	if prof.Enabled() {
+		engOpts = append(engOpts, structdiff.WithProfileLabels())
+	}
 	if *slowDiff > 0 {
 		engOpts = append(engOpts, structdiff.WithSlowDiffThreshold(*slowDiff))
 	}
@@ -151,4 +185,43 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace: %d records written to %s\n", traceWriter.Count(), *tracePath)
 	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
+	}
+	if *benchOut != "" {
+		if err := writeBenchReport(*benchOut, *experiment, eng.Snapshot(), time.Since(expStart)); err != nil {
+			fmt.Fprintf(os.Stderr, "evaluate: -bench-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBenchReport records the invocation's total experiment wall time (and
+// the shared engine's cumulative work, when any experiment used it) as a
+// perfobs-schema report, so experiment timings can be tracked across
+// commits with `bench -compare` (single-sample statistics: the medians are
+// the run itself).
+func writeBenchReport(path, experiment string, snap structdiff.Snapshot, elapsed time.Duration) error {
+	nodes := int64(snap.SourceNodes + snap.TargetNodes)
+	res := perfobs.ScenarioResult{
+		Name:       "cli/evaluate/" + experiment,
+		System:     "evaluate",
+		Corpus:     "cli",
+		Edits:      "cli",
+		Pairs:      int(snap.Diffs),
+		Nodes:      nodes,
+		Reps:       1,
+		WallNS:     perfobs.Summarize([]float64{float64(elapsed.Nanoseconds())}),
+		EditsTotal: int(snap.Edits),
+	}
+	if elapsed > 0 && nodes > 0 {
+		res.NodesPerSec = perfobs.Summarize([]float64{float64(nodes) / elapsed.Seconds()})
+	}
+	rep := &perfobs.Report{
+		SchemaVersion: perfobs.SchemaVersion,
+		CreatedUnix:   time.Now().Unix(),
+		Env:           perfobs.CaptureEnv(),
+		Scenarios:     []perfobs.ScenarioResult{res},
+	}
+	return rep.WriteFile(path)
 }

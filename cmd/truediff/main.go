@@ -14,6 +14,18 @@
 //
 //	truediff -stats -metrics-addr :9090 old.py new.py
 //
+// Profiling and benchmarking (see docs/OBSERVABILITY.md; the same four
+// flags exist on cmd/evaluate and cmd/bench):
+//
+//	truediff -cpuprofile cpu.pprof old.py new.py   # pprof CPU profile
+//	truediff -memprofile mem.pprof old.py new.py   # post-run heap profile
+//	truediff -exectrace trace.out old.py new.py    # runtime/trace; phases
+//	                                               # appear as truediff/* regions
+//	truediff -bench-out run.json old.py new.py     # perfobs-schema timing report
+//
+// Profiling flags enable pprof phase labels automatically, so
+// `go tool pprof -tagfocus phase=emit cpu.pprof` isolates one phase.
+//
 // Exit status: 0 on success (even for non-empty diffs), 1 on errors.
 package main
 
@@ -25,12 +37,39 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/perfobs"
+	"repro/internal/profiling"
 	"repro/structdiff"
 	"repro/structdiff/baselines/gumtree"
 	"repro/structdiff/baselines/hdiff"
 	"repro/structdiff/langs/jsonlang"
 	"repro/structdiff/langs/pylang"
 )
+
+// writeBenchReport records one CLI diff as a perfobs-schema report, so
+// ad-hoc invocations can be tracked and compared with `bench -compare`
+// (single-sample statistics: the medians are the run itself).
+func writeBenchReport(path, lang string, nodes, edits int, elapsed time.Duration) error {
+	wall := []float64{float64(elapsed.Nanoseconds())}
+	rep := &perfobs.Report{
+		SchemaVersion: perfobs.SchemaVersion,
+		CreatedUnix:   time.Now().Unix(),
+		Env:           perfobs.CaptureEnv(),
+		Scenarios: []perfobs.ScenarioResult{{
+			Name:        "cli/truediff/" + lang,
+			System:      "truediff",
+			Corpus:      "cli",
+			Edits:       "cli",
+			Pairs:       1,
+			Nodes:       int64(nodes),
+			Reps:        1,
+			WallNS:      perfobs.Summarize(wall),
+			NodesPerSec: perfobs.Summarize([]float64{float64(nodes) / elapsed.Seconds()}),
+			EditsTotal:  edits,
+		}},
+	}
+	return rep.WriteFile(path)
+}
 
 func main() {
 	var (
@@ -40,13 +79,32 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "suppress the edit script itself")
 		lang        = flag.String("lang", "python", "input language: python | json")
 		metricsAddr = flag.String("metrics-addr", "", "run the diff through an engine and serve its /metrics, /debug/vars, and /debug/pprof on this address until interrupted")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (enables phase labels)")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
+		exectrace   = flag.String("exectrace", "", "write a runtime/trace execution trace to this file (phases appear as truediff/* regions)")
+		benchOut    = flag.String("bench-out", "", "write the diff's timing as a perfobs-schema JSON report to this file (comparable via bench -compare)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: truediff [-check] [-stats] [-baselines] [-quiet] [-lang python|json] [-metrics-addr ADDR] OLD NEW")
+		fmt.Fprintln(os.Stderr, "usage: truediff [-check] [-stats] [-baselines] [-quiet] [-lang python|json] [-metrics-addr ADDR]\n"+
+			"                [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE] [-bench-out FILE] OLD NEW")
 		os.Exit(1)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *lang, *metricsAddr, *check, *stat, *baselines, *quiet); err != nil {
+	prof := profiling.Config{CPUProfile: *cpuprofile, MemProfile: *memprofile, ExecTrace: *exectrace}
+	stop := func() error { return nil }
+	if prof.Enabled() {
+		var err error
+		stop, err = profiling.Start(prof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "truediff:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(flag.Arg(0), flag.Arg(1), *lang, *metricsAddr, *benchOut, prof.Enabled(), *check, *stat, *baselines, *quiet)
+	if serr := stop(); serr != nil {
+		fmt.Fprintln(os.Stderr, "truediff:", serr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "truediff:", err)
 		os.Exit(1)
 	}
@@ -90,10 +148,14 @@ func parseBoth(lang, oldPath, newPath string) (*structdiff.Schema, *structdiff.A
 	}
 }
 
-func run(oldPath, newPath, lang, metricsAddr string, check, stat, baselines, quiet bool) error {
+func run(oldPath, newPath, lang, metricsAddr, benchOut string, profiled, check, stat, baselines, quiet bool) error {
 	sch, alloc, before, after, err := parseBoth(lang, oldPath, newPath)
 	if err != nil {
 		return err
+	}
+	var labelOpts []structdiff.Option
+	if profiled {
+		labelOpts = append(labelOpts, structdiff.WithProfileLabels())
 	}
 
 	// Without -metrics-addr the diff runs directly; with it, the pair is
@@ -107,7 +169,7 @@ func run(oldPath, newPath, lang, metricsAddr string, check, stat, baselines, qui
 	)
 	src, dst := before, after
 	if metricsAddr != "" {
-		eng, err = structdiff.NewEngine(sch)
+		eng, err = structdiff.NewEngine(sch, labelOpts...)
 		if err != nil {
 			return err
 		}
@@ -131,9 +193,15 @@ func run(oldPath, newPath, lang, metricsAddr string, check, stat, baselines, qui
 	} else {
 		start := time.Now()
 		res, err = structdiff.Diff(before, after,
-			structdiff.WithSchema(sch), structdiff.WithAllocator(alloc))
+			append([]structdiff.Option{structdiff.WithSchema(sch), structdiff.WithAllocator(alloc)}, labelOpts...)...)
 		elapsed = time.Since(start)
 		if err != nil {
+			return err
+		}
+	}
+
+	if benchOut != "" {
+		if err := writeBenchReport(benchOut, lang, before.Size()+after.Size(), res.Script.EditCount(), elapsed); err != nil {
 			return err
 		}
 	}

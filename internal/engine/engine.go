@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"log"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -95,6 +97,16 @@ type Config struct {
 	// production.
 	Faults *faultinject.Injector
 }
+
+// Pprof label keys the engine publishes when profiling is enabled
+// (truediff.Options.ProfileLabels, structdiff.WithProfileLabels): each
+// batch worker runs under PprofWorkerLabel (the worker's index) and each
+// labelled pair under PprofPairLabel (Pair.Label), with the differ's
+// phase label (truediff.PprofPhaseLabel) nested innermost.
+const (
+	PprofPairLabel   = "pair"
+	PprofWorkerLabel = "worker"
+)
 
 // Engine diffs batches of tree pairs concurrently. Create one with New and
 // share it between goroutines; all methods are concurrency-safe.
@@ -362,18 +374,30 @@ func (e *Engine) DiffBatch(ctx context.Context, pairs []Pair) ([]PairResult, err
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
+	// The queue-depth gauge counts pairs submitted but not yet picked up by
+	// a worker; every exit path below drains it back to its prior level.
+	e.m.queueDepth.Add(int64(len(pairs)))
+	started := time.Now()
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// Each slot of results is written by exactly one worker, so no
 			// further synchronization is needed beyond wg.Wait.
-			for i := range idx {
-				results[i] = e.diffOne(ctx, pairs[i])
+			drain := func(ctx context.Context) {
+				for i := range idx {
+					e.m.queueDepth.Add(-1)
+					results[i] = e.diffOne(ctx, pairs[i])
+				}
 			}
-		}()
+			if e.cfg.Diff.ProfileLabels {
+				pprof.Do(ctx, pprof.Labels(PprofWorkerLabel, strconv.Itoa(w)), drain)
+			} else {
+				drain(ctx)
+			}
+		}(w)
 	}
 
 	cancelled := false
@@ -388,12 +412,16 @@ feed:
 	}
 	close(idx)
 	wg.Wait()
+	// Capacity is what the pool could have diffed this batch (elapsed time
+	// across every worker); Snapshot.Utilization divides busy time by it.
+	e.m.capacityNanos.Add(uint64(time.Since(started).Nanoseconds()) * uint64(workers))
 
 	if cancelled {
 		err := fmt.Errorf("engine: batch cancelled: %w", context.Cause(ctx))
 		for i := range results {
 			if results[i].Result == nil && results[i].Err == nil {
 				results[i].Err = err
+				e.m.queueDepth.Add(-1) // never dequeued by a worker
 			}
 		}
 		return results, err
@@ -458,7 +486,18 @@ func (e *Engine) diffOne(ctx context.Context, p Pair) PairResult {
 	}
 
 	start := time.Now()
-	res, err := e.runDiff(ctx, p, alloc, s)
+	var res *truediff.Result
+	var err error
+	if e.cfg.Diff.ProfileLabels && p.Label != "" {
+		// Nest the pair label inside the worker label (both on ctx), so a
+		// CPU profile slices by worker, by pair, and — once the differ adds
+		// its own label — by phase.
+		pprof.Do(ctx, pprof.Labels(PprofPairLabel, p.Label), func(lctx context.Context) {
+			res, err = e.runDiff(lctx, p, alloc, s)
+		})
+	} else {
+		res, err = e.runDiff(ctx, p, alloc, s)
+	}
 	if err == nil {
 		err = e.wellTypedOut(res)
 	}

@@ -34,6 +34,12 @@ type metrics struct {
 
 	storeHits   atomic.Uint64
 	storeMisses atomic.Uint64
+
+	// queueDepth gauges pairs submitted to a running batch but not yet
+	// picked up by a worker; capacityNanos accumulates elapsed batch time
+	// multiplied by the batch's worker count (the utilization denominator).
+	queueDepth    atomic.Int64
+	capacityNanos atomic.Uint64
 }
 
 // Snapshot is a point-in-time view of an engine's cumulative counters.
@@ -99,6 +105,17 @@ type Snapshot struct {
 	StoreMisses  uint64
 	StoreHitRate float64
 	StoreEntries int
+
+	// QueueDepth gauges pairs submitted to a running batch but not yet
+	// picked up by a worker (0 when no batch is in flight). WorkerCapacity
+	// totals elapsed batch time across every worker of every batch — what
+	// the pool could have spent diffing — and Utilization is the busy
+	// fraction DiffWall / WorkerCapacity (0 with no capacity yet; values
+	// near 1 mean the workers were never idle, low values mean the batch
+	// was starved by feeding, skew, or short-circuited pairs).
+	QueueDepth     int64
+	WorkerCapacity time.Duration
+	Utilization    float64
 }
 
 // Snapshot returns the engine's counters at this instant.
@@ -120,9 +137,14 @@ func (e *Engine) Snapshot() Snapshot {
 		PoolMisses:    e.m.poolMisses.Load(),
 		IngestedTrees: e.m.ingestedTrees.Load(),
 		IngestedNodes: e.m.ingestedNodes.Load(),
-		StoreHits:     e.m.storeHits.Load(),
-		StoreMisses:   e.m.storeMisses.Load(),
-		StoreEntries:  e.store.len(),
+		StoreHits:      e.m.storeHits.Load(),
+		StoreMisses:    e.m.storeMisses.Load(),
+		StoreEntries:   e.store.len(),
+		QueueDepth:     e.m.queueDepth.Load(),
+		WorkerCapacity: time.Duration(e.m.capacityNanos.Load()),
+	}
+	if s.WorkerCapacity > 0 {
+		s.Utilization = float64(s.DiffWall) / float64(s.WorkerCapacity)
 	}
 	if total := s.StoreHits + s.StoreMisses; total > 0 {
 		s.StoreHitRate = float64(s.StoreHits) / float64(total)
@@ -173,9 +195,16 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		StoreMisses:   sub64(s.StoreMisses, prev.StoreMisses),
 		MemoEntries:   s.MemoEntries,
 		StoreEntries:  s.StoreEntries,
+		QueueDepth:    s.QueueDepth,
 	}
 	if s.DiffWall > prev.DiffWall {
 		d.DiffWall = s.DiffWall - prev.DiffWall
+	}
+	if s.WorkerCapacity > prev.WorkerCapacity {
+		d.WorkerCapacity = s.WorkerCapacity - prev.WorkerCapacity
+	}
+	if d.WorkerCapacity > 0 {
+		d.Utilization = float64(d.DiffWall) / float64(d.WorkerCapacity)
 	}
 	if total := d.StoreHits + d.StoreMisses; total > 0 {
 		d.StoreHitRate = float64(d.StoreHits) / float64(total)
@@ -215,12 +244,14 @@ func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"diffs %d (%d errors, %d batches), %d edits, %d+%d nodes in %v (%.0f nodes/s)\n"+
 			"resilience: %d panics, %d timeouts, %d fallbacks, %d rollbacks\n"+
+			"workers: %.1f%% utilized over %v capacity, queue depth %d\n"+
 			"scratch pool: %d gets, %d misses (%.1f%% hit)\n"+
 			"digest memo: %d hits, %d misses (%.1f%% hit), %d entries; ingested %d trees / %d nodes\n"+
 			"tree store: %d hits, %d misses (%.1f%% hit), %d trees interned",
 		s.Diffs, s.Errors, s.Batches, s.Edits, s.SourceNodes, s.TargetNodes,
 		s.DiffWall.Round(time.Millisecond), s.NodesPerSecond(),
 		s.Panics, s.Timeouts, s.Fallbacks, s.Rollbacks,
+		100*s.Utilization, s.WorkerCapacity.Round(time.Millisecond), s.QueueDepth,
 		s.PoolGets, s.PoolMisses, 100*s.PoolHitRate,
 		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate, s.MemoEntries,
 		s.IngestedTrees, s.IngestedNodes,

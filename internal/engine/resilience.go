@@ -105,7 +105,7 @@ func (e *Engine) runDiff(ctx context.Context, p Pair, alloc *uri.Allocator, s *t
 	if ferr := e.cfg.Faults.Hit(FaultSiteDiff); ferr != nil {
 		return nil, fmt.Errorf("engine: %w", ferr)
 	}
-	return e.differ.DiffScratchChecked(p.Source, p.Target, alloc, s, e.checkpoint(ctx))
+	return e.differ.DiffScratchProfiled(ctx, p.Source, p.Target, alloc, s, e.checkpoint(ctx))
 }
 
 // classify counts a failed diff into the failure-mode counters. It runs

@@ -49,7 +49,12 @@ func (e *Engine) GatherMetrics() []telemetry.Metric {
 		return telemetry.Metric{Name: name, Help: help, Kind: telemetry.KindGauge, Value: float64(v)}
 	}
 
+	ratio := func(name, help string, v float64) telemetry.Metric {
+		return telemetry.Metric{Name: name, Help: help, Kind: telemetry.KindGauge, Value: v}
+	}
+
 	ms := []telemetry.Metric{
+		telemetry.BuildInfoMetric(),
 		counter("structdiff_diffs_total", "Completed diffs.", s.Diffs),
 		counter("structdiff_diff_errors_total", "Failed diffs (schema mismatches, nil trees).", s.Errors),
 		counter("structdiff_slow_diffs_total", "Diffs at or above the slow-diff threshold.", s.SlowDiffs),
@@ -66,13 +71,28 @@ func (e *Engine) GatherMetrics() []telemetry.Metric {
 			Help:  "Summed per-diff wall time (exceeds elapsed time with concurrent workers).",
 			Value: s.DiffWall.Seconds(),
 		},
+		telemetry.Metric{
+			Name: "structdiff_engine_queue_depth", Kind: telemetry.KindGauge,
+			Help:  "Pairs submitted to a running batch but not yet picked up by a worker.",
+			Value: float64(s.QueueDepth),
+		},
+		telemetry.Metric{
+			Name: "structdiff_engine_worker_capacity_seconds_total", Kind: telemetry.KindCounter,
+			Help:  "Elapsed batch time summed across every worker of every batch (the utilization denominator).",
+			Value: s.WorkerCapacity.Seconds(),
+		},
+		ratio("structdiff_engine_utilization_ratio",
+			"Busy fraction of the worker pool: summed diff wall time over worker capacity.", s.Utilization),
 		counter("structdiff_pool_gets_total", "Scratch-pool checkouts.", s.PoolGets),
 		counter("structdiff_pool_misses_total", "Scratch-pool checkouts that allocated fresh state.", s.PoolMisses),
+		ratio("structdiff_pool_hit_ratio", "Fraction of scratch-pool checkouts that recycled state.", s.PoolHitRate),
 		counter("structdiff_memo_hits_total", "Digest lookups served from the cross-diff memo.", s.MemoHits),
 		counter("structdiff_memo_misses_total", "Digest lookups that had to hash.", s.MemoMisses),
+		ratio("structdiff_memo_hit_ratio", "Fraction of digest lookups served from the cross-diff memo.", s.MemoHitRate),
 		gauge("structdiff_memo_entries", "Digests currently cached in the cross-diff memo.", s.MemoEntries),
 		counter("structdiff_store_hits_total", "Nil-alloc ingests served from the whole-tree intern store.", s.StoreHits),
 		counter("structdiff_store_misses_total", "Nil-alloc ingests that had to clone.", s.StoreMisses),
+		ratio("structdiff_store_hit_ratio", "Fraction of nil-alloc ingests served from the whole-tree intern store.", s.StoreHitRate),
 		gauge("structdiff_store_entries", "Distinct trees interned in the whole-tree store.", s.StoreEntries),
 		counter("structdiff_ingested_trees_total", "Trees that passed through Ingest.", s.IngestedTrees),
 		counter("structdiff_ingested_nodes_total", "Nodes that passed through Ingest.", s.IngestedNodes),

@@ -95,9 +95,11 @@ func TestSnapshotStringGolden(t *testing.T) {
 		MemoHits: 300, MemoMisses: 100, MemoHitRate: 0.75, MemoEntries: 400,
 		IngestedTrees: 20, IngestedNodes: 2100,
 		StoreHits: 5, StoreMisses: 15, StoreHitRate: 0.25, StoreEntries: 15,
+		QueueDepth: 2, WorkerCapacity: 4200 * time.Millisecond, Utilization: 0.5,
 	}
 	want := "diffs 10 (1 errors, 2 batches), 40 edits, 1000+1100 nodes in 2.1s (1000 nodes/s)\n" +
 		"resilience: 1 panics, 2 timeouts, 3 fallbacks, 4 rollbacks\n" +
+		"workers: 50.0% utilized over 4.2s capacity, queue depth 2\n" +
 		"scratch pool: 10 gets, 2 misses (80.0% hit)\n" +
 		"digest memo: 300 hits, 100 misses (75.0% hit), 400 entries; ingested 20 trees / 2100 nodes\n" +
 		"tree store: 5 hits, 15 misses (25.0% hit), 15 trees interned"

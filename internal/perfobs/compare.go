@@ -1,0 +1,187 @@
+package perfobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Verdict classifies one scenario's old-versus-new comparison.
+type Verdict string
+
+const (
+	// VerdictUnchanged means the median moved less than the tolerance, or
+	// moved within the scenario's noise band.
+	VerdictUnchanged Verdict = "unchanged"
+	// VerdictImproved means the new median is faster beyond both the
+	// tolerance and the noise band.
+	VerdictImproved Verdict = "improved"
+	// VerdictRegressed means the new median is slower beyond both the
+	// tolerance and the noise band. Any regressed scenario fails the gate.
+	VerdictRegressed Verdict = "regressed"
+	// VerdictAdded marks scenarios present only in the new report (matrix
+	// growth); they never fail the gate.
+	VerdictAdded Verdict = "added"
+	// VerdictRemoved marks scenarios present only in the old report. They
+	// fail the gate unless CompareOptions.AllowRemoved is set (a smoke run
+	// compared against a full baseline removes scenarios by design).
+	VerdictRemoved Verdict = "removed"
+)
+
+// CompareOptions tune the regression gate.
+type CompareOptions struct {
+	// Tolerance is the relative median slowdown the gate forgives, e.g.
+	// 0.05 for 5%. Zero selects DefaultTolerance.
+	Tolerance float64
+	// AllowRemoved downgrades removed scenarios from gate failures to
+	// notes (for reduced-matrix runs against a full baseline).
+	AllowRemoved bool
+}
+
+// DefaultTolerance is the gate's tolerance when none is given: 5%.
+const DefaultTolerance = 0.05
+
+// ScenarioDelta is one scenario's comparison outcome.
+type ScenarioDelta struct {
+	Name    string
+	Verdict Verdict
+	// OldMedianNS and NewMedianNS are the compared wall-time medians;
+	// Ratio is new/old (0 for added/removed scenarios).
+	OldMedianNS float64
+	NewMedianNS float64
+	Ratio       float64
+	// NoiseNS is the noise band the shift was required to clear: the
+	// larger of the two reports' interquartile ranges.
+	NoiseNS float64
+}
+
+// Comparison is the outcome of comparing two reports.
+type Comparison struct {
+	Deltas []ScenarioDelta
+	// EnvMismatch notes a differing environment fingerprint (advisory:
+	// cross-machine comparisons are noisy but not forbidden).
+	EnvMismatch bool
+	// allowRemoved mirrors CompareOptions.AllowRemoved for Failed.
+	allowRemoved bool
+}
+
+// Failed reports whether the comparison should fail the gate: any
+// regressed scenario, or any removed scenario unless allowed.
+func (c *Comparison) Failed() bool {
+	for _, d := range c.Deltas {
+		if d.Verdict == VerdictRegressed {
+			return true
+		}
+		if d.Verdict == VerdictRemoved && !c.allowRemoved {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare matches the two reports' scenarios by name and classifies each
+// pair's wall-time movement. A scenario regresses only when its median
+// slowdown clears BOTH thresholds: the relative tolerance (the gate's
+// sensitivity) and the noise band (the larger of the two runs' IQRs, so a
+// noisy scenario cannot fail CI on jitter alone). Improvement is judged
+// symmetrically. Removed scenarios become VerdictRemoved (a gate failure
+// unless opts.AllowRemoved); added ones become VerdictAdded (never a
+// failure).
+func Compare(oldR, newR *Report, opts CompareOptions) *Comparison {
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = DefaultTolerance
+	}
+	oldBy := make(map[string]*ScenarioResult, len(oldR.Scenarios))
+	for i := range oldR.Scenarios {
+		oldBy[oldR.Scenarios[i].Name] = &oldR.Scenarios[i]
+	}
+	newBy := make(map[string]*ScenarioResult, len(newR.Scenarios))
+	for i := range newR.Scenarios {
+		newBy[newR.Scenarios[i].Name] = &newR.Scenarios[i]
+	}
+
+	c := &Comparison{EnvMismatch: oldR.Env != newR.Env, allowRemoved: opts.AllowRemoved}
+	for name, o := range oldBy {
+		n, ok := newBy[name]
+		if !ok {
+			c.Deltas = append(c.Deltas, ScenarioDelta{Name: name, Verdict: VerdictRemoved, OldMedianNS: o.WallNS.Median})
+			continue
+		}
+		c.Deltas = append(c.Deltas, classify(name, o, n, tol))
+	}
+	for name, n := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			c.Deltas = append(c.Deltas, ScenarioDelta{Name: name, Verdict: VerdictAdded, NewMedianNS: n.WallNS.Median})
+		}
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Name < c.Deltas[j].Name })
+	return c
+}
+
+func classify(name string, o, n *ScenarioResult, tol float64) ScenarioDelta {
+	d := ScenarioDelta{
+		Name:        name,
+		Verdict:     VerdictUnchanged,
+		OldMedianNS: o.WallNS.Median,
+		NewMedianNS: n.WallNS.Median,
+		NoiseNS:     max(o.WallNS.IQR, n.WallNS.IQR),
+	}
+	if o.WallNS.Median > 0 {
+		d.Ratio = n.WallNS.Median / o.WallNS.Median
+	}
+	shift := n.WallNS.Median - o.WallNS.Median
+	switch {
+	case d.Ratio > 1+tol && shift > d.NoiseNS:
+		d.Verdict = VerdictRegressed
+	case d.Ratio > 0 && d.Ratio < 1-tol && -shift > d.NoiseNS:
+		d.Verdict = VerdictImproved
+	}
+	return d
+}
+
+// WriteText renders the comparison for humans: one line per scenario with
+// the ratio and verdict, regressions last so they end up next to the exit
+// status in CI logs.
+func (c *Comparison) WriteText(w io.Writer, opts CompareOptions) {
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = DefaultTolerance
+	}
+	if c.EnvMismatch {
+		fmt.Fprintf(w, "note: environment fingerprints differ; treat ratios with caution\n")
+	}
+	order := func(v Verdict) int {
+		switch v {
+		case VerdictRegressed:
+			return 2
+		case VerdictRemoved:
+			return 1
+		}
+		return 0
+	}
+	ds := append([]ScenarioDelta(nil), c.Deltas...)
+	sort.SliceStable(ds, func(i, j int) bool { return order(ds[i].Verdict) < order(ds[j].Verdict) })
+	for _, d := range ds {
+		switch d.Verdict {
+		case VerdictAdded:
+			fmt.Fprintf(w, "%-34s %-10s (new scenario, median %v)\n", d.Name, d.Verdict,
+				time.Duration(d.NewMedianNS).Round(time.Microsecond))
+		case VerdictRemoved:
+			fmt.Fprintf(w, "%-34s %-10s (was median %v)\n", d.Name, d.Verdict,
+				time.Duration(d.OldMedianNS).Round(time.Microsecond))
+		default:
+			fmt.Fprintf(w, "%-34s %-10s %v -> %v (x%.3f, noise ±%v)\n", d.Name, d.Verdict,
+				time.Duration(d.OldMedianNS).Round(time.Microsecond),
+				time.Duration(d.NewMedianNS).Round(time.Microsecond),
+				d.Ratio,
+				time.Duration(d.NoiseNS).Round(time.Microsecond))
+		}
+	}
+	if c.Failed() {
+		fmt.Fprintf(w, "FAIL: regression beyond %.0f%% tolerance and noise band\n", 100*tol)
+	} else {
+		fmt.Fprintf(w, "ok: no regression beyond %.0f%% tolerance\n", 100*tol)
+	}
+}

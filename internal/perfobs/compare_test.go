@@ -1,0 +1,161 @@
+package perfobs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadGoldenPair reads the committed old/new report fixture covering all
+// verdict classes: a real regression (truediff, ×1.5 with a tight IQR), a
+// real improvement (engine, ×0.7), movement within the noise band
+// (gumtree, ×1.075 against a ±20ms IQR), a removed scenario (hdiff), and
+// an added one (lineardiff).
+func loadGoldenPair(t *testing.T) (*Report, *Report) {
+	t.Helper()
+	oldR, err := ReadFile(filepath.Join("testdata", "compare_old.json"))
+	if err != nil {
+		t.Fatalf("read old golden: %v", err)
+	}
+	newR, err := ReadFile(filepath.Join("testdata", "compare_new.json"))
+	if err != nil {
+		t.Fatalf("read new golden: %v", err)
+	}
+	return oldR, newR
+}
+
+func verdictOf(t *testing.T, c *Comparison, name string) ScenarioDelta {
+	t.Helper()
+	for _, d := range c.Deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for scenario %q", name)
+	return ScenarioDelta{}
+}
+
+func TestCompareGoldenVerdicts(t *testing.T) {
+	oldR, newR := loadGoldenPair(t)
+	c := Compare(oldR, newR, CompareOptions{Tolerance: 0.05})
+
+	want := map[string]Verdict{
+		"truediff/medium/light":  VerdictRegressed,
+		"engine/medium/light/w8": VerdictImproved,
+		"gumtree/small/light":    VerdictUnchanged, // 7.5% up, but inside the ±20ms noise band
+		"hdiff/medium/light":     VerdictRemoved,
+		"lineardiff/small/light": VerdictAdded,
+	}
+	if len(c.Deltas) != len(want) {
+		t.Fatalf("got %d deltas, want %d: %+v", len(c.Deltas), len(want), c.Deltas)
+	}
+	for name, v := range want {
+		if got := verdictOf(t, c, name); got.Verdict != v {
+			t.Errorf("%s: verdict %s, want %s (ratio %.3f, noise %v)", name, got.Verdict, v, got.Ratio, got.NoiseNS)
+		}
+	}
+	if !c.Failed() {
+		t.Error("comparison with a regression did not fail the gate")
+	}
+
+	d := verdictOf(t, c, "truediff/medium/light")
+	if d.Ratio < 1.49 || d.Ratio > 1.51 {
+		t.Errorf("regression ratio = %.3f, want 1.5", d.Ratio)
+	}
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	oldR, _ := loadGoldenPair(t)
+	oldR2, _ := loadGoldenPair(t)
+	c := Compare(oldR, oldR2, CompareOptions{})
+	if c.Failed() {
+		t.Fatal("identical reports failed the gate")
+	}
+	for _, d := range c.Deltas {
+		if d.Verdict != VerdictUnchanged {
+			t.Errorf("%s: verdict %s on identical reports, want unchanged", d.Name, d.Verdict)
+		}
+		if d.Ratio != 1 {
+			t.Errorf("%s: ratio %.3f on identical reports, want 1", d.Name, d.Ratio)
+		}
+	}
+}
+
+func TestCompareAllowRemoved(t *testing.T) {
+	oldR, newR := loadGoldenPair(t)
+
+	// Drop the regressed and improved scenarios so only the removal can
+	// fail the gate.
+	var kept []ScenarioResult
+	for _, s := range newR.Scenarios {
+		if s.Name != "truediff/medium/light" {
+			kept = append(kept, s)
+		}
+	}
+	newR.Scenarios = kept
+	var keptOld []ScenarioResult
+	for _, s := range oldR.Scenarios {
+		if s.Name == "hdiff/medium/light" || s.Name == "gumtree/small/light" {
+			keptOld = append(keptOld, s)
+		}
+	}
+	oldR.Scenarios = keptOld
+
+	if c := Compare(oldR, newR, CompareOptions{}); !c.Failed() {
+		t.Error("removed scenario did not fail the gate without AllowRemoved")
+	}
+	if c := Compare(oldR, newR, CompareOptions{AllowRemoved: true}); c.Failed() {
+		t.Error("removed scenario failed the gate despite AllowRemoved")
+	}
+}
+
+func TestCompareToleranceWidens(t *testing.T) {
+	oldR, newR := loadGoldenPair(t)
+	// At 60% tolerance the 1.5× slowdown is forgiven and nothing fails.
+	c := Compare(oldR, newR, CompareOptions{Tolerance: 0.6, AllowRemoved: true})
+	if c.Failed() {
+		t.Fatal("1.5x slowdown failed a 60% gate")
+	}
+	if d := verdictOf(t, c, "truediff/medium/light"); d.Verdict != VerdictUnchanged {
+		t.Errorf("verdict %s at 60%% tolerance, want unchanged", d.Verdict)
+	}
+}
+
+// TestCompareNoiseBandBlocksJitter pins the two-condition rule directly: a
+// median shift beyond the relative tolerance still does not regress when
+// the shift sits inside the larger IQR.
+func TestCompareNoiseBandBlocksJitter(t *testing.T) {
+	mk := func(median, iqr float64) *Report {
+		return &Report{
+			SchemaVersion: SchemaVersion,
+			Scenarios: []ScenarioResult{{
+				Name:   "s",
+				WallNS: Sample{N: 5, Median: median, IQR: iqr},
+			}},
+		}
+	}
+	// +20% but IQR covers the shift: unchanged.
+	c := Compare(mk(100, 25), mk(120, 5), CompareOptions{Tolerance: 0.05})
+	if d := verdictOf(t, c, "s"); d.Verdict != VerdictUnchanged {
+		t.Errorf("shift inside noise band: verdict %s, want unchanged", d.Verdict)
+	}
+	// Same +20% with tight IQRs: regressed.
+	c = Compare(mk(100, 2), mk(120, 5), CompareOptions{Tolerance: 0.05})
+	if d := verdictOf(t, c, "s"); d.Verdict != VerdictRegressed {
+		t.Errorf("shift beyond noise band: verdict %s, want regressed", d.Verdict)
+	}
+}
+
+func TestCompareTextOutput(t *testing.T) {
+	oldR, newR := loadGoldenPair(t)
+	opts := CompareOptions{Tolerance: 0.05}
+	c := Compare(oldR, newR, opts)
+	var sb strings.Builder
+	c.WriteText(&sb, opts)
+	out := sb.String()
+	for _, needle := range []string{"regressed", "improved", "unchanged", "added", "removed", "FAIL"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("comparison text missing %q:\n%s", needle, out)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package perfobs
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+)
+
+// System identifies which diff implementation a scenario measures.
+type System string
+
+const (
+	// SystemTruediff runs the single-threaded truediff differ — the
+	// paper's algorithm, measured without engine machinery.
+	SystemTruediff System = "truediff"
+	// SystemEngine runs the concurrent batch engine (workers and memo per
+	// scenario).
+	SystemEngine System = "engine"
+	// SystemGumtree, SystemHdiff, and SystemLineardiff are the comparison
+	// baselines from the paper's evaluation (§6).
+	SystemGumtree    System = "gumtree"
+	SystemHdiff      System = "hdiff"
+	SystemLineardiff System = "lineardiff"
+)
+
+// CorpusSize names one of the three fixed corpus configurations.
+type CorpusSize string
+
+const (
+	// CorpusSmall is a few hundred nodes per tree — small enough for the
+	// quadratic lineardiff baseline.
+	CorpusSmall CorpusSize = "small"
+	// CorpusMedium approaches the paper's median file size.
+	CorpusMedium CorpusSize = "medium"
+	// CorpusLarge stresses per-diff scaling with multi-thousand-node trees.
+	CorpusLarge CorpusSize = "large"
+)
+
+// EditProfile names how heavily each commit mutates its files.
+type EditProfile string
+
+const (
+	// EditsLight applies at most 2 edits per file per commit, the common
+	// case in real histories.
+	EditsLight EditProfile = "light"
+	// EditsHeavy applies up to 10 edits per file per commit, degrading
+	// subtree reuse.
+	EditsHeavy EditProfile = "heavy"
+)
+
+// Scenario is one cell of the benchmark matrix. The zero values of Workers
+// and DisableMemo only matter for SystemEngine.
+type Scenario struct {
+	System System
+	Corpus CorpusSize
+	Edits  EditProfile
+	// Workers is the engine's worker count (SystemEngine only; 0 is
+	// invalid there — the matrix always pins it so results are comparable
+	// across machines).
+	Workers int
+	// DisableMemo turns off the engine's cross-diff digest memo
+	// (SystemEngine only), the memo ablation.
+	DisableMemo bool
+}
+
+// Name returns the scenario's stable identity, the comparator's join key:
+// "system/corpus/edits" plus "/wN" and "/nomemo" qualifiers for engine
+// scenarios.
+func (s Scenario) Name() string {
+	n := fmt.Sprintf("%s/%s/%s", s.System, s.Corpus, s.Edits)
+	if s.System == SystemEngine {
+		n += fmt.Sprintf("/w%d", s.Workers)
+		if s.DisableMemo {
+			n += "/nomemo"
+		}
+	}
+	return n
+}
+
+// CorpusOptions maps the scenario's corpus cell to generator options. The
+// seeds and sizes are fixed: every run of a scenario diffs the identical
+// pair set, so report deltas measure the code, not the corpus. Sizes are
+// chosen to keep the full matrix under a minute on a laptop while spanning
+// two orders of magnitude in tree size; small trees stay under the
+// lineardiff quadratic-DP cap (lineardiff.MaxNodes).
+func (s Scenario) CorpusOptions() corpus.Options {
+	var o corpus.Options
+	switch s.Corpus {
+	case CorpusSmall:
+		o = corpus.Options{Seed: 11, Files: 4, Commits: 12, MaxFilesPerCommit: 2, MinNodes: 150, MaxNodes: 400}
+	case CorpusMedium:
+		o = corpus.Options{Seed: 12, Files: 6, Commits: 20, MaxFilesPerCommit: 3, MinNodes: 600, MaxNodes: 1500}
+	case CorpusLarge:
+		o = corpus.Options{Seed: 13, Files: 4, Commits: 10, MaxFilesPerCommit: 2, MinNodes: 3000, MaxNodes: 6000}
+	default:
+		panic(fmt.Sprintf("perfobs: unknown corpus size %q", s.Corpus))
+	}
+	switch s.Edits {
+	case EditsLight:
+		o.MaxEditsPerFile = 2
+	case EditsHeavy:
+		o.MaxEditsPerFile = 10
+	default:
+		panic(fmt.Sprintf("perfobs: unknown edit profile %q", s.Edits))
+	}
+	return o
+}
+
+// FullMatrix is the complete scenario set of a baseline run: the truediff
+// system across corpus sizes and edit profiles, the engine across worker
+// counts and the memo ablation, and the three comparison baselines. The
+// matrix is fixed — extend it by appending, never by renaming, so the
+// BENCH_<n>.json trajectory stays comparable.
+func FullMatrix() []Scenario {
+	return []Scenario{
+		{System: SystemTruediff, Corpus: CorpusSmall, Edits: EditsLight},
+		{System: SystemTruediff, Corpus: CorpusMedium, Edits: EditsLight},
+		{System: SystemTruediff, Corpus: CorpusMedium, Edits: EditsHeavy},
+		{System: SystemTruediff, Corpus: CorpusLarge, Edits: EditsLight},
+		{System: SystemEngine, Corpus: CorpusMedium, Edits: EditsLight, Workers: 1},
+		{System: SystemEngine, Corpus: CorpusMedium, Edits: EditsLight, Workers: 8},
+		{System: SystemEngine, Corpus: CorpusMedium, Edits: EditsHeavy, Workers: 8},
+		{System: SystemEngine, Corpus: CorpusLarge, Edits: EditsLight, Workers: 8},
+		{System: SystemEngine, Corpus: CorpusMedium, Edits: EditsLight, Workers: 8, DisableMemo: true},
+		{System: SystemGumtree, Corpus: CorpusSmall, Edits: EditsLight},
+		{System: SystemGumtree, Corpus: CorpusMedium, Edits: EditsLight},
+		{System: SystemHdiff, Corpus: CorpusMedium, Edits: EditsLight},
+		{System: SystemLineardiff, Corpus: CorpusSmall, Edits: EditsLight},
+	}
+}
+
+// SmokeMatrix is the reduced matrix CI's bench-smoke job runs: a strict
+// subset of FullMatrix (same names, same corpora), one scenario per
+// system, so -compare against a committed full baseline needs only
+// -allow-removed plus a wide tolerance.
+func SmokeMatrix() []Scenario {
+	return []Scenario{
+		{System: SystemTruediff, Corpus: CorpusMedium, Edits: EditsLight},
+		{System: SystemEngine, Corpus: CorpusMedium, Edits: EditsLight, Workers: 8},
+		{System: SystemGumtree, Corpus: CorpusSmall, Edits: EditsLight},
+		{System: SystemHdiff, Corpus: CorpusMedium, Edits: EditsLight},
+		{System: SystemLineardiff, Corpus: CorpusSmall, Edits: EditsLight},
+	}
+}

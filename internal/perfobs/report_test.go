@@ -1,0 +1,137 @@
+package perfobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		CreatedUnix:   1754006400,
+		Env:           EnvInfo{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 4},
+		Scenarios: []ScenarioResult{
+			{Name: "z/later", System: "truediff", Corpus: "small", Edits: "light", Pairs: 3,
+				WallNS: Summarize([]float64{1, 2, 3})},
+			{Name: "a/first", System: "engine", Corpus: "small", Edits: "light", Workers: 2, Memo: true,
+				Pairs: 3, WallNS: Summarize([]float64{4, 5, 6}),
+				PhaseNS: map[string]float64{"prepare": 1, "shares": 2, "select": 3, "emit": 4}},
+		},
+	}
+	path := filepath.Join(dir, "BENCH_0.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// WriteFile sorts scenarios by name, so compare against that order.
+	if got.Scenarios[0].Name != "a/first" || got.Scenarios[1].Name != "z/later" {
+		t.Fatalf("scenarios not sorted by name: %q, %q", got.Scenarios[0].Name, got.Scenarios[1].Name)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, r)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	data, _ := json.Marshal(map[string]any{"schema_version": SchemaVersion + 1})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("ReadFile accepted a report with a future schema version")
+	}
+}
+
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextBenchPath(dir)
+	if err != nil {
+		t.Fatalf("NextBenchPath: %v", err)
+	}
+	if filepath.Base(p) != "BENCH_0.json" {
+		t.Errorf("fresh dir: %s, want BENCH_0.json", filepath.Base(p))
+	}
+	for _, name := range []string{"BENCH_0.json", "BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = NextBenchPath(dir)
+	if err != nil {
+		t.Fatalf("NextBenchPath: %v", err)
+	}
+	if filepath.Base(p) != "BENCH_11.json" {
+		t.Errorf("after 0,2,10: %s, want BENCH_11.json", filepath.Base(p))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.IQR != 2 { // Q3 − Q1 = 4 − 2 with linear interpolation over 5 points
+		t.Errorf("IQR = %v, want 2", s.IQR)
+	}
+	if s.P95 < s.Median || s.P95 > s.Max {
+		t.Errorf("P95 = %v outside [median, max]", s.P95)
+	}
+	if z := Summarize(nil); z != (Sample{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero", z)
+	}
+}
+
+func TestScenarioNames(t *testing.T) {
+	cases := map[string]Scenario{
+		"truediff/medium/light":         {System: SystemTruediff, Corpus: CorpusMedium, Edits: EditsLight},
+		"engine/large/light/w8":         {System: SystemEngine, Corpus: CorpusLarge, Edits: EditsLight, Workers: 8},
+		"engine/medium/light/w8/nomemo": {System: SystemEngine, Corpus: CorpusMedium, Edits: EditsLight, Workers: 8, DisableMemo: true},
+	}
+	for want, sc := range cases {
+		if got := sc.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestMatrixInvariants pins the matrix contract: names are unique, the
+// full matrix is large enough for the report floor (≥12 scenarios with at
+// least one baseline system), and the smoke matrix is a strict subset so
+// CI can compare smoke runs against a full baseline.
+func TestMatrixInvariants(t *testing.T) {
+	full := FullMatrix()
+	if len(full) < 12 {
+		t.Errorf("full matrix has %d scenarios, want >= 12", len(full))
+	}
+	names := map[string]bool{}
+	baselines := 0
+	for _, sc := range full {
+		n := sc.Name()
+		if names[n] {
+			t.Errorf("duplicate scenario name %q", n)
+		}
+		names[n] = true
+		switch sc.System {
+		case SystemGumtree, SystemHdiff, SystemLineardiff:
+			baselines++
+		}
+		sc.CorpusOptions() // must not panic for any matrix cell
+	}
+	if baselines == 0 {
+		t.Error("full matrix has no baseline scenarios")
+	}
+	for _, sc := range SmokeMatrix() {
+		if !names[sc.Name()] {
+			t.Errorf("smoke scenario %q is not part of the full matrix", sc.Name())
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package perfobs
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/metrics"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/gumtree"
+	"repro/internal/hdiff"
+	"repro/internal/lineardiff"
+	"repro/internal/telemetry"
+	"repro/internal/tree"
+	"repro/internal/truediff"
+)
+
+// RunConfig parameterizes a benchmark run.
+type RunConfig struct {
+	// Scenarios is the matrix to execute (FullMatrix or SmokeMatrix,
+	// possibly filtered). Empty selects FullMatrix.
+	Scenarios []Scenario
+	// Warmup repetitions run before measurement starts (default 1); Reps
+	// repetitions are measured (default 5).
+	Warmup int
+	Reps   int
+	// Smoke stamps the report as a reduced-matrix run.
+	Smoke bool
+	// ProfileLabels enables pprof/trace instrumentation inside the
+	// measured diffs (truediff and engine systems), so a -cpuprofile or
+	// -exectrace taken around the run decomposes by phase. Off by
+	// default: labels cost a little and the trajectory should measure the
+	// production path.
+	ProfileLabels bool
+	// Logf, when non-nil, receives one progress line per scenario.
+	Logf func(format string, args ...any)
+}
+
+// Run executes the configured scenarios and assembles the report.
+func Run(cfg RunConfig) (*Report, error) {
+	if len(cfg.Scenarios) == 0 {
+		cfg.Scenarios = FullMatrix()
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 1
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 5
+	}
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		CreatedUnix:   time.Now().Unix(),
+		Env:           CaptureEnv(),
+		Smoke:         cfg.Smoke,
+	}
+	corpora := make(map[corpus.Options]*corpus.History)
+	for _, sc := range cfg.Scenarios {
+		opts := sc.CorpusOptions()
+		h, ok := corpora[opts]
+		if !ok {
+			h = corpus.Generate(opts)
+			corpora[opts] = h
+		}
+		res, err := runScenario(sc, h, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("perfobs: scenario %s: %w", sc.Name(), err)
+		}
+		rep.Scenarios = append(rep.Scenarios, *res)
+		if cfg.Logf != nil {
+			cfg.Logf("%-34s median %v over %d pairs", res.Name,
+				time.Duration(res.WallNS.Median).Round(time.Microsecond), res.Pairs)
+		}
+	}
+	return rep, nil
+}
+
+// pairSet is one scenario's pre-built workload: cloned tree pairs (corpus
+// histories share subtrees between a commit's before and after, and the
+// differ requires structurally distinct inputs), so the timed region
+// measures diffing only — digest computation happens at clone time,
+// matching the paper's amortization of step 1.
+type pairSet struct {
+	changes []corpus.FileChange
+	src     []*tree.Node
+	dst     []*tree.Node
+	nodes   int64
+}
+
+func buildPairs(h *corpus.History) *pairSet {
+	ps := &pairSet{changes: h.Changes()}
+	alloc := h.Factory.Alloc()
+	for _, fc := range ps.changes {
+		s := tree.Clone(fc.Before, alloc, tree.SHA256)
+		d := tree.Clone(fc.After, alloc, tree.SHA256)
+		ps.src = append(ps.src, s)
+		ps.dst = append(ps.dst, d)
+		ps.nodes += int64(s.Size() + d.Size())
+	}
+	return ps
+}
+
+// measurer runs one repetition of a scenario's full pair set and reports
+// the summed compound edit count. Implementations may keep warm state
+// (scratch, memo) between calls — warmup repetitions bring it to steady
+// state first.
+type measurer interface {
+	rep() (edits int, err error)
+	// phases returns the per-phase wall-time sums of the most recent
+	// repetition, or false when the system has no phase decomposition.
+	phases() (telemetry.PhaseTimes, bool)
+}
+
+func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult, error) {
+	ps := buildPairs(h)
+	var m measurer
+	var eng *engine.Engine
+	switch sc.System {
+	case SystemTruediff:
+		m = newTruediffMeasurer(h, ps, cfg.ProfileLabels)
+	case SystemEngine:
+		em := newEngineMeasurer(h, ps, sc, cfg.ProfileLabels)
+		m, eng = em, em.eng
+	case SystemGumtree:
+		m = newGumtreeMeasurer(ps)
+	case SystemHdiff:
+		m = &hdiffMeasurer{ps: ps}
+	case SystemLineardiff:
+		m = &lineardiffMeasurer{ps: ps}
+	default:
+		return nil, fmt.Errorf("unknown system %q", sc.System)
+	}
+
+	res := &ScenarioResult{
+		Name:   sc.Name(),
+		System: string(sc.System),
+		Corpus: string(sc.Corpus),
+		Edits:  string(sc.Edits),
+		Pairs:  len(ps.changes),
+		Nodes:  ps.nodes,
+		Warmup: cfg.Warmup,
+		Reps:   cfg.Reps,
+	}
+	if sc.System == SystemEngine {
+		res.Workers = sc.Workers
+		res.Memo = !sc.DisableMemo
+	}
+
+	for i := 0; i < cfg.Warmup; i++ {
+		if _, err := m.rep(); err != nil {
+			return nil, err
+		}
+	}
+
+	var before engine.Snapshot
+	if eng != nil {
+		before = eng.Snapshot()
+	}
+	rt0 := sampleRuntime()
+
+	walls := make([]float64, 0, cfg.Reps)
+	throughputs := make([]float64, 0, cfg.Reps)
+	allocs := make([]float64, 0, cfg.Reps)
+	phaseSums := make(map[string][]float64)
+	for i := 0; i < cfg.Reps; i++ {
+		a0 := readAllocBytes()
+		start := time.Now()
+		edits, err := m.rep()
+		wall := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		res.EditsTotal = edits
+		walls = append(walls, float64(wall.Nanoseconds()))
+		throughputs = append(throughputs, float64(ps.nodes)/wall.Seconds())
+		allocs = append(allocs, float64(readAllocBytes()-a0))
+		if pt, ok := m.phases(); ok {
+			for p := 0; p < telemetry.NumPhases; p++ {
+				name := telemetry.Phase(p).String()
+				phaseSums[name] = append(phaseSums[name], float64(pt[p].Nanoseconds()))
+			}
+		}
+	}
+
+	rt1 := sampleRuntime()
+	res.Runtime = RuntimeSample{
+		AllocBytes:    rt1.allocBytes - rt0.allocBytes,
+		GCCycles:      rt1.gcCycles - rt0.gcCycles,
+		GCPauseNS:     rt1.gcPauseNS - rt0.gcPauseNS,
+		HeapLiveBytes: rt1.heapLiveBytes,
+		Goroutines:    rt1.goroutines,
+	}
+	res.WallNS = Summarize(walls)
+	res.NodesPerSec = Summarize(throughputs)
+	res.AllocBytesPerRep = Summarize(allocs)
+	if len(phaseSums) > 0 {
+		res.PhaseNS = make(map[string]float64, len(phaseSums))
+		for name, xs := range phaseSums {
+			res.PhaseNS[name] = Summarize(xs).Median
+		}
+	}
+	if eng != nil {
+		res.Utilization = eng.Snapshot().Sub(before).Utilization
+	}
+	if sc.System == SystemTruediff {
+		pa, err := probePhaseAllocs(h, ps)
+		if err != nil {
+			return nil, err
+		}
+		res.PhaseAllocBytes = pa
+	}
+	return res, nil
+}
+
+// --- per-system measurers ---
+
+type truediffMeasurer struct {
+	d       *truediff.Differ
+	ps      *pairSet
+	scratch *truediff.Scratch
+	pt      telemetry.PhaseTimes
+}
+
+func newTruediffMeasurer(h *corpus.History, ps *pairSet, labels bool) *truediffMeasurer {
+	return &truediffMeasurer{
+		d:       truediff.NewWithOptions(h.Factory.Schema(), truediff.Options{ProfileLabels: labels}),
+		ps:      ps,
+		scratch: truediff.NewScratch(),
+	}
+}
+
+func (m *truediffMeasurer) rep() (int, error) {
+	edits := 0
+	m.pt = telemetry.PhaseTimes{}
+	for i := range m.ps.src {
+		res, err := m.d.DiffScratchChecked(m.ps.src[i], m.ps.dst[i], nil, m.scratch, nil)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", m.ps.changes[i].Path, err)
+		}
+		edits += res.Script.EditCount()
+		pt := m.scratch.PhaseTimes()
+		for p := range pt {
+			m.pt[p] += pt[p]
+		}
+	}
+	return edits, nil
+}
+
+func (m *truediffMeasurer) phases() (telemetry.PhaseTimes, bool) { return m.pt, true }
+
+type engineMeasurer struct {
+	eng   *engine.Engine
+	pairs []engine.Pair
+	pt    telemetry.PhaseTimes
+}
+
+func newEngineMeasurer(h *corpus.History, ps *pairSet, sc Scenario, labels bool) *engineMeasurer {
+	eng := engine.New(h.Factory.Schema(), engine.Config{
+		Workers:     sc.Workers,
+		DisableMemo: sc.DisableMemo,
+		Diff:        truediff.Options{ProfileLabels: labels},
+	})
+	pairs := make([]engine.Pair, len(ps.src))
+	for i := range ps.src {
+		pairs[i] = engine.Pair{Source: ps.src[i], Target: ps.dst[i], Label: ps.changes[i].Path}
+	}
+	return &engineMeasurer{eng: eng, pairs: pairs}
+}
+
+func (m *engineMeasurer) rep() (int, error) {
+	results, err := m.eng.DiffBatch(context.Background(), m.pairs)
+	if err != nil {
+		return 0, err
+	}
+	edits := 0
+	m.pt = telemetry.PhaseTimes{}
+	for i := range results {
+		if results[i].Err != nil {
+			return 0, fmt.Errorf("%s: %w", m.pairs[i].Label, results[i].Err)
+		}
+		edits += results[i].Stats.Edits
+		for p, d := range results[i].Stats.Phases {
+			m.pt[p] += d
+		}
+	}
+	return edits, nil
+}
+
+func (m *engineMeasurer) phases() (telemetry.PhaseTimes, bool) { return m.pt, true }
+
+type gumtreeMeasurer struct {
+	src, dst []*gumtree.Node
+}
+
+func newGumtreeMeasurer(ps *pairSet) *gumtreeMeasurer {
+	m := &gumtreeMeasurer{}
+	for i := range ps.src {
+		m.src = append(m.src, gumtree.FromTree(ps.src[i]))
+		m.dst = append(m.dst, gumtree.FromTree(ps.dst[i]))
+	}
+	return m
+}
+
+func (m *gumtreeMeasurer) rep() (int, error) {
+	edits := 0
+	for i := range m.src {
+		script, _ := gumtree.Diff(m.src[i], m.dst[i], gumtree.DefaultOptions())
+		edits += script.Len()
+	}
+	return edits, nil
+}
+
+func (m *gumtreeMeasurer) phases() (telemetry.PhaseTimes, bool) { return telemetry.PhaseTimes{}, false }
+
+type hdiffMeasurer struct{ ps *pairSet }
+
+func (m *hdiffMeasurer) rep() (int, error) {
+	size := 0
+	for i := range m.ps.src {
+		patch := hdiff.Diff(m.ps.src[i], m.ps.dst[i], hdiff.DefaultOptions())
+		size += patch.Size()
+	}
+	return size, nil
+}
+
+func (m *hdiffMeasurer) phases() (telemetry.PhaseTimes, bool) { return telemetry.PhaseTimes{}, false }
+
+type lineardiffMeasurer struct{ ps *pairSet }
+
+func (m *lineardiffMeasurer) rep() (int, error) {
+	edits := 0
+	for i := range m.ps.src {
+		script, err := lineardiff.Diff(m.ps.src[i], m.ps.dst[i])
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", m.ps.changes[i].Path, err)
+		}
+		edits += script.ChangeCount()
+	}
+	return edits, nil
+}
+
+func (m *lineardiffMeasurer) phases() (telemetry.PhaseTimes, bool) { return telemetry.PhaseTimes{}, false }
+
+// probePhaseAllocs runs one extra single-threaded repetition with a tracer
+// that reads the cumulative heap-allocation counter at every phase
+// boundary. The tracer callbacks run synchronously on the diffing
+// goroutine, so consecutive counter deltas attribute allocation to the
+// phase that just completed. The probe repetition is never timed.
+func probePhaseAllocs(h *corpus.History, ps *pairSet) (map[string]int64, error) {
+	sums := make(map[string]int64, telemetry.NumPhases)
+	var last uint64
+	tracer := telemetry.TracerFuncs{
+		OnPhase: func(p telemetry.Phase, _ time.Duration) {
+			now := readAllocBytes()
+			sums[p.String()] += int64(now - last)
+			last = now
+		},
+	}
+	d := truediff.NewWithOptions(h.Factory.Schema(), truediff.Options{Tracer: tracer})
+	scratch := truediff.NewScratch()
+	for i := range ps.src {
+		last = readAllocBytes()
+		if _, err := d.DiffScratchChecked(ps.src[i], ps.dst[i], nil, scratch, nil); err != nil {
+			return nil, fmt.Errorf("alloc probe on %s: %w", ps.changes[i].Path, err)
+		}
+	}
+	return sums, nil
+}
+
+// --- runtime/metrics sampling ---
+
+var runtimeSampleNames = []string{
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+}
+
+type runtimeCounters struct {
+	allocBytes    uint64
+	gcCycles      uint64
+	heapLiveBytes uint64
+	goroutines    uint64
+	gcPauseNS     uint64
+}
+
+// sampleRuntime reads the runtime/metrics samples the report carries, plus
+// the cumulative GC pause total (which runtime/metrics only exposes as a
+// histogram; MemStats carries the exact cumulative sum).
+func sampleRuntime() runtimeCounters {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var c runtimeCounters
+	for i := range samples {
+		if samples[i].Value.Kind() != metrics.KindUint64 {
+			continue
+		}
+		v := samples[i].Value.Uint64()
+		switch samples[i].Name {
+		case "/gc/heap/allocs:bytes":
+			c.allocBytes = v
+		case "/gc/cycles/total:gc-cycles":
+			c.gcCycles = v
+		case "/memory/classes/heap/objects:bytes":
+			c.heapLiveBytes = v
+		case "/sched/goroutines:goroutines":
+			c.goroutines = v
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.gcPauseNS = ms.PauseTotalNs
+	return c
+}
+
+// allocSample is reused by readAllocBytes to keep the read itself
+// allocation-free (the probe subtracts consecutive readings).
+var allocSample = []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+
+func readAllocBytes() uint64 {
+	metrics.Read(allocSample)
+	return allocSample[0].Value.Uint64()
+}

@@ -1,0 +1,133 @@
+package perfobs
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestRunTinyMatrix executes a two-scenario matrix end to end (one
+// truediff cell, one engine cell — small corpus, two repetitions) and
+// checks every report field the schema promises is populated.
+func TestRunTinyMatrix(t *testing.T) {
+	scs := []Scenario{
+		{System: SystemTruediff, Corpus: CorpusSmall, Edits: EditsLight},
+		{System: SystemEngine, Corpus: CorpusSmall, Edits: EditsLight, Workers: 2},
+	}
+	var logged int
+	rep, err := Run(RunConfig{
+		Scenarios: scs,
+		Warmup:    1,
+		Reps:      2,
+		Logf:      func(string, ...any) { logged++ },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Errorf("SchemaVersion = %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+	if rep.CreatedUnix == 0 || rep.Env.GoVersion == "" || rep.Env.NumCPU == 0 {
+		t.Errorf("environment fingerprint incomplete: %+v", rep.Env)
+	}
+	if len(rep.Scenarios) != len(scs) {
+		t.Fatalf("got %d scenario results, want %d", len(rep.Scenarios), len(scs))
+	}
+	if logged != len(scs) {
+		t.Errorf("Logf called %d times, want %d", logged, len(scs))
+	}
+
+	for _, s := range rep.Scenarios {
+		if s.Pairs <= 0 || s.Nodes <= 0 {
+			t.Errorf("%s: empty workload (%d pairs, %d nodes)", s.Name, s.Pairs, s.Nodes)
+		}
+		if s.Warmup != 1 || s.Reps != 2 {
+			t.Errorf("%s: warmup/reps = %d/%d, want 1/2", s.Name, s.Warmup, s.Reps)
+		}
+		if s.WallNS.N != 2 || s.WallNS.Median <= 0 {
+			t.Errorf("%s: wall sample %+v", s.Name, s.WallNS)
+		}
+		if s.NodesPerSec.Median <= 0 {
+			t.Errorf("%s: throughput %+v", s.Name, s.NodesPerSec)
+		}
+		if s.EditsTotal <= 0 {
+			t.Errorf("%s: EditsTotal = %d", s.Name, s.EditsTotal)
+		}
+		if s.Runtime.AllocBytes == 0 || s.Runtime.Goroutines == 0 {
+			t.Errorf("%s: runtime sample %+v", s.Name, s.Runtime)
+		}
+		// Both systems decompose by phase; all four must be present.
+		if len(s.PhaseNS) != telemetry.NumPhases {
+			t.Errorf("%s: phase decomposition %v, want %d phases", s.Name, s.PhaseNS, telemetry.NumPhases)
+		}
+		var phaseTotal float64
+		for p := 0; p < telemetry.NumPhases; p++ {
+			phaseTotal += s.PhaseNS[telemetry.Phase(p).String()]
+		}
+		if phaseTotal <= 0 || phaseTotal > s.WallNS.Max*float64(1) {
+			t.Errorf("%s: phase total %.0f vs wall max %.0f", s.Name, phaseTotal, s.WallNS.Max)
+		}
+	}
+
+	// Deterministic corpora: the two systems diff the same pairs and must
+	// agree on the total compound edit count.
+	if rep.Scenarios[0].EditsTotal != rep.Scenarios[1].EditsTotal {
+		t.Errorf("truediff and engine disagree on edits: %d vs %d",
+			rep.Scenarios[0].EditsTotal, rep.Scenarios[1].EditsTotal)
+	}
+
+	for _, s := range rep.Scenarios {
+		switch s.System {
+		case "truediff":
+			if len(s.PhaseAllocBytes) != telemetry.NumPhases {
+				t.Errorf("truediff: phase alloc probe %v, want %d phases", s.PhaseAllocBytes, telemetry.NumPhases)
+			}
+			var total int64
+			for _, v := range s.PhaseAllocBytes {
+				if v < 0 {
+					t.Errorf("negative phase alloc: %v", s.PhaseAllocBytes)
+				}
+				total += v
+			}
+			if total <= 0 {
+				t.Errorf("phase alloc probe measured nothing: %v", s.PhaseAllocBytes)
+			}
+		case "engine":
+			if s.Workers != 2 || !s.Memo {
+				t.Errorf("engine scenario config not echoed: workers %d memo %v", s.Workers, s.Memo)
+			}
+			if s.Utilization <= 0 || s.Utilization > 1.000001 {
+				t.Errorf("engine utilization = %v, want in (0, 1]", s.Utilization)
+			}
+		}
+	}
+}
+
+// TestRunBaselineSystems smoke-runs each baseline measurer on the small
+// corpus: they must produce samples and a nonzero cost metric, and carry
+// no phase decomposition.
+func TestRunBaselineSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three extra systems; skipped under -short")
+	}
+	rep, err := Run(RunConfig{
+		Scenarios: []Scenario{
+			{System: SystemGumtree, Corpus: CorpusSmall, Edits: EditsLight},
+			{System: SystemHdiff, Corpus: CorpusSmall, Edits: EditsLight},
+			{System: SystemLineardiff, Corpus: CorpusSmall, Edits: EditsLight},
+		},
+		Warmup: 1,
+		Reps:   2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, s := range rep.Scenarios {
+		if s.WallNS.Median <= 0 || s.EditsTotal <= 0 {
+			t.Errorf("%s: wall %v edits %d", s.Name, s.WallNS.Median, s.EditsTotal)
+		}
+		if len(s.PhaseNS) != 0 || len(s.PhaseAllocBytes) != 0 {
+			t.Errorf("%s: baseline system reports phases %v / %v", s.Name, s.PhaseNS, s.PhaseAllocBytes)
+		}
+	}
+}

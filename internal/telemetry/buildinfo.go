@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// readBuildInfo is swapped by tests to exercise the no-build-info path;
+// production code always reads the real embedded info.
+var readBuildInfo = debug.ReadBuildInfo
+
+var buildInfoOnce = sync.OnceValue(computeBuildInfo)
+
+func computeBuildInfo() Metric {
+	m := Metric{
+		Name:  "structdiff_build_info",
+		Help:  "Build metadata of the running binary; the value is constant 1.",
+		Kind:  KindGauge,
+		Value: 1,
+	}
+	version, revision, modified := "unknown", "unknown", ""
+	if bi, ok := readBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	m.Labels = []Label{
+		{Key: "version", Value: version},
+		{Key: "go_version", Value: runtime.Version()},
+		{Key: "vcs_revision", Value: revision},
+	}
+	if modified != "" {
+		m.Labels = append(m.Labels, Label{Key: "vcs_modified", Value: modified})
+	}
+	return m
+}
+
+// BuildInfoMetric returns the structdiff_build_info gauge: a constant-1
+// sample whose labels carry the binary's module version, Go toolchain
+// version, and VCS revision (from runtime/debug.ReadBuildInfo). The labels
+// are computed once per process; fields the build did not stamp (e.g. a
+// plain `go test` binary with no VCS info) degrade to "unknown" rather
+// than disappearing, so dashboards can join on the label set
+// unconditionally.
+func BuildInfoMetric() Metric {
+	return buildInfoOnce()
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func labelValue(m Metric, key string) (string, bool) {
+	for _, l := range m.Labels {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+func TestComputeBuildInfoWithVCS(t *testing.T) {
+	orig := readBuildInfo
+	defer func() { readBuildInfo = orig }()
+	readBuildInfo = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			Main: debug.Module{Version: "v1.2.3"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "abcdef123456"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+
+	m := computeBuildInfo()
+	if m.Name != "structdiff_build_info" || m.Kind != KindGauge || m.Value != 1 {
+		t.Fatalf("metric = %+v, want constant-1 gauge structdiff_build_info", m)
+	}
+	for key, want := range map[string]string{
+		"version":      "v1.2.3",
+		"go_version":   runtime.Version(),
+		"vcs_revision": "abcdef123456",
+		"vcs_modified": "true",
+	} {
+		if got, ok := labelValue(m, key); !ok || got != want {
+			t.Errorf("label %s = %q (ok=%v), want %q", key, got, ok, want)
+		}
+	}
+}
+
+func TestComputeBuildInfoDegradesToUnknown(t *testing.T) {
+	orig := readBuildInfo
+	defer func() { readBuildInfo = orig }()
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return nil, false }
+
+	m := computeBuildInfo()
+	for _, key := range []string{"version", "vcs_revision"} {
+		if got, ok := labelValue(m, key); !ok || got != "unknown" {
+			t.Errorf("label %s = %q (ok=%v), want \"unknown\"", key, got, ok)
+		}
+	}
+	if _, ok := labelValue(m, "vcs_modified"); ok {
+		t.Error("vcs_modified present without build info")
+	}
+	if got, _ := labelValue(m, "go_version"); !strings.HasPrefix(got, "go") {
+		t.Errorf("go_version = %q", got)
+	}
+}
+
+func TestBuildInfoMetricIsCached(t *testing.T) {
+	a := BuildInfoMetric()
+	b := BuildInfoMetric()
+	if a.Name != b.Name || len(a.Labels) != len(b.Labels) {
+		t.Errorf("BuildInfoMetric not stable: %+v vs %+v", a, b)
+	}
+}

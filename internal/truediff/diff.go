@@ -69,6 +69,15 @@ type Options struct {
 	// or negative selects DefaultCheckpointEvery. Smaller values abort
 	// pathological diffs sooner at the cost of more polls.
 	CheckpointEvery int
+	// ProfileLabels turns on profiler-visible phase attribution: each diff
+	// becomes a runtime/trace task ("truediff.diff") and each of the four
+	// phases runs under a pprof label (phase=prepare|shares|select|emit)
+	// and a runtime/trace region ("truediff/<phase>"), so CPU profiles and
+	// execution traces decompose by phase. Costs two pprof.Do calls plus a
+	// trace task per diff; off (zero value) the hot path is untouched. Use
+	// DiffScratchProfiled (or the engine, which forwards its batch context)
+	// to supply the context the labels propagate from.
+	ProfileLabels bool
 }
 
 // DefaultCheckpointEvery is the default node interval between Checkpoint
@@ -195,7 +204,7 @@ func (d *Differ) Diff(source, target *tree.Node, alloc *uri.Allocator) (*Result,
 // is done, returning the cancellation cause. With a never-cancellable
 // context this is exactly Diff.
 func (d *Differ) DiffCtx(ctx context.Context, source, target *tree.Node, alloc *uri.Allocator) (*Result, error) {
-	return d.DiffScratchChecked(source, target, alloc, NewScratch(), CtxCheckpoint(ctx))
+	return d.DiffScratchProfiled(ctx, source, target, alloc, NewScratch(), CtxCheckpoint(ctx))
 }
 
 // DiffScratch is Diff drawing its working state from s, which the caller
@@ -212,20 +221,27 @@ func (d *Differ) DiffScratch(source, target *tree.Node, alloc *uri.Allocator, s 
 // immediately and is returned wrapped. The scratch is safe to recycle after
 // an abort (it is reset on entry to every run); the partially built script
 // is discarded.
-func (d *Differ) DiffScratchChecked(source, target *tree.Node, alloc *uri.Allocator, s *Scratch, cp Checkpoint) (res *Result, err error) {
+func (d *Differ) DiffScratchChecked(source, target *tree.Node, alloc *uri.Allocator, s *Scratch, cp Checkpoint) (*Result, error) {
+	return d.DiffScratchProfiled(context.Background(), source, target, alloc, s, cp)
+}
+
+// DiffScratchProfiled is DiffScratchChecked carrying the context that
+// profiler labels and trace regions propagate from when
+// Options.ProfileLabels is set: the diff becomes a runtime/trace task and
+// each phase runs under pprof.Do with a phase label, nested inside any
+// labels already on ctx (the engine adds pair and worker). With
+// ProfileLabels unset, ctx is ignored and this is exactly
+// DiffScratchChecked. A nil ctx is treated as context.Background().
+func (d *Differ) DiffScratchProfiled(ctx context.Context, source, target *tree.Node, alloc *uri.Allocator, s *Scratch, cp Checkpoint) (res *Result, err error) {
 	if source == nil || target == nil {
 		return nil, fmt.Errorf("truediff: %w", derrors.ErrNilTree)
 	}
 	began := time.Now()
-	if alloc == nil {
-		alloc = uri.NewAllocator()
-		tree.Walk(source, func(n *tree.Node) { alloc.Reserve(n.URI) })
-	}
 	every := d.opts.CheckpointEvery
 	if every <= 0 {
 		every = DefaultCheckpointEvery
 	}
-	r := &run{sch: d.sch, opts: d.opts, s: s, alloc: alloc, cp: cp, cpEvery: every, cpLeft: every}
+	r := &run{sch: d.sch, opts: d.opts, s: s, cp: cp, cpEvery: every, cpLeft: every}
 	defer func() {
 		if p := recover(); p != nil {
 			a, ok := p.(diffAbort)
@@ -235,29 +251,46 @@ func (d *Differ) DiffScratchChecked(source, target *tree.Node, alloc *uri.Alloca
 			res, err = nil, fmt.Errorf("truediff: diff aborted: %w", a.err)
 		}
 	}()
-	if err := d.checkSchema(source, r); err != nil {
-		return nil, err
+	inPhase, endTask := phaseRunner(ctx, d.opts.ProfileLabels)
+	defer endTask()
+
+	// Step 1 happened at tree construction: every node carries its
+	// structure and literal hashes; the per-diff residue (allocator
+	// derivation, schema validation, scratch reset) is the prepare phase.
+	var prepErr error
+	inPhase(telemetry.PhasePrepare, func() {
+		if alloc == nil {
+			alloc = uri.NewAllocator()
+			tree.Walk(source, func(n *tree.Node) { alloc.Reserve(n.URI) })
+		}
+		if prepErr = d.checkSchema(source, r); prepErr != nil {
+			return
+		}
+		if prepErr = d.checkSchema(target, r); prepErr != nil {
+			return
+		}
+		s.Reset()
+	})
+	if prepErr != nil {
+		return nil, prepErr
 	}
-	if err := d.checkSchema(target, r); err != nil {
-		return nil, err
-	}
-	s.Reset()
+	r.alloc = alloc
 	// A diff that passed validation emits the full span: BeginDiff, one
 	// Phase per step in order, EndDiff. Failed validation emits nothing.
 	tr := d.opts.Tracer
 	if tr != nil {
 		tr.BeginDiff(source.Size(), target.Size())
 	}
-	// Step 1 happened at tree construction: every node carries its
-	// structure and literal hashes; the per-diff residue (allocator
-	// derivation, schema validation, scratch reset) is the prepare phase.
 	var mark time.Time
 	s.phase(tr, telemetry.PhasePrepare, began, &mark)
-	r.assignShares(source, target) // step 2
+	inPhase(telemetry.PhaseShares, func() { r.assignShares(source, target) }) // step 2
 	s.phase(tr, telemetry.PhaseShares, mark, &mark)
-	r.assignSubtrees(target) // step 3
+	inPhase(telemetry.PhaseSelect, func() { r.assignSubtrees(target) }) // step 3
 	s.phase(tr, telemetry.PhaseSelect, mark, &mark)
-	patched := r.computeEdits(source, target, truechange.RootRef, sig.RootLink) // step 4
+	var patched *tree.Node
+	inPhase(telemetry.PhaseEmit, func() { // step 4
+		patched = r.computeEdits(source, target, truechange.RootRef, sig.RootLink)
+	})
 	s.phase(tr, telemetry.PhaseEmit, mark, &mark)
 	res = &Result{Script: s.buf.Script(), Patched: patched}
 	if tr != nil {

@@ -1,0 +1,59 @@
+package truediff
+
+import (
+	"context"
+	"runtime/pprof"
+	"runtime/trace"
+
+	"repro/internal/telemetry"
+)
+
+// TraceTaskName is the runtime/trace task type every profiled diff runs
+// under; TraceRegionPrefix prefixes the per-phase region names
+// ("truediff/prepare" … "truediff/emit"). Use them to filter a captured
+// execution trace (go tool trace) down to diffing work.
+const (
+	TraceTaskName     = "truediff.diff"
+	TraceRegionPrefix = "truediff/"
+)
+
+// PprofPhaseLabel is the pprof label key phase attribution is published
+// under when Options.ProfileLabels is set; its values are the four
+// telemetry.Phase names. The engine adds PprofPairLabel and
+// PprofWorkerLabel around it.
+const PprofPhaseLabel = "phase"
+
+// ProfilePhaseHook, when non-nil, is called inside every labeled phase
+// with the label-carrying context. Tests (here and in internal/engine)
+// use it to assert — via pprof.ForLabels — that phase, pair, and worker
+// labels actually reach the executing goroutine; production code never
+// sets it. Guarded by no lock: set it before diffing starts and clear it
+// after everything is done.
+var ProfilePhaseHook func(ctx context.Context, p telemetry.Phase)
+
+// phaseRunner returns the phase executor of one diff and the task
+// terminator to defer. Unprofiled (the default), the executor just calls
+// the phase body and the terminator is a no-op — no context, label, or
+// trace machinery is touched. Profiled, the diff becomes a runtime/trace
+// task and each phase body runs under pprof.Do with the phase label and
+// inside a trace region, so CPU profiles and execution traces decompose
+// by phase (and by whatever labels ctx already carries, e.g. the engine's
+// pair and worker).
+func phaseRunner(ctx context.Context, profiled bool) (inPhase func(telemetry.Phase, func()), endTask func()) {
+	if !profiled {
+		return func(_ telemetry.Phase, body func()) { body() }, func() {}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tctx, task := trace.NewTask(ctx, TraceTaskName)
+	inPhase = func(p telemetry.Phase, body func()) {
+		pprof.Do(tctx, pprof.Labels(PprofPhaseLabel, p.String()), func(lctx context.Context) {
+			if hook := ProfilePhaseHook; hook != nil {
+				hook(lctx, p)
+			}
+			trace.WithRegion(lctx, TraceRegionPrefix+p.String(), body)
+		})
+	}
+	return inPhase, task.End
+}

@@ -151,6 +151,18 @@ func WithCheckpointEvery(n int) Option { return func(c *config) { c.diff.Checkpo
 // points only; the default (FallbackNone) propagates failures.
 func WithFallback(m FallbackMode) Option { return func(c *config) { c.fallback = m } }
 
+// WithProfileLabels turns on self-profiling instrumentation: every diff
+// becomes a runtime/trace task ("truediff.diff"), each of the four truediff
+// phases runs under a pprof label (phase=prepare|shares|select|emit) and a
+// matching trace region ("truediff/<phase>"), and an Engine additionally
+// labels worker goroutines (worker=<n>) and individual pairs (pair=<label>).
+// CPU profiles then decompose by phase and pair (go tool pprof -tagfocus),
+// and execution traces show per-diff tasks with nested phase regions (go
+// tool trace). Off by default: the unprofiled path touches no context or
+// label machinery, so there is no overhead unless this option is given.
+// See docs/OBSERVABILITY.md.
+func WithProfileLabels() Option { return func(c *config) { c.diff.ProfileLabels = true } }
+
 // WithFaultInjection arms deterministic fault injection on an Engine: the
 // injector's faults fire at the engine's sites (FaultSiteDiff on every
 // diff, FaultSiteCheckpoint on every checkpoint poll). Intended for
