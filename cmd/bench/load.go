@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/derrors"
+	"repro/internal/diffserve"
+	"repro/internal/pylang"
+	"repro/internal/telemetry"
+)
+
+// loadConfig parameterizes the diffd load test (bench -load).
+type loadConfig struct {
+	// addr is a running daemon's base URL ("http://host:port"); empty
+	// starts an in-process server and drives it over loopback, so the
+	// mode is self-contained.
+	addr     string
+	clients  int
+	requests int
+	workers  int
+	seed     int64
+}
+
+// runLoad drives a diffd with concurrent clients replaying a generated
+// commit history (every client its own connection and tenant) and reports
+// client-observed latency quantiles, throughput, and shed counts. Exit
+// status 0 on success, 1 when any request failed for a reason other than
+// admission control.
+func runLoad(cfg loadConfig) int {
+	hist := corpus.Generate(corpus.Options{
+		Seed:              cfg.seed,
+		Files:             8,
+		Commits:           40,
+		MaxFilesPerCommit: 3,
+		MinNodes:          200,
+		MaxNodes:          1200,
+		MaxEditsPerFile:   4,
+	})
+	changes := hist.Changes()
+	if len(changes) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: corpus produced no changes")
+		return 2
+	}
+
+	base := cfg.addr
+	if base == "" {
+		srv, err := diffserve.NewServer(diffserve.Config{
+			Langs:   []string{"pylang"},
+			Workers: cfg.workers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 2
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 2
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = srv.Drain(ctx)
+			_ = hs.Shutdown(ctx)
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "bench: started in-process diffd at %s\n", base)
+	}
+
+	var (
+		latency  telemetry.Histogram
+		sheds    atomic.Uint64
+		failures atomic.Uint64
+		next     atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := diffserve.NewClient(base, "pylang", pylang.Schema(),
+				diffserve.WithTenant(fmt.Sprintf("load-%d", c)))
+			defer client.Close()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.requests) {
+					return
+				}
+				ch := changes[int(i)%len(changes)]
+				t0 := time.Now()
+				_, err := client.Diff(context.Background(), ch.Before, ch.After, nil)
+				latency.Record(time.Since(t0).Nanoseconds())
+				switch {
+				case err == nil:
+				case errors.Is(err, derrors.ErrServiceUnavailable):
+					sheds.Add(1)
+					if ra := diffserve.RetryAfter(err); ra > 0 {
+						time.Sleep(min(ra, 250*time.Millisecond))
+					}
+				default:
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "bench: request %d: %v\n", i, err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	s := latency.Snapshot()
+	fmt.Printf("load test: %d requests over %d clients against %s\n", cfg.requests, cfg.clients, base)
+	fmt.Printf("  wall %v, %.0f req/s\n", wall.Round(time.Millisecond), float64(cfg.requests)/wall.Seconds())
+	fmt.Printf("  latency mean %v, p50 %v, p95 %v, max-bucket %v\n",
+		time.Duration(s.Mean()).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.95)).Round(time.Microsecond),
+		time.Duration(s.Quantile(1.0)).Round(time.Microsecond))
+	fmt.Printf("  %d shed by admission control, %d failed\n", sheds.Load(), failures.Load())
+	if failures.Load() > 0 {
+		return 1
+	}
+	return 0
+}

@@ -27,6 +27,14 @@
 // so `go tool pprof -tagfocus phase=emit cpu.pprof` decomposes samples by
 // truediff phase.
 //
+// Load-testing the diff service (cmd/diffd) replays a generated commit
+// history through concurrent HTTP clients and reports client-observed
+// latency quantiles, throughput, and admission-control sheds:
+//
+//	bench -load                              # self-contained: in-process daemon
+//	bench -load -load-addr http://host:8347  # against a running diffd
+//	bench -load -load-clients 16 -load-requests 1000
+//
 // Exit status: 0 on success, 1 on a failed gate, 2 on usage or I/O errors.
 package main
 
@@ -55,11 +63,24 @@ func main() {
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 		exectrace    = flag.String("exectrace", "", "write a runtime/trace execution trace of the run to this file")
+		load         = flag.Bool("load", false, "load-test a diffd daemon instead of running the matrix")
+		loadAddr     = flag.String("load-addr", "", "base URL of a running diffd (empty starts an in-process server)")
+		loadClients  = flag.Int("load-clients", 8, "concurrent load-test clients")
+		loadRequests = flag.Int("load-requests", 200, "total load-test requests")
+		loadSeed     = flag.Int64("load-seed", 1, "corpus seed for the load test")
 	)
 	flag.Parse()
 
 	if *compare {
 		os.Exit(runCompare(flag.Args(), *tolerance, *allowRemoved))
+	}
+	if *load {
+		os.Exit(runLoad(loadConfig{
+			addr:     *loadAddr,
+			clients:  *loadClients,
+			requests: *loadRequests,
+			seed:     *loadSeed,
+		}))
 	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "bench: unexpected arguments (use -compare OLD NEW to compare reports)")

@@ -1,0 +1,132 @@
+// Command diffd serves structural diffing as a network service: an
+// HTTP/JSON daemon around the batch engine, one engine per served
+// language, with request coalescing, per-tenant admission control, queue
+// backpressure (429 + Retry-After when saturated), and graceful drain on
+// SIGINT/SIGTERM.
+//
+//	diffd                              # serve every language on :8347
+//	diffd -addr :9000 -langs exp       # one language, custom port
+//	diffd -workers 8 -diff-timeout 2s  # engine tuning
+//	diffd -trace diffs.jsonl -slow 50ms
+//
+// Endpoints (wire schema and a curl session in docs/SERVICE.md):
+//
+//	POST /v1/diff      one pair (S-exprs or refs), versioned JSON
+//	POST /v1/batch     many pairs, one engine batch
+//	GET  /v1/snapshot  per-language engine counters
+//	GET  /metrics      Prometheus text exposition (service + engines)
+//	GET  /healthz      200 serving / 503 draining
+//
+// On SIGTERM the daemon drains: in-flight diffs complete, queued and new
+// requests are answered with a clean 503, then the process exits 0. The
+// drain is bounded by -drain-timeout; an expired bound still closes the
+// engines before exit.
+//
+// Exit status: 0 after a clean drain, 1 on a serve error, 2 on bad usage.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/diffserve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8347", "listen address")
+		langs        = flag.String("langs", "", "comma-separated languages to serve (default: all registered)")
+		workers      = flag.Int("workers", 0, "worker goroutines per language engine (0 = GOMAXPROCS)")
+		diffTimeout  = flag.Duration("diff-timeout", 5*time.Second, "per-diff deadline (0 disables)")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "how long to hold a request for coalescing companions")
+		batchMax     = flag.Int("batch-max", 64, "max requests coalesced into one engine batch")
+		maxQueue     = flag.Int("max-queue", 256, "per-language admission queue bound (saturation threshold)")
+		tenantLimit  = flag.Int("tenant-limit", 32, "per-tenant concurrent request cap (X-Diffd-Tenant header; -1 disables)")
+		slow         = flag.Duration("slow", 0, "log diffs at or above this wall time (0 disables)")
+		tracePath    = flag.String("trace", "", "append one JSONL trace record per diff to this file")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
+		listLangs    = flag.Bool("list-langs", false, "print the registered languages and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "diffd: unexpected arguments")
+		os.Exit(2)
+	}
+	if *listLangs {
+		fmt.Println(strings.Join(diffserve.Languages(), "\n"))
+		return
+	}
+	logf := log.New(os.Stderr, "diffd: ", log.LstdFlags).Printf
+
+	cfg := diffserve.Config{
+		Workers:           *workers,
+		DiffTimeout:       *diffTimeout,
+		BatchWindow:       *batchWindow,
+		BatchMax:          *batchMax,
+		MaxQueue:          *maxQueue,
+		TenantLimit:       *tenantLimit,
+		SlowDiffThreshold: *slow,
+		Logf:              logf,
+	}
+	if *langs != "" {
+		cfg.Langs = strings.Split(*langs, ",")
+	}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diffd:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cfg.Trace = telemetry.NewTraceWriter(f)
+	}
+
+	srv, err := diffserve.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffd:", err)
+		os.Exit(2)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	logf("serving %s on %s (wire schema %s)", strings.Join(orAll(cfg.Langs), ","), *addr, diffserve.WireVersion)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		logf("serve: %v", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	logf("draining (bound %v): in-flight diffs complete, new requests get 503", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logf("drain: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("shutdown: %v", err)
+	}
+	logf("drained cleanly")
+}
+
+func orAll(langs []string) []string {
+	if len(langs) == 0 {
+		return diffserve.Languages()
+	}
+	return langs
+}

@@ -49,4 +49,14 @@ var (
 	// WithDiffTimeout). Distinct from the caller's context deadline, which
 	// surfaces as context.DeadlineExceeded.
 	ErrDiffTimeout = errors.New("diff exceeded per-diff timeout")
+
+	// ErrEngineClosed reports a Diff or DiffBatch call on an engine whose
+	// Close has begun: the engine's caches are released and no further work
+	// is accepted.
+	ErrEngineClosed = errors.New("engine is closed")
+
+	// ErrServiceUnavailable reports a diff service request rejected by
+	// admission control — the server is saturated (HTTP 429, retry after
+	// the advertised delay) or draining for shutdown (HTTP 503).
+	ErrServiceUnavailable = errors.New("diff service unavailable")
 )

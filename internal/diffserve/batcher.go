@@ -1,0 +1,128 @@
+package diffserve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/derrors"
+	"repro/internal/engine"
+)
+
+// job is one diff request queued for coalescing: the pair to diff and a
+// one-slot channel its result is delivered on. The slot means delivery
+// never blocks, so a caller that gave up (request context cancelled) does
+// not wedge the batcher.
+type job struct {
+	pair        engine.Pair
+	wantPatched bool
+	done        chan engine.PairResult
+}
+
+// batcher coalesces concurrently arriving jobs into engine DiffBatch
+// calls: the first job to arrive opens a window; jobs arriving within
+// Config.BatchWindow join it, up to Config.BatchMax; then the whole window
+// runs as one batch, amortizing worker fan-out and letting the engine's
+// cross-diff caches see related requests together. A lone request pays at
+// most one window of added latency.
+type batcher struct {
+	eng    *engine.Engine
+	window time.Duration
+	max    int
+
+	// jobs is the admission queue: its capacity is the backpressure bound
+	// (Config.MaxQueue); the server sheds when a non-blocking send fails.
+	jobs chan *job
+	// stopped is closed when run exits (after the queue is closed and
+	// every remaining job has been answered).
+	stopped chan struct{}
+
+	// draining, when set (by Server.Drain, before closing jobs), makes the
+	// batcher answer queued-but-unstarted jobs with a clean shutdown error
+	// instead of diffing them. Batches already handed to the engine run to
+	// completion regardless.
+	draining func() bool
+	// onBatch and onDone feed the service metrics: one call per engine
+	// batch with its size, one call per job answered.
+	onBatch func(size int)
+	onDone  func()
+}
+
+func newBatcher(eng *engine.Engine, window time.Duration, max, queue int, draining func() bool, onBatch func(int), onDone func()) *batcher {
+	b := &batcher{
+		eng:      eng,
+		window:   window,
+		max:      max,
+		jobs:     make(chan *job, queue),
+		stopped:  make(chan struct{}),
+		draining: draining,
+		onBatch:  onBatch,
+		onDone:   onDone,
+	}
+	go b.run()
+	return b
+}
+
+func (b *batcher) run() {
+	defer close(b.stopped)
+	for first := range b.jobs {
+		if b.draining() {
+			b.fail(first, drainingError())
+			continue
+		}
+		batch := []*job{first}
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(batch) < b.max {
+			select {
+			case j, ok := <-b.jobs:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.flush(batch)
+	}
+}
+
+// flush runs one coalesced window as an engine batch. The batch runs under
+// context.Background(), not any single request's context: the window is
+// shared, so one caller hanging up must not abort its neighbours' diffs.
+// Per-pair deadlines still apply through the engine's DiffTimeout.
+func (b *batcher) flush(batch []*job) {
+	if b.draining() {
+		for _, j := range batch {
+			b.fail(j, drainingError())
+		}
+		return
+	}
+	pairs := make([]engine.Pair, len(batch))
+	for i, j := range batch {
+		pairs[i] = j.pair
+	}
+	b.onBatch(len(batch))
+	results, err := b.eng.DiffBatch(context.Background(), pairs)
+	if err != nil {
+		for _, j := range batch {
+			b.fail(j, err)
+		}
+		return
+	}
+	for i, j := range batch {
+		j.done <- results[i]
+		b.onDone()
+	}
+}
+
+func (b *batcher) fail(j *job, err error) {
+	j.done <- engine.PairResult{Err: err}
+	b.onDone()
+}
+
+func drainingError() error {
+	return fmt.Errorf("diffserve: %w: server is draining", derrors.ErrServiceUnavailable)
+}

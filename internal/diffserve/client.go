@@ -1,0 +1,359 @@
+package diffserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/derrors"
+	"repro/internal/engine"
+	"repro/internal/sig"
+	"repro/internal/tree"
+	"repro/internal/truediff"
+	"repro/internal/uri"
+)
+
+// Client speaks the diffserve wire protocol and presents the same surface
+// as the in-process engine (structdiff.DiffService): Diff, DiffBatch,
+// Snapshot, Close. Code written against that interface runs unchanged
+// against a local engine or a remote daemon.
+//
+// The client remembers which trees the server has confirmed interned (by
+// content-digest ref) and sends the ref instead of the S-expression on
+// later requests — the service's analogue of the engine's whole-tree
+// intern store. A server restart invalidates refs; the client detects the
+// unknown_ref answer and retries once with the full trees. A Client is
+// safe for concurrent use.
+type Client struct {
+	base   string
+	lang   string
+	sch    *sig.Schema
+	hc     *http.Client
+	tenant string
+
+	refMu sync.Mutex
+	refs  map[string]bool
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the http.Client (timeouts, transports).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithTenant sets the X-Diffd-Tenant header, the identity the server's
+// per-tenant concurrency limit accounts against.
+func WithTenant(tenant string) ClientOption {
+	return func(c *Client) { c.tenant = tenant }
+}
+
+// NewClient returns a client for one language served at base (e.g.
+// "http://localhost:8347"). The schema must match the server's schema for
+// that language: it is used to decode patched trees locally.
+func NewClient(base, lang string, sch *sig.Schema, opts ...ClientOption) *Client {
+	c := &Client{
+		base: base,
+		lang: lang,
+		sch:  sch,
+		hc:   &http.Client{Timeout: 60 * time.Second},
+		refs: make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// treeInput renders a tree for the wire: a bare ref when the server has
+// confirmed this content digest, the S-expression otherwise.
+func (c *Client) treeInput(n *tree.Node, force bool) TreeInput {
+	if !force && tree.HashedWith(n, tree.SHA256) {
+		ref := hexRef(n)
+		c.refMu.Lock()
+		known := c.refs[ref]
+		c.refMu.Unlock()
+		if known {
+			return TreeInput{Ref: ref}
+		}
+	}
+	return TreeInput{SExpr: tree.EncodeSExpr(n)}
+}
+
+func (c *Client) learnRefs(refs ...string) {
+	c.refMu.Lock()
+	for _, ref := range refs {
+		if ref != "" {
+			c.refs[ref] = true
+		}
+	}
+	c.refMu.Unlock()
+}
+
+func (c *Client) forgetRefs() {
+	c.refMu.Lock()
+	c.refs = make(map[string]bool)
+	c.refMu.Unlock()
+}
+
+// Diff diffs source against target on the server and reconstructs the
+// result locally: the script is decoded from its versioned envelope and
+// the patched tree from its S-expression (with fresh URIs from alloc, or
+// a private allocator when nil — server and client URI spaces are
+// independent, which is the one visible difference from an in-process
+// engine).
+func (c *Client) Diff(ctx context.Context, source, target *tree.Node, alloc *uri.Allocator) (*truediff.Result, error) {
+	if source == nil || target == nil {
+		return nil, fmt.Errorf("diffserve: %w", derrors.ErrNilTree)
+	}
+	resp, err := c.diffOnce(ctx, source, target, false)
+	if err != nil {
+		if wireKind(err) == ErrKindUnknownRef {
+			c.forgetRefs()
+			resp, err = c.diffOnce(ctx, source, target, true)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c.toResult(resp, alloc)
+}
+
+func (c *Client) diffOnce(ctx context.Context, source, target *tree.Node, force bool) (*DiffResponse, error) {
+	req := DiffRequest{
+		SchemaVersion: WireVersion,
+		Lang:          c.lang,
+		Source:        c.treeInput(source, force),
+		Target:        c.treeInput(target, force),
+		WantPatched:   true,
+	}
+	var resp DiffResponse
+	if err := c.post(ctx, "/v1/diff", req, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != nil {
+		return nil, wireErr(*resp.Error)
+	}
+	c.learnRefs(resp.SourceRef, resp.TargetRef)
+	return &resp, nil
+}
+
+func (c *Client) toResult(resp *DiffResponse, alloc *uri.Allocator) (*truediff.Result, error) {
+	if resp.Script == nil {
+		return nil, fmt.Errorf("diffserve: response carries neither script nor error")
+	}
+	script, err := resp.Script.Decode()
+	if err != nil {
+		return nil, err
+	}
+	res := &truediff.Result{Script: script}
+	if resp.PatchedSExpr != "" {
+		if alloc == nil {
+			alloc = uri.NewAllocator()
+		}
+		res.Patched, err = tree.DecodeSExpr(resp.PatchedSExpr, c.sch, alloc)
+		if err != nil {
+			return nil, fmt.Errorf("diffserve: decode patched tree: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// DiffBatch ships the whole batch in one request; the server diffs it as
+// one engine batch. Results are index-aligned with pairs; per-pair
+// failures land in the pair's Err, exactly as with engine.DiffBatch.
+// Pair.Alloc is used to decode that pair's patched tree.
+func (c *Client) DiffBatch(ctx context.Context, pairs []engine.Pair) ([]engine.PairResult, error) {
+	resp, err := c.batchOnce(ctx, pairs, false)
+	if err != nil {
+		return nil, err
+	}
+	retry := false
+	for i := range resp.Results {
+		if e := resp.Results[i].Error; e != nil && e.Kind == ErrKindUnknownRef {
+			retry = true
+			break
+		}
+	}
+	if retry {
+		c.forgetRefs()
+		if resp, err = c.batchOnce(ctx, pairs, true); err != nil {
+			return nil, err
+		}
+	}
+	if len(resp.Results) != len(pairs) {
+		return nil, fmt.Errorf("diffserve: batch returned %d results for %d pairs", len(resp.Results), len(pairs))
+	}
+	out := make([]engine.PairResult, len(pairs))
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		if r.Error != nil {
+			out[i].Err = wireErr(*r.Error)
+			continue
+		}
+		c.learnRefs(r.SourceRef, r.TargetRef)
+		res, err := c.toResult(r, pairs[i].Alloc)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Result = res
+		if r.Stats != nil {
+			if out[i].Stats, err = r.Stats.ToDiffStats(); err != nil {
+				out[i].Err = err
+			}
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) batchOnce(ctx context.Context, pairs []engine.Pair, force bool) (*BatchResponse, error) {
+	req := BatchRequest{SchemaVersion: WireVersion, Lang: c.lang, Pairs: make([]BatchPair, len(pairs))}
+	for i, p := range pairs {
+		if p.Source == nil || p.Target == nil {
+			return nil, fmt.Errorf("diffserve: pair %d: %w", i, derrors.ErrNilTree)
+		}
+		req.Pairs[i] = BatchPair{
+			Source:      c.treeInput(p.Source, force),
+			Target:      c.treeInput(p.Target, force),
+			Label:       p.Label,
+			WantPatched: true,
+		}
+	}
+	var resp BatchResponse
+	if err := c.post(ctx, "/v1/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Snapshot fetches the server-side engine counters for the client's
+// language. Unreachable servers yield the zero snapshot (the method has
+// no error return, mirroring the engine's).
+func (c *Client) Snapshot() engine.Snapshot {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var resp SnapshotResponse
+	if err := c.get(ctx, "/v1/snapshot", &resp); err != nil {
+		return engine.Snapshot{}
+	}
+	if err := CheckWireVersion(resp.SchemaVersion); err != nil {
+		return engine.Snapshot{}
+	}
+	return resp.Langs[c.lang]
+}
+
+// Close releases idle connections. The server is unaffected.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// --- transport ---
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("diffserve: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("diffserve: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("diffserve: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	if c.tenant != "" {
+		req.Header.Set("X-Diffd-Tenant", c.tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("diffserve: %w: %v", derrors.ErrServiceUnavailable, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var er ErrorResponse
+		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&er); jerr == nil && er.Error.Kind != "" {
+			return wireErr(er.Error)
+		}
+		return fmt.Errorf("diffserve: server answered %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("diffserve: decode response: %w", err)
+	}
+	return nil
+}
+
+// --- error mapping ---
+
+// kindError carries a wire error into the caller's errors.Is world: it
+// wraps the sentinel its kind maps to and keeps the kind for inspection.
+type kindError struct {
+	kind     string
+	msg      string
+	sentinel error
+	retry    time.Duration
+}
+
+func (e *kindError) Error() string {
+	if e.retry > 0 {
+		return fmt.Sprintf("diffserve: %s (%s; retry after %v)", e.msg, e.kind, e.retry)
+	}
+	return fmt.Sprintf("diffserve: %s (%s)", e.msg, e.kind)
+}
+
+func (e *kindError) Unwrap() error { return e.sentinel }
+
+// RetryAfter extracts the server's retry advice from a saturation error,
+// zero if err carries none.
+func RetryAfter(err error) time.Duration {
+	var ke *kindError
+	if errors.As(err, &ke) {
+		return ke.retry
+	}
+	return 0
+}
+
+// wireKind returns the wire kind an error was built from, "" for other
+// errors.
+func wireKind(err error) string {
+	var ke *kindError
+	if errors.As(err, &ke) {
+		return ke.kind
+	}
+	return ""
+}
+
+func wireErr(we WireError) error {
+	ke := &kindError{kind: we.Kind, msg: we.Message, retry: time.Duration(we.RetryAfterMS) * time.Millisecond}
+	switch we.Kind {
+	case ErrKindPanic:
+		ke.sentinel = derrors.ErrDiffPanic
+	case ErrKindTimeout:
+		ke.sentinel = derrors.ErrDiffTimeout
+	case ErrKindIllTyped:
+		ke.sentinel = derrors.ErrIllTyped
+	case ErrKindSaturated, ErrKindDraining:
+		ke.sentinel = derrors.ErrServiceUnavailable
+	case ErrKindCancelled:
+		ke.sentinel = context.Canceled
+	}
+	return ke
+}

@@ -1,0 +1,519 @@
+package diffserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/derrors"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/faultinject"
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
+	return srv, hs
+}
+
+func genPair(seed int64, size int) (*tree.Node, *tree.Node) {
+	g := exp.NewGen(seed)
+	before := g.Tree(size)
+	after := g.MutateN(before, 3)
+	return before, after
+}
+
+func TestDiffRoundTrip(t *testing.T) {
+	_, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 2})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+
+	src, dst := genPair(1, 80)
+	res, err := c.Diff(context.Background(), src, dst, uri.NewAllocator())
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if res.Script == nil {
+		t.Fatal("no script in result")
+	}
+	if res.Patched == nil {
+		t.Fatal("no patched tree in result")
+	}
+	// The patched tree must be content-identical to the target; URIs are
+	// server-assigned and differ, but content digests ignore them.
+	if res.Patched.ExactHash() != dst.ExactHash() {
+		t.Error("patched tree differs from target")
+	}
+
+	// Reference: the same pair diffed in-process produces the same number
+	// of edits (the service adds transport, not algorithm).
+	eng := engine.New(exp.Schema(), engine.Config{Workers: 1})
+	defer eng.Close()
+	local, err := eng.Diff(context.Background(), eng.Ingest(src, nil), eng.Ingest(dst, nil), nil)
+	if err != nil {
+		t.Fatalf("local Diff: %v", err)
+	}
+	if got, want := res.Script.EditCount(), local.Script.EditCount(); got != want {
+		t.Errorf("service produced %d edits, local engine %d", got, want)
+	}
+}
+
+func TestRefReuseAndRecovery(t *testing.T) {
+	srv, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 1})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+
+	src, dst := genPair(2, 60)
+	if _, err := c.Diff(context.Background(), src, dst, nil); err != nil {
+		t.Fatalf("first Diff: %v", err)
+	}
+	// The client learned both refs; the same trees now travel as refs and
+	// hit the server's intern store instead of re-decoding.
+	in := c.treeInput(src, false)
+	if in.Ref == "" || in.SExpr != "" {
+		t.Fatalf("after first diff, source should be sent by ref, got %+v", in)
+	}
+	before := srv.langs["exp"].eng.Snapshot()
+	if _, err := c.Diff(context.Background(), src, dst, nil); err != nil {
+		t.Fatalf("ref Diff: %v", err)
+	}
+	delta := srv.langs["exp"].eng.Snapshot().Sub(before)
+	if delta.IngestedTrees != 0 {
+		t.Errorf("ref-only diff ingested %d trees, want 0", delta.IngestedTrees)
+	}
+
+	// A client whose refs the server never saw (fresh server = restart)
+	// must recover transparently: unknown_ref answer, one retry with the
+	// full S-expressions.
+	_, hs2 := testServer(t, Config{Langs: []string{"exp"}, Workers: 1})
+	c2 := NewClient(hs2.URL, "exp", exp.Schema())
+	defer c2.Close()
+	c2.learnRefs(hexRef(src), hexRef(dst)) // poison: refs from the old server
+	if _, err := c2.Diff(context.Background(), src, dst, nil); err != nil {
+		t.Fatalf("Diff after server restart: %v", err)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 2})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+
+	pairs := make([]engine.Pair, 4)
+	for i := range pairs {
+		src, dst := genPair(int64(10+i), 50)
+		pairs[i] = engine.Pair{Source: src, Target: dst, Label: fmt.Sprintf("pair-%d", i)}
+	}
+	results, err := c.DiffBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatalf("DiffBatch: %v", err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("got %d results, want %d", len(results), len(pairs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("pair %d: %v", i, r.Err)
+			continue
+		}
+		if r.Result.Patched.ExactHash() != pairs[i].Target.ExactHash() {
+			t.Errorf("pair %d: patched tree differs from target", i)
+		}
+		if r.Stats.Edits != r.Result.Script.EditCount() {
+			t.Errorf("pair %d: stats report %d edits, script has %d", i, r.Stats.Edits, r.Result.Script.EditCount())
+		}
+	}
+}
+
+// TestWireVersionTolerance is the decode-tolerance contract: same-major
+// envelopes (any minor) decode, other majors are rejected before any edit
+// is parsed — on the script envelope and on the HTTP surface.
+func TestWireVersionTolerance(t *testing.T) {
+	if err := CheckWireVersion("1.0"); err != nil {
+		t.Errorf("1.0: %v", err)
+	}
+	if err := CheckWireVersion("1.7"); err != nil {
+		t.Errorf("higher minor of same major must be accepted: %v", err)
+	}
+	for _, v := range []string{"", "2.0", "0.9", "banana", "v1"} {
+		if err := CheckWireVersion(v); err == nil {
+			t.Errorf("CheckWireVersion(%q): expected rejection", v)
+		}
+	}
+
+	// A v2 script envelope must fail cleanly even when its edits are not
+	// parseable by this build at all.
+	w := &WireScript{SchemaVersion: "2.0", Edits: json.RawMessage(`[{"op":"quantum_swap"}]`)}
+	if _, err := w.Decode(); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Errorf("v2 script decode: got %v, want schema_version rejection", err)
+	}
+
+	_, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 1})
+	body, _ := json.Marshal(DiffRequest{
+		SchemaVersion: "2.0",
+		Lang:          "exp",
+		Source:        TreeInput{SExpr: "(Num 1)"},
+		Target:        TreeInput{SExpr: "(Num 2)"},
+	})
+	resp, err := http.Post(hs.URL+"/v1/diff", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("v2 request: status %d, want 400", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode error response: %v", err)
+	}
+	if er.Error.Kind != ErrKindBadRequest {
+		t.Errorf("v2 request: kind %q, want %q", er.Error.Kind, ErrKindBadRequest)
+	}
+}
+
+// TestPanicSurvival is the tentpole's resilience requirement: a poisoned
+// request produces a typed panic response, and the daemon keeps serving.
+func TestPanicSurvival(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Fault{
+		Site: engine.FaultSiteDiff, Kind: faultinject.Panic, Times: 1,
+	})
+	_, hs := testServer(t, Config{
+		Langs: []string{"exp"}, Workers: 1,
+		DisableFallback: true, Faults: inj,
+	})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+
+	src, dst := genPair(3, 60)
+	_, err := c.Diff(context.Background(), src, dst, nil)
+	if !errors.Is(err, derrors.ErrDiffPanic) {
+		t.Fatalf("poisoned request: err = %v, want ErrDiffPanic", err)
+	}
+	// The process survived; the next request must succeed.
+	if _, err := c.Diff(context.Background(), src, dst, nil); err != nil {
+		t.Fatalf("request after panic: %v", err)
+	}
+}
+
+// TestFallbackRescuesPanic: with graceful degradation on (the default),
+// the same poisoned request succeeds with a root-replacement script.
+func TestFallbackRescuesPanic(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Fault{
+		Site: engine.FaultSiteDiff, Kind: faultinject.Panic, Times: 1,
+	})
+	_, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 1, Faults: inj})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+
+	src, dst := genPair(4, 60)
+	res, err := c.Diff(context.Background(), src, dst, nil)
+	if err != nil {
+		t.Fatalf("Diff with fallback: %v", err)
+	}
+	if res.Patched.ExactHash() != dst.ExactHash() {
+		t.Error("fallback script did not reproduce the target")
+	}
+}
+
+// TestSaturationSheds exercises queue backpressure: with a single worker
+// wedged on a slow diff and a queue of one, the next request must be shed
+// with 429, a Retry-After header, and a typed saturated error.
+func TestSaturationSheds(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Fault{
+		Site: engine.FaultSiteDiff, Kind: faultinject.Delay, Delay: 500 * time.Millisecond,
+	})
+	srv, hs := testServer(t, Config{
+		Langs: []string{"exp"}, Workers: 1,
+		MaxQueue: 1, BatchWindow: time.Millisecond,
+		Faults: inj,
+	})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+
+	src, dst := genPair(5, 60)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Diff(context.Background(), src, dst, nil); err != nil {
+			t.Errorf("slow Diff: %v", err)
+		}
+	}()
+	// Wait until the slow request occupies the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.m.pending.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	body, _ := json.Marshal(DiffRequest{
+		SchemaVersion: WireVersion, Lang: "exp",
+		Source: TreeInput{SExpr: tree.EncodeSExpr(src)},
+		Target: TreeInput{SExpr: tree.EncodeSExpr(dst)},
+	})
+	resp, err := http.Post(hs.URL+"/v1/diff", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response carries no Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode shed response: %v", err)
+	}
+	if er.Error.Kind != ErrKindSaturated {
+		t.Errorf("shed kind = %q, want %q", er.Error.Kind, ErrKindSaturated)
+	}
+	if errors.Is(wireErr(er.Error), derrors.ErrServiceUnavailable) == false {
+		t.Error("saturated wire error does not map to ErrServiceUnavailable")
+	}
+	if srv.m.sheds.Load() == 0 {
+		t.Error("shed counter did not advance")
+	}
+	wg.Wait()
+}
+
+// TestTenantLimit: one tenant at its concurrency cap is shed while
+// another tenant is still admitted.
+func TestTenantLimit(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Fault{
+		Site: engine.FaultSiteDiff, Kind: faultinject.Delay, Delay: 300 * time.Millisecond,
+	})
+	srv, hs := testServer(t, Config{
+		Langs: []string{"exp"}, Workers: 1, TenantLimit: 1,
+		BatchWindow: time.Millisecond, Faults: inj,
+	})
+	greedy := NewClient(hs.URL, "exp", exp.Schema(), WithTenant("greedy"))
+	defer greedy.Close()
+	polite := NewClient(hs.URL, "exp", exp.Schema(), WithTenant("polite"))
+	defer polite.Close()
+
+	src, dst := genPair(6, 60)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := greedy.Diff(context.Background(), src, dst, nil); err != nil {
+			t.Errorf("greedy's first Diff: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		srv.tenantMu.Lock()
+		n := srv.tenants["greedy"]
+		srv.tenantMu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("greedy's request never acquired its tenant slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := greedy.Diff(context.Background(), src, dst, nil)
+	if !errors.Is(err, derrors.ErrServiceUnavailable) {
+		t.Fatalf("greedy over limit: err = %v, want ErrServiceUnavailable", err)
+	}
+	if _, err := polite.Diff(context.Background(), src, dst, nil); err != nil {
+		t.Fatalf("polite tenant was shed with greedy: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestGracefulDrain is the shutdown contract: requests in flight when the
+// drain begins complete normally, requests arriving after it get a clean
+// 503, and the engine counters reconcile — every admitted diff is
+// accounted for, none leak.
+func TestGracefulDrain(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Fault{
+		Site: engine.FaultSiteDiff, Kind: faultinject.Delay, Delay: 50 * time.Millisecond,
+	})
+	srv, hs := testServer(t, Config{
+		Langs: []string{"exp"}, Workers: 2,
+		BatchWindow: 5 * time.Millisecond, Faults: inj,
+	})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+
+	const inflight = 4
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(i int) {
+			src, dst := genPair(int64(100+i), 60)
+			_, err := c.Diff(context.Background(), src, dst, nil)
+			errs <- err
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.m.pending.Load() < inflight {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests became pending", srv.m.pending.Load(), inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// In-flight requests completed or were answered with the clean
+	// draining error — never a connection drop or a hang.
+	completed := 0
+	for i := 0; i < inflight; i++ {
+		if err := <-errs; err == nil {
+			completed++
+		} else if !errors.Is(err, derrors.ErrServiceUnavailable) {
+			t.Errorf("in-flight request failed with %v, want nil or ErrServiceUnavailable", err)
+		}
+	}
+
+	// New work is refused with a typed draining error.
+	src, dst := genPair(200, 40)
+	if _, err := c.Diff(context.Background(), src, dst, nil); !errors.Is(err, derrors.ErrServiceUnavailable) {
+		t.Fatalf("post-drain Diff: err = %v, want ErrServiceUnavailable", err)
+	}
+
+	// Counters reconcile: the engine finished exactly the diffs that were
+	// dispatched (completed requests), its queue is empty, nothing is
+	// pending, and the intern store was released by Close.
+	s := srv.langs["exp"].eng.Snapshot()
+	if s.QueueDepth != 0 {
+		t.Errorf("QueueDepth after drain = %d, want 0", s.QueueDepth)
+	}
+	if got := srv.m.pending.Load(); got != 0 {
+		t.Errorf("pending gauge after drain = %d, want 0", got)
+	}
+	if s.Diffs != uint64(completed) {
+		t.Errorf("engine completed %d diffs, but %d requests succeeded", s.Diffs, completed)
+	}
+	if s.StoreEntries != 0 {
+		t.Errorf("intern store holds %d trees after drain, want 0", s.StoreEntries)
+	}
+	if !srv.Draining() {
+		t.Error("server does not report draining")
+	}
+
+	// Drain is idempotent.
+	if err := srv.Drain(ctx); err != nil {
+		t.Errorf("second Drain: %v", err)
+	}
+}
+
+// TestMetricsExposition: the service exposes its own metrics and every
+// engine's, language-labelled, in parseable Prometheus text format.
+func TestMetricsExposition(t *testing.T) {
+	_, hs := testServer(t, Config{Langs: []string{"exp", "jsonlang"}, Workers: 1})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+	src, dst := genPair(7, 50)
+	if _, err := c.Diff(context.Background(), src, dst, nil); err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"diffserve_requests_total 1",
+		"diffserve_sheds_total 0",
+		"diffserve_request_duration_seconds_count 1",
+		`structdiff_diffs_total{lang="exp"} 1`,
+		`structdiff_diffs_total{lang="jsonlang"} 0`,
+		`structdiff_engine_queue_depth{lang="exp"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition is missing %q", want)
+		}
+	}
+}
+
+// TestSnapshotEndpoint: client Snapshot surfaces the server-side engine
+// counters for its language.
+func TestSnapshotEndpoint(t *testing.T) {
+	_, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 1})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+	src, dst := genPair(8, 50)
+	if _, err := c.Diff(context.Background(), src, dst, nil); err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	s := c.Snapshot()
+	if s.Diffs != 1 {
+		t.Errorf("Snapshot.Diffs = %d, want 1", s.Diffs)
+	}
+	bad := NewClient("http://127.0.0.1:1", "exp", exp.Schema())
+	defer bad.Close()
+	if s := bad.Snapshot(); s.Diffs != 0 {
+		t.Errorf("unreachable server yielded non-zero snapshot: %+v", s)
+	}
+}
+
+// TestCoalescing: requests arriving within one window run as one engine
+// batch.
+func TestCoalescing(t *testing.T) {
+	srv, hs := testServer(t, Config{
+		Langs: []string{"exp"}, Workers: 2,
+		BatchWindow: 50 * time.Millisecond, BatchMax: 8,
+	})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src, dst := genPair(int64(300+i), 50)
+			if _, err := c.Diff(context.Background(), src, dst, nil); err != nil {
+				t.Errorf("Diff %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if batches, diffs := srv.m.batches.Load(), srv.langs["exp"].eng.Snapshot().Diffs; batches >= diffs && diffs > 1 {
+		t.Errorf("no coalescing: %d batches for %d diffs", batches, diffs)
+	}
+}

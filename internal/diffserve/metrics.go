@@ -1,0 +1,99 @@
+package diffserve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// svcMetrics holds the service-level counters, one layer above the
+// per-engine counters: HTTP outcomes, shed decisions, queue occupancy, and
+// the request-latency and batch-size distributions. All atomics, matching
+// the engine's lock-free convention.
+type svcMetrics struct {
+	requests     atomic.Uint64
+	ok           atomic.Uint64
+	clientErrors atomic.Uint64 // 4xx other than sheds
+	serverErrors atomic.Uint64 // 5xx other than drain rejects
+	sheds        atomic.Uint64 // 429: tenant limit or queue backpressure
+	drainRejects atomic.Uint64 // 503: refused because draining
+
+	// pending gauges jobs accepted into a coalescing queue but not yet
+	// answered; together with the engines' QueueDepth it is the admission
+	// controller's saturation signal.
+	pending atomic.Int64
+
+	latency   telemetry.Histogram // request wall time, ns (diff+batch only)
+	batches   atomic.Uint64
+	batchSize telemetry.Histogram // jobs per coalesced engine batch
+}
+
+// GatherMetrics implements telemetry.Gatherer for the whole service:
+// diffserve_* service metrics first, then every engine metric once per
+// served language with a {lang="..."} label. telemetry.Handler(srv) serves
+// the union at /metrics.
+func (s *Server) GatherMetrics() []telemetry.Metric {
+	counter := func(name, help string, v uint64) telemetry.Metric {
+		return telemetry.Metric{Name: name, Help: help, Kind: telemetry.KindCounter, Value: float64(v)}
+	}
+	ms := []telemetry.Metric{
+		counter("diffserve_requests_total", "Diff and batch requests received.", s.m.requests.Load()),
+		counter("diffserve_responses_ok_total", "Requests answered 2xx.", s.m.ok.Load()),
+		counter("diffserve_responses_client_error_total", "Requests answered 4xx (excluding sheds).", s.m.clientErrors.Load()),
+		counter("diffserve_responses_server_error_total", "Requests answered 5xx (excluding drain rejects).", s.m.serverErrors.Load()),
+		counter("diffserve_sheds_total", "Requests shed with 429 by admission control (tenant limit or queue backpressure).", s.m.sheds.Load()),
+		counter("diffserve_drain_rejects_total", "Requests refused with 503 because the server is draining.", s.m.drainRejects.Load()),
+		{
+			Name: "diffserve_pending_jobs", Kind: telemetry.KindGauge,
+			Help:  "Jobs accepted into a coalescing queue but not yet answered.",
+			Value: float64(s.m.pending.Load()),
+		},
+		counter("diffserve_batches_total", "Coalesced engine batches dispatched.", s.m.batches.Load()),
+		{
+			Name: "diffserve_request_duration_seconds", Kind: telemetry.KindHistogram,
+			Help: "Request wall time from admission to response, diff and batch endpoints.",
+			Hist: s.m.latency.Snapshot(), Scale: 1e-9,
+		},
+		{
+			Name: "diffserve_batch_size_jobs", Kind: telemetry.KindHistogram,
+			Help: "Jobs per coalesced engine batch.",
+			Hist: s.m.batchSize.Snapshot(),
+		},
+	}
+	return append(ms, s.engineMetrics()...)
+}
+
+// engineMetrics renders every language engine's metrics with a lang label.
+// The exposition writer requires metrics sharing a name to be adjacent, so
+// the per-engine sequences are zipped sample-by-sample rather than
+// concatenated engine-by-engine; every engine emits the identical fixed
+// sequence, which makes the zip well-defined. If an engine ever diverged
+// (it cannot today), the affected tail falls back to concatenation.
+func (s *Server) engineMetrics() []telemetry.Metric {
+	type engSeq struct {
+		lang string
+		ms   []telemetry.Metric
+	}
+	seqs := make([]engSeq, 0, len(s.langs))
+	for _, name := range s.langNames {
+		seqs = append(seqs, engSeq{lang: name, ms: s.langs[name].eng.GatherMetrics()})
+	}
+	var out []telemetry.Metric
+	for i := 0; ; i++ {
+		emitted := false
+		for _, sq := range seqs {
+			if i >= len(sq.ms) {
+				continue
+			}
+			m := sq.ms[i]
+			labels := make([]telemetry.Label, 0, len(m.Labels)+1)
+			labels = append(labels, m.Labels...)
+			m.Labels = append(labels, telemetry.Label{Key: "lang", Value: sq.lang})
+			out = append(out, m)
+			emitted = true
+		}
+		if !emitted {
+			return out
+		}
+	}
+}

@@ -1,0 +1,694 @@
+package diffserve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/derrors"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/sig"
+	"repro/internal/telemetry"
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+// Config parameterizes a Server. The zero value serves every registered
+// language with engine defaults and moderate admission limits.
+type Config struct {
+	// Langs selects the languages to serve (names from Languages()). Empty
+	// serves all registered languages.
+	Langs []string
+	// Workers is each language engine's worker-pool size; zero selects
+	// GOMAXPROCS.
+	Workers int
+	// DiffTimeout bounds each individual diff (engine.Config.DiffTimeout);
+	// an overrunning diff fails alone with a timeout error while the rest
+	// of its batch completes. Zero disables the bound.
+	DiffTimeout time.Duration
+	// CheckpointEvery overrides the cancellation-checkpoint interval.
+	CheckpointEvery int
+	// DisableFallback turns off graceful degradation. By default the
+	// service runs engines with FallbackRootReplace: a pair that panics or
+	// times out is answered with a coarse but compliant root-replacement
+	// script (stats flag Fallback set) instead of an error.
+	DisableFallback bool
+
+	// BatchWindow is how long the coalescer holds the first request of a
+	// window for companions before dispatching (default 2ms — the latency
+	// a lone request pays for batching). BatchMax caps a window's size
+	// (default 64).
+	BatchWindow time.Duration
+	BatchMax    int
+
+	// MaxQueue bounds each language's admission queue; it is also the
+	// saturation threshold: a request that would make pending jobs plus
+	// the engine's QueueDepth reach MaxQueue is shed with 429 and a
+	// Retry-After estimated from observed diff latency. Default 256.
+	MaxQueue int
+	// TenantLimit caps one tenant's concurrently admitted requests
+	// (identified by the X-Diffd-Tenant header; absent means the shared
+	// "anonymous" tenant). Excess is shed with 429. Default 32; negative
+	// disables the per-tenant cap.
+	TenantLimit int
+	// MaxBody bounds request bodies in bytes (default 32MiB).
+	MaxBody int64
+
+	// SlowDiffThreshold enables the engines' slow-diff log; Trace, when
+	// non-nil, receives one JSONL record per diff, labelled with the
+	// request's trace ID. Faults arms deterministic fault injection inside
+	// the engines (tests only).
+	SlowDiffThreshold time.Duration
+	Trace             *telemetry.TraceWriter
+	Faults            *faultinject.Injector
+
+	// Logf receives server lifecycle and error lines; nil uses the
+	// standard logger.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Langs) == 0 {
+		c.Langs = Languages()
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.TenantLimit == 0 {
+		c.TenantLimit = 32
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 32 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// langService is one served language: its schema, its engine (own worker
+// pool, intern store, URI space), its coalescing batcher, and the ref
+// table mapping hex content digests to interned trees.
+type langService struct {
+	name string
+	sch  *sig.Schema
+	eng  *engine.Engine
+	b    *batcher
+
+	refMu sync.RWMutex
+	refs  map[string]*tree.Node
+}
+
+// Server is the diff service: an http.Handler exposing the engine over
+// versioned JSON, with coalescing, admission control, and graceful drain.
+// Create one with NewServer; it is ready immediately.
+type Server struct {
+	cfg       Config
+	mux       *http.ServeMux
+	langs     map[string]*langService
+	langNames []string
+	m         svcMetrics
+
+	// draining flips once, in Drain; drainMu orders job submission
+	// against queue closure (submitters hold it shared, Drain holds it
+	// exclusively while closing the queues, so a send on a closed channel
+	// cannot happen).
+	draining atomic.Bool
+	drainMu  sync.RWMutex
+
+	tenantMu sync.Mutex
+	tenants  map[string]int
+
+	tracePrefix string
+	traceSeq    atomic.Uint64
+}
+
+// NewServer builds a server from the configuration. Unknown language names
+// in cfg.Langs are an error.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		langs:   make(map[string]*langService, len(cfg.Langs)),
+		tenants: make(map[string]int),
+	}
+	var pfx [4]byte
+	if _, err := rand.Read(pfx[:]); err != nil {
+		return nil, fmt.Errorf("diffserve: trace prefix: %w", err)
+	}
+	s.tracePrefix = hex.EncodeToString(pfx[:])
+
+	for _, name := range cfg.Langs {
+		sch := SchemaFor(name)
+		if sch == nil {
+			return nil, fmt.Errorf("diffserve: unknown language %q (have %v)", name, Languages())
+		}
+		ecfg := engine.Config{
+			Workers:           cfg.Workers,
+			DiffTimeout:       cfg.DiffTimeout,
+			CheckpointEvery:   cfg.CheckpointEvery,
+			SlowDiffThreshold: cfg.SlowDiffThreshold,
+			Faults:            cfg.Faults,
+		}
+		if !cfg.DisableFallback {
+			ecfg.Fallback = engine.FallbackRootReplace
+		}
+		if cfg.Trace != nil {
+			tw := cfg.Trace
+			ecfg.Observer = func(ev engine.DiffEvent) { _ = tw.Write(ev.TraceRecord()) }
+		}
+		ls := &langService{
+			name: name,
+			sch:  sch,
+			eng:  engine.New(sch, ecfg),
+			refs: make(map[string]*tree.Node),
+		}
+		ls.b = newBatcher(ls.eng, cfg.BatchWindow, cfg.BatchMax, cfg.MaxQueue,
+			s.draining.Load,
+			func(size int) { s.m.batches.Add(1); s.m.batchSize.Record(int64(size)) },
+			func() { s.m.pending.Add(-1) },
+		)
+		s.langs[name] = ls
+		s.langNames = append(s.langNames, name)
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", telemetry.Handler(s))
+	return s, nil
+}
+
+// ServeHTTP dispatches with a last-resort panic recovery: engine worker
+// isolation already contains per-diff panics, so anything reaching here is
+// a handler bug — answered with 500, logged, and the process keeps
+// serving.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.cfg.Logf("diffserve: panic serving %s %s: %v", r.Method, r.URL.Path, v)
+			s.m.serverErrors.Add(1)
+			writeError(w, http.StatusInternalServerError, WireError{
+				Kind: ErrKindInternal, Message: fmt.Sprintf("internal error: %v", v),
+			})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain shuts the service down gracefully: new and queued-but-unstarted
+// requests are answered with a clean draining error (HTTP 503), batches
+// already handed to an engine run to completion, and the engines are
+// closed (releasing their intern stores) once their batchers stop. The
+// context bounds how long Drain waits for in-flight work; on expiry the
+// engines are still closed (Close itself waits for active batches, so an
+// expired ctx only skips the orderly queue flush). Drain is idempotent;
+// concurrent calls all block until the first finishes.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	if !s.draining.CompareAndSwap(false, true) {
+		s.drainMu.Unlock()
+		return nil
+	}
+	for _, name := range s.langNames {
+		close(s.langs[name].b.jobs)
+	}
+	s.drainMu.Unlock()
+
+	var err error
+	for _, name := range s.langNames {
+		select {
+		case <-s.langs[name].b.stopped:
+		case <-ctx.Done():
+			err = fmt.Errorf("diffserve: drain: %w", context.Cause(ctx))
+		}
+	}
+	for _, name := range s.langNames {
+		if cerr := s.langs[name].eng.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Snapshot returns every language engine's counters.
+func (s *Server) Snapshot() map[string]engine.Snapshot {
+	out := make(map[string]engine.Snapshot, len(s.langs))
+	for name, ls := range s.langs {
+		out[name] = ls.eng.Snapshot()
+	}
+	return out
+}
+
+func (s *Server) nextTraceID() string {
+	return fmt.Sprintf("%s-%06d", s.tracePrefix, s.traceSeq.Add(1))
+}
+
+// --- admission control ---
+
+// admit runs the gatekeeping common to diff and batch requests: drain
+// refusal, the per-tenant concurrency cap, and queue backpressure against
+// pending jobs plus the engine's own QueueDepth. jobs is how many queue
+// slots the request wants (1 for a diff, len(pairs) for a batch). On
+// success the tenant slot is held; release it with the returned func.
+func (s *Server) admit(r *http.Request, ls *langService, jobs int) (release func(), herr *httpError) {
+	if s.draining.Load() {
+		s.m.drainRejects.Add(1)
+		return nil, &httpError{
+			status: http.StatusServiceUnavailable,
+			werr:   WireError{Kind: ErrKindDraining, Message: "server is draining"},
+		}
+	}
+	tenant := r.Header.Get("X-Diffd-Tenant")
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	if s.cfg.TenantLimit > 0 {
+		s.tenantMu.Lock()
+		if s.tenants[tenant] >= s.cfg.TenantLimit {
+			s.tenantMu.Unlock()
+			s.m.sheds.Add(1)
+			return nil, &httpError{
+				status:     http.StatusTooManyRequests,
+				retryAfter: s.retryAfter(ls, 1),
+				werr: WireError{Kind: ErrKindSaturated,
+					Message: fmt.Sprintf("tenant %q is at its concurrency limit (%d)", tenant, s.cfg.TenantLimit)},
+			}
+		}
+		s.tenants[tenant]++
+		s.tenantMu.Unlock()
+		release = func() {
+			s.tenantMu.Lock()
+			if s.tenants[tenant]--; s.tenants[tenant] <= 0 {
+				delete(s.tenants, tenant)
+			}
+			s.tenantMu.Unlock()
+		}
+	} else {
+		release = func() {}
+	}
+	backlog := int(s.m.pending.Load()) + int(ls.eng.Snapshot().QueueDepth)
+	if backlog+jobs > s.cfg.MaxQueue {
+		release()
+		s.m.sheds.Add(1)
+		return nil, &httpError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: s.retryAfter(ls, backlog),
+			werr: WireError{Kind: ErrKindSaturated,
+				Message: fmt.Sprintf("queue full (%d backlogged, limit %d)", backlog, s.cfg.MaxQueue)},
+		}
+	}
+	return release, nil
+}
+
+// retryAfter estimates when a shed caller should come back: the backlog
+// drains at roughly workers/meanLatency jobs per second, observed from the
+// engine's latency histogram. Clamped to [1s, 60s]; with no history yet
+// the floor applies.
+func (s *Server) retryAfter(ls *langService, backlog int) time.Duration {
+	mean := ls.eng.LatencyHistogram().Mean() // ns per diff
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	est := time.Duration(mean * float64(backlog) / float64(workers) * float64(time.Nanosecond))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est.Round(time.Second)
+}
+
+// submit queues one pair on the language's coalescer. It holds drainMu
+// shared so Drain cannot close the queue mid-send; a full queue sheds.
+func (s *Server) submit(ls *langService, p engine.Pair) (*job, *httpError) {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		s.m.drainRejects.Add(1)
+		return nil, &httpError{
+			status: http.StatusServiceUnavailable,
+			werr:   WireError{Kind: ErrKindDraining, Message: "server is draining"},
+		}
+	}
+	j := &job{pair: p, done: make(chan engine.PairResult, 1)}
+	select {
+	case ls.b.jobs <- j:
+		s.m.pending.Add(1)
+		return j, nil
+	default:
+		s.m.sheds.Add(1)
+		return nil, &httpError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: s.retryAfter(ls, s.cfg.MaxQueue),
+			werr: WireError{Kind: ErrKindSaturated,
+				Message: fmt.Sprintf("queue full (limit %d)", s.cfg.MaxQueue)},
+		}
+	}
+}
+
+// --- tree resolution ---
+
+// hexRef is the wire name of an interned tree: the hex of its exact
+// (structure+literals) content digest, which is URI-independent, so
+// client- and server-side copies of one tree agree on it.
+func hexRef(n *tree.Node) string { return hex.EncodeToString([]byte(n.ExactHash())) }
+
+// resolveTree turns a TreeInput into an engine-interned tree: a Ref is a
+// table lookup (miss → unknown_ref, the client's cue to re-send the
+// S-expression), an S-expression is decoded against the language schema
+// and interned via nil-alloc Ingest, which dedupes content-identical trees
+// and registers the canonical copy under its ref for later requests.
+func (s *Server) resolveTree(ls *langService, in TreeInput, what string) (*tree.Node, string, *httpError) {
+	if in.Ref != "" {
+		ls.refMu.RLock()
+		n := ls.refs[in.Ref]
+		ls.refMu.RUnlock()
+		if n == nil {
+			return nil, "", &httpError{
+				status: http.StatusNotFound,
+				werr:   WireError{Kind: ErrKindUnknownRef, Message: fmt.Sprintf("%s: unknown ref %q", what, in.Ref)},
+			}
+		}
+		return n, in.Ref, nil
+	}
+	if in.SExpr == "" {
+		return nil, "", &httpError{
+			status: http.StatusBadRequest,
+			werr:   WireError{Kind: ErrKindBadRequest, Message: fmt.Sprintf("%s: neither sexpr nor ref given", what)},
+		}
+	}
+	n, err := tree.DecodeSExpr(in.SExpr, ls.sch, uri.NewAllocator())
+	if err != nil {
+		return nil, "", &httpError{
+			status: http.StatusBadRequest,
+			werr:   WireError{Kind: ErrKindBadRequest, Message: fmt.Sprintf("%s: %v", what, err)},
+		}
+	}
+	c := ls.eng.Ingest(n, nil)
+	ref := hexRef(c)
+	ls.refMu.Lock()
+	ls.refs[ref] = c
+	ls.refMu.Unlock()
+	return c, ref, nil
+}
+
+// --- handlers ---
+
+// httpError is a request failure ready to write: HTTP status, typed wire
+// error, optional Retry-After.
+type httpError struct {
+	status     int
+	retryAfter time.Duration
+	werr       WireError
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Add(1)
+	var req DiffRequest
+	ls, herr := s.decodeInto(r, &req, func() (string, string) { return req.SchemaVersion, req.Lang })
+	if herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	release, herr := s.admit(r, ls, 1)
+	if herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	defer release()
+
+	traceID := s.nextTraceID()
+	resp := DiffResponse{SchemaVersion: WireVersion, TraceID: traceID}
+	src, srcRef, herr := s.resolveTree(ls, req.Source, "source")
+	if herr == nil {
+		var dst *tree.Node
+		dst, resp.TargetRef, herr = s.resolveTree(ls, req.Target, "target")
+		if herr == nil {
+			resp.SourceRef = srcRef
+			label := traceID
+			if req.Label != "" {
+				label += " " + req.Label
+			}
+			j, serr := s.submit(ls, engine.Pair{Source: src, Target: dst, Label: label})
+			if serr != nil {
+				s.writeHTTPError(w, serr)
+				return
+			}
+			select {
+			case pr := <-j.done:
+				s.fillResult(&resp, pr, req.WantPatched)
+			case <-r.Context().Done():
+				// The job still runs (its window is shared); only this
+				// response is abandoned.
+				s.m.clientErrors.Add(1)
+				s.m.latency.Record(time.Since(start).Nanoseconds())
+				return
+			}
+		}
+	}
+	if herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	status := http.StatusOK
+	if resp.Error != nil {
+		status = errStatus(resp.Error.Kind)
+	}
+	s.countStatus(status)
+	s.m.latency.Record(time.Since(start).Nanoseconds())
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Add(1)
+	var req BatchRequest
+	ls, herr := s.decodeInto(r, &req, func() (string, string) { return req.SchemaVersion, req.Lang })
+	if herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.writeHTTPError(w, &httpError{
+			status: http.StatusBadRequest,
+			werr:   WireError{Kind: ErrKindBadRequest, Message: "batch has no pairs"},
+		})
+		return
+	}
+	release, herr := s.admit(r, ls, len(req.Pairs))
+	if herr != nil {
+		s.writeHTTPError(w, herr)
+		return
+	}
+	defer release()
+
+	traceID := s.nextTraceID()
+	resp := BatchResponse{SchemaVersion: WireVersion, TraceID: traceID}
+	resp.Results = make([]DiffResponse, len(req.Pairs))
+	jobs := make([]*job, len(req.Pairs))
+	for i := range req.Pairs {
+		bp := &req.Pairs[i]
+		out := &resp.Results[i]
+		out.SchemaVersion = WireVersion
+		src, srcRef, herr := s.resolveTree(ls, bp.Source, fmt.Sprintf("pair %d source", i))
+		if herr != nil {
+			out.Error = &herr.werr
+			continue
+		}
+		dst, dstRef, herr := s.resolveTree(ls, bp.Target, fmt.Sprintf("pair %d target", i))
+		if herr != nil {
+			out.Error = &herr.werr
+			continue
+		}
+		out.SourceRef, out.TargetRef = srcRef, dstRef
+		label := fmt.Sprintf("%s#%d", traceID, i)
+		if bp.Label != "" {
+			label += " " + bp.Label
+		}
+		j, serr := s.submit(ls, engine.Pair{Source: src, Target: dst, Label: label})
+		if serr != nil {
+			out.Error = &serr.werr
+			continue
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		select {
+		case pr := <-j.done:
+			s.fillResult(&resp.Results[i], pr, req.Pairs[i].WantPatched)
+		case <-r.Context().Done():
+			s.m.clientErrors.Add(1)
+			s.m.latency.Record(time.Since(start).Nanoseconds())
+			return
+		}
+	}
+	s.countStatus(http.StatusOK)
+	s.m.latency.Record(time.Since(start).Nanoseconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		SchemaVersion: WireVersion,
+		Draining:      s.draining.Load(),
+		Langs:         s.Snapshot(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// decodeInto reads and validates the shared request prelude: body size
+// cap, JSON decode, schema version, language lookup.
+func (s *Server) decodeInto(r *http.Request, dst any, meta func() (version, lang string)) (*langService, *httpError) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		return nil, &httpError{
+			status: http.StatusBadRequest,
+			werr:   WireError{Kind: ErrKindBadRequest, Message: fmt.Sprintf("decode request: %v", err)},
+		}
+	}
+	version, lang := meta()
+	if err := CheckWireVersion(version); err != nil {
+		return nil, &httpError{
+			status: http.StatusBadRequest,
+			werr:   WireError{Kind: ErrKindBadRequest, Message: err.Error()},
+		}
+	}
+	ls := s.langs[lang]
+	if ls == nil {
+		return nil, &httpError{
+			status: http.StatusNotFound,
+			werr:   WireError{Kind: ErrKindUnknownLang, Message: fmt.Sprintf("unknown lang %q (serving %v)", lang, s.langNames)},
+		}
+	}
+	return ls, nil
+}
+
+// fillResult converts one engine PairResult into the wire response slot:
+// script + stats on success (including fallback results, which succeed
+// with Stats.Fallback set), a typed error otherwise.
+func (s *Server) fillResult(out *DiffResponse, pr engine.PairResult, wantPatched bool) {
+	if pr.Err != nil {
+		out.Error = &WireError{Kind: errKind(pr.Err), Message: pr.Err.Error()}
+		return
+	}
+	ws, err := EncodeScript(pr.Result.Script)
+	if err != nil {
+		out.Error = &WireError{Kind: ErrKindInternal, Message: err.Error()}
+		return
+	}
+	out.Script = ws
+	out.Stats = StatsToWire(pr.Stats)
+	if wantPatched && pr.Result.Patched != nil {
+		out.PatchedSExpr = tree.EncodeSExpr(pr.Result.Patched)
+	}
+}
+
+// errKind classifies an engine error into its wire kind.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, derrors.ErrDiffPanic):
+		return ErrKindPanic
+	case errors.Is(err, derrors.ErrDiffTimeout):
+		return ErrKindTimeout
+	case errors.Is(err, derrors.ErrIllTyped):
+		return ErrKindIllTyped
+	case errors.Is(err, derrors.ErrServiceUnavailable), errors.Is(err, derrors.ErrEngineClosed):
+		return ErrKindDraining
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ErrKindCancelled
+	case errors.Is(err, derrors.ErrNilTree), errors.Is(err, derrors.ErrSchemaMismatch):
+		return ErrKindBadRequest
+	default:
+		return ErrKindInternal
+	}
+}
+
+// errStatus maps a wire error kind of a per-pair failure to the HTTP
+// status of a single-diff response.
+func errStatus(kind string) int {
+	switch kind {
+	case ErrKindBadRequest, ErrKindUnknownLang, ErrKindUnknownRef:
+		return http.StatusBadRequest
+	case ErrKindSaturated:
+		return http.StatusTooManyRequests
+	case ErrKindDraining:
+		return http.StatusServiceUnavailable
+	case ErrKindTimeout:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) countStatus(status int) {
+	switch {
+	case status < 400:
+		s.m.ok.Add(1)
+	case status < 500:
+		s.m.clientErrors.Add(1)
+	default:
+		s.m.serverErrors.Add(1)
+	}
+}
+
+func (s *Server) writeHTTPError(w http.ResponseWriter, herr *httpError) {
+	// Sheds and drain rejects are counted where they are decided; count
+	// the rest by class here.
+	switch herr.werr.Kind {
+	case ErrKindSaturated, ErrKindDraining:
+	default:
+		s.countStatus(herr.status)
+	}
+	if herr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(herr.retryAfter.Seconds()))))
+	}
+	writeError(w, herr.status, herr.werr)
+}
+
+func writeError(w http.ResponseWriter, status int, werr WireError) {
+	writeJSON(w, status, ErrorResponse{SchemaVersion: WireVersion, Error: werr})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/derrors"
 	"repro/internal/faultinject"
 	"repro/internal/sig"
 	"repro/internal/telemetry"
@@ -123,6 +124,15 @@ type Engine struct {
 	}
 	m metrics
 	h histograms
+
+	// life tracks the engine's shutdown state: begin/end bracket every
+	// entry point, and Close flips closed then waits for the in-flight
+	// count to drain before releasing the caches.
+	life struct {
+		mu     sync.Mutex
+		closed bool
+		active sync.WaitGroup
+	}
 }
 
 // histograms holds the engine-level distributions: overall diff latency,
@@ -175,6 +185,12 @@ func (s *treeStore) len() int {
 	return len(s.m)
 }
 
+func (s *treeStore) clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = nil
+}
+
 // reserveBlock carves n consecutive URIs out of the engine's URI space,
 // first advancing it past min, and returns the URI just before the block
 // (i.e. an allocator that Reserved the returned value hands out exactly the
@@ -219,6 +235,38 @@ func New(sch *sig.Schema, cfg Config) *Engine {
 
 // Schema returns the schema the engine diffs against.
 func (e *Engine) Schema() *sig.Schema { return e.sch }
+
+// begin registers one in-flight entry-point call, failing if Close has
+// already begun. Every successful begin must be paired with e.life.active.Done().
+func (e *Engine) begin() error {
+	e.life.mu.Lock()
+	defer e.life.mu.Unlock()
+	if e.life.closed {
+		return fmt.Errorf("engine: %w", derrors.ErrEngineClosed)
+	}
+	e.life.active.Add(1)
+	return nil
+}
+
+// Close shuts the engine down: it waits for in-flight Diff and DiffBatch
+// calls to complete, then releases the whole-tree intern store so long-held
+// engines stop pinning every tree they ever interned. Calls entering after
+// Close has begun fail with an error matching derrors.ErrEngineClosed.
+// Close is idempotent and always returns nil; the error result exists so
+// the engine satisfies the same service interface as remote clients, whose
+// Close can genuinely fail.
+func (e *Engine) Close() error {
+	e.life.mu.Lock()
+	already := e.life.closed
+	e.life.closed = true
+	e.life.mu.Unlock()
+	if already {
+		return nil
+	}
+	e.life.active.Wait()
+	e.store.clear()
+	return nil
+}
 
 // Differ exposes the underlying (immutable, goroutine-safe) differ.
 func (e *Engine) Differ() *truediff.Differ { return e.differ }
@@ -348,6 +396,10 @@ func (e *Engine) Diff(ctx context.Context, source, target *tree.Node, alloc *uri
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
+	if err := e.begin(); err != nil {
+		return nil, err
+	}
+	defer e.life.active.Done()
 	pr := e.diffOne(ctx, Pair{Source: source, Target: target, Alloc: alloc})
 	return pr.Result, pr.Err
 }
@@ -364,6 +416,10 @@ func (e *Engine) DiffBatch(ctx context.Context, pairs []Pair) ([]PairResult, err
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := e.begin(); err != nil {
+		return nil, err
+	}
+	defer e.life.active.Done()
 	e.m.batches.Add(1)
 	results := make([]PairResult, len(pairs))
 	if len(pairs) == 0 {

@@ -21,6 +21,11 @@ const (
 	SystemGumtree    System = "gumtree"
 	SystemHdiff      System = "hdiff"
 	SystemLineardiff System = "lineardiff"
+	// SystemService runs the full diff service path: an in-process diffd
+	// (internal/diffserve) driven over loopback HTTP by concurrent clients,
+	// measuring what a network caller observes — transport, coalescing, and
+	// admission control included.
+	SystemService System = "service"
 )
 
 // CorpusSize names one of the three fixed corpus configurations.
@@ -54,25 +59,31 @@ type Scenario struct {
 	System System
 	Corpus CorpusSize
 	Edits  EditProfile
-	// Workers is the engine's worker count (SystemEngine only; 0 is
-	// invalid there — the matrix always pins it so results are comparable
-	// across machines).
+	// Workers is the engine's worker count (SystemEngine and SystemService
+	// only; 0 is invalid there — the matrix always pins it so results are
+	// comparable across machines).
 	Workers int
 	// DisableMemo turns off the engine's cross-diff digest memo
 	// (SystemEngine only), the memo ablation.
 	DisableMemo bool
+	// Clients is the concurrent HTTP client count (SystemService only;
+	// pinned by the matrix like Workers).
+	Clients int
 }
 
 // Name returns the scenario's stable identity, the comparator's join key:
 // "system/corpus/edits" plus "/wN" and "/nomemo" qualifiers for engine
-// scenarios.
+// scenarios and "/wN/cM" for service scenarios.
 func (s Scenario) Name() string {
 	n := fmt.Sprintf("%s/%s/%s", s.System, s.Corpus, s.Edits)
-	if s.System == SystemEngine {
+	switch s.System {
+	case SystemEngine:
 		n += fmt.Sprintf("/w%d", s.Workers)
 		if s.DisableMemo {
 			n += "/nomemo"
 		}
+	case SystemService:
+		n += fmt.Sprintf("/w%d/c%d", s.Workers, s.Clients)
 	}
 	return n
 }
@@ -126,6 +137,10 @@ func FullMatrix() []Scenario {
 		{System: SystemGumtree, Corpus: CorpusMedium, Edits: EditsLight},
 		{System: SystemHdiff, Corpus: CorpusMedium, Edits: EditsLight},
 		{System: SystemLineardiff, Corpus: CorpusSmall, Edits: EditsLight},
+		// Appended with the diff service (cmd/diffd): the same medium/light
+		// workload the engine cells diff, observed from the far side of the
+		// HTTP transport under concurrent clients.
+		{System: SystemService, Corpus: CorpusMedium, Edits: EditsLight, Workers: 4, Clients: 8},
 	}
 }
 

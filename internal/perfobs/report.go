@@ -117,9 +117,11 @@ type ScenarioResult struct {
 	System string `json:"system"`
 	Corpus string `json:"corpus"`
 	Edits  string `json:"edits"`
-	// Workers and Memo describe engine scenarios (Workers 0 otherwise).
+	// Workers and Memo describe engine scenarios (Workers 0 otherwise);
+	// service scenarios set Workers and Clients.
 	Workers int  `json:"workers,omitempty"`
 	Memo    bool `json:"memo,omitempty"`
+	Clients int  `json:"clients,omitempty"`
 
 	// Pairs is the number of file changes diffed per repetition; Nodes the
 	// summed input size (source+target) of one repetition.
@@ -137,6 +139,11 @@ type ScenarioResult struct {
 	// AllocBytesPerRep summarizes heap allocation per repetition
 	// (runtime/metrics /gc/heap/allocs:bytes deltas).
 	AllocBytesPerRep Sample `json:"alloc_bytes_per_rep"`
+	// RequestNS summarizes client-observed per-request latency over all
+	// measured repetitions — the service-level view (queueing, coalescing,
+	// transport included). Present for service scenarios only; its P95 is
+	// the number the daemon's capacity planning reads.
+	RequestNS *Sample `json:"request_ns,omitempty"`
 
 	// EditsTotal is the summed compound edit count of one repetition
 	// (identical across repetitions: the scenarios are deterministic).

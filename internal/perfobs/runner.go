@@ -3,11 +3,16 @@ package perfobs
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"runtime"
 	"runtime/metrics"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/diffserve"
 	"repro/internal/engine"
 	"repro/internal/gumtree"
 	"repro/internal/hdiff"
@@ -112,6 +117,21 @@ type measurer interface {
 	phases() (telemetry.PhaseTimes, bool)
 }
 
+// requestSampler is implemented by measurers that observe individual
+// request latencies (the service system); the runner summarizes them into
+// ScenarioResult.RequestNS.
+type requestSampler interface {
+	// requestNS returns the per-request wall times (nanoseconds) of the
+	// most recent repetition.
+	requestNS() []float64
+}
+
+// closer is implemented by measurers holding external resources (sockets,
+// daemons); the runner closes them when the scenario finishes.
+type closer interface {
+	close()
+}
+
 func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult, error) {
 	ps := buildPairs(h)
 	var m measurer
@@ -128,8 +148,17 @@ func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult
 		m = &hdiffMeasurer{ps: ps}
 	case SystemLineardiff:
 		m = &lineardiffMeasurer{ps: ps}
+	case SystemService:
+		sm, err := newServiceMeasurer(h, ps, sc)
+		if err != nil {
+			return nil, err
+		}
+		m = sm
 	default:
 		return nil, fmt.Errorf("unknown system %q", sc.System)
+	}
+	if c, ok := m.(closer); ok {
+		defer c.close()
 	}
 
 	res := &ScenarioResult{
@@ -142,9 +171,13 @@ func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult
 		Warmup: cfg.Warmup,
 		Reps:   cfg.Reps,
 	}
-	if sc.System == SystemEngine {
+	switch sc.System {
+	case SystemEngine:
 		res.Workers = sc.Workers
 		res.Memo = !sc.DisableMemo
+	case SystemService:
+		res.Workers = sc.Workers
+		res.Clients = sc.Clients
 	}
 
 	for i := 0; i < cfg.Warmup; i++ {
@@ -162,6 +195,7 @@ func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult
 	walls := make([]float64, 0, cfg.Reps)
 	throughputs := make([]float64, 0, cfg.Reps)
 	allocs := make([]float64, 0, cfg.Reps)
+	var requestLats []float64
 	phaseSums := make(map[string][]float64)
 	for i := 0; i < cfg.Reps; i++ {
 		a0 := readAllocBytes()
@@ -181,6 +215,9 @@ func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult
 				phaseSums[name] = append(phaseSums[name], float64(pt[p].Nanoseconds()))
 			}
 		}
+		if rs, ok := m.(requestSampler); ok {
+			requestLats = append(requestLats, rs.requestNS()...)
+		}
 	}
 
 	rt1 := sampleRuntime()
@@ -194,6 +231,10 @@ func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult
 	res.WallNS = Summarize(walls)
 	res.NodesPerSec = Summarize(throughputs)
 	res.AllocBytesPerRep = Summarize(allocs)
+	if len(requestLats) > 0 {
+		s := Summarize(requestLats)
+		res.RequestNS = &s
+	}
 	if len(phaseSums) > 0 {
 		res.PhaseNS = make(map[string]float64, len(phaseSums))
 		for name, xs := range phaseSums {
@@ -340,7 +381,120 @@ func (m *lineardiffMeasurer) rep() (int, error) {
 	return edits, nil
 }
 
-func (m *lineardiffMeasurer) phases() (telemetry.PhaseTimes, bool) { return telemetry.PhaseTimes{}, false }
+func (m *lineardiffMeasurer) phases() (telemetry.PhaseTimes, bool) {
+	return telemetry.PhaseTimes{}, false
+}
+
+// serviceMeasurer measures the full diff-as-a-service path: an in-process
+// diffserve server listening on a loopback socket, driven by Clients
+// concurrent HTTP clients that share the pair set work-stealing style.
+// What it times is what a network caller sees — JSON encoding, transport,
+// admission control, request coalescing, and the engine behind them.
+// Warmup repetitions also warm the clients' ref caches, so the measured
+// steady state sends content digests instead of full trees, matching a
+// long-lived client.
+type serviceMeasurer struct {
+	ps      *pairSet
+	clients []*diffserve.Client
+	srv     *diffserve.Server
+	hs      *http.Server
+	ln      net.Listener
+
+	mu   sync.Mutex
+	lats []float64 // per-request wall times of the most recent rep
+}
+
+func newServiceMeasurer(h *corpus.History, ps *pairSet, sc Scenario) (*serviceMeasurer, error) {
+	if sc.Workers <= 0 || sc.Clients <= 0 {
+		return nil, fmt.Errorf("service scenario needs pinned Workers and Clients, got %d/%d", sc.Workers, sc.Clients)
+	}
+	srv, err := diffserve.NewServer(diffserve.Config{
+		Langs:   []string{"pylang"},
+		Workers: sc.Workers,
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = srv.Drain(context.Background())
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	m := &serviceMeasurer{ps: ps, srv: srv, hs: hs, ln: ln}
+	base := "http://" + ln.Addr().String()
+	for c := 0; c < sc.Clients; c++ {
+		m.clients = append(m.clients, diffserve.NewClient(base, "pylang", h.Factory.Schema(),
+			diffserve.WithTenant(fmt.Sprintf("perfobs-%d", c))))
+	}
+	return m, nil
+}
+
+func (m *serviceMeasurer) rep() (int, error) {
+	m.lats = m.lats[:0]
+	var (
+		next   atomic.Int64
+		edits  atomic.Int64
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		repErr error
+	)
+	for _, cl := range m.clients {
+		wg.Add(1)
+		go func(cl *diffserve.Client) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(m.ps.src)) {
+					return
+				}
+				t0 := time.Now()
+				res, err := cl.Diff(context.Background(), m.ps.src[i], m.ps.dst[i], nil)
+				wall := time.Since(t0)
+				if err != nil {
+					errMu.Lock()
+					if repErr == nil {
+						repErr = fmt.Errorf("%s: %w", m.ps.changes[i].Path, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				edits.Add(int64(res.Script.EditCount()))
+				m.mu.Lock()
+				m.lats = append(m.lats, float64(wall.Nanoseconds()))
+				m.mu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+	if repErr != nil {
+		return 0, repErr
+	}
+	return int(edits.Load()), nil
+}
+
+func (m *serviceMeasurer) phases() (telemetry.PhaseTimes, bool) { return telemetry.PhaseTimes{}, false }
+
+func (m *serviceMeasurer) requestNS() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, len(m.lats))
+	copy(out, m.lats)
+	return out
+}
+
+func (m *serviceMeasurer) close() {
+	for _, cl := range m.clients {
+		cl.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = m.srv.Drain(ctx)
+	_ = m.hs.Shutdown(ctx)
+	_ = m.ln.Close()
+}
 
 // probePhaseAllocs runs one extra single-threaded repetition with a tracer
 // that reads the cumulative heap-allocation counter at every phase

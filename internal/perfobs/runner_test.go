@@ -103,6 +103,56 @@ func TestRunTinyMatrix(t *testing.T) {
 	}
 }
 
+// TestRunServiceScenario runs the service system on the small corpus: the
+// in-process daemon must come up, concurrent clients must drive the full
+// pair set, and the result must carry the per-request latency sample and
+// echo the client count. Edit totals must agree with the truediff system —
+// same corpus, same answers, different transport.
+func TestRunServiceScenario(t *testing.T) {
+	rep, err := Run(RunConfig{
+		Scenarios: []Scenario{
+			{System: SystemTruediff, Corpus: CorpusSmall, Edits: EditsLight},
+			{System: SystemService, Corpus: CorpusSmall, Edits: EditsLight, Workers: 2, Clients: 3},
+		},
+		Warmup: 1,
+		Reps:   2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var svc *ScenarioResult
+	for i := range rep.Scenarios {
+		if rep.Scenarios[i].System == string(SystemService) {
+			svc = &rep.Scenarios[i]
+		}
+	}
+	if svc == nil {
+		t.Fatal("no service scenario in report")
+	}
+	if want := "service/small/light/w2/c3"; svc.Name != want {
+		t.Errorf("Name = %q, want %q", svc.Name, want)
+	}
+	if svc.Workers != 2 || svc.Clients != 3 {
+		t.Errorf("config not echoed: workers %d clients %d", svc.Workers, svc.Clients)
+	}
+	if svc.RequestNS == nil {
+		t.Fatal("service scenario carries no RequestNS sample")
+	}
+	// Two measured reps over the full pair set: one latency per request.
+	if want := 2 * svc.Pairs; svc.RequestNS.N != want {
+		t.Errorf("RequestNS.N = %d, want %d", svc.RequestNS.N, want)
+	}
+	if svc.RequestNS.Median <= 0 || svc.RequestNS.P95 < svc.RequestNS.Median {
+		t.Errorf("implausible latency sample %+v", svc.RequestNS)
+	}
+	if len(svc.PhaseNS) != 0 {
+		t.Errorf("service system reports phases %v; the client has no decomposition", svc.PhaseNS)
+	}
+	if svc.EditsTotal != rep.Scenarios[0].EditsTotal {
+		t.Errorf("service edits %d != truediff edits %d", svc.EditsTotal, rep.Scenarios[0].EditsTotal)
+	}
+}
+
 // TestRunBaselineSystems smoke-runs each baseline measurer on the small
 // corpus: they must produce samples and a nonzero cost metric, and carry
 // no phase decomposition.

@@ -1,0 +1,102 @@
+package structdiff_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/structdiff"
+)
+
+func TestDiffContextBackgroundMatchesDiff(t *testing.T) {
+	src, dst, sch, alloc := buildPair(t)
+	opts := []structdiff.Option{structdiff.WithSchema(sch), structdiff.WithAllocator(alloc)}
+	plain, err := structdiff.Diff(src, dst, opts...)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	// A fresh allocator state is needed for identical URIs; rebuild the pair.
+	src2, dst2, sch2, alloc2 := buildPair(t)
+	ctxRes, err := structdiff.DiffContext(context.Background(), src2, dst2,
+		structdiff.WithSchema(sch2), structdiff.WithAllocator(alloc2))
+	if err != nil {
+		t.Fatalf("DiffContext: %v", err)
+	}
+	if plain.Script.EditCount() != ctxRes.Script.EditCount() {
+		t.Errorf("DiffContext produced %d edits, Diff produced %d",
+			ctxRes.Script.EditCount(), plain.Script.EditCount())
+	}
+	if _, err := structdiff.DiffContext(nil, src2, dst2, structdiff.WithSchema(sch2)); err != nil { //nolint:staticcheck // nil ctx tolerance is part of the contract
+		t.Errorf("DiffContext with nil ctx: %v", err)
+	}
+}
+
+func TestDiffContextCancellation(t *testing.T) {
+	src, dst, sch, alloc := buildPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := structdiff.DiffContext(ctx, src, dst,
+		structdiff.WithSchema(sch), structdiff.WithAllocator(alloc),
+		structdiff.WithCheckpointEvery(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled DiffContext: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDiffContextHonoursDiffTimeout(t *testing.T) {
+	src, dst, sch, alloc := buildPair(t)
+	_, err := structdiff.DiffContext(context.Background(), src, dst,
+		structdiff.WithSchema(sch), structdiff.WithAllocator(alloc),
+		structdiff.WithDiffTimeout(time.Nanosecond),
+		structdiff.WithCheckpointEvery(1))
+	if !errors.Is(err, structdiff.ErrDiffTimeout) {
+		t.Fatalf("DiffContext with 1ns timeout: err = %v, want ErrDiffTimeout", err)
+	}
+}
+
+func TestPatchContext(t *testing.T) {
+	src, dst, sch, alloc := buildPair(t)
+	res, err := structdiff.Diff(src, dst, structdiff.WithSchema(sch), structdiff.WithAllocator(alloc))
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	patched, err := structdiff.PatchContext(context.Background(), src, res.Script, structdiff.WithSchema(sch))
+	if err != nil {
+		t.Fatalf("PatchContext: %v", err)
+	}
+	if !structdiff.TreesEqual(patched, res.Patched) {
+		t.Error("PatchContext result differs from Diff's patched tree")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := structdiff.PatchContext(ctx, src, res.Script, structdiff.WithSchema(sch)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled PatchContext: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDiffBatchClosesOneShotEngine pins the facade contract that DiffBatch
+// tears its engine down on every path: a second batch through the facade
+// must build a fresh engine rather than observe ErrEngineClosed, and a
+// cancelled batch must not leave workers behind (which would deadlock the
+// implicit Close on the error path).
+func TestDiffBatchClosesOneShotEngine(t *testing.T) {
+	src, dst, sch, alloc := buildPair(t)
+	pairs := []structdiff.Pair{{Source: src, Target: dst, Alloc: alloc}}
+	if _, err := structdiff.DiffBatch(context.Background(), sch, pairs); err != nil {
+		t.Fatalf("first DiffBatch: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := structdiff.DiffBatch(ctx, sch, pairs); err == nil {
+		t.Fatal("cancelled DiffBatch: expected error")
+	}
+
+	src2, dst2, sch2, alloc2 := buildPair(t)
+	if _, err := structdiff.DiffBatch(context.Background(), sch2,
+		[]structdiff.Pair{{Source: src2, Target: dst2, Alloc: alloc2}}); err != nil {
+		t.Fatalf("DiffBatch after error path: %v", err)
+	}
+}

@@ -36,6 +36,13 @@ var (
 	// per-diff deadline (WithDiffTimeout). Distinct from the caller's
 	// context deadline, which surfaces as context.DeadlineExceeded.
 	ErrDiffTimeout = derrors.ErrDiffTimeout
+	// ErrEngineClosed reports a Diff or DiffBatch call on an Engine whose
+	// Close has begun.
+	ErrEngineClosed = derrors.ErrEngineClosed
+	// ErrServiceUnavailable reports a diff-service request rejected by
+	// admission control: the server is saturated (HTTP 429; retry after
+	// the advertised delay) or draining for shutdown (HTTP 503).
+	ErrServiceUnavailable = derrors.ErrServiceUnavailable
 	// ErrFaultInjected reports a failure fired by a test-only fault
 	// injector (WithFaultInjection), never a production failure.
 	ErrFaultInjected = faultinject.ErrInjected

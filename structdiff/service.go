@@ -1,0 +1,87 @@
+package structdiff
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/diffserve"
+)
+
+// DiffService is the transport-agnostic diffing surface: everything a
+// high-throughput caller needs — single diffs, coalesced batches, metrics,
+// lifecycle — without committing to where the work runs. Two
+// implementations ship with the package:
+//
+//   - *Engine (NewEngine): in-process, zero transport cost;
+//   - *ServiceClient (NewServiceClient): the same calls executed by a
+//     diffd daemon over versioned HTTP/JSON.
+//
+// Code written against DiffService moves between them freely. The one
+// visible difference is URI spaces: a remote diff's scripts and patched
+// trees use server-assigned URIs (content digests, which URIs never
+// affect, are identical on both sides).
+type DiffService interface {
+	// Diff computes the edit script from source to target. See
+	// Engine.Diff for the contract on alloc.
+	Diff(ctx context.Context, source, target *Node, alloc *Allocator) (*Result, error)
+	// DiffBatch diffs many pairs concurrently; results are index-aligned
+	// and per-pair failures land in PairResult.Err.
+	DiffBatch(ctx context.Context, pairs []Pair) ([]PairResult, error)
+	// Snapshot reports the implementation's cumulative counters.
+	Snapshot() Snapshot
+	// Close releases the implementation's resources; for an Engine this
+	// waits for in-flight batches and drops the intern store.
+	Close() error
+}
+
+// Both implementations are checked here, at compile time: a drifting
+// method signature fails the build, not a user.
+var (
+	_ DiffService = (*Engine)(nil)
+	_ DiffService = (*ServiceClient)(nil)
+)
+
+// --- Diff service (internal/diffserve) -----------------------------------
+
+type (
+	// ServiceClient executes DiffService calls against a diffd daemon,
+	// caching server-confirmed tree refs so repeated operands travel as
+	// content digests instead of full trees.
+	ServiceClient = diffserve.Client
+	// ServiceClientOption customizes a ServiceClient (tenant identity,
+	// HTTP client).
+	ServiceClientOption = diffserve.ClientOption
+	// ServiceServer is the embeddable diff service: an http.Handler with
+	// request coalescing, admission control, and graceful drain (cmd/diffd
+	// wraps it in a daemon).
+	ServiceServer = diffserve.Server
+	// ServiceConfig parameterizes a ServiceServer.
+	ServiceConfig = diffserve.Config
+)
+
+// ServiceWireVersion is the versioned wire schema this build speaks
+// ("MAJOR.MINOR"; decoders accept any minor of their own major).
+const ServiceWireVersion = diffserve.WireVersion
+
+// NewServiceClient returns a DiffService executing against the diffd
+// daemon at base (e.g. "http://localhost:8347") for one language. The
+// schema must match the server's for that language; it decodes patched
+// trees locally.
+func NewServiceClient(base, lang string, sch *Schema, opts ...ServiceClientOption) *ServiceClient {
+	return diffserve.NewClient(base, lang, sch, opts...)
+}
+
+// NewServiceServer builds an embeddable diff service from the
+// configuration. Serve it with net/http; shut it down with Drain.
+func NewServiceServer(cfg ServiceConfig) (*ServiceServer, error) {
+	return diffserve.NewServer(cfg)
+}
+
+// WithServiceTenant sets the tenant identity the server's per-tenant
+// concurrency limits account against.
+func WithServiceTenant(tenant string) ServiceClientOption { return diffserve.WithTenant(tenant) }
+
+// ServiceRetryAfter extracts the server's retry advice from a saturation
+// error (errors.Is(err, ErrServiceUnavailable)); zero when err carries
+// none.
+func ServiceRetryAfter(err error) time.Duration { return diffserve.RetryAfter(err) }

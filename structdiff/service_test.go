@@ -1,0 +1,64 @@
+package structdiff_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/structdiff"
+)
+
+// Compile-time assertions live in service.go; this test proves the two
+// DiffService implementations are interchangeable at runtime: the same
+// generic routine runs against the in-process engine and the HTTP client
+// and produces scripts of equal size.
+func TestDiffServiceImplementations(t *testing.T) {
+	src, dst, sch, _ := buildPair(t)
+
+	runThrough := func(t *testing.T, svc structdiff.DiffService) int {
+		t.Helper()
+		defer svc.Close()
+		res, err := svc.Diff(context.Background(), src, dst, nil)
+		if err != nil {
+			t.Fatalf("Diff: %v", err)
+		}
+		batch, err := svc.DiffBatch(context.Background(), []structdiff.Pair{
+			{Source: src, Target: dst, Label: "svc-test"},
+		})
+		if err != nil {
+			t.Fatalf("DiffBatch: %v", err)
+		}
+		if batch[0].Err != nil {
+			t.Fatalf("batch pair: %v", batch[0].Err)
+		}
+		if got, want := batch[0].Result.Script.EditCount(), res.Script.EditCount(); got != want {
+			t.Errorf("batch produced %d edits, single diff %d", got, want)
+		}
+		if s := svc.Snapshot(); s.Diffs == 0 {
+			t.Error("snapshot shows no diffs after two calls")
+		}
+		return res.Script.EditCount()
+	}
+
+	var viaEngine, viaService int
+	t.Run("engine", func(t *testing.T) {
+		eng, err := structdiff.NewEngine(sch)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		viaEngine = runThrough(t, eng)
+	})
+	t.Run("client", func(t *testing.T) {
+		srv, err := structdiff.NewServiceServer(structdiff.ServiceConfig{Langs: []string{"exp"}, Workers: 2})
+		if err != nil {
+			t.Fatalf("NewServiceServer: %v", err)
+		}
+		hs := httptest.NewServer(srv)
+		defer hs.Close()
+		defer srv.Drain(context.Background())
+		viaService = runThrough(t, structdiff.NewServiceClient(hs.URL, "exp", sch))
+	})
+	if viaEngine != viaService {
+		t.Errorf("engine produced %d edits, service %d", viaEngine, viaService)
+	}
+}

@@ -172,15 +172,60 @@ func WithFaultInjection(inj *FaultInjector) Option { return func(c *config) { c.
 // Diff computes the truechange edit script that transforms src into dst,
 // together with the patched tree. WithSchema is required; WithAllocator,
 // WithEquivalence, WithSelectionOrder, and WithUpdateOnLitMismatch apply.
+// It is DiffContext with a background context; callers that may need to
+// abandon a diff should call DiffContext instead.
 //
 // Failures are reported via the package's sentinel errors: ErrNoSchema,
 // ErrNilTree, ErrSchemaMismatch.
 func Diff(src, dst *Node, opts ...Option) (*Result, error) {
+	return DiffContext(context.Background(), src, dst, opts...)
+}
+
+// DiffContext is the context-first form of Diff: the diff polls ctx at
+// cancellation checkpoints (every WithCheckpointEvery nodes) and aborts
+// mid-phase once it is done, returning the cancellation cause. A
+// WithDiffTimeout deadline applies here too — it starts when the diff
+// starts and surfaces as ErrDiffTimeout, distinct from ctx's own deadline
+// (context.DeadlineExceeded) — so cancellation no longer requires an
+// Engine. A nil ctx is treated as context.Background(), under which (and
+// without WithDiffTimeout) DiffContext is exactly Diff.
+func DiffContext(ctx context.Context, src, dst *Node, opts ...Option) (*Result, error) {
 	cfg := newConfig(opts)
 	if cfg.sch == nil {
 		return nil, fmt.Errorf("structdiff: %w", ErrNoSchema)
 	}
-	return truediff.NewWithOptions(cfg.sch, cfg.diff).Diff(src, dst, cfg.alloc)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d := truediff.NewWithOptions(cfg.sch, cfg.diff)
+	return d.DiffScratchProfiled(ctx, src, dst, cfg.alloc, truediff.NewScratch(), ctxCheckpoint(ctx, cfg.timeout))
+}
+
+// ctxCheckpoint builds the cooperative-cancellation hook for one facade
+// diff, or nil when nothing could interrupt it (no cancellable context, no
+// per-diff timeout) so the differ keeps its unchecked fast path. Mirrors
+// the engine's per-pair checkpoint: the deadline is fixed when the diff
+// starts and surfaces as ErrDiffTimeout.
+func ctxCheckpoint(ctx context.Context, timeout time.Duration) truediff.Checkpoint {
+	done := ctx.Done()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if done == nil && deadline.IsZero() {
+		return nil
+	}
+	return func() error {
+		select {
+		case <-done: // never ready when done is nil
+			return context.Cause(ctx)
+		default:
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("structdiff: %w (limit %v)", ErrDiffTimeout, timeout)
+		}
+		return nil
+	}
 }
 
 // InitialScript returns a well-typed initializing edit script that builds
@@ -219,12 +264,26 @@ func DiffWithMatching(src, dst *Node, matches []MatchPair, opts ...Option) (*Res
 // half-patched state (here that is invisible — the input tree is copied —
 // but the same guarantee holds for in-place patching via PatchAtomic).
 func Patch(t *Node, s *Script, opts ...Option) (*Node, error) {
+	return PatchContext(context.Background(), t, s, opts...)
+}
+
+// PatchContext is the context-first form of Patch. Patching a truechange
+// script is O(change), not O(tree), so unlike diffing it has no mid-run
+// checkpoints: ctx is observed on entry (a cancelled context fails before
+// any edit applies, preserving transactionality) and a nil ctx is treated
+// as context.Background(), under which PatchContext is exactly Patch.
+func PatchContext(ctx context.Context, t *Node, s *Script, opts ...Option) (*Node, error) {
 	cfg := newConfig(opts)
 	if cfg.sch == nil {
 		return nil, fmt.Errorf("structdiff: %w", ErrNoSchema)
 	}
 	if t == nil {
 		return nil, fmt.Errorf("structdiff: %w", ErrNilTree)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("structdiff: %w", err)
+		}
 	}
 	mt, err := mtree.FromTree(cfg.sch, t)
 	if err != nil {
@@ -308,14 +367,18 @@ func MetricsHandler(g Gatherer) http.Handler { return telemetry.Handler(g) }
 // WithObserver(func(ev DiffEvent) { tw.Write(ev.TraceRecord()) }).
 func NewTraceWriter(w io.Writer) *TraceWriter { return telemetry.NewTraceWriter(w) }
 
-// DiffBatch is a convenience wrapper: it builds a one-shot engine and runs
-// the pairs through it. Applications running more than one batch should
-// keep an Engine (NewEngine) so scratch state and the digest memo carry
-// over between batches.
+// DiffBatch is a convenience wrapper: it builds a one-shot engine, runs
+// the pairs through it, and closes it on every path — success, batch
+// error, and engine construction failure alike — so the one-shot engine's
+// intern store and scratch state never outlive the call. Applications
+// running more than one batch should keep an Engine (NewEngine) so scratch
+// state and the digest memo carry over between batches, and Close it when
+// done.
 func DiffBatch(ctx context.Context, sch *Schema, pairs []Pair, opts ...Option) ([]PairResult, error) {
 	e, err := NewEngine(sch, opts...)
 	if err != nil {
 		return nil, err
 	}
+	defer e.Close()
 	return e.DiffBatch(ctx, pairs)
 }
