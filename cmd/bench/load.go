@@ -28,6 +28,13 @@ type loadConfig struct {
 	requests int
 	workers  int
 	seed     int64
+	// trace records every span client-side and (for the in-process
+	// server) server-side into one recorder and prints a per-trace
+	// latency decomposition after the run.
+	trace bool
+	// rec overrides the recorder trace uses (tests inspect it; nil with
+	// trace set allocates one).
+	rec *telemetry.SpanRecorder
 }
 
 // runLoad drives a diffd with concurrent clients replaying a generated
@@ -51,12 +58,21 @@ func runLoad(cfg loadConfig) int {
 		return 2
 	}
 
+	rec := cfg.rec
+	if cfg.trace && rec == nil {
+		rec = telemetry.NewSpanRecorder()
+	}
+	scfg := diffserve.Config{
+		Langs:   []string{"pylang"},
+		Workers: cfg.workers,
+	}
+	if rec != nil {
+		scfg.Spans = rec
+	}
+
 	base := cfg.addr
 	if base == "" {
-		srv, err := diffserve.NewServer(diffserve.Config{
-			Langs:   []string{"pylang"},
-			Workers: cfg.workers,
-		})
+		srv, err := diffserve.NewServer(scfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			return 2
@@ -90,8 +106,11 @@ func runLoad(cfg loadConfig) int {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			client := diffserve.NewClient(base, "pylang", pylang.Schema(),
-				diffserve.WithTenant(fmt.Sprintf("load-%d", c)))
+			copts := []diffserve.ClientOption{diffserve.WithTenant(fmt.Sprintf("load-%d", c))}
+			if rec != nil {
+				copts = append(copts, diffserve.WithSpans(rec))
+			}
+			client := diffserve.NewClient(base, "pylang", pylang.Schema(), copts...)
 			defer client.Close()
 			for {
 				i := next.Add(1) - 1
@@ -128,8 +147,66 @@ func runLoad(cfg loadConfig) int {
 		time.Duration(s.Quantile(0.95)).Round(time.Microsecond),
 		time.Duration(s.Quantile(1.0)).Round(time.Microsecond))
 	fmt.Printf("  %d shed by admission control, %d failed\n", sheds.Load(), failures.Load())
+	if rec != nil {
+		printTraceSummary(summarizeSpans(rec.Spans()))
+	}
 	if failures.Load() > 0 {
 		return 1
 	}
 	return 0
+}
+
+// loadSpanNames is the span chain one traced in-process Diff produces:
+// client RPC → server request → coalescing queue → engine → four phases.
+var loadSpanNames = []string{
+	"diffserve.client.diff", "diffserve.request", "diffserve.queue", "engine.diff",
+	"truediff.prepare", "truediff.shares", "truediff.select", "truediff.emit",
+}
+
+// spanSummary aggregates a load test's recorded spans: trace counts and
+// the summed duration per span name (the latency decomposition).
+type spanSummary struct {
+	traces   int                      // distinct trace IDs
+	complete int                      // traces containing the full chain
+	byName   map[string]time.Duration // summed span durations
+	counts   map[string]int
+}
+
+func summarizeSpans(spans []telemetry.Span) spanSummary {
+	s := spanSummary{byName: map[string]time.Duration{}, counts: map[string]int{}}
+	names := map[telemetry.TraceID]map[string]bool{}
+	for i := range spans {
+		sp := &spans[i]
+		s.byName[sp.Name] += sp.Stop.Sub(sp.Start)
+		s.counts[sp.Name]++
+		if names[sp.Trace] == nil {
+			names[sp.Trace] = map[string]bool{}
+		}
+		names[sp.Trace][sp.Name] = true
+	}
+	s.traces = len(names)
+	for _, seen := range names {
+		full := true
+		for _, n := range loadSpanNames {
+			if !seen[n] {
+				full = false
+				break
+			}
+		}
+		if full {
+			s.complete++
+		}
+	}
+	return s
+}
+
+func printTraceSummary(s spanSummary) {
+	fmt.Printf("  traces: %d recorded, %d with the full client→server→queue→engine→phases chain\n",
+		s.traces, s.complete)
+	for _, n := range loadSpanNames {
+		if c := s.counts[n]; c > 0 {
+			fmt.Printf("    %-22s %5d spans, mean %v\n", n, c,
+				(s.byName[n] / time.Duration(c)).Round(time.Microsecond))
+		}
+	}
 }

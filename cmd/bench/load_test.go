@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestLoadTraceEndToEnd runs the self-contained load test with tracing on
+// and verifies that requests produce complete traces: one trace ID
+// spanning the client RPC, the server request, the coalescing queue, the
+// engine, and the four truediff phases.
+func TestLoadTraceEndToEnd(t *testing.T) {
+	rec := telemetry.NewSpanRecorder()
+	code := runLoad(loadConfig{
+		clients:  2,
+		requests: 6,
+		workers:  2,
+		seed:     3,
+		trace:    true,
+		rec:      rec,
+	})
+	if code != 0 {
+		t.Fatalf("runLoad exited %d", code)
+	}
+
+	sum := summarizeSpans(rec.Spans())
+	if sum.traces == 0 {
+		t.Fatal("no traces recorded")
+	}
+	if sum.complete == 0 {
+		t.Fatalf("no complete traces among %d: counts %v", sum.traces, sum.counts)
+	}
+	// Every request that was neither shed nor retried yields exactly the
+	// eight-span chain; at minimum the chain's links must all be present.
+	for _, name := range loadSpanNames {
+		if sum.counts[name] == 0 {
+			t.Errorf("no %s spans recorded", name)
+		}
+	}
+}

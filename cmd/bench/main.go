@@ -68,6 +68,7 @@ func main() {
 		loadClients  = flag.Int("load-clients", 8, "concurrent load-test clients")
 		loadRequests = flag.Int("load-requests", 200, "total load-test requests")
 		loadSeed     = flag.Int64("load-seed", 1, "corpus seed for the load test")
+		loadTrace    = flag.Bool("load-trace", false, "record spans during the load test and print a per-trace latency decomposition")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 			clients:  *loadClients,
 			requests: *loadRequests,
 			seed:     *loadSeed,
+			trace:    *loadTrace,
 		}))
 	}
 	if flag.NArg() != 0 {

@@ -7,7 +7,8 @@
 //	diffd                              # serve every language on :8347
 //	diffd -addr :9000 -langs exp       # one language, custom port
 //	diffd -workers 8 -diff-timeout 2s  # engine tuning
-//	diffd -trace diffs.jsonl -slow 50ms
+//	diffd -trace diffs.jsonl -trace-max-bytes 64000000 -slow 50ms
+//	diffd -log-format json -spans      # structured logs + span export
 //
 // Endpoints (wire schema and a curl session in docs/SERVICE.md):
 //
@@ -15,6 +16,7 @@
 //	POST /v1/batch     many pairs, one engine batch
 //	GET  /v1/snapshot  per-language engine counters
 //	GET  /metrics      Prometheus text exposition (service + engines)
+//	GET  /debug/diffz  flight recorder: recent + slowest diffs (JSON/HTML)
 //	GET  /healthz      200 serving / 503 draining
 //
 // On SIGTERM the daemon drains: in-flight diffs complete, queued and new
@@ -27,14 +29,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -42,20 +47,38 @@ import (
 	"repro/internal/telemetry"
 )
 
+// jsonlSpans exports completed spans as one JSON object per line. Engine
+// workers end spans concurrently, so the encoder is serialized.
+type jsonlSpans struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (s *jsonlSpans) SpanEnd(sp *telemetry.Span) {
+	s.mu.Lock()
+	_ = s.enc.Encode(sp)
+	s.mu.Unlock()
+}
+
 func main() {
 	var (
-		addr         = flag.String("addr", ":8347", "listen address")
-		langs        = flag.String("langs", "", "comma-separated languages to serve (default: all registered)")
-		workers      = flag.Int("workers", 0, "worker goroutines per language engine (0 = GOMAXPROCS)")
-		diffTimeout  = flag.Duration("diff-timeout", 5*time.Second, "per-diff deadline (0 disables)")
-		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "how long to hold a request for coalescing companions")
-		batchMax     = flag.Int("batch-max", 64, "max requests coalesced into one engine batch")
-		maxQueue     = flag.Int("max-queue", 256, "per-language admission queue bound (saturation threshold)")
-		tenantLimit  = flag.Int("tenant-limit", 32, "per-tenant concurrent request cap (X-Diffd-Tenant header; -1 disables)")
-		slow         = flag.Duration("slow", 0, "log diffs at or above this wall time (0 disables)")
-		tracePath    = flag.String("trace", "", "append one JSONL trace record per diff to this file")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
-		listLangs    = flag.Bool("list-langs", false, "print the registered languages and exit")
+		addr          = flag.String("addr", ":8347", "listen address")
+		langs         = flag.String("langs", "", "comma-separated languages to serve (default: all registered)")
+		workers       = flag.Int("workers", 0, "worker goroutines per language engine (0 = GOMAXPROCS)")
+		diffTimeout   = flag.Duration("diff-timeout", 5*time.Second, "per-diff deadline (0 disables)")
+		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "how long to hold a request for coalescing companions")
+		batchMax      = flag.Int("batch-max", 64, "max requests coalesced into one engine batch")
+		maxQueue      = flag.Int("max-queue", 256, "per-language admission queue bound (saturation threshold)")
+		tenantLimit   = flag.Int("tenant-limit", 32, "per-tenant concurrent request cap (X-Diffd-Tenant header; -1 disables)")
+		slow          = flag.Duration("slow", 0, "log diffs at or above this wall time (0 disables)")
+		tracePath     = flag.String("trace", "", "append one JSONL trace record per diff to this file")
+		traceMaxBytes = flag.Int64("trace-max-bytes", 0, "rotate the -trace (and -spans) file past this size, keeping one .1 predecessor (0 disables)")
+		spansPath     = flag.String("spans", "", "append one JSON span per line to this file (enables distributed tracing)")
+		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
+		sloWindow     = flag.Duration("slo-window", 0, "rolling SLO window (0 = 1h default)")
+		sloObjective  = flag.Duration("slo-objective", 0, "per-request latency objective for SLO attainment (0 = 250ms default)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
+		listLangs     = flag.Bool("list-langs", false, "print the registered languages and exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -68,6 +91,18 @@ func main() {
 	}
 	logf := log.New(os.Stderr, "diffd: ", log.LstdFlags).Printf
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "diffd: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
 	cfg := diffserve.Config{
 		Workers:           *workers,
 		DiffTimeout:       *diffTimeout,
@@ -77,18 +112,32 @@ func main() {
 		TenantLimit:       *tenantLimit,
 		SlowDiffThreshold: *slow,
 		Logf:              logf,
+		Logger:            logger,
+		SLO: telemetry.SLOConfig{
+			Window:           *sloWindow,
+			LatencyObjective: *sloObjective,
+		},
 	}
 	if *langs != "" {
 		cfg.Langs = strings.Split(*langs, ",")
 	}
 	if *tracePath != "" {
-		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := telemetry.OpenRotatingFile(*tracePath, *traceMaxBytes)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "diffd:", err)
 			os.Exit(2)
 		}
 		defer f.Close()
 		cfg.Trace = telemetry.NewTraceWriter(f)
+	}
+	if *spansPath != "" {
+		f, err := telemetry.OpenRotatingFile(*spansPath, *traceMaxBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diffd:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cfg.Spans = &jsonlSpans{enc: json.NewEncoder(f)}
 	}
 
 	srv, err := diffserve.NewServer(cfg)

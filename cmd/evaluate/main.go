@@ -32,6 +32,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
@@ -56,6 +57,7 @@ func main() {
 		workers     = flag.Int("workers", 8, "worker goroutines for the engine experiment")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running")
 		tracePath   = flag.String("trace", "", "write one JSONL trace record per engine diff to this file")
+		traceMax    = flag.Int64("trace-max-bytes", 0, "rotate the -trace file past this size, keeping one .1 predecessor (0 disables)")
 		slowDiff    = flag.Duration("slow-diff", 0, "log engine diffs whose wall time meets or exceeds this threshold (0 disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (enables phase labels)")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
@@ -99,15 +101,28 @@ func main() {
 		engOpts = append(engOpts, structdiff.WithSlowDiffThreshold(*slowDiff))
 	}
 	var traceWriter *structdiff.TraceWriter
-	var traceFile *os.File
+	var traceFile io.Closer
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "evaluate: -trace: %v\n", err)
-			os.Exit(1)
+		// Rotation keeps append semantics (records accumulate across runs,
+		// rolling past the bound); without it each run starts fresh.
+		var w io.WriteCloser
+		if *traceMax > 0 {
+			rf, err := structdiff.OpenRotatingFile(*tracePath, *traceMax)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "evaluate: -trace: %v\n", err)
+				os.Exit(1)
+			}
+			w = rf
+		} else {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "evaluate: -trace: %v\n", err)
+				os.Exit(1)
+			}
+			w = f
 		}
-		traceFile = f
-		traceWriter = structdiff.NewTraceWriter(f)
+		traceFile = w
+		traceWriter = structdiff.NewTraceWriter(w)
 		engOpts = append(engOpts, structdiff.WithObserver(func(ev structdiff.DiffEvent) {
 			_ = traceWriter.Write(ev.TraceRecord())
 		}))

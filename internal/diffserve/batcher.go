@@ -7,15 +7,18 @@ import (
 
 	"repro/internal/derrors"
 	"repro/internal/engine"
+	"repro/internal/telemetry"
 )
 
 // job is one diff request queued for coalescing: the pair to diff and a
 // one-slot channel its result is delivered on. The slot means delivery
 // never blocks, so a caller that gave up (request context cancelled) does
-// not wedge the batcher.
+// not wedge the batcher. enqueued timestamps admission so the queue span
+// covers the wait from submit to flush.
 type job struct {
 	pair        engine.Pair
 	wantPatched bool
+	enqueued    time.Time
 	done        chan engine.PairResult
 }
 
@@ -46,9 +49,12 @@ type batcher struct {
 	// batch with its size, one call per job answered.
 	onBatch func(size int)
 	onDone  func()
+	// spans, when non-nil, records one "diffserve.queue" span per job at
+	// flush time covering its wait in the coalescing window.
+	spans telemetry.SpanSink
 }
 
-func newBatcher(eng *engine.Engine, window time.Duration, max, queue int, draining func() bool, onBatch func(int), onDone func()) *batcher {
+func newBatcher(eng *engine.Engine, window time.Duration, max, queue int, draining func() bool, onBatch func(int), onDone func(), spans telemetry.SpanSink) *batcher {
 	b := &batcher{
 		eng:      eng,
 		window:   window,
@@ -58,6 +64,7 @@ func newBatcher(eng *engine.Engine, window time.Duration, max, queue int, draini
 		draining: draining,
 		onBatch:  onBatch,
 		onDone:   onDone,
+		spans:    spans,
 	}
 	go b.run()
 	return b
@@ -101,7 +108,13 @@ func (b *batcher) flush(batch []*job) {
 		return
 	}
 	pairs := make([]engine.Pair, len(batch))
+	now := time.Now()
 	for i, j := range batch {
+		// The queue span back-dates to admission, closing as the batch is
+		// handed to the engine: it measures coalescing-window wait.
+		sp := telemetry.StartSpanAt(b.spans, j.pair.Trace, "diffserve.queue", j.enqueued)
+		sp.SetAttr("batch_size", len(batch))
+		sp.EndAt(now)
 		pairs[i] = j.pair
 	}
 	b.onBatch(len(batch))

@@ -14,6 +14,7 @@ import (
 	"repro/internal/derrors"
 	"repro/internal/engine"
 	"repro/internal/sig"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/truediff"
 	"repro/internal/uri"
@@ -36,6 +37,7 @@ type Client struct {
 	sch    *sig.Schema
 	hc     *http.Client
 	tenant string
+	spans  telemetry.SpanSink
 
 	refMu sync.Mutex
 	refs  map[string]bool
@@ -53,6 +55,29 @@ func WithHTTPClient(hc *http.Client) ClientOption {
 // per-tenant concurrency limit accounts against.
 func WithTenant(tenant string) ClientOption {
 	return func(c *Client) { c.tenant = tenant }
+}
+
+// WithSpans enables client-side tracing: each Diff/DiffBatch records a
+// span to sink, and the span's context is shipped to the server in the
+// W3C traceparent header so the server's request, queue, and engine spans
+// join the same trace. Without this option the client still propagates a
+// trace context found on ctx (telemetry.ContextWithSpanContext) — it just
+// records no spans of its own.
+func WithSpans(sink telemetry.SpanSink) ClientOption {
+	return func(c *Client) { c.spans = sink }
+}
+
+// startSpan opens the client-side span for one RPC. It returns the span
+// (nil when the client has no sink) and the context to propagate: the
+// span's own if one was recorded, else whatever the caller carried on ctx.
+func (c *Client) startSpan(ctx context.Context, name string) (*telemetry.Span, telemetry.SpanContext) {
+	parent := telemetry.SpanContextFromContext(ctx)
+	span := telemetry.StartSpan(c.spans, parent, name)
+	if span != nil {
+		span.SetAttr("lang", c.lang)
+		return span, span.Context()
+	}
+	return nil, parent
 }
 
 // NewClient returns a client for one language served at base (e.g.
@@ -127,6 +152,8 @@ func (c *Client) Diff(ctx context.Context, source, target *tree.Node, alloc *uri
 }
 
 func (c *Client) diffOnce(ctx context.Context, source, target *tree.Node, force bool) (*DiffResponse, error) {
+	span, tc := c.startSpan(ctx, "diffserve.client.diff")
+	defer span.End()
 	req := DiffRequest{
 		SchemaVersion: WireVersion,
 		Lang:          c.lang,
@@ -135,7 +162,8 @@ func (c *Client) diffOnce(ctx context.Context, source, target *tree.Node, force 
 		WantPatched:   true,
 	}
 	var resp DiffResponse
-	if err := c.post(ctx, "/v1/diff", req, &resp); err != nil {
+	if err := c.post(ctx, "/v1/diff", tc, req, &resp); err != nil {
+		span.SetAttr("err", err.Error())
 		return nil, err
 	}
 	if resp.Error != nil {
@@ -215,6 +243,9 @@ func (c *Client) DiffBatch(ctx context.Context, pairs []engine.Pair) ([]engine.P
 }
 
 func (c *Client) batchOnce(ctx context.Context, pairs []engine.Pair, force bool) (*BatchResponse, error) {
+	span, tc := c.startSpan(ctx, "diffserve.client.batch")
+	defer span.End()
+	span.SetAttr("pairs", len(pairs))
 	req := BatchRequest{SchemaVersion: WireVersion, Lang: c.lang, Pairs: make([]BatchPair, len(pairs))}
 	for i, p := range pairs {
 		if p.Source == nil || p.Target == nil {
@@ -228,7 +259,8 @@ func (c *Client) batchOnce(ctx context.Context, pairs []engine.Pair, force bool)
 		}
 	}
 	var resp BatchResponse
-	if err := c.post(ctx, "/v1/batch", req, &resp); err != nil {
+	if err := c.post(ctx, "/v1/batch", tc, req, &resp); err != nil {
+		span.SetAttr("err", err.Error())
 		return nil, err
 	}
 	return &resp, nil
@@ -258,7 +290,7 @@ func (c *Client) Close() error {
 
 // --- transport ---
 
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
+func (c *Client) post(ctx context.Context, path string, tc telemetry.SpanContext, body, out any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("diffserve: encode request: %w", err)
@@ -268,6 +300,9 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		return fmt.Errorf("diffserve: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tc.Valid() {
+		req.Header.Set("traceparent", tc.Traceparent())
+	}
 	return c.do(req, out)
 }
 

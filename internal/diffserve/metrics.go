@@ -60,6 +60,7 @@ func (s *Server) GatherMetrics() []telemetry.Metric {
 			Hist: s.m.batchSize.Snapshot(),
 		},
 	}
+	ms = append(ms, telemetry.SLOMetrics("diffserve_slo_", s.slo.Snapshot())...)
 	return append(ms, s.engineMetrics()...)
 }
 

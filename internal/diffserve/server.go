@@ -2,13 +2,13 @@ package diffserve
 
 import (
 	"context"
-	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -67,12 +67,33 @@ type Config struct {
 	MaxBody int64
 
 	// SlowDiffThreshold enables the engines' slow-diff log; Trace, when
-	// non-nil, receives one JSONL record per diff, labelled with the
-	// request's trace ID. Faults arms deterministic fault injection inside
-	// the engines (tests only).
+	// non-nil, receives one JSONL record per diff, correlated with the
+	// request's distributed trace. Faults arms deterministic fault
+	// injection inside the engines (tests only).
 	SlowDiffThreshold time.Duration
 	Trace             *telemetry.TraceWriter
 	Faults            *faultinject.Injector
+
+	// Spans, when non-nil, turns on distributed tracing: each diff/batch
+	// request runs under a "diffserve.request" span continuing the caller's
+	// W3C traceparent header (or opening a fresh trace), with queue-wait,
+	// engine, and phase child spans delivered to the sink. Nil disables
+	// span recording; trace IDs still propagate for correlation.
+	Spans telemetry.SpanSink
+	// Logger, when non-nil, receives structured records (panics at error
+	// level here, plus the engines' failure/fallback/slow-diff records)
+	// instead of Logf. Logf remains the fallback for free-form lines.
+	Logger *slog.Logger
+	// FlightRecent and FlightSlowest size the /debug/diffz flight
+	// recorder: the last-N ring and the slowest-K retention set. Zero
+	// selects 128 and 16.
+	FlightRecent  int
+	FlightSlowest int
+	// SLO parameterizes the service's rolling-window objectives over HTTP
+	// requests (availability = non-5xx; latency objective on request wall
+	// time). Zero values select telemetry.SLOConfig defaults. The shed
+	// Retry-After estimate derives from this window's p95.
+	SLO telemetry.SLOConfig
 
 	// Logf receives server lifecycle and error lines; nil uses the
 	// standard logger.
@@ -137,8 +158,8 @@ type Server struct {
 	tenantMu sync.Mutex
 	tenants  map[string]int
 
-	tracePrefix string
-	traceSeq    atomic.Uint64
+	flight *telemetry.FlightRecorder
+	slo    *telemetry.SLO
 }
 
 // NewServer builds a server from the configuration. Unknown language names
@@ -149,12 +170,9 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		langs:   make(map[string]*langService, len(cfg.Langs)),
 		tenants: make(map[string]int),
+		flight:  telemetry.NewFlightRecorder(cfg.FlightRecent, cfg.FlightSlowest),
+		slo:     telemetry.NewSLO(cfg.SLO),
 	}
-	var pfx [4]byte
-	if _, err := rand.Read(pfx[:]); err != nil {
-		return nil, fmt.Errorf("diffserve: trace prefix: %w", err)
-	}
-	s.tracePrefix = hex.EncodeToString(pfx[:])
 
 	for _, name := range cfg.Langs {
 		sch := SchemaFor(name)
@@ -166,14 +184,22 @@ func NewServer(cfg Config) (*Server, error) {
 			DiffTimeout:       cfg.DiffTimeout,
 			CheckpointEvery:   cfg.CheckpointEvery,
 			SlowDiffThreshold: cfg.SlowDiffThreshold,
+			Spans:             cfg.Spans,
+			Logger:            cfg.Logger,
 			Faults:            cfg.Faults,
 		}
 		if !cfg.DisableFallback {
 			ecfg.Fallback = engine.FallbackRootReplace
 		}
-		if cfg.Trace != nil {
-			tw := cfg.Trace
-			ecfg.Observer = func(ev engine.DiffEvent) { _ = tw.Write(ev.TraceRecord()) }
+		// Every diff lands in the flight recorder; the JSONL sink is
+		// optional on top.
+		tw := cfg.Trace
+		ecfg.Observer = func(ev engine.DiffEvent) {
+			rec := ev.TraceRecord()
+			s.flight.Record(rec)
+			if tw != nil {
+				_ = tw.Write(rec)
+			}
 		}
 		ls := &langService{
 			name: name,
@@ -185,6 +211,7 @@ func NewServer(cfg Config) (*Server, error) {
 			s.draining.Load,
 			func(size int) { s.m.batches.Add(1); s.m.batchSize.Record(int64(size)) },
 			func() { s.m.pending.Add(-1) },
+			cfg.Spans,
 		)
 		s.langs[name] = ls
 		s.langNames = append(s.langNames, name)
@@ -196,6 +223,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", telemetry.Handler(s))
+	s.mux.Handle("GET /debug/diffz", s.flight.Handler())
 	return s, nil
 }
 
@@ -206,7 +234,14 @@ func NewServer(cfg Config) (*Server, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if v := recover(); v != nil {
-			s.cfg.Logf("diffserve: panic serving %s %s: %v", r.Method, r.URL.Path, v)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.LogAttrs(r.Context(), slog.LevelError, "panic serving request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", v))
+			} else {
+				s.cfg.Logf("diffserve: panic serving %s %s: %v", r.Method, r.URL.Path, v)
+			}
 			s.m.serverErrors.Add(1)
 			writeError(w, http.StatusInternalServerError, WireError{
 				Kind: ErrKindInternal, Message: fmt.Sprintf("internal error: %v", v),
@@ -263,8 +298,34 @@ func (s *Server) Snapshot() map[string]engine.Snapshot {
 	return out
 }
 
-func (s *Server) nextTraceID() string {
-	return fmt.Sprintf("%s-%06d", s.tracePrefix, s.traceSeq.Add(1))
+// traceContext establishes the distributed-trace context a request runs
+// under and opens its server span. The caller's W3C traceparent header is
+// continued when present and well-formed; otherwise a fresh trace starts.
+// With no span sink configured the span is nil (every Span method is
+// nil-safe) but the returned context is still valid, so responses, logs,
+// and trace records correlate even when nothing records spans. Callers
+// must End the span (nil-safe) when the request completes.
+func (s *Server) traceContext(r *http.Request, name string) (*telemetry.Span, telemetry.SpanContext) {
+	parent, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+	span := telemetry.StartSpan(s.cfg.Spans, parent, name)
+	if span != nil {
+		return span, span.Context()
+	}
+	if parent.Valid() {
+		// Propagate the caller's context unchanged: diffs run "under" the
+		// caller's span as far as correlation is concerned.
+		return nil, parent
+	}
+	return nil, telemetry.NewSpanContext()
+}
+
+// observe finishes one request's service-level accounting: the latency
+// histogram and the SLO window (5xx counts against availability; shed and
+// drain answers are deliberate load management, not failures).
+func (s *Server) observe(start time.Time, status int) {
+	d := time.Since(start)
+	s.m.latency.Record(d.Nanoseconds())
+	s.slo.Observe(d, status < http.StatusInternalServerError)
 }
 
 // --- admission control ---
@@ -293,7 +354,7 @@ func (s *Server) admit(r *http.Request, ls *langService, jobs int) (release func
 			s.m.sheds.Add(1)
 			return nil, &httpError{
 				status:     http.StatusTooManyRequests,
-				retryAfter: s.retryAfter(ls, 1),
+				retryAfter: s.retryAfter(1),
 				werr: WireError{Kind: ErrKindSaturated,
 					Message: fmt.Sprintf("tenant %q is at its concurrency limit (%d)", tenant, s.cfg.TenantLimit)},
 			}
@@ -316,7 +377,7 @@ func (s *Server) admit(r *http.Request, ls *langService, jobs int) (release func
 		s.m.sheds.Add(1)
 		return nil, &httpError{
 			status:     http.StatusTooManyRequests,
-			retryAfter: s.retryAfter(ls, backlog),
+			retryAfter: s.retryAfter(backlog),
 			werr: WireError{Kind: ErrKindSaturated,
 				Message: fmt.Sprintf("queue full (%d backlogged, limit %d)", backlog, s.cfg.MaxQueue)},
 		}
@@ -325,21 +386,23 @@ func (s *Server) admit(r *http.Request, ls *langService, jobs int) (release func
 }
 
 // retryAfter estimates when a shed caller should come back: the backlog
-// drains at roughly workers/meanLatency jobs per second, observed from the
-// engine's latency histogram. Clamped to [1s, 60s]; with no history yet
-// the floor applies.
-func (s *Server) retryAfter(ls *langService, backlog int) time.Duration {
-	mean := ls.eng.LatencyHistogram().Mean() // ns per diff
+// drains at roughly workers/p95 jobs per second, where p95 is the
+// request-latency quantile of the SLO's rolling window — a tail-biased
+// estimate that, unlike the all-time mean, recovers after a transient
+// spike ages out of the window and reflects load the shed caller will
+// actually contend with. Clamped to [1s, 30s]; with no history yet the
+// floor applies.
+func (s *Server) retryAfter(backlog int) time.Duration {
+	p95 := s.slo.Snapshot().P95
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = 1
 	}
-	est := time.Duration(mean * float64(backlog) / float64(workers) * float64(time.Nanosecond))
+	// Float arithmetic with an early cap: a pathological p95 (the top
+	// histogram bucket) times a deep backlog must saturate, not overflow.
+	est := time.Duration(min(float64(p95)*float64(backlog)/float64(workers), float64(30*time.Second)))
 	if est < time.Second {
 		est = time.Second
-	}
-	if est > time.Minute {
-		est = time.Minute
 	}
 	return est.Round(time.Second)
 }
@@ -356,7 +419,7 @@ func (s *Server) submit(ls *langService, p engine.Pair) (*job, *httpError) {
 			werr:   WireError{Kind: ErrKindDraining, Message: "server is draining"},
 		}
 	}
-	j := &job{pair: p, done: make(chan engine.PairResult, 1)}
+	j := &job{pair: p, enqueued: time.Now(), done: make(chan engine.PairResult, 1)}
 	select {
 	case ls.b.jobs <- j:
 		s.m.pending.Add(1)
@@ -365,7 +428,7 @@ func (s *Server) submit(ls *langService, p engine.Pair) (*job, *httpError) {
 		s.m.sheds.Add(1)
 		return nil, &httpError{
 			status:     http.StatusTooManyRequests,
-			retryAfter: s.retryAfter(ls, s.cfg.MaxQueue),
+			retryAfter: s.retryAfter(s.cfg.MaxQueue),
 			werr: WireError{Kind: ErrKindSaturated,
 				Message: fmt.Sprintf("queue full (limit %d)", s.cfg.MaxQueue)},
 		}
@@ -431,33 +494,37 @@ type httpError struct {
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.m.requests.Add(1)
+	span, rctx := s.traceContext(r, "diffserve.request")
+	defer span.End()
+	status := http.StatusOK
+	defer func() { s.observe(start, status) }()
+
 	var req DiffRequest
 	ls, herr := s.decodeInto(r, &req, func() (string, string) { return req.SchemaVersion, req.Lang })
 	if herr != nil {
+		status = herr.status
 		s.writeHTTPError(w, herr)
 		return
 	}
+	span.SetAttr("lang", req.Lang)
 	release, herr := s.admit(r, ls, 1)
 	if herr != nil {
+		status = herr.status
 		s.writeHTTPError(w, herr)
 		return
 	}
 	defer release()
 
-	traceID := s.nextTraceID()
-	resp := DiffResponse{SchemaVersion: WireVersion, TraceID: traceID}
+	resp := DiffResponse{SchemaVersion: WireVersion, TraceID: rctx.Trace.String()}
 	src, srcRef, herr := s.resolveTree(ls, req.Source, "source")
 	if herr == nil {
 		var dst *tree.Node
 		dst, resp.TargetRef, herr = s.resolveTree(ls, req.Target, "target")
 		if herr == nil {
 			resp.SourceRef = srcRef
-			label := traceID
-			if req.Label != "" {
-				label += " " + req.Label
-			}
-			j, serr := s.submit(ls, engine.Pair{Source: src, Target: dst, Label: label})
+			j, serr := s.submit(ls, engine.Pair{Source: src, Target: dst, Label: req.Label, Trace: rctx})
 			if serr != nil {
+				status = serr.status
 				s.writeHTTPError(w, serr)
 				return
 			}
@@ -467,35 +534,43 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			case <-r.Context().Done():
 				// The job still runs (its window is shared); only this
 				// response is abandoned.
+				status = 499 // client closed request; observed, not written
 				s.m.clientErrors.Add(1)
-				s.m.latency.Record(time.Since(start).Nanoseconds())
 				return
 			}
 		}
 	}
 	if herr != nil {
+		status = herr.status
 		s.writeHTTPError(w, herr)
 		return
 	}
-	status := http.StatusOK
 	if resp.Error != nil {
 		status = errStatus(resp.Error.Kind)
 	}
 	s.countStatus(status)
-	s.m.latency.Record(time.Since(start).Nanoseconds())
 	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.m.requests.Add(1)
+	span, rctx := s.traceContext(r, "diffserve.request")
+	defer span.End()
+	status := http.StatusOK
+	defer func() { s.observe(start, status) }()
+
 	var req BatchRequest
 	ls, herr := s.decodeInto(r, &req, func() (string, string) { return req.SchemaVersion, req.Lang })
 	if herr != nil {
+		status = herr.status
 		s.writeHTTPError(w, herr)
 		return
 	}
+	span.SetAttr("lang", req.Lang)
+	span.SetAttr("pairs", len(req.Pairs))
 	if len(req.Pairs) == 0 {
+		status = http.StatusBadRequest
 		s.writeHTTPError(w, &httpError{
 			status: http.StatusBadRequest,
 			werr:   WireError{Kind: ErrKindBadRequest, Message: "batch has no pairs"},
@@ -504,13 +579,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	release, herr := s.admit(r, ls, len(req.Pairs))
 	if herr != nil {
+		status = herr.status
 		s.writeHTTPError(w, herr)
 		return
 	}
 	defer release()
 
-	traceID := s.nextTraceID()
-	resp := BatchResponse{SchemaVersion: WireVersion, TraceID: traceID}
+	resp := BatchResponse{SchemaVersion: WireVersion, TraceID: rctx.Trace.String()}
 	resp.Results = make([]DiffResponse, len(req.Pairs))
 	jobs := make([]*job, len(req.Pairs))
 	for i := range req.Pairs {
@@ -528,11 +603,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		out.SourceRef, out.TargetRef = srcRef, dstRef
-		label := fmt.Sprintf("%s#%d", traceID, i)
-		if bp.Label != "" {
-			label += " " + bp.Label
+		label := bp.Label
+		if label == "" {
+			label = fmt.Sprintf("batch#%d", i)
 		}
-		j, serr := s.submit(ls, engine.Pair{Source: src, Target: dst, Label: label})
+		j, serr := s.submit(ls, engine.Pair{Source: src, Target: dst, Label: label, Trace: rctx})
 		if serr != nil {
 			out.Error = &serr.werr
 			continue
@@ -547,13 +622,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		case pr := <-j.done:
 			s.fillResult(&resp.Results[i], pr, req.Pairs[i].WantPatched)
 		case <-r.Context().Done():
+			status = 499 // client closed request; observed, not written
 			s.m.clientErrors.Add(1)
-			s.m.latency.Record(time.Since(start).Nanoseconds())
 			return
 		}
 	}
 	s.countStatus(http.StatusOK)
-	s.m.latency.Record(time.Since(start).Nanoseconds())
 	writeJSON(w, http.StatusOK, resp)
 }
 

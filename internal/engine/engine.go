@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -74,8 +75,25 @@ type Config struct {
 	// disables the check.
 	SlowDiffThreshold time.Duration
 	// SlowDiffLog overrides where slow diffs are reported. Nil logs one
-	// line per slow diff via the standard library logger.
+	// line per slow diff via Logger when set, else the standard library
+	// logger.
 	SlowDiffLog func(DiffEvent)
+	// Spans, when non-nil, turns on distributed tracing: every diff runs
+	// under an "engine.diff" span (parented on Pair.Trace when valid) and
+	// the four truediff phases are synthesized into child spans. Nil (the
+	// default) costs nothing on the diff path beyond a pointer comparison.
+	Spans telemetry.SpanSink
+	// Logger, when non-nil, receives structured records for noteworthy
+	// diffs — failures (error level), fallbacks and slow diffs (warn) —
+	// with trace_id/span_id correlation when the pair carried a trace.
+	// Routine successful diffs are never logged; use Observer or Tracer
+	// for those.
+	Logger *slog.Logger
+	// SLO parameterizes the engine's rolling-window objective accounting
+	// (availability = non-error diffs; latency objective on diff wall
+	// time). The zero value selects the defaults documented on
+	// telemetry.SLOConfig; accounting is always on (lock-free counters).
+	SLO telemetry.SLOConfig
 
 	// DiffTimeout bounds each individual diff: a diff still running when
 	// the deadline passes is aborted at its next cancellation checkpoint
@@ -122,8 +140,9 @@ type Engine struct {
 		mu   sync.Mutex
 		next uri.URI
 	}
-	m metrics
-	h histograms
+	m   metrics
+	h   histograms
+	slo *telemetry.SLO
 
 	// life tracks the engine's shutdown state: begin/end bracket every
 	// entry point, and Close flips closed then waits for the in-flight
@@ -219,6 +238,7 @@ func New(sch *sig.Schema, cfg Config) *Engine {
 		sch:    sch,
 		differ: truediff.NewWithOptions(sch, cfg.Diff),
 		cfg:    cfg,
+		slo:    telemetry.NewSLO(cfg.SLO),
 	}
 	if !cfg.DisableMemo {
 		// The namespace partitions memo keys by schema and hash kind, so
@@ -342,6 +362,12 @@ type Pair struct {
 	// Label identifies the pair in observer events and trace records (for
 	// example a file path). The engine does not interpret it.
 	Label string
+	// Trace, when valid, is the distributed-trace context this pair runs
+	// under: the engine's "engine.diff" span is parented on it, and
+	// observer events carry it for log and trace-record correlation. The
+	// context travels with the pair (not the batch ctx) because batching
+	// layers deliberately detach pairs from their request contexts.
+	Trace telemetry.SpanContext
 }
 
 // DiffStats instruments one diff of a batch.
@@ -485,12 +511,50 @@ feed:
 	return results, nil
 }
 
-// diffOne executes one task with pooled scratch state. The diff runs
+// diffOne wraps diffPair with the per-diff observability shell: the
+// "engine.diff" span (when Config.Spans is set) with phase child spans
+// synthesized via a context-carried tracer, and the SLO observation. With
+// tracing off the extra cost is two clock reads and a handful of atomic
+// adds.
+func (e *Engine) diffOne(ctx context.Context, p Pair) PairResult {
+	start := time.Now()
+	span := telemetry.StartSpanAt(e.cfg.Spans, p.Trace, "engine.diff", start)
+	if span != nil {
+		// Children (phase spans, the observer's trace record) hang off the
+		// engine span, not the caller's request span.
+		p.Trace = span.Context()
+		ctx = telemetry.ContextWithTracer(ctx, telemetry.PhaseSpans(e.cfg.Spans, p.Trace))
+	}
+	pr := e.diffPair(ctx, p)
+	wall := time.Since(start)
+	e.slo.Observe(wall, pr.Err == nil)
+	if span != nil {
+		if p.Label != "" {
+			span.SetAttr("pair", p.Label)
+		}
+		span.SetAttr("source_nodes", pr.Stats.SourceSize)
+		span.SetAttr("target_nodes", pr.Stats.TargetSize)
+		span.SetAttr("edits", pr.Stats.Edits)
+		if pr.Stats.Identical {
+			span.SetAttr("identical", true)
+		}
+		if pr.Stats.Fallback {
+			span.SetAttr("fallback", true)
+		}
+		if pr.Err != nil {
+			span.SetAttr("err", pr.Err.Error())
+		}
+		span.EndAt(start.Add(wall))
+	}
+	return pr
+}
+
+// diffPair executes one task with pooled scratch state. The diff runs
 // inside the panic-isolation boundary (runDiff) with a cancellation
 // checkpoint derived from ctx, Config.DiffTimeout, and the fault injector;
 // failures eligible for graceful degradation are served a synthesized
 // root-replacement script instead when Config.Fallback asks for it.
-func (e *Engine) diffOne(ctx context.Context, p Pair) PairResult {
+func (e *Engine) diffPair(ctx context.Context, p Pair) PairResult {
 	if p.Source != nil && p.Source == p.Target {
 		// Interned trees make content equality a pointer comparison: both
 		// ingests hit the same store entry, so the minimal script is empty
@@ -610,30 +674,64 @@ func (e *Engine) internedTree(n *tree.Node) bool {
 	return e.store.get(n.ExactHash()) == n
 }
 
-// finish runs the per-diff observability tail — slow-diff reporting and
-// the observer callback — and passes the result through.
+// finish runs the per-diff observability tail — slow-diff reporting,
+// structured logging of noteworthy outcomes, and the observer callback —
+// and passes the result through.
 func (e *Engine) finish(p Pair, pr PairResult) PairResult {
 	slow := e.cfg.SlowDiffThreshold > 0 && pr.Err == nil && pr.Stats.Wall >= e.cfg.SlowDiffThreshold
 	if slow {
 		e.m.slowDiffs.Add(1)
 	}
-	if !slow && e.cfg.Observer == nil {
+	logWorthy := e.cfg.Logger != nil && (pr.Err != nil || pr.Stats.Fallback)
+	if !slow && !logWorthy && e.cfg.Observer == nil {
 		return pr
 	}
-	ev := DiffEvent{Label: p.Label, Stats: pr.Stats, Err: pr.Err}
+	ev := DiffEvent{Label: p.Label, Trace: p.Trace, Stats: pr.Stats, Err: pr.Err}
 	if slow {
-		if e.cfg.SlowDiffLog != nil {
+		switch {
+		case e.cfg.SlowDiffLog != nil:
 			e.cfg.SlowDiffLog(ev)
-		} else {
+		case e.cfg.Logger != nil:
+			e.logEvent(slog.LevelWarn, "slow diff", ev,
+				slog.Duration("threshold", e.cfg.SlowDiffThreshold))
+		default:
 			log.Printf("structdiff: slow diff %s: wall %v (threshold %v), %d+%d nodes, %d edits, phases %v",
 				labelOr(ev.Label, "<unlabelled>"), ev.Stats.Wall, e.cfg.SlowDiffThreshold,
 				ev.Stats.SourceSize, ev.Stats.TargetSize, ev.Stats.Edits, ev.Stats.Phases)
+		}
+	}
+	if e.cfg.Logger != nil {
+		if ev.Err != nil {
+			e.logEvent(slog.LevelError, "diff failed", ev)
+		} else if ev.Stats.Fallback {
+			e.logEvent(slog.LevelWarn, "diff served by fallback", ev)
 		}
 	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer(ev)
 	}
 	return pr
+}
+
+// logEvent emits one structured record for ev, carrying the pair label,
+// trace correlation IDs, and the diff's headline numbers.
+func (e *Engine) logEvent(level slog.Level, msg string, ev DiffEvent, extra ...slog.Attr) {
+	attrs := make([]slog.Attr, 0, 8+len(extra))
+	if ev.Label != "" {
+		attrs = append(attrs, slog.String("pair", ev.Label))
+	}
+	attrs = append(attrs, ev.Trace.SlogAttrs()...)
+	attrs = append(attrs,
+		slog.Duration("wall", ev.Stats.Wall),
+		slog.Int("source_nodes", ev.Stats.SourceSize),
+		slog.Int("target_nodes", ev.Stats.TargetSize),
+		slog.Int("edits", ev.Stats.Edits),
+	)
+	if ev.Err != nil {
+		attrs = append(attrs, slog.String("err", ev.Err.Error()))
+	}
+	attrs = append(attrs, extra...)
+	e.cfg.Logger.LogAttrs(context.Background(), level, msg, attrs...)
 }
 
 func labelOr(s, fallback string) string {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/mtree"
+	"repro/internal/telemetry"
 )
 
 // metrics holds the engine's cumulative counters. All fields are atomics so
@@ -116,32 +117,39 @@ type Snapshot struct {
 	QueueDepth     int64
 	WorkerCapacity time.Duration
 	Utilization    float64
+
+	// SLO is the rolling-window objective evaluation at snapshot time
+	// (availability over diffs, diff-latency attainment, burn rates). It
+	// is a windowed gauge, not a cumulative counter: Sub keeps the newer
+	// snapshot's value rather than subtracting.
+	SLO telemetry.SLOSnapshot
 }
 
 // Snapshot returns the engine's counters at this instant.
 func (e *Engine) Snapshot() Snapshot {
 	s := Snapshot{
-		Diffs:         e.m.diffs.Load(),
-		Errors:        e.m.errors.Load(),
-		SlowDiffs:     e.m.slowDiffs.Load(),
-		Batches:       e.m.batches.Load(),
-		Panics:        e.m.panics.Load(),
-		Timeouts:      e.m.timeouts.Load(),
-		Fallbacks:     e.m.fallbacks.Load(),
-		Rollbacks:     mtree.Rollbacks(),
-		Edits:         e.m.edits.Load(),
-		SourceNodes:   e.m.sourceNodes.Load(),
-		TargetNodes:   e.m.targetNodes.Load(),
-		DiffWall:      time.Duration(e.m.wallNanos.Load()),
-		PoolGets:      e.m.poolGets.Load(),
-		PoolMisses:    e.m.poolMisses.Load(),
-		IngestedTrees: e.m.ingestedTrees.Load(),
-		IngestedNodes: e.m.ingestedNodes.Load(),
+		Diffs:          e.m.diffs.Load(),
+		Errors:         e.m.errors.Load(),
+		SlowDiffs:      e.m.slowDiffs.Load(),
+		Batches:        e.m.batches.Load(),
+		Panics:         e.m.panics.Load(),
+		Timeouts:       e.m.timeouts.Load(),
+		Fallbacks:      e.m.fallbacks.Load(),
+		Rollbacks:      mtree.Rollbacks(),
+		Edits:          e.m.edits.Load(),
+		SourceNodes:    e.m.sourceNodes.Load(),
+		TargetNodes:    e.m.targetNodes.Load(),
+		DiffWall:       time.Duration(e.m.wallNanos.Load()),
+		PoolGets:       e.m.poolGets.Load(),
+		PoolMisses:     e.m.poolMisses.Load(),
+		IngestedTrees:  e.m.ingestedTrees.Load(),
+		IngestedNodes:  e.m.ingestedNodes.Load(),
 		StoreHits:      e.m.storeHits.Load(),
 		StoreMisses:    e.m.storeMisses.Load(),
 		StoreEntries:   e.store.len(),
 		QueueDepth:     e.m.queueDepth.Load(),
 		WorkerCapacity: time.Duration(e.m.capacityNanos.Load()),
+		SLO:            e.slo.Snapshot(),
 	}
 	if s.WorkerCapacity > 0 {
 		s.Utilization = float64(s.DiffWall) / float64(s.WorkerCapacity)
@@ -196,6 +204,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		MemoEntries:   s.MemoEntries,
 		StoreEntries:  s.StoreEntries,
 		QueueDepth:    s.QueueDepth,
+		SLO:           s.SLO,
 	}
 	if s.DiffWall > prev.DiffWall {
 		d.DiffWall = s.DiffWall - prev.DiffWall
@@ -247,7 +256,8 @@ func (s Snapshot) String() string {
 			"workers: %.1f%% utilized over %v capacity, queue depth %d\n"+
 			"scratch pool: %d gets, %d misses (%.1f%% hit)\n"+
 			"digest memo: %d hits, %d misses (%.1f%% hit), %d entries; ingested %d trees / %d nodes\n"+
-			"tree store: %d hits, %d misses (%.1f%% hit), %d trees interned",
+			"tree store: %d hits, %d misses (%.1f%% hit), %d trees interned\n"+
+			"%s",
 		s.Diffs, s.Errors, s.Batches, s.Edits, s.SourceNodes, s.TargetNodes,
 		s.DiffWall.Round(time.Millisecond), s.NodesPerSecond(),
 		s.Panics, s.Timeouts, s.Fallbacks, s.Rollbacks,
@@ -256,5 +266,6 @@ func (s Snapshot) String() string {
 		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate, s.MemoEntries,
 		s.IngestedTrees, s.IngestedNodes,
 		s.StoreHits, s.StoreMisses, 100*s.StoreHitRate, s.StoreEntries,
+		s.SLO,
 	)
 }

@@ -5,11 +5,13 @@ import (
 )
 
 // DiffEvent is the per-diff notification delivered to Config.Observer and
-// Config.SlowDiffLog: the pair's label, its full DiffStats (wall time,
-// per-phase breakdown, sizes, edit count, intern flags), and the error of
-// a failed diff.
+// Config.SlowDiffLog: the pair's label, the trace context the diff ran
+// under (the engine.diff span when tracing is on, else the pair's own),
+// its full DiffStats (wall time, per-phase breakdown, sizes, edit count,
+// intern flags), and the error of a failed diff.
 type DiffEvent struct {
 	Label string
+	Trace telemetry.SpanContext
 	Stats DiffStats
 	Err   error
 }
@@ -29,6 +31,10 @@ func (ev DiffEvent) TraceRecord() telemetry.TraceRecord {
 		Fallback:       ev.Stats.Fallback,
 	}
 	rec.SetPhases(ev.Stats.Phases)
+	if ev.Trace.Valid() {
+		rec.TraceID = ev.Trace.Trace.String()
+		rec.SpanID = ev.Trace.Span.String()
+	}
 	if ev.Err != nil {
 		rec.Err = ev.Err.Error()
 	}
@@ -122,7 +128,14 @@ func (e *Engine) GatherMetrics() []telemetry.Metric {
 			Hist: e.h.nodes.Snapshot(),
 		},
 	)
+	ms = append(ms, telemetry.SLOMetrics("structdiff_slo_", s.SLO)...)
 	return ms
+}
+
+// SLOSnapshot evaluates the engine's rolling-window objectives now
+// (availability over diffs, diff-latency attainment, burn rates).
+func (e *Engine) SLOSnapshot() telemetry.SLOSnapshot {
+	return e.slo.Snapshot()
 }
 
 // PhaseHistogram returns a snapshot of the engine-level distribution of

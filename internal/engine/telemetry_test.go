@@ -21,6 +21,7 @@ func TestSnapshotSub(t *testing.T) {
 		MemoHits: 6, MemoMisses: 2, MemoEntries: 50,
 		IngestedTrees: 12, IngestedNodes: 900,
 		StoreHits: 4, StoreMisses: 4, StoreEntries: 7,
+		SLO: telemetry.SLOSnapshot{Requests: 9, Errors: 1},
 	}
 	prev := Snapshot{
 		Diffs: 4, Errors: 2, SlowDiffs: 1, Batches: 1, Edits: 40,
@@ -51,9 +52,12 @@ func TestSnapshotSub(t *testing.T) {
 	if d.StoreHits != 3 || d.StoreMisses != 1 || d.StoreHitRate != 0.75 {
 		t.Errorf("store delta wrong: hits %d misses %d rate %v", d.StoreHits, d.StoreMisses, d.StoreHitRate)
 	}
-	// Gauges keep the current values.
+	// Gauges keep the current values; the SLO is a windowed gauge too.
 	if d.MemoEntries != 50 || d.StoreEntries != 7 {
 		t.Errorf("gauges not kept: memo %d store %d", d.MemoEntries, d.StoreEntries)
+	}
+	if d.SLO.Requests != 9 || d.SLO.Errors != 1 {
+		t.Errorf("SLO not kept as a gauge: %+v", d.SLO)
 	}
 
 	// Subtracting a larger (stale or foreign) snapshot saturates at zero
@@ -96,13 +100,27 @@ func TestSnapshotStringGolden(t *testing.T) {
 		IngestedTrees: 20, IngestedNodes: 2100,
 		StoreHits: 5, StoreMisses: 15, StoreHitRate: 0.25, StoreEntries: 15,
 		QueueDepth: 2, WorkerCapacity: 4200 * time.Millisecond, Utilization: 0.5,
+		SLO: telemetry.SLOSnapshot{
+			Window:             time.Hour,
+			LatencyObjective:   250 * time.Millisecond,
+			AvailabilityTarget: 0.999,
+			LatencyTarget:      0.95,
+			Requests:           10,
+			Errors:             1,
+			Availability:       0.9,
+			LatencyAttainment:  1,
+			BurnShort:          100,
+			BurnLong:           100,
+			P95:                33 * time.Millisecond,
+		},
 	}
 	want := "diffs 10 (1 errors, 2 batches), 40 edits, 1000+1100 nodes in 2.1s (1000 nodes/s)\n" +
 		"resilience: 1 panics, 2 timeouts, 3 fallbacks, 4 rollbacks\n" +
 		"workers: 50.0% utilized over 4.2s capacity, queue depth 2\n" +
 		"scratch pool: 10 gets, 2 misses (80.0% hit)\n" +
 		"digest memo: 300 hits, 100 misses (75.0% hit), 400 entries; ingested 20 trees / 2100 nodes\n" +
-		"tree store: 5 hits, 15 misses (25.0% hit), 15 trees interned"
+		"tree store: 5 hits, 15 misses (25.0% hit), 15 trees interned\n" +
+		"slo[1h0m0s]: 10 req, avail 90.00% (target 99.90%, burn 100.0x/100.0x), 100.00% <= 250ms (target 95.00%), p95 33ms"
 	if got := s.String(); got != want {
 		t.Errorf("String mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}

@@ -16,8 +16,8 @@ import (
 // The five oracle properties, named for failure reports and the property
 // catalog in docs/TESTING.md.
 const (
-	PropWellTyped   = "well-typed"   // Conjecture 4.2: scripts pass the linear type check and Comply
-	PropConvergence = "convergence"  // Conjecture 4.3: patch(diff(a,b), a) ≃ b
+	PropWellTyped   = "well-typed"      // Conjecture 4.2: scripts pass the linear type check and Comply
+	PropConvergence = "convergence"     // Conjecture 4.3: patch(diff(a,b), a) ≃ b
 	PropSelfDiff    = "empty-self-diff" // diff(a,a) = ∅
 	PropRollback    = "fault-rollback"  // failed patches roll back exactly and re-apply cleanly
 	PropOrdering    = "edit-ordering"   // all negative edits precede all positive edits

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(TraceRecord{}) // must not panic
+	snap := f.Snapshot()
+	if snap.Total != 0 || len(snap.Recent) != 0 || len(snap.Slowest) != 0 {
+		t.Errorf("nil recorder snapshot = %+v", snap)
+	}
+}
+
+func TestFlightRecorderRingAndSlowest(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	// 6 records into a 4-slot ring; walls 10,20,30,40,50,25.
+	for i, wall := range []int64{10, 20, 30, 40, 50, 25} {
+		f.RecordAt(at.Add(time.Duration(i)*time.Second), TraceRecord{
+			Pair:   string(rune('a' + i)),
+			WallNS: wall,
+		})
+	}
+	snap := f.Snapshot()
+	if snap.Total != 6 {
+		t.Errorf("total = %d, want 6", snap.Total)
+	}
+	// Ring keeps the last 4, newest first: f(25), e(50), d(40), c(30).
+	wantRecent := []string{"f", "e", "d", "c"}
+	if len(snap.Recent) != len(wantRecent) {
+		t.Fatalf("recent has %d entries, want %d", len(snap.Recent), len(wantRecent))
+	}
+	for i, w := range wantRecent {
+		if snap.Recent[i].Pair != w {
+			t.Errorf("recent[%d] = %q, want %q", i, snap.Recent[i].Pair, w)
+		}
+	}
+	// Slowest-2, slowest first: e(50), d(40).
+	if len(snap.Slowest) != 2 || snap.Slowest[0].Pair != "e" || snap.Slowest[1].Pair != "d" {
+		t.Errorf("slowest = %+v, want e then d", snap.Slowest)
+	}
+	// Even though a/b scrolled out of the ring the earlier slow records
+	// were retained while they were slowest.
+	if snap.Slowest[0].WallNS != 50 {
+		t.Errorf("slowest wall = %d, want 50", snap.Slowest[0].WallNS)
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	f := NewFlightRecorder(8, 4)
+	f.Record(TraceRecord{Pair: "only", WallNS: 7})
+	snap := f.Snapshot()
+	if len(snap.Recent) != 1 || snap.Recent[0].Pair != "only" {
+		t.Fatalf("recent = %+v", snap.Recent)
+	}
+	if len(snap.Slowest) != 1 {
+		t.Fatalf("slowest = %+v", snap.Slowest)
+	}
+}
+
+func TestFlightHandlerJSON(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	f.Record(TraceRecord{Pair: "p.py", WallNS: int64(3 * time.Millisecond), Edits: 2, TraceID: "deadbeef"})
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/diffz", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap FlightSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("response is not valid JSON: %v\n%s", err, rr.Body.String())
+	}
+	if snap.Total != 1 || len(snap.Recent) != 1 || snap.Recent[0].Pair != "p.py" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Recent[0].TraceID != "deadbeef" {
+		t.Errorf("trace id lost: %+v", snap.Recent[0])
+	}
+}
+
+func TestFlightHandlerHTML(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	f.Record(TraceRecord{Pair: "<script>alert(1)</script>", WallNS: 10})
+
+	// ?format=html forces HTML.
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/diffz?format=html", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rr.Body.String()
+	if strings.Contains(body, "<script>alert") {
+		t.Error("pair label not HTML-escaped")
+	}
+	if !strings.Contains(body, "flight recorder") {
+		t.Error("HTML body missing title")
+	}
+
+	// Browser Accept header also selects HTML…
+	rr = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/debug/diffz", nil)
+	req.Header.Set("Accept", "text/html,application/xhtml+xml")
+	f.Handler().ServeHTTP(rr, req)
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Accept: text/html got Content-Type %q", ct)
+	}
+
+	// …unless ?format=json overrides it.
+	rr = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "/debug/diffz?format=json", nil)
+	req.Header.Set("Accept", "text/html")
+	f.Handler().ServeHTTP(rr, req)
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("?format=json got Content-Type %q", ct)
+	}
+}

@@ -61,6 +61,29 @@ func (h *Histogram) Record(v int64) {
 // Count returns the number of observations so far.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Reset zeroes every counter. It may run concurrently with Record — the
+// stores and adds are all atomic, so there is no data race — but a Record
+// racing the reset can be partially kept (counted in one counter, zeroed
+// in another). The SLO slot rotation that needs Reset tolerates that
+// boundary noise; callers needing exact counts must serialize externally.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Merge adds o's counters into s (bucket-wise), for combining per-slot
+// snapshots into one windowed distribution.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // Snapshot captures the histogram's current counters.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot

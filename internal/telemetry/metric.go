@@ -174,12 +174,16 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-func escapeHelp(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
-	return r.Replace(s)
-}
+// The escaping rules of exposition format 0.0.4: HELP text escapes
+// backslash and newline; label values additionally escape double quotes.
+// Package-level replacers — building one per call showed up as allocation
+// on the exposition path once diffserve began zipping every engine metric
+// with a {lang=...} label.
+var (
+	helpReplacer  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelReplacer = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
 
-func escapeLabel(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(s)
-}
+func escapeHelp(s string) string { return helpReplacer.Replace(s) }
+
+func escapeLabel(s string) string { return labelReplacer.Replace(s) }

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingFile is an append-only file with size-based rotation, built for
+// JSONL trace sinks on long-running daemons (cmd/diffd -trace with
+// -trace-max-bytes): when an incoming write would push the current file
+// past the limit, the file is renamed to <path>.1 (replacing any previous
+// rotation) and a fresh <path> is opened. Writes are serialized by an
+// internal mutex and records never split across files — each Write lands
+// wholly in one file, which json.Encoder guarantees to pair with (one
+// Write per record). At most max*2 bytes ever live on disk.
+type RotatingFile struct {
+	mu   sync.Mutex
+	path string
+	max  int64
+	f    *os.File
+	size int64
+}
+
+// OpenRotatingFile opens (creating or appending to) path with rotation at
+// maxBytes. A non-positive maxBytes disables rotation: the file behaves
+// like a plain O_APPEND open and only grows.
+func OpenRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open rotating file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: stat rotating file: %w", err)
+	}
+	return &RotatingFile{path: path, max: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Write implements io.Writer. A write that would exceed the size limit
+// rotates first, so files only exceed the limit when a single record is
+// itself larger than it.
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return 0, fmt.Errorf("telemetry: write to closed rotating file %s", r.path)
+	}
+	if r.max > 0 && r.size > 0 && r.size+int64(len(p)) > r.max {
+		if err := r.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	return n, err
+}
+
+// rotateLocked closes the current file, moves it to <path>.1, and opens a
+// fresh <path>. Called with the mutex held.
+func (r *RotatingFile) rotateLocked() error {
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("telemetry: rotate %s: %w", r.path, err)
+	}
+	if err := os.Rename(r.path, r.path+".1"); err != nil {
+		return fmt.Errorf("telemetry: rotate %s: %w", r.path, err)
+	}
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("telemetry: rotate %s: %w", r.path, err)
+	}
+	r.f, r.size = f, 0
+	return nil
+}
+
+// Close closes the underlying file. Later writes fail.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}

@@ -14,6 +14,11 @@ type TraceRecord struct {
 	// Pair identifies the diffed pair (e.g. the corpus file path); empty
 	// when the caller assigned no label.
 	Pair string `json:"pair,omitempty"`
+	// TraceID and SpanID correlate the record with the distributed trace
+	// the diff ran under (hex, W3C sizes); empty when the pair carried no
+	// trace context.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 	// SourceNodes and TargetNodes are the input tree sizes.
 	SourceNodes int `json:"source_nodes"`
 	TargetNodes int `json:"target_nodes"`

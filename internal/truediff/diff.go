@@ -277,7 +277,12 @@ func (d *Differ) DiffScratchProfiled(ctx context.Context, source, target *tree.N
 	r.alloc = alloc
 	// A diff that passed validation emits the full span: BeginDiff, one
 	// Phase per step in order, EndDiff. Failed validation emits nothing.
+	// A request-scoped tracer carried by ctx (the engine attaches one per
+	// pair to synthesize phase spans) merges with the configured tracer.
 	tr := d.opts.Tracer
+	if ct := telemetry.TracerFromContext(ctx); ct != nil {
+		tr = telemetry.MultiTracer(tr, ct)
+	}
 	if tr != nil {
 		tr.BeginDiff(source.Size(), target.Size())
 	}

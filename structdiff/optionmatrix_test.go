@@ -18,7 +18,7 @@ type countingTracer struct {
 	begins, phases, ends atomic.Int64
 }
 
-func (c *countingTracer) BeginDiff(sourceNodes, targetNodes int)   { c.begins.Add(1) }
+func (c *countingTracer) BeginDiff(sourceNodes, targetNodes int)    { c.begins.Add(1) }
 func (c *countingTracer) Phase(p structdiff.Phase, d time.Duration) { c.phases.Add(1) }
 func (c *countingTracer) EndDiff(edits int, wall time.Duration)     { c.ends.Add(1) }
 

@@ -81,6 +81,13 @@ func NewServiceServer(cfg ServiceConfig) (*ServiceServer, error) {
 // concurrency limits account against.
 func WithServiceTenant(tenant string) ServiceClientOption { return diffserve.WithTenant(tenant) }
 
+// WithServiceSpans enables client-side tracing on a ServiceClient: each
+// RPC records a span to sink and ships its context in the W3C traceparent
+// header, so the server's request, queue, and engine spans join the
+// caller's trace. Parent a client span on surrounding work by putting a
+// SpanContext on ctx with WithTraceContext.
+func WithServiceSpans(sink SpanSink) ServiceClientOption { return diffserve.WithSpans(sink) }
+
 // ServiceRetryAfter extracts the server's retry advice from a saturation
 // error (errors.Is(err, ErrServiceUnavailable)); zero when err carries
 // none.

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -58,6 +59,9 @@ type config struct {
 	timeout  time.Duration
 	fallback FallbackMode
 	faults   *faultinject.Injector
+	spans    telemetry.SpanSink
+	logger   *slog.Logger
+	slo      telemetry.SLOConfig
 }
 
 func newConfig(opts []Option) config {
@@ -163,6 +167,29 @@ func WithFallback(m FallbackMode) Option { return func(c *config) { c.fallback =
 // See docs/OBSERVABILITY.md.
 func WithProfileLabels() Option { return func(c *config) { c.diff.ProfileLabels = true } }
 
+// WithSpans enables distributed tracing: completed spans are delivered to
+// sink. DiffContext records one "structdiff.diff" span per call with the
+// four truediff phases as children; an Engine records one "engine.diff"
+// span per pair (parented on Pair.Trace when set) with the phases nested
+// under it. The parent for a facade diff is taken from the context
+// (WithTraceContext), so client-side spans join server traces. Tracing is
+// off — and costs nothing — without this option. See docs/TRACING.md.
+func WithSpans(sink SpanSink) Option { return func(c *config) { c.spans = sink } }
+
+// WithLogger routes an Engine's structured diagnostics — slow diffs,
+// failures, fallback rescues — through a log/slog logger instead of the
+// standard library's plain logger. Records carry the pair label, timing,
+// sizes, and trace_id/span_id correlation when tracing is on. Engine
+// entry points only.
+func WithLogger(l *slog.Logger) Option { return func(c *config) { c.logger = l } }
+
+// WithSLO overrides an Engine's rolling-window service-level objectives
+// (window length, latency objective, availability and attainment targets;
+// zero fields take the defaults documented on SLOConfig). The evaluation
+// surfaces in Snapshot.SLO, Snapshot.String(), and the structdiff_slo_*
+// gauges. Engine entry points only.
+func WithSLO(cfg SLOConfig) Option { return func(c *config) { c.slo = cfg } }
+
 // WithFaultInjection arms deterministic fault injection on an Engine: the
 // injector's faults fire at the engine's sites (FaultSiteDiff on every
 // diff, FaultSiteCheckpoint on every checkpoint poll). Intended for
@@ -197,8 +224,27 @@ func DiffContext(ctx context.Context, src, dst *Node, opts ...Option) (*Result, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.spans != nil {
+		span := telemetry.StartSpan(cfg.spans, telemetry.SpanContextFromContext(ctx), "structdiff.diff")
+		defer span.End()
+		ctx = telemetry.ContextWithTracer(ctx, telemetry.PhaseSpans(cfg.spans, span.Context()))
+	}
 	d := truediff.NewWithOptions(cfg.sch, cfg.diff)
 	return d.DiffScratchProfiled(ctx, src, dst, cfg.alloc, truediff.NewScratch(), ctxCheckpoint(ctx, cfg.timeout))
+}
+
+// WithTraceContext returns a context carrying sc as the parent for spans
+// opened under it: DiffContext's facade span and a ServiceClient's RPC
+// spans parent themselves on sc, joining the caller's trace. Retrieve a
+// context's trace with TraceContextFrom.
+func WithTraceContext(ctx context.Context, sc SpanContext) context.Context {
+	return telemetry.ContextWithSpanContext(ctx, sc)
+}
+
+// TraceContextFrom extracts the trace context carried by ctx (the zero,
+// invalid SpanContext when none is set).
+func TraceContextFrom(ctx context.Context) SpanContext {
+	return telemetry.SpanContextFromContext(ctx)
 }
 
 // ctxCheckpoint builds the cooperative-cancellation hook for one facade
@@ -352,6 +398,9 @@ func NewEngine(sch *Schema, opts ...Option) (*Engine, error) {
 		DiffTimeout:       cfg.timeout,
 		Fallback:          cfg.fallback,
 		Faults:            cfg.faults,
+		Spans:             cfg.spans,
+		Logger:            cfg.logger,
+		SLO:               cfg.slo,
 	}), nil
 }
 
