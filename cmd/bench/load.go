@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/corpus"
 	"repro/internal/derrors"
 	"repro/internal/diffserve"
@@ -35,6 +36,14 @@ type loadConfig struct {
 	// rec overrides the recorder trace uses (tests inspect it; nil with
 	// trace set allocates one).
 	rec *telemetry.SpanRecorder
+	// chaos interposes a seeded fault proxy (internal/chaos) between the
+	// clients and the daemon and arms the clients with retries; the run
+	// then reports goodput (successful requests per second) under fault
+	// injection. chaosRate is the total fault rate (default 0.1), split
+	// across resets, error answers, and truncated bodies.
+	chaos     bool
+	chaosRate float64
+	chaosSeed int64
 }
 
 // runLoad drives a diffd with concurrent clients replaying a generated
@@ -94,10 +103,35 @@ func runLoad(cfg loadConfig) int {
 		fmt.Fprintf(os.Stderr, "bench: started in-process diffd at %s\n", base)
 	}
 
+	var proxy *chaos.Proxy
+	if cfg.chaos {
+		rate := cfg.chaosRate
+		if rate <= 0 {
+			rate = 0.1
+		}
+		var err error
+		proxy, err = chaos.New(chaos.Config{
+			Target:       base,
+			Seed:         cfg.chaosSeed,
+			ResetRate:    0.4 * rate,
+			ErrorRate:    0.3 * rate,
+			TruncateRate: 0.3 * rate,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 2
+		}
+		defer proxy.Close()
+		fmt.Fprintf(os.Stderr, "bench: chaos proxy %s -> %s (total fault rate %.0f%%)\n",
+			proxy.URL(), base, 100*rate)
+		base = proxy.URL()
+	}
+
 	var (
 		latency  telemetry.Histogram
 		sheds    atomic.Uint64
 		failures atomic.Uint64
+		retries  atomic.Uint64
 		next     atomic.Int64
 	)
 	start := time.Now()
@@ -110,8 +144,18 @@ func runLoad(cfg loadConfig) int {
 			if rec != nil {
 				copts = append(copts, diffserve.WithSpans(rec))
 			}
+			if cfg.chaos {
+				copts = append(copts, diffserve.WithRetry(diffserve.RetryPolicy{
+					MaxAttempts: 5, BaseBackoff: 2 * time.Millisecond,
+					MaxBackoff: 100 * time.Millisecond, PerAttemptTimeout: 10 * time.Second,
+					Seed: cfg.chaosSeed + int64(c),
+				}))
+			}
 			client := diffserve.NewClient(base, "pylang", pylang.Schema(), copts...)
-			defer client.Close()
+			defer func() {
+				retries.Add(client.ClientSnapshot().Retries)
+				client.Close()
+			}()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(cfg.requests) {
@@ -147,6 +191,14 @@ func runLoad(cfg loadConfig) int {
 		time.Duration(s.Quantile(0.95)).Round(time.Microsecond),
 		time.Duration(s.Quantile(1.0)).Round(time.Microsecond))
 	fmt.Printf("  %d shed by admission control, %d failed\n", sheds.Load(), failures.Load())
+	if proxy != nil {
+		good := uint64(cfg.requests) - sheds.Load() - failures.Load()
+		c := proxy.Counts()
+		fmt.Printf("  goodput %.0f req/s (%d/%d succeeded) with %d client retries\n",
+			float64(good)/wall.Seconds(), good, cfg.requests, retries.Load())
+		fmt.Printf("  chaos injected: %d resets, %d error answers, %d truncations (%d forwarded clean)\n",
+			c.Resets, c.Errors, c.Truncates, c.Forwarded)
+	}
 	if rec != nil {
 		printTraceSummary(summarizeSpans(rec.Spans()))
 	}

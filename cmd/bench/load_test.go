@@ -39,3 +39,21 @@ func TestLoadTraceEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadChaosGoodput runs the self-contained load test through the
+// chaos proxy: with retries armed, a 20% fault rate must not produce
+// hard failures (exit 1), only retried or shed requests.
+func TestLoadChaosGoodput(t *testing.T) {
+	code := runLoad(loadConfig{
+		clients:   2,
+		requests:  20,
+		workers:   2,
+		seed:      3,
+		chaos:     true,
+		chaosRate: 0.2,
+		chaosSeed: 5,
+	})
+	if code != 0 {
+		t.Fatalf("runLoad with chaos exited %d, want 0", code)
+	}
+}

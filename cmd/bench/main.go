@@ -34,6 +34,13 @@
 //	bench -load                              # self-contained: in-process daemon
 //	bench -load -load-addr http://host:8347  # against a running diffd
 //	bench -load -load-clients 16 -load-requests 1000
+//	bench -load -chaos -chaos-rate 0.1       # goodput under fault injection
+//
+// With -chaos a seeded fault proxy (internal/chaos) sits between the
+// clients and the daemon, injecting connection resets, 5xx/429 answers,
+// and truncated bodies at -chaos-rate; the clients retry with backoff and
+// the report adds goodput (successful requests per second) plus injected
+// fault counts.
 //
 // Exit status: 0 on success, 1 on a failed gate, 2 on usage or I/O errors.
 package main
@@ -69,6 +76,9 @@ func main() {
 		loadRequests = flag.Int("load-requests", 200, "total load-test requests")
 		loadSeed     = flag.Int64("load-seed", 1, "corpus seed for the load test")
 		loadTrace    = flag.Bool("load-trace", false, "record spans during the load test and print a per-trace latency decomposition")
+		chaosOn      = flag.Bool("chaos", false, "with -load: inject faults through a seeded chaos proxy and report goodput")
+		chaosRate    = flag.Float64("chaos-rate", 0.1, "with -chaos: total injected fault rate in [0,1]")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "with -chaos: fault schedule seed")
 	)
 	flag.Parse()
 
@@ -77,11 +87,14 @@ func main() {
 	}
 	if *load {
 		os.Exit(runLoad(loadConfig{
-			addr:     *loadAddr,
-			clients:  *loadClients,
-			requests: *loadRequests,
-			seed:     *loadSeed,
-			trace:    *loadTrace,
+			addr:      *loadAddr,
+			clients:   *loadClients,
+			requests:  *loadRequests,
+			seed:      *loadSeed,
+			trace:     *loadTrace,
+			chaos:     *chaosOn,
+			chaosRate: *chaosRate,
+			chaosSeed: *chaosSeed,
 		}))
 	}
 	if flag.NArg() != 0 {

@@ -17,10 +17,13 @@
 //	GET  /v1/snapshot  per-language engine counters
 //	GET  /metrics      Prometheus text exposition (service + engines)
 //	GET  /debug/diffz  flight recorder: recent + slowest diffs (JSON/HTML)
-//	GET  /healthz      200 serving / 503 draining
+//	GET  /healthz      liveness: 200 while the process serves HTTP
+//	GET  /readyz       readiness: 503 when draining, lame-duck, or saturated
 //
-// On SIGTERM the daemon drains: in-flight diffs complete, queued and new
-// requests are answered with a clean 503, then the process exits 0. The
+// On SIGTERM the daemon first goes lame-duck for -drain-grace: /readyz
+// answers 503 (load balancers stop routing here) while requests still
+// serve. Then it drains: in-flight diffs complete, queued and new
+// requests are answered with a clean 503, and the process exits 0. The
 // drain is bounded by -drain-timeout; an expired bound still closes the
 // engines before exit.
 //
@@ -77,6 +80,7 @@ func main() {
 		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
 		sloWindow     = flag.Duration("slo-window", 0, "rolling SLO window (0 = 1h default)")
 		sloObjective  = flag.Duration("slo-objective", 0, "per-request latency objective for SLO attainment (0 = 250ms default)")
+		drainGrace    = flag.Duration("drain-grace", 0, "lame-duck period after SIGTERM: /readyz answers 503 while requests still serve, before the drain begins")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
 		listLangs     = flag.Bool("list-langs", false, "print the registered languages and exit")
 	)
@@ -161,6 +165,14 @@ func main() {
 	}
 	stop()
 
+	if *drainGrace > 0 {
+		// Lame-duck: unready on /readyz, still serving. Load balancers get
+		// one health-check interval to route traffic away before any
+		// request sees a drain 503.
+		srv.Lameduck()
+		logf("lame-duck for %v: /readyz now 503, still serving", *drainGrace)
+		time.Sleep(*drainGrace)
+	}
 	logf("draining (bound %v): in-flight diffs complete, new requests get 503", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// origin returns a test origin that echoes a fixed body, plus its URL.
+func origin(t *testing.T, body string) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.Header().Set("X-Origin", "yes")
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func newProxy(t *testing.T, cfg Config) *Proxy {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func TestForwardsClean(t *testing.T) {
+	p := newProxy(t, Config{Target: origin(t, "hello"), Seed: 1})
+	resp, err := http.Get(p.URL() + "/some/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hello" || resp.Header.Get("X-Origin") != "yes" {
+		t.Fatalf("forward mangled: body=%q origin-header=%q", body, resp.Header.Get("X-Origin"))
+	}
+	if c := p.Counts(); c.Forwarded != 1 || c.Faults() != 0 {
+		t.Fatalf("counts = %+v, want 1 forwarded, 0 faults", c)
+	}
+}
+
+func TestResetSurfacesAsTransportError(t *testing.T) {
+	p := newProxy(t, Config{Target: origin(t, "x"), Seed: 1, ResetRate: 1})
+	if _, err := http.Get(p.URL() + "/"); err == nil {
+		t.Fatal("reset fault produced a clean response")
+	}
+	if c := p.Counts(); c.Resets != 1 {
+		t.Fatalf("counts = %+v, want 1 reset", c)
+	}
+}
+
+func TestTruncatePromisesMoreThanItSends(t *testing.T) {
+	p := newProxy(t, Config{Target: origin(t, strings.Repeat("z", 4096)), Seed: 1, TruncateRate: 1})
+	resp, err := http.Get(p.URL() + "/")
+	if err == nil {
+		// The status line and headers may arrive intact; the body must not.
+		defer resp.Body.Close()
+		if _, rerr := io.ReadAll(resp.Body); rerr == nil {
+			t.Fatal("truncated body read to completion without error")
+		}
+	}
+	if c := p.Counts(); c.Truncates != 1 {
+		t.Fatalf("counts = %+v, want 1 truncate", c)
+	}
+}
+
+func TestErrorBurstIsConsecutive(t *testing.T) {
+	p := newProxy(t, Config{Target: origin(t, "x"), Seed: 1, ErrorRate: 1, ErrorBurst: 3})
+	statuses := make([]int, 0, 3)
+	retryAfter := false
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(p.URL() + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		statuses = append(statuses, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") != "" {
+			retryAfter = true
+		}
+	}
+	for i, st := range statuses {
+		if st != http.StatusServiceUnavailable && st != http.StatusTooManyRequests {
+			t.Fatalf("burst request %d: status %d, want 503 or 429", i, st)
+		}
+	}
+	if !retryAfter {
+		t.Fatalf("burst %v never produced a 429 with Retry-After", statuses)
+	}
+	if c := p.Counts(); c.Errors != 3 {
+		t.Fatalf("counts = %+v, want 3 errors", c)
+	}
+}
+
+func TestLatencyDelaysButForwards(t *testing.T) {
+	p := newProxy(t, Config{Target: origin(t, "slow"), Seed: 1, LatencyRate: 1, Latency: 50 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Get(p.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "slow" {
+		t.Fatalf("latency fault mangled body: %q", body)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("response arrived in %v, before the injected 50ms", d)
+	}
+	if c := p.Counts(); c.Delays != 1 || c.Forwarded != 1 {
+		t.Fatalf("counts = %+v, want 1 delay + 1 forwarded", c)
+	}
+}
+
+func TestBlackholeHangsUntilContext(t *testing.T) {
+	p := newProxy(t, Config{Target: origin(t, "x"), Seed: 1, BlackholeRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, p.URL()+"/", nil)
+	start := time.Now()
+	_, err := http.DefaultClient.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request answered")
+	}
+	if d := time.Since(start); d < 90*time.Millisecond {
+		t.Fatalf("blackholed request failed in %v, before the 100ms deadline", d)
+	}
+	if c := p.Counts(); c.Blackholes != 1 {
+		t.Fatalf("counts = %+v, want 1 blackhole", c)
+	}
+}
+
+func TestCloseReleasesBlackholes(t *testing.T) {
+	p, err := New(Config{Target: origin(t, "x"), Seed: 1, BlackholeRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = http.Get(p.URL() + "/") // hangs until Close
+	}()
+	// Give the request time to reach the blackhole, then close under it.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Counts().Blackholes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the blackhole")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = p.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed request still hung after Close")
+	}
+}
+
+func TestSeededDecisionsAreDeterministic(t *testing.T) {
+	// Two proxies with the same seed, driven sequentially, make the same
+	// decisions in the same order.
+	target := origin(t, "d")
+	counts := func(seed int64) Counts {
+		p := newProxy(t, Config{Target: target, Seed: seed, ResetRate: 0.3, ErrorRate: 0.3})
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(p.URL() + "/")
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return p.Counts()
+	}
+	a, b := counts(42), counts(42)
+	if a != b {
+		t.Fatalf("same seed, different decisions: %+v vs %+v", a, b)
+	}
+	if a.Faults() == 0 || a.Forwarded == 0 {
+		t.Fatalf("seed 42 produced a degenerate schedule: %+v", a)
+	}
+}
+
+func TestRequiresTarget(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty Target")
+	}
+}

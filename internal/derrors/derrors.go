@@ -57,6 +57,17 @@ var (
 
 	// ErrServiceUnavailable reports a diff service request rejected by
 	// admission control — the server is saturated (HTTP 429, retry after
-	// the advertised delay) or draining for shutdown (HTTP 503).
+	// the advertised delay) or draining for shutdown (HTTP 503) — or a
+	// transport-level failure (connection refused/reset, truncated or
+	// malformed response) that a retrying client may transparently recover
+	// from: diffs are pure functions of digest-identified trees, so every
+	// request is idempotent and safe to replay.
 	ErrServiceUnavailable = errors.New("diff service unavailable")
+
+	// ErrCircuitOpen reports a diff service call refused locally by the
+	// client's circuit breaker: the endpoint's recent failure rate tripped
+	// the breaker and calls fail fast without touching the network until
+	// the cooldown elapses and a half-open probe succeeds. The request was
+	// never sent.
+	ErrCircuitOpen = errors.New("circuit breaker is open")
 )

@@ -7,7 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,6 +34,14 @@ import (
 // intern store. A server restart invalidates refs; the client detects the
 // unknown_ref answer and retries once with the full trees. A Client is
 // safe for concurrent use.
+//
+// The client is also where the network resilience layer lives (see
+// retry.go): WithRetry arms transparent retries of transient failures,
+// WithBreaker a per-endpoint circuit breaker that fails fast while the
+// service is down, and WithHedge tail-latency hedging. All three are off
+// by default and cost nothing when off — every request is idempotent
+// (diffs are pure functions of digest-identified trees), which is what
+// makes aggressive retrying and hedging safe.
 type Client struct {
 	base   string
 	lang   string
@@ -39,6 +50,14 @@ type Client struct {
 	tenant string
 	spans  telemetry.SpanSink
 
+	retry *retrier
+	hedge *hedger
+	brCfg *BreakerConfig
+	m     clientMetrics
+
+	brMu     sync.Mutex
+	breakers map[string]*breaker
+
 	refMu sync.Mutex
 	refs  map[string]bool
 }
@@ -46,9 +65,39 @@ type Client struct {
 // ClientOption customizes a Client.
 type ClientOption func(*Client)
 
-// WithHTTPClient substitutes the http.Client (timeouts, transports).
+// WithHTTPClient substitutes the http.Client (timeouts, transports). The
+// default client carries no flat timeout — per-request deadlines come
+// from the caller's context (plus WithRetry's optional per-attempt bound)
+// — over a tuned transport (see newTransport).
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry arms transparent retries: transient failures — transport
+// errors, saturation sheds, drain refusals, 5xx answers, per-attempt
+// timeouts — are re-attempted with full-jitter exponential backoff that
+// honors the server's Retry-After advice and the request context. The
+// zero policy selects DefaultRetryPolicy.
+func WithRetry(pol RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = newRetrier(pol) }
+}
+
+// WithBreaker arms a per-endpoint circuit breaker: when an endpoint's
+// windowed failure rate trips the threshold, calls fail fast with an
+// error matching derrors.ErrCircuitOpen instead of piling onto a dead
+// service, until a half-open probe succeeds. The zero config selects the
+// defaults documented on BreakerConfig.
+func WithBreaker(cfg BreakerConfig) ClientOption {
+	return func(c *Client) { cc := cfg.withDefaults(); c.brCfg = &cc }
+}
+
+// WithHedge arms request hedging for tail latency: an attempt still
+// unanswered after the hedge delay (by default the rolling p95 of
+// observed attempt latency) is raced against a second copy of the same
+// idempotent request; the first response wins and the loser is cancelled.
+// The zero config selects the defaults documented on HedgeConfig.
+func WithHedge(cfg HedgeConfig) ClientOption {
+	return func(c *Client) { c.hedge = newHedger(cfg) }
 }
 
 // WithTenant sets the X-Diffd-Tenant header, the identity the server's
@@ -65,6 +114,30 @@ func WithTenant(tenant string) ClientOption {
 // records no spans of its own.
 func WithSpans(sink telemetry.SpanSink) ClientOption {
 	return func(c *Client) { c.spans = sink }
+}
+
+// newTransport builds the client's default transport: explicit dial and
+// TLS-handshake timeouts (a dead host fails in seconds, not kernel
+// minutes), and an idle pool sized to the engine's default worker count
+// (GOMAXPROCS — the number of concurrent diffs a saturated server runs
+// per language), so batch fan-out reuses warm connections instead of
+// thrashing the dial path. There is deliberately no ResponseHeaderTimeout:
+// how long a diff may take is the caller's decision, made per request via
+// the context (or per attempt via RetryPolicy.PerAttemptTimeout).
+func newTransport() *http.Transport {
+	conns := max(runtime.GOMAXPROCS(0), 4)
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		MaxIdleConns:          2 * conns,
+		MaxIdleConnsPerHost:   conns,
+		IdleConnTimeout:       90 * time.Second,
+	}
 }
 
 // startSpan opens the client-side span for one RPC. It returns the span
@@ -85,11 +158,12 @@ func (c *Client) startSpan(ctx context.Context, name string) (*telemetry.Span, t
 // that language: it is used to decode patched trees locally.
 func NewClient(base, lang string, sch *sig.Schema, opts ...ClientOption) *Client {
 	c := &Client{
-		base: base,
-		lang: lang,
-		sch:  sch,
-		hc:   &http.Client{Timeout: 60 * time.Second},
-		refs: make(map[string]bool),
+		base:     base,
+		lang:     lang,
+		sch:      sch,
+		hc:       &http.Client{Transport: newTransport()},
+		refs:     make(map[string]bool),
+		breakers: make(map[string]*breaker),
 	}
 	for _, o := range opts {
 		o(c)
@@ -141,7 +215,14 @@ func (c *Client) Diff(ctx context.Context, source, target *tree.Node, alloc *uri
 	resp, err := c.diffOnce(ctx, source, target, false)
 	if err != nil {
 		if wireKind(err) == ErrKindUnknownRef {
+			// The server lost our refs (restart). Re-send with full trees —
+			// but only if the caller is still waiting: a dead context must
+			// not spawn a second request.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("diffserve: %w", context.Cause(ctx))
+			}
 			c.forgetRefs()
+			c.m.resends.Add(1)
 			resp, err = c.diffOnce(ctx, source, target, true)
 		}
 		if err != nil {
@@ -211,7 +292,14 @@ func (c *Client) DiffBatch(ctx context.Context, pairs []engine.Pair) ([]engine.P
 		}
 	}
 	if retry {
+		// Same contract as Diff's unknown_ref recovery: never re-send on a
+		// context the caller has already abandoned, and account for the
+		// recovery in the client counters.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("diffserve: %w", context.Cause(ctx))
+		}
 		c.forgetRefs()
+		c.m.resends.Add(1)
 		if resp, err = c.batchOnce(ctx, pairs, true); err != nil {
 			return nil, err
 		}
@@ -290,20 +378,230 @@ func (c *Client) Close() error {
 
 // --- transport ---
 
+// post runs one logical request through the resilience pipeline: circuit
+// breaker → retry loop → (optionally hedged) HTTP attempt → decode. The
+// response is unmarshalled into out only after the winning attempt's body
+// has been read in full, so a truncated or corrupted body is a typed,
+// retryable transport error — never a half-decoded response.
 func (c *Client) post(ctx context.Context, path string, tc telemetry.SpanContext, body, out any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("diffserve: encode request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	respBody, err := c.roundTrip(ctx, path, tc, raw)
 	if err != nil {
-		return fmt.Errorf("diffserve: %w", err)
+		return err
+	}
+	if err := json.Unmarshal(respBody, out); err != nil {
+		return fmt.Errorf("diffserve: %w: decode response: %v", derrors.ErrServiceUnavailable, err)
+	}
+	return nil
+}
+
+// roundTrip is the retry loop around one endpoint call. With no
+// RetryPolicy armed it is a single attempt; with one, transient failures
+// are re-attempted under full-jitter backoff until the policy, the
+// breaker, or the caller's context says stop.
+func (c *Client) roundTrip(ctx context.Context, path string, tc telemetry.SpanContext, raw []byte) ([]byte, error) {
+	br := c.breakerFor(path)
+	attempts := 1
+	if c.retry != nil {
+		attempts = c.retry.pol.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diffserve: %w", context.Cause(ctx))
+		}
+		if br != nil {
+			if err := br.allow(); err != nil {
+				c.m.breakerFast.Add(1)
+				return nil, err
+			}
+		}
+		start := time.Now()
+		body, err := c.hedgedAttempt(ctx, path, tc, raw)
+		elapsed := time.Since(start)
+		br.observe(elapsed, err == nil)
+		if err == nil {
+			c.hedge.observe(elapsed)
+			return body, nil
+		}
+		lastErr = err
+		if attempt+1 >= attempts || !retryable(err) {
+			return nil, lastErr
+		}
+		delay := c.retry.backoff(attempt, RetryAfter(err))
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return nil, serr
+		}
+		c.m.retries.Add(1)
+	}
+}
+
+// breakerFor returns the endpoint's breaker, creating it on first use;
+// nil when no breaker is armed.
+func (c *Client) breakerFor(path string) *breaker {
+	if c.brCfg == nil {
+		return nil
+	}
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
+	b := c.breakers[path]
+	if b == nil {
+		b = newBreaker(*c.brCfg, &c.m.breakerOpens)
+		c.breakers[path] = b
+	}
+	return b
+}
+
+// hedgedAttempt runs one retry-loop attempt. Without hedging it is a
+// plain attempt. With hedging, an attempt still unanswered after the
+// hedge delay is raced against up to HedgeConfig.Max additional copies:
+// the first success wins and cancels the rest; if every launched copy
+// fails, the first failure is reported (the retry loop takes it from
+// there).
+func (c *Client) hedgedAttempt(ctx context.Context, path string, tc telemetry.SpanContext, raw []byte) ([]byte, error) {
+	if c.hedge == nil {
+		return c.attempt(ctx, path, tc, raw)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // the loser (if any) is cancelled here
+
+	type outcome struct {
+		body []byte
+		err  error
+	}
+	results := make(chan outcome, c.hedge.cfg.Max+1)
+	launch := func() {
+		go func() {
+			body, err := c.attempt(actx, path, tc, raw)
+			results <- outcome{body, err}
+		}()
+	}
+	launch()
+	launched := 1
+
+	timer := time.NewTimer(c.hedge.delay())
+	defer timer.Stop()
+	var firstErr error
+	for done := 0; done < launched; {
+		select {
+		case r := <-results:
+			done++
+			if r.err == nil {
+				return r.body, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-timer.C:
+			if launched <= c.hedge.cfg.Max {
+				c.m.hedges.Add(1)
+				launch()
+				launched++
+				timer.Reset(c.hedge.delay())
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("diffserve: %w", context.Cause(ctx))
+		}
+	}
+	return nil, firstErr
+}
+
+// attempt performs exactly one HTTP exchange and classifies its outcome:
+//
+//   - a transport failure, per-attempt timeout, truncated body, or
+//     undecodable error answer is wrapped in ErrServiceUnavailable
+//     (transient, retryable);
+//   - a >= 400 answer carrying a wire error becomes that typed error;
+//   - the caller's own context expiry surfaces as the context's cause.
+//
+// On success it returns the fully read response body.
+func (c *Client) attempt(ctx context.Context, path string, tc telemetry.SpanContext, raw []byte) ([]byte, error) {
+	c.m.attempts.Add(1)
+	actx := ctx
+	if c.retry != nil && c.retry.pol.PerAttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.retry.pol.PerAttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("diffserve: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if tc.Valid() {
 		req.Header.Set("traceparent", tc.Traceparent())
 	}
-	return c.do(req, out)
+	if c.tenant != "" {
+		req.Header.Set("X-Diffd-Tenant", c.tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("diffserve: %w", context.Cause(ctx))
+		}
+		// Connection failures and per-attempt timeouts both land here;
+		// either way the attempt is dead and a replay is safe.
+		return nil, fmt.Errorf("diffserve: %w: %v", derrors.ErrServiceUnavailable, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("diffserve: %w", context.Cause(ctx))
+		}
+		return nil, fmt.Errorf("diffserve: %w: read response: %v", derrors.ErrServiceUnavailable, err)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, errorFromResponse(resp, body)
+	}
+	return body, nil
+}
+
+// maxResponseBytes bounds how much of a response the client will buffer —
+// a defensive mirror of the server's MaxBody default (trees travel both
+// ways, so the bounds match).
+const maxResponseBytes = 64 << 20
+
+// errorFromResponse turns a >= 400 answer into a typed error: the wire
+// error when the body carries one (merging in the Retry-After header as a
+// fallback for the body's retry_after_ms), or a status-classified error
+// for answers from intermediaries that do not speak the wire schema
+// (load balancers, proxies) — 429/5xx map to the transient
+// ErrServiceUnavailable, other 4xx to a permanent failure.
+func errorFromResponse(resp *http.Response, body []byte) error {
+	var er ErrorResponse
+	if jerr := json.Unmarshal(body, &er); jerr == nil && er.Error.Kind != "" {
+		if er.Error.RetryAfterMS <= 0 {
+			er.Error.RetryAfterMS = retryAfterHeader(resp.Header.Get("Retry-After")).Milliseconds()
+		}
+		return wireErr(er.Error)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		return &kindError{
+			kind:     ErrKindSaturated,
+			msg:      fmt.Sprintf("server answered %s", resp.Status),
+			sentinel: derrors.ErrServiceUnavailable,
+			retry:    retryAfterHeader(resp.Header.Get("Retry-After")),
+		}
+	}
+	return fmt.Errorf("diffserve: server answered %s", resp.Status)
+}
+
+// retryAfterHeader parses an HTTP Retry-After header's delay-seconds
+// form. Zero, negative, absent, and garbage values (including the
+// HTTP-date form, which the server never emits) yield zero — no advice.
+func retryAfterHeader(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
@@ -311,10 +609,6 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return fmt.Errorf("diffserve: %w", err)
 	}
-	return c.do(req, out)
-}
-
-func (c *Client) do(req *http.Request, out any) error {
 	if c.tenant != "" {
 		req.Header.Set("X-Diffd-Tenant", c.tenant)
 	}
@@ -324,11 +618,8 @@ func (c *Client) do(req *http.Request, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var er ErrorResponse
-		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&er); jerr == nil && er.Error.Kind != "" {
-			return wireErr(er.Error)
-		}
-		return fmt.Errorf("diffserve: server answered %s", resp.Status)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return errorFromResponse(resp, body)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("diffserve: decode response: %w", err)
@@ -357,7 +648,9 @@ func (e *kindError) Error() string {
 func (e *kindError) Unwrap() error { return e.sentinel }
 
 // RetryAfter extracts the server's retry advice from a saturation error,
-// zero if err carries none.
+// zero if err carries none. The advice is sourced from the wire error's
+// retry_after_ms field when present, else from the HTTP Retry-After
+// header (delay-seconds form; see errorFromResponse for the precedence).
 func RetryAfter(err error) time.Duration {
 	var ke *kindError
 	if errors.As(err, &ke) {

@@ -1,0 +1,406 @@
+package diffserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/derrors"
+	"repro/internal/exp"
+	"repro/internal/telemetry"
+	"repro/internal/uri"
+)
+
+// --- backoff ---
+
+func TestBackoffJitterBounds(t *testing.T) {
+	r := newRetrier(RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 1})
+	for n := 0; n < 6; n++ {
+		ceil := min(80*time.Millisecond, 10*time.Millisecond<<uint(n))
+		for i := 0; i < 200; i++ {
+			if d := r.backoff(n, 0); d < 0 || d > ceil {
+				t.Fatalf("backoff(%d) = %v, want in [0, %v]", n, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffHonorsServerAdvice(t *testing.T) {
+	r := newRetrier(RetryPolicy{Seed: 1})
+	// Advice above the jitter window overrides it: the server's estimate
+	// of its own backlog beats the client's guess.
+	if d := r.backoff(0, 500*time.Millisecond); d != 500*time.Millisecond {
+		t.Fatalf("backoff with 500ms advice = %v, want exactly 500ms", d)
+	}
+	// Zero advice (no Retry-After) leaves the jittered value alone.
+	if d := r.backoff(0, 0); d > 50*time.Millisecond {
+		t.Fatalf("backoff(0) with no advice = %v, want within the 50ms base window", d)
+	}
+}
+
+// --- retryable classification ---
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"saturated", wireErr(WireError{Kind: ErrKindSaturated, Message: "q"}), true},
+		{"draining", wireErr(WireError{Kind: ErrKindDraining, Message: "d"}), true},
+		{"internal", wireErr(WireError{Kind: ErrKindInternal, Message: "i"}), true},
+		{"bad_request", wireErr(WireError{Kind: ErrKindBadRequest, Message: "b"}), false},
+		{"unknown_ref", wireErr(WireError{Kind: ErrKindUnknownRef, Message: "r"}), false},
+		{"panic", wireErr(WireError{Kind: ErrKindPanic, Message: "p"}), false},
+		{"timeout", wireErr(WireError{Kind: ErrKindTimeout, Message: "t"}), false},
+		{"cancelled", wireErr(WireError{Kind: ErrKindCancelled, Message: "c"}), false},
+		{"transport", fmt.Errorf("diffserve: %w: connection refused", derrors.ErrServiceUnavailable), true},
+		{"caller ctx", fmt.Errorf("diffserve: %w", context.Canceled), false},
+		{"caller deadline", fmt.Errorf("diffserve: %w", context.DeadlineExceeded), false},
+		{"untyped", errors.New("mystery"), false},
+	}
+	for _, c := range cases {
+		if got := retryable(c.err); got != c.want {
+			t.Errorf("retryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// --- Retry-After extraction ---
+
+func mkErr(status int, retryAfterHeader, body string) error {
+	resp := &http.Response{StatusCode: status, Status: fmt.Sprintf("%d test", status), Header: http.Header{}}
+	if retryAfterHeader != "" {
+		resp.Header.Set("Retry-After", retryAfterHeader)
+	}
+	return errorFromResponse(resp, []byte(body))
+}
+
+func TestRetryAfterBodyBeatsHeader(t *testing.T) {
+	err := mkErr(429, "7", `{"schema_version":"1.0","error":{"kind":"saturated","message":"q","retry_after_ms":2500}}`)
+	if !errors.Is(err, derrors.ErrServiceUnavailable) {
+		t.Fatalf("err = %v, want ErrServiceUnavailable", err)
+	}
+	if got := RetryAfter(err); got != 2500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 2.5s (body retry_after_ms wins over header)", got)
+	}
+}
+
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	err := mkErr(429, "7", `{"schema_version":"1.0","error":{"kind":"saturated","message":"q"}}`)
+	if got := RetryAfter(err); got != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s (header fallback when body has none)", got)
+	}
+}
+
+func TestRetryAfterGarbageHeaders(t *testing.T) {
+	for _, h := range []string{"0", "-3", "garbage", "Fri, 07 Aug 2026 12:00:00 GMT", ""} {
+		err := mkErr(429, h, `{"schema_version":"1.0","error":{"kind":"saturated","message":"q"}}`)
+		if got := RetryAfter(err); got != 0 {
+			t.Errorf("RetryAfter with header %q = %v, want 0 (no advice)", h, got)
+		}
+	}
+}
+
+func TestErrorFromResponseNonWireBodies(t *testing.T) {
+	// An intermediary's 503 with a plain-text body is a transient,
+	// retryable failure carrying the header's advice.
+	err := mkErr(503, "2", "upstream connect error")
+	if !errors.Is(err, derrors.ErrServiceUnavailable) || !retryable(err) {
+		t.Fatalf("intermediary 503 = %v, want retryable ErrServiceUnavailable", err)
+	}
+	if got := RetryAfter(err); got != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s", got)
+	}
+	// A plain 404 is permanent: no retry, no advice.
+	err = mkErr(404, "", "not found")
+	if retryable(err) || RetryAfter(err) != 0 {
+		t.Fatalf("plain 404 = %v (retryable=%v), want permanent with no advice", err, retryable(err))
+	}
+}
+
+// TestServerRetryAfterClamp pins the server side of the advice: the
+// SLO-derived estimate clamps to [1s, 30s].
+func TestServerRetryAfterClamp(t *testing.T) {
+	srv, _ := testServer(t, Config{Langs: []string{"exp"}, Workers: 2})
+	// No latency history: the floor applies regardless of backlog.
+	if got := srv.retryAfter(1000); got != time.Second {
+		t.Fatalf("retryAfter with empty window = %v, want the 1s floor", got)
+	}
+	for i := 0; i < 200; i++ {
+		srv.slo.Observe(2*time.Second, true)
+	}
+	// Deep backlog at a 2s p95: the cap applies.
+	if got := srv.retryAfter(100000); got != 30*time.Second {
+		t.Fatalf("retryAfter with deep backlog = %v, want the 30s cap", got)
+	}
+	// Moderate backlog: inside the clamp, above the floor.
+	if got := srv.retryAfter(10); got <= time.Second || got > 30*time.Second {
+		t.Fatalf("retryAfter(10) = %v, want inside (1s, 30s]", got)
+	}
+}
+
+// --- circuit breaker state machine ---
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	var opens atomic.Uint64
+	b := newBreaker(BreakerConfig{Window: time.Minute, MinRequests: 4, FailureRatio: 0.5, OpenFor: 5 * time.Second, Now: clock}, &opens)
+
+	// Below the volume floor nothing trips, however bad the ratio.
+	for i := 0; i < 3; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("closed breaker refused attempt %d: %v", i, err)
+		}
+		b.observe(time.Millisecond, false)
+	}
+	if b.State() != breakerClosed {
+		t.Fatal("breaker tripped below MinRequests")
+	}
+	// The 4th failure reaches the floor with a 100% failure ratio: open.
+	b.observe(time.Millisecond, false)
+	if b.State() != breakerOpen || opens.Load() != 1 {
+		t.Fatalf("state=%d opens=%d after 4 failures, want open/1", b.State(), opens.Load())
+	}
+	if err := b.allow(); !errors.Is(err, derrors.ErrCircuitOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(6 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open breaker refused the probe: %v", err)
+	}
+	if err := b.allow(); !errors.Is(err, derrors.ErrCircuitOpen) {
+		t.Fatalf("half-open breaker admitted a second concurrent call: %v", err)
+	}
+	// Probe failure re-opens.
+	b.observe(time.Millisecond, false)
+	if b.State() != breakerOpen || opens.Load() != 2 {
+		t.Fatalf("state=%d opens=%d after failed probe, want open/2", b.State(), opens.Load())
+	}
+
+	// Next cooldown: probe succeeds, circuit closes with a fresh window.
+	now = now.Add(6 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open breaker refused the second probe: %v", err)
+	}
+	b.observe(time.Millisecond, true)
+	if b.State() != breakerClosed {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	// Forgiveness: the pre-open failures are gone; three fresh failures sit
+	// below the volume floor again.
+	for i := 0; i < 3; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("reclosed breaker refused attempt %d: %v", i, err)
+		}
+		b.observe(time.Millisecond, false)
+	}
+	if b.State() != breakerClosed {
+		t.Fatal("stale failures re-tripped a freshly closed breaker")
+	}
+}
+
+// --- hedger delay derivation ---
+
+func TestHedgerDelay(t *testing.T) {
+	h := newHedger(HedgeConfig{Delay: 123 * time.Millisecond})
+	if got := h.delay(); got != 123*time.Millisecond {
+		t.Fatalf("fixed delay = %v, want 123ms", got)
+	}
+	h = newHedger(HedgeConfig{MinDelay: 20 * time.Millisecond, MaxDelay: 100 * time.Millisecond})
+	if got := h.delay(); got != 100*time.Millisecond {
+		t.Fatalf("cold-start delay = %v, want the 100ms MaxDelay ceiling", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.observe(5 * time.Millisecond)
+	}
+	if got := h.delay(); got < 20*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("derived delay = %v, want clamped to [20ms, 100ms]", got)
+	}
+	for i := 0; i < 1000; i++ {
+		h.observe(10 * time.Second)
+	}
+	if got := h.delay(); got != 100*time.Millisecond {
+		t.Fatalf("delay under a 10s p95 = %v, want the 100ms cap", got)
+	}
+}
+
+// --- client-level behavior against a live server ---
+
+// TestDrainRetryBounded is the drain-retry interplay: a retrying client
+// against a draining server converges to ErrServiceUnavailable after
+// exactly MaxAttempts attempts — no retry storm, no hang.
+func TestDrainRetryBounded(t *testing.T) {
+	srv, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 2})
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	c := NewClient(hs.URL, "exp", exp.Schema(),
+		WithRetry(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 1}))
+	defer c.Close()
+	src, dst := genPair(1, 20)
+	ctx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	start := time.Now()
+	_, err := c.Diff(ctx, src, dst, uri.NewAllocator())
+	if !errors.Is(err, derrors.ErrServiceUnavailable) {
+		t.Fatalf("Diff against draining server = %v, want ErrServiceUnavailable", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("retries against a draining server took %v — unbounded backoff?", d)
+	}
+	snap := c.ClientSnapshot()
+	if snap.Attempts != 4 || snap.Retries != 3 {
+		t.Fatalf("snapshot = %+v, want exactly 4 attempts / 3 retries (bounded)", snap)
+	}
+}
+
+// TestBreakerFailsFastAgainstDeadService drives the client-level breaker:
+// repeated failures open it, after which calls fail locally with
+// ErrCircuitOpen and the attempt counter stops growing.
+func TestBreakerFailsFastAgainstDeadService(t *testing.T) {
+	srv, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 2})
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	c := NewClient(hs.URL, "exp", exp.Schema(),
+		WithRetry(RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Seed: 1}),
+		WithBreaker(BreakerConfig{Window: time.Minute, MinRequests: 4, FailureRatio: 0.5, OpenFor: time.Minute}))
+	defer c.Close()
+	src, dst := genPair(2, 20)
+	ctx := context.Background()
+
+	// Two calls × two attempts = four windowed failures: the breaker opens.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Diff(ctx, src, dst, nil); !errors.Is(err, derrors.ErrServiceUnavailable) {
+			t.Fatalf("call %d = %v, want ErrServiceUnavailable", i, err)
+		}
+	}
+	if _, err := c.Diff(ctx, src, dst, nil); !errors.Is(err, derrors.ErrCircuitOpen) {
+		t.Fatalf("call after 4 failures = %v, want ErrCircuitOpen", err)
+	}
+	snap := c.ClientSnapshot()
+	if snap.Attempts != 4 {
+		t.Fatalf("attempts = %d, want 4 (the fast-failed call must not reach the network)", snap.Attempts)
+	}
+	if snap.BreakerOpens != 1 || snap.BreakerFast == 0 {
+		t.Fatalf("snapshot = %+v, want 1 open and ≥1 fast-fail", snap)
+	}
+
+	// The state gauge exposes the open /v1/diff breaker.
+	found := false
+	for _, m := range c.GatherMetrics() {
+		if m.Name == "diffserve_client_breaker_state" && len(m.Labels) == 1 && m.Labels[0].Value == "/v1/diff" {
+			found = true
+			if m.Value != float64(breakerOpen) {
+				t.Fatalf("breaker_state{endpoint=/v1/diff} = %v, want %d (open)", m.Value, breakerOpen)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("GatherMetrics exposes no breaker_state gauge for /v1/diff")
+	}
+}
+
+// TestHedgeRescuesStalledRequest blackholes the first /v1/diff request at
+// a front proxy; the hedge fires after 30ms, wins against the stalled
+// attempt, and the call succeeds without any retry.
+func TestHedgeRescuesStalledRequest(t *testing.T) {
+	srv, _ := testServer(t, Config{Langs: []string{"exp"}, Workers: 2})
+	var n atomic.Int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/diff" && n.Add(1) == 1 {
+			// Drain the body first: the HTTP/1.1 server only watches for a
+			// client disconnect (and cancels r.Context()) once the request
+			// body is consumed.
+			_, _ = io.Copy(io.Discard, r.Body)
+			<-r.Context().Done() // stall until the hedging layer cancels the loser
+			panic(http.ErrAbortHandler)
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer front.Close()
+
+	c := NewClient(front.URL, "exp", exp.Schema(), WithHedge(HedgeConfig{Delay: 30 * time.Millisecond, Max: 1}))
+	defer c.Close()
+	src, dst := genPair(3, 30)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := c.Diff(ctx, src, dst, uri.NewAllocator())
+	if err != nil {
+		t.Fatalf("hedged Diff: %v", err)
+	}
+	if res.Patched == nil || res.Patched.ExactHash() != dst.ExactHash() {
+		t.Fatal("hedged Diff returned a wrong or missing patched tree")
+	}
+	snap := c.ClientSnapshot()
+	if snap.Hedges != 1 {
+		t.Fatalf("hedges = %d, want exactly 1", snap.Hedges)
+	}
+	if snap.Retries != 0 {
+		t.Fatalf("retries = %d, want 0 (the hedge, not a retry, rescued the call)", snap.Retries)
+	}
+}
+
+// TestResilienceOffIsZeroConfig pins the opt-in contract: a bare client
+// takes the single-attempt path and reports empty resilience counters
+// beyond the attempts themselves.
+func TestResilienceOffIsZeroConfig(t *testing.T) {
+	_, hs := testServer(t, Config{Langs: []string{"exp"}, Workers: 2})
+	c := NewClient(hs.URL, "exp", exp.Schema())
+	defer c.Close()
+	src, dst := genPair(4, 20)
+	if _, err := c.Diff(context.Background(), src, dst, nil); err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	snap := c.ClientSnapshot()
+	if snap.Attempts != 1 || snap.Retries != 0 || snap.Hedges != 0 || snap.BreakerOpens != 0 {
+		t.Fatalf("bare client snapshot = %+v, want 1 attempt and nothing else", snap)
+	}
+	for _, m := range c.GatherMetrics() {
+		if m.Name == "diffserve_client_breaker_state" {
+			t.Fatal("bare client exposes a breaker_state gauge with no breaker armed")
+		}
+	}
+}
+
+// TestClientMetricsExposition checks the counter inventory is complete.
+func TestClientMetricsExposition(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0", "exp", exp.Schema())
+	want := []string{
+		"diffserve_client_attempts_total",
+		"diffserve_client_retries_total",
+		"diffserve_client_hedges_total",
+		"diffserve_client_breaker_opens_total",
+		"diffserve_client_breaker_fastfails_total",
+		"diffserve_client_resends_total",
+	}
+	have := make(map[string]bool)
+	for _, m := range c.GatherMetrics() {
+		have[m.Name] = true
+		if m.Kind != telemetry.KindCounter && m.Name != "diffserve_client_breaker_state" {
+			t.Errorf("%s has kind %v, want counter", m.Name, m.Kind)
+		}
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("GatherMetrics missing %s", name)
+		}
+	}
+}

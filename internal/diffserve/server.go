@@ -65,6 +65,11 @@ type Config struct {
 	TenantLimit int
 	// MaxBody bounds request bodies in bytes (default 32MiB).
 	MaxBody int64
+	// ReadyFraction is the backlog fraction of MaxQueue at or above which
+	// /readyz answers 503 (the load balancer's cue to route elsewhere)
+	// while /v1/* still serves: readiness degrades before shedding starts.
+	// Default 0.9; negative disables saturation-based unreadiness.
+	ReadyFraction float64
 
 	// SlowDiffThreshold enables the engines' slow-diff log; Trace, when
 	// non-nil, receives one JSONL record per diff, correlated with the
@@ -119,6 +124,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 32 << 20
 	}
+	if c.ReadyFraction == 0 {
+		c.ReadyFraction = 0.9
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -154,6 +162,11 @@ type Server struct {
 	// cannot happen).
 	draining atomic.Bool
 	drainMu  sync.RWMutex
+
+	// lameduck flips in Lameduck: /readyz answers 503 (stop routing here)
+	// while /v1/* keeps serving — the grace period before Drain in which
+	// load balancers observe unreadiness and move traffic away.
+	lameduck atomic.Bool
 
 	tenantMu sync.Mutex
 	tenants  map[string]int
@@ -222,6 +235,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /metrics", telemetry.Handler(s))
 	s.mux.Handle("GET /debug/diffz", s.flight.Handler())
 	return s, nil
@@ -253,6 +267,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Draining reports whether Drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Lameduck marks the server unready without refusing work: /readyz flips
+// to 503 so load balancers stop routing here, while /v1/* keeps serving
+// whatever still arrives. Call it on the shutdown signal, wait one
+// health-check interval for the balancers to notice, then Drain — the
+// ordering that turns a restart into zero shed requests. Idempotent.
+func (s *Server) Lameduck() { s.lameduck.Store(true) }
 
 // Drain shuts the service down gracefully: new and queued-but-unstarted
 // requests are answered with a clean draining error (HTTP 503), batches
@@ -639,13 +660,45 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is process liveness and nothing else: it answers 200 as
+// long as the process can serve HTTP — including while draining, because
+// a draining process is alive and must not be killed mid-drain by a
+// liveness probe. Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the routing signal: 503 while draining, in lame-duck,
+// or saturated past ReadyFraction of MaxQueue — in each case the right
+// move for a load balancer is to send traffic elsewhere, before this
+// server has to shed it with 429s. The body names the reason.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.lameduck.Load():
+		http.Error(w, "lameduck", http.StatusServiceUnavailable)
+	case s.saturated():
+		http.Error(w, "saturated", http.StatusServiceUnavailable)
+	default:
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ready\n")
+	}
+}
+
+// saturated reports whether the aggregate backlog has crossed the
+// readiness threshold (ReadyFraction of MaxQueue) — below the shed point
+// on purpose, so routing reacts before admission control must.
+func (s *Server) saturated() bool {
+	if s.cfg.ReadyFraction < 0 {
+		return false
+	}
+	backlog := int(s.m.pending.Load())
+	for _, name := range s.langNames {
+		backlog += int(s.langs[name].eng.Snapshot().QueueDepth)
+	}
+	return float64(backlog) >= s.cfg.ReadyFraction*float64(s.cfg.MaxQueue)
 }
 
 // decodeInto reads and validates the shared request prelude: body size

@@ -40,9 +40,15 @@ var (
 	// Close has begun.
 	ErrEngineClosed = derrors.ErrEngineClosed
 	// ErrServiceUnavailable reports a diff-service request rejected by
-	// admission control: the server is saturated (HTTP 429; retry after
-	// the advertised delay) or draining for shutdown (HTTP 503).
+	// admission control — the server is saturated (HTTP 429; retry after
+	// the advertised delay) or draining for shutdown (HTTP 503) — or a
+	// transport-level failure a retrying client (WithRetryPolicy) may
+	// transparently recover from.
 	ErrServiceUnavailable = derrors.ErrServiceUnavailable
+	// ErrCircuitOpen reports a diff-service call refused locally by the
+	// client's circuit breaker (WithCircuitBreaker): the endpoint's recent
+	// failure rate tripped the breaker and the request was never sent.
+	ErrCircuitOpen = derrors.ErrCircuitOpen
 	// ErrFaultInjected reports a failure fired by a test-only fault
 	// injector (WithFaultInjection), never a production failure.
 	ErrFaultInjected = faultinject.ErrInjected

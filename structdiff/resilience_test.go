@@ -3,6 +3,7 @@ package structdiff_test
 import (
 	"context"
 	"errors"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -178,5 +179,60 @@ func TestExpSchemaName(t *testing.T) {
 	g := exp.NewGen(1)
 	if g.Schema().Lookup("Num") == nil {
 		t.Fatal("exp schema no longer declares Num; update resilience tests")
+	}
+}
+
+// TestFacadeClientResilience drives the client-resilience options through
+// the public surface only: a retrying client converges on a drained
+// service with a typed ErrServiceUnavailable in bounded attempts, and a
+// breaker-armed client refuses further calls with ErrCircuitOpen once the
+// endpoint's failure rate trips.
+func TestFacadeClientResilience(t *testing.T) {
+	src, dst, sch, _ := buildPair(t)
+	srv, err := structdiff.NewServiceServer(structdiff.ServiceConfig{
+		Langs: []string{"exp"}, Workers: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewServiceServer: %v", err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	c := structdiff.NewServiceClient(hs.URL, "exp", sch,
+		structdiff.WithRetryPolicy(structdiff.RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  5 * time.Millisecond,
+			Seed:        1,
+		}),
+		structdiff.WithCircuitBreaker(structdiff.CircuitBreakerConfig{
+			MinRequests:  3,
+			FailureRatio: 0.5,
+			OpenFor:      time.Minute,
+		}),
+		structdiff.WithHedging(structdiff.HedgingConfig{Delay: time.Second}),
+	)
+	defer c.Close()
+
+	// Every attempt is refused by the draining server; the retry policy
+	// bounds the attempts and surfaces the typed sentinel.
+	if _, err := c.Diff(context.Background(), src, dst, nil); !errors.Is(err, structdiff.ErrServiceUnavailable) {
+		t.Fatalf("Diff against drained server = %v, want ErrServiceUnavailable", err)
+	}
+	snap := c.ClientSnapshot()
+	if snap.Attempts != 3 || snap.Retries != 2 {
+		t.Fatalf("snapshot = %+v, want 3 attempts / 2 retries", snap)
+	}
+
+	// Three failures over a 3-request floor trip the breaker: the next
+	// call fails fast locally without touching the wire.
+	if _, err := c.Diff(context.Background(), src, dst, nil); !errors.Is(err, structdiff.ErrCircuitOpen) {
+		t.Fatalf("Diff with tripped breaker = %v, want ErrCircuitOpen", err)
+	}
+	if got := c.ClientSnapshot().Attempts; got != snap.Attempts {
+		t.Fatalf("breaker let an attempt through: %d attempts, want %d", got, snap.Attempts)
 	}
 }

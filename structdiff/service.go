@@ -49,8 +49,21 @@ type (
 	// content digests instead of full trees.
 	ServiceClient = diffserve.Client
 	// ServiceClientOption customizes a ServiceClient (tenant identity,
-	// HTTP client).
+	// HTTP client, retries, circuit breaking, hedging).
 	ServiceClientOption = diffserve.ClientOption
+	// RetryPolicy parameterizes WithRetryPolicy: attempt bound,
+	// full-jitter exponential backoff scale/cap, and an optional
+	// per-attempt timeout.
+	RetryPolicy = diffserve.RetryPolicy
+	// CircuitBreakerConfig parameterizes WithCircuitBreaker: the rolling
+	// failure-rate window, volume floor, trip ratio, and cooldown.
+	CircuitBreakerConfig = diffserve.BreakerConfig
+	// HedgingConfig parameterizes WithHedging: the hedge delay (fixed or
+	// derived from the rolling attempt-latency p95) and the hedge bound.
+	HedgingConfig = diffserve.HedgeConfig
+	// ServiceClientSnapshot is a point-in-time copy of a ServiceClient's
+	// resilience counters (attempts, retries, hedges, breaker activity).
+	ServiceClientSnapshot = diffserve.ClientSnapshot
 	// ServiceServer is the embeddable diff service: an http.Handler with
 	// request coalescing, admission control, and graceful drain (cmd/diffd
 	// wraps it in a daemon).
@@ -87,6 +100,32 @@ func WithServiceTenant(tenant string) ServiceClientOption { return diffserve.Wit
 // caller's trace. Parent a client span on surrounding work by putting a
 // SpanContext on ctx with WithTraceContext.
 func WithServiceSpans(sink SpanSink) ServiceClientOption { return diffserve.WithSpans(sink) }
+
+// WithRetryPolicy arms transparent retries on a ServiceClient: transient
+// failures — transport errors, saturation sheds (429), drain refusals,
+// 5xx answers, per-attempt timeouts — are re-attempted with full-jitter
+// exponential backoff honoring the server's Retry-After advice and the
+// request context. Safe because every request is idempotent: a diff is a
+// pure function of two digest-identified trees, so a replay can only
+// produce the same answer. The zero policy selects the defaults (4
+// attempts, 50ms base backoff doubling to a 5s cap).
+func WithRetryPolicy(pol RetryPolicy) ServiceClientOption { return diffserve.WithRetry(pol) }
+
+// WithCircuitBreaker arms a per-endpoint circuit breaker: when an
+// endpoint's windowed failure rate trips the configured ratio, calls
+// fail fast with ErrCircuitOpen instead of piling onto a dead service,
+// until a half-open probe succeeds. The zero config selects the defaults
+// (30s window, 10-request floor, 0.5 ratio, 5s cooldown).
+func WithCircuitBreaker(cfg CircuitBreakerConfig) ServiceClientOption {
+	return diffserve.WithBreaker(cfg)
+}
+
+// WithHedging arms tail-latency hedging: an attempt still unanswered
+// after the hedge delay is raced against a second copy of the same
+// idempotent request; the first response wins and the loser is
+// cancelled. The zero config derives the delay from the rolling
+// attempt-latency p95, clamped to [10ms, 2s].
+func WithHedging(cfg HedgingConfig) ServiceClientOption { return diffserve.WithHedge(cfg) }
 
 // ServiceRetryAfter extracts the server's retry advice from a saturation
 // error (errors.Is(err, ErrServiceUnavailable)); zero when err carries
