@@ -8,6 +8,15 @@
 //	truediff -baselines old.py new.py  # compare against gumtree and hdiff
 //	truediff -lang json a.json b.json  # diff JSON documents
 //
+// Three-way merge (see docs/MERGE.md): given an ancestor and two divergent
+// versions, print one well-typed script carrying both sides' changes:
+//
+//	truediff -merge base.py ours.py theirs.py
+//	truediff -merge -merge-policy ours base.py ours.py theirs.py
+//
+// Merge exit status: 0 merged cleanly, 2 conflicts reported (printed to
+// stderr), 1 operational error.
+//
 // With -metrics-addr the diff runs through a batch engine whose telemetry
 // (Prometheus /metrics, expvar, pprof) is served on the given address; the
 // process then stays up until interrupted so the endpoint can be scraped:
@@ -30,6 +39,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -83,11 +93,29 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 		exectrace   = flag.String("exectrace", "", "write a runtime/trace execution trace to this file (phases appear as truediff/* regions)")
 		benchOut    = flag.String("bench-out", "", "write the diff's timing as a perfobs-schema JSON report to this file (comparable via bench -compare)")
+		mergeMode   = flag.Bool("merge", false, "three-way merge: truediff -merge ANCESTOR OURS THEIRS")
+		mergePolicy = flag.String("merge-policy", "fail", "conflict resolution for -merge: fail | ours | theirs")
 	)
 	flag.Parse()
+	if *mergeMode {
+		if flag.NArg() != 3 {
+			fmt.Fprintln(os.Stderr, "usage: truediff -merge [-merge-policy fail|ours|theirs] [-stats] [-quiet] [-lang python|json] ANCESTOR OURS THEIRS")
+			os.Exit(1)
+		}
+		err := runMerge(flag.Arg(0), flag.Arg(1), flag.Arg(2), *lang, *mergePolicy, *stat, *quiet)
+		switch {
+		case errors.Is(err, errMergeConflicts):
+			os.Exit(2)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "truediff:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: truediff [-check] [-stats] [-baselines] [-quiet] [-lang python|json] [-metrics-addr ADDR]\n"+
-			"                [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE] [-bench-out FILE] OLD NEW")
+			"                [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE] [-bench-out FILE] OLD NEW\n"+
+			"       truediff -merge [-merge-policy fail|ours|theirs] ANCESTOR OURS THEIRS")
 		os.Exit(1)
 	}
 	prof := profiling.Config{CPUProfile: *cpuprofile, MemProfile: *memprofile, ExecTrace: *exectrace}
@@ -110,43 +138,115 @@ func main() {
 	}
 }
 
-// parseBoth loads both inputs as typed trees over one schema and allocator.
-func parseBoth(lang, oldPath, newPath string) (*structdiff.Schema, *structdiff.Allocator, *structdiff.Node, *structdiff.Node, error) {
-	oldSrc, err := os.ReadFile(oldPath)
-	if err != nil {
-		return nil, nil, nil, nil, err
+// parseAll loads every input as a typed tree over one schema and allocator.
+func parseAll(lang string, paths ...string) (*structdiff.Schema, *structdiff.Allocator, []*structdiff.Node, error) {
+	srcs := make([]string, len(paths))
+	for i, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		srcs[i] = string(raw)
 	}
-	newSrc, err := os.ReadFile(newPath)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
+	trees := make([]*structdiff.Node, len(paths))
 	switch lang {
 	case "python":
 		f := pylang.NewFactory()
-		before, err := pylang.Parse(string(oldSrc), f)
-		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("%s: %w", oldPath, err)
+		for i, src := range srcs {
+			t, err := pylang.Parse(src, f)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("%s: %w", paths[i], err)
+			}
+			trees[i] = t
 		}
-		after, err := pylang.Parse(string(newSrc), f)
-		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("%s: %w", newPath, err)
-		}
-		return f.Schema(), f.Alloc(), before, after, nil
+		return f.Schema(), f.Alloc(), trees, nil
 	case "json":
 		c := jsonlang.NewCodec()
-		before, err := c.Parse(string(oldSrc))
-		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("%s: %w", oldPath, err)
+		for i, src := range srcs {
+			t, err := c.Parse(src)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("%s: %w", paths[i], err)
+			}
+			trees[i] = t
 		}
-		after, err := c.Parse(string(newSrc))
-		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("%s: %w", newPath, err)
-		}
-		return c.Schema(), c.Alloc(), before, after, nil
+		return c.Schema(), c.Alloc(), trees, nil
 	default:
-		return nil, nil, nil, nil, fmt.Errorf("unknown language %q", lang)
+		return nil, nil, nil, fmt.Errorf("unknown language %q", lang)
 	}
 }
+
+// parseBoth loads both inputs as typed trees over one schema and allocator.
+func parseBoth(lang, oldPath, newPath string) (*structdiff.Schema, *structdiff.Allocator, *structdiff.Node, *structdiff.Node, error) {
+	sch, alloc, trees, err := parseAll(lang, oldPath, newPath)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return sch, alloc, trees[0], trees[1], nil
+}
+
+// runMerge implements -merge: three-way merge of two descendants against a
+// common ancestor. It prints the merged script (unless -quiet) and, with
+// -stats, the merge statistics. Conflicts under -merge-policy fail are
+// printed one per line; main turns errMergeConflicts into exit status 2.
+func runMerge(basePath, oursPath, theirsPath, lang, policy string, stat, quiet bool) error {
+	pol, err := structdiff.ParseMergePolicy(policy)
+	if err != nil {
+		return err
+	}
+	sch, alloc, trees, err := parseAll(lang, basePath, oursPath, theirsPath)
+	if err != nil {
+		return err
+	}
+	base, ours, theirs := trees[0], trees[1], trees[2]
+
+	start := time.Now()
+	res, err := structdiff.Merge(base, ours, theirs,
+		structdiff.WithSchema(sch), structdiff.WithAllocator(alloc), structdiff.WithMergePolicy(pol))
+	elapsed := time.Since(start)
+	if err != nil {
+		var ce *structdiff.MergeConflictError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "merge: %d conflicts:\n", len(ce.Conflicts))
+			for _, c := range ce.Conflicts {
+				fmt.Fprintf(os.Stderr, "  %v\n", c)
+			}
+			return errMergeConflicts
+		}
+		return err
+	}
+
+	if !quiet {
+		fmt.Println(res.Script)
+	}
+	for _, c := range res.Conflicts {
+		fmt.Fprintf(os.Stderr, "resolved (%v): %v\n", c.Resolution, c)
+	}
+	if stat {
+		s := res.Stats
+		fmt.Printf("ancestor nodes: %d\n", base.Size())
+		fmt.Printf("ours:           %d edits in %d groups\n", s.OursEdits, s.OursGroups)
+		fmt.Printf("theirs:         %d edits in %d groups\n", s.TheirsEdits, s.TheirsGroups)
+		fmt.Printf("merged:         %d edits (%d dropped by policy)\n", s.MergedEdits, s.DroppedEdits)
+		fmt.Printf("conflicts:      %d resolved %v, %d auto-resolved convergent\n", s.Conflicts, pol, s.AutoResolved)
+		fmt.Printf("merge time:     %s\n", elapsed)
+	}
+
+	// The merged script is verified well-typed and applicable by the merge
+	// itself; apply it here so the CLI's success means "this script
+	// patches the ancestor", same as -check does for plain diffs.
+	mt, err := structdiff.MTreeFromTree(sch, base)
+	if err != nil {
+		return err
+	}
+	if err := structdiff.ApplyMerge(mt, res, nil); err != nil {
+		return fmt.Errorf("merged script does not apply: %w", err)
+	}
+	return nil
+}
+
+// errMergeConflicts signals main to exit with status 2 (conflicts found
+// and reported; distinct from operational failure).
+var errMergeConflicts = errors.New("merge conflicts")
 
 func run(oldPath, newPath, lang, metricsAddr, benchOut string, profiled, check, stat, baselines, quiet bool) error {
 	sch, alloc, before, after, err := parseBoth(lang, oldPath, newPath)

@@ -64,6 +64,14 @@ var (
 	// request is idempotent and safe to replay.
 	ErrServiceUnavailable = errors.New("diff service unavailable")
 
+	// ErrMergeConflict reports a three-way merge whose two edit scripts
+	// claim the same typing resource (node or slot) in incompatible ways
+	// and no resolution policy was allowed to pick a side. The wrapping
+	// error (merge.ConflictError) carries the full conflict list: per
+	// conflict the contended node URI or slot and the two competing edit
+	// groups.
+	ErrMergeConflict = errors.New("three-way merge has conflicts")
+
 	// ErrCircuitOpen reports a diff service call refused locally by the
 	// client's circuit breaker: the endpoint's recent failure rate tripped
 	// the breaker and calls fail fast without touching the network until

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/merge"
 	"repro/internal/mtree"
 	"repro/internal/telemetry"
 )
@@ -67,6 +68,16 @@ type Snapshot struct {
 	Fallbacks uint64
 	Rollbacks uint64
 
+	// Merges counts completed three-way merge attempts; MergeConflicts
+	// counts conflicts detected across them (reported or policy-resolved);
+	// MergeAutoResolved counts convergent group pairs collapsed to one
+	// copy. Like Rollbacks these are process-wide (merge.Merges and
+	// friends), not per-engine: merging happens on trees the engine no
+	// longer owns.
+	Merges            uint64
+	MergeConflicts    uint64
+	MergeAutoResolved uint64
+
 	// Edits is the total compound edit count over all scripts produced.
 	Edits uint64
 	// SourceNodes and TargetNodes total the input tree sizes.
@@ -128,28 +139,31 @@ type Snapshot struct {
 // Snapshot returns the engine's counters at this instant.
 func (e *Engine) Snapshot() Snapshot {
 	s := Snapshot{
-		Diffs:          e.m.diffs.Load(),
-		Errors:         e.m.errors.Load(),
-		SlowDiffs:      e.m.slowDiffs.Load(),
-		Batches:        e.m.batches.Load(),
-		Panics:         e.m.panics.Load(),
-		Timeouts:       e.m.timeouts.Load(),
-		Fallbacks:      e.m.fallbacks.Load(),
-		Rollbacks:      mtree.Rollbacks(),
-		Edits:          e.m.edits.Load(),
-		SourceNodes:    e.m.sourceNodes.Load(),
-		TargetNodes:    e.m.targetNodes.Load(),
-		DiffWall:       time.Duration(e.m.wallNanos.Load()),
-		PoolGets:       e.m.poolGets.Load(),
-		PoolMisses:     e.m.poolMisses.Load(),
-		IngestedTrees:  e.m.ingestedTrees.Load(),
-		IngestedNodes:  e.m.ingestedNodes.Load(),
-		StoreHits:      e.m.storeHits.Load(),
-		StoreMisses:    e.m.storeMisses.Load(),
-		StoreEntries:   e.store.len(),
-		QueueDepth:     e.m.queueDepth.Load(),
-		WorkerCapacity: time.Duration(e.m.capacityNanos.Load()),
-		SLO:            e.slo.Snapshot(),
+		Diffs:             e.m.diffs.Load(),
+		Errors:            e.m.errors.Load(),
+		SlowDiffs:         e.m.slowDiffs.Load(),
+		Batches:           e.m.batches.Load(),
+		Panics:            e.m.panics.Load(),
+		Timeouts:          e.m.timeouts.Load(),
+		Fallbacks:         e.m.fallbacks.Load(),
+		Rollbacks:         mtree.Rollbacks(),
+		Merges:            merge.Merges(),
+		MergeConflicts:    merge.Conflicts(),
+		MergeAutoResolved: merge.AutoResolved(),
+		Edits:             e.m.edits.Load(),
+		SourceNodes:       e.m.sourceNodes.Load(),
+		TargetNodes:       e.m.targetNodes.Load(),
+		DiffWall:          time.Duration(e.m.wallNanos.Load()),
+		PoolGets:          e.m.poolGets.Load(),
+		PoolMisses:        e.m.poolMisses.Load(),
+		IngestedTrees:     e.m.ingestedTrees.Load(),
+		IngestedNodes:     e.m.ingestedNodes.Load(),
+		StoreHits:         e.m.storeHits.Load(),
+		StoreMisses:       e.m.storeMisses.Load(),
+		StoreEntries:      e.store.len(),
+		QueueDepth:        e.m.queueDepth.Load(),
+		WorkerCapacity:    time.Duration(e.m.capacityNanos.Load()),
+		SLO:               e.slo.Snapshot(),
 	}
 	if s.WorkerCapacity > 0 {
 		s.Utilization = float64(s.DiffWall) / float64(s.WorkerCapacity)
@@ -182,29 +196,32 @@ func (e *Engine) Snapshot() Snapshot {
 //	delta := e.Snapshot().Sub(before)
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d := Snapshot{
-		Diffs:         sub64(s.Diffs, prev.Diffs),
-		Errors:        sub64(s.Errors, prev.Errors),
-		SlowDiffs:     sub64(s.SlowDiffs, prev.SlowDiffs),
-		Batches:       sub64(s.Batches, prev.Batches),
-		Panics:        sub64(s.Panics, prev.Panics),
-		Timeouts:      sub64(s.Timeouts, prev.Timeouts),
-		Fallbacks:     sub64(s.Fallbacks, prev.Fallbacks),
-		Rollbacks:     sub64(s.Rollbacks, prev.Rollbacks),
-		Edits:         sub64(s.Edits, prev.Edits),
-		SourceNodes:   sub64(s.SourceNodes, prev.SourceNodes),
-		TargetNodes:   sub64(s.TargetNodes, prev.TargetNodes),
-		PoolGets:      sub64(s.PoolGets, prev.PoolGets),
-		PoolMisses:    sub64(s.PoolMisses, prev.PoolMisses),
-		MemoHits:      sub64(s.MemoHits, prev.MemoHits),
-		MemoMisses:    sub64(s.MemoMisses, prev.MemoMisses),
-		IngestedTrees: sub64(s.IngestedTrees, prev.IngestedTrees),
-		IngestedNodes: sub64(s.IngestedNodes, prev.IngestedNodes),
-		StoreHits:     sub64(s.StoreHits, prev.StoreHits),
-		StoreMisses:   sub64(s.StoreMisses, prev.StoreMisses),
-		MemoEntries:   s.MemoEntries,
-		StoreEntries:  s.StoreEntries,
-		QueueDepth:    s.QueueDepth,
-		SLO:           s.SLO,
+		Diffs:             sub64(s.Diffs, prev.Diffs),
+		Errors:            sub64(s.Errors, prev.Errors),
+		SlowDiffs:         sub64(s.SlowDiffs, prev.SlowDiffs),
+		Batches:           sub64(s.Batches, prev.Batches),
+		Panics:            sub64(s.Panics, prev.Panics),
+		Timeouts:          sub64(s.Timeouts, prev.Timeouts),
+		Fallbacks:         sub64(s.Fallbacks, prev.Fallbacks),
+		Rollbacks:         sub64(s.Rollbacks, prev.Rollbacks),
+		Merges:            sub64(s.Merges, prev.Merges),
+		MergeConflicts:    sub64(s.MergeConflicts, prev.MergeConflicts),
+		MergeAutoResolved: sub64(s.MergeAutoResolved, prev.MergeAutoResolved),
+		Edits:             sub64(s.Edits, prev.Edits),
+		SourceNodes:       sub64(s.SourceNodes, prev.SourceNodes),
+		TargetNodes:       sub64(s.TargetNodes, prev.TargetNodes),
+		PoolGets:          sub64(s.PoolGets, prev.PoolGets),
+		PoolMisses:        sub64(s.PoolMisses, prev.PoolMisses),
+		MemoHits:          sub64(s.MemoHits, prev.MemoHits),
+		MemoMisses:        sub64(s.MemoMisses, prev.MemoMisses),
+		IngestedTrees:     sub64(s.IngestedTrees, prev.IngestedTrees),
+		IngestedNodes:     sub64(s.IngestedNodes, prev.IngestedNodes),
+		StoreHits:         sub64(s.StoreHits, prev.StoreHits),
+		StoreMisses:       sub64(s.StoreMisses, prev.StoreMisses),
+		MemoEntries:       s.MemoEntries,
+		StoreEntries:      s.StoreEntries,
+		QueueDepth:        s.QueueDepth,
+		SLO:               s.SLO,
 	}
 	if s.DiffWall > prev.DiffWall {
 		d.DiffWall = s.DiffWall - prev.DiffWall
@@ -253,6 +270,7 @@ func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"diffs %d (%d errors, %d batches), %d edits, %d+%d nodes in %v (%.0f nodes/s)\n"+
 			"resilience: %d panics, %d timeouts, %d fallbacks, %d rollbacks\n"+
+			"merge: %d merges, %d conflicts, %d auto-resolved\n"+
 			"workers: %.1f%% utilized over %v capacity, queue depth %d\n"+
 			"scratch pool: %d gets, %d misses (%.1f%% hit)\n"+
 			"digest memo: %d hits, %d misses (%.1f%% hit), %d entries; ingested %d trees / %d nodes\n"+
@@ -261,6 +279,7 @@ func (s Snapshot) String() string {
 		s.Diffs, s.Errors, s.Batches, s.Edits, s.SourceNodes, s.TargetNodes,
 		s.DiffWall.Round(time.Millisecond), s.NodesPerSecond(),
 		s.Panics, s.Timeouts, s.Fallbacks, s.Rollbacks,
+		s.Merges, s.MergeConflicts, s.MergeAutoResolved,
 		100*s.Utilization, s.WorkerCapacity.Round(time.Millisecond), s.QueueDepth,
 		s.PoolGets, s.PoolMisses, 100*s.PoolHitRate,
 		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate, s.MemoEntries,

@@ -1,0 +1,70 @@
+package proptest
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/uri"
+)
+
+// FuzzMerge is the native fuzz target for the three-way merge: it decodes
+// three S-expression trees against the jsonlang schema (S-expressions, not
+// JSON, so fuzz-discovered NaN and ±Inf literals survive the corpus) and
+// runs the full merge-property oracle on the triple. The oracle's
+// properties are universal over valid typed trees, so any violation the
+// fuzzer finds — a panic, an ill-typed merged script, a dropped conflict, a
+// botched rollback — is a real bug, not a bad input. Inputs that fail to
+// decode are skipped: the fuzzer's job here is to explore tree shapes, not
+// the S-expression grammar (the codec has its own round-trip fuzz target).
+//
+// The seed corpus is generated from the jsonlang and pathological triple
+// generators, so fuzzing starts from structurally rich merge tasks with
+// both clean and conflicting histories.
+func FuzzMerge(f *testing.F) {
+	cfg := DefaultConfig(1)
+	cfg.Iters = 12
+	cfg.MinNodes, cfg.MaxNodes = 6, 60
+	for _, gen := range []Generator{NewJSONGen(), NewPathoGen()} {
+		run := NewTripleRun(gen, cfg)
+		for i := 0; i < cfg.Iters; i++ {
+			tr := run.Next()
+			f.Add(tree.EncodeSExpr(tr.Base), tree.EncodeSExpr(tr.Ours), tree.EncodeSExpr(tr.Theirs))
+		}
+	}
+
+	sch := MergeFuzzSchema()
+	f.Fuzz(func(t *testing.T, baseS, oursS, theirsS string) {
+		// Bound raw input size: merge cost grows with tree size, and
+		// multi-megabyte S-expressions only slow exploration down.
+		if len(baseS)+len(oursS)+len(theirsS) > 1<<16 {
+			t.Skip("input too large")
+		}
+		alloc := uri.NewAllocator()
+		base, err := tree.DecodeSExpr(baseS, sch, alloc)
+		if err != nil {
+			t.Skip("base does not decode")
+		}
+		ours, err := tree.DecodeSExpr(oursS, sch, alloc)
+		if err != nil {
+			t.Skip("ours does not decode")
+		}
+		theirs, err := tree.DecodeSExpr(theirsS, sch, alloc)
+		if err != nil {
+			t.Skip("theirs does not decode")
+		}
+		// Derive the rollback fault position deterministically from the
+		// input, so every corpus entry replays identically.
+		h := fnv.New64a()
+		h.Write([]byte(baseS))
+		h.Write([]byte(oursS))
+		h.Write([]byte(theirsS))
+		salt := int64(h.Sum64() % (1 << 62))
+
+		tr := Triple{Base: base, Ours: ours, Theirs: theirs, Desc: "fuzz"}
+		if _, _, err := CheckTriple(sch, tr, salt); err != nil {
+			t.Fatalf("merge property violated on fuzzed triple: %v\nbase:   %s\nours:   %s\ntheirs: %s",
+				err, baseS, oursS, theirsS)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package proptest
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// mergeRunConfig derives the merge harness configuration from the shared
+// flags: half the pair iterations (each triple runs two diffs and several
+// merges), still comfortably past 200 generated triples per generator in
+// fast mode.
+func mergeRunConfig() Config {
+	cfg := runConfig()
+	cfg.Iters /= 2
+	return cfg
+}
+
+// reportTripleFailure shrinks a failing triple, logs a minimal reproducer,
+// and fails the test. The shrink preserves the violated property: a
+// candidate triple only counts as "still failing" if the same property
+// fails on it.
+func reportTripleFailure(t *testing.T, gen Generator, cfg Config, tr Triple, salt int64, err error) {
+	t.Helper()
+	var pe *PropertyError
+	prop := "unknown"
+	if errors.As(err, &pe) {
+		prop = pe.Property
+	}
+	f := &TripleFailure{Generator: gen.Name(), Property: prop, Seed: cfg.Seed, Iter: tr.Iter, Triple: tr, Err: err}
+
+	sh := NewShrinker(gen.Schema(), gen.Alloc())
+	check := func(base, ours, theirs *tree.Node) error {
+		_, _, cerr := CheckTriple(gen.Schema(), Triple{Base: base, Ours: ours, Theirs: theirs, Desc: tr.Desc}, salt)
+		var cpe *PropertyError
+		if errors.As(cerr, &cpe) && cpe.Property == prop {
+			return cerr
+		}
+		return nil // passes, or fails a different property: not this failure
+	}
+	base, ours, theirs, serr, evals := sh.ShrinkTriple(tr.Base, tr.Ours, tr.Theirs, check)
+	if serr != nil {
+		f.Triple = Triple{Base: base, Ours: ours, Theirs: theirs, Desc: tr.Desc, Iter: tr.Iter}
+		f.Err = serr
+	}
+	r := NewTripleReproducer(f)
+	t.Logf("shrunk to %d+%d+%d nodes in %d evals\nbase:   %s\nours:   %s\ntheirs: %s",
+		base.Size(), ours.Size(), theirs.Size(), evals, r.Base, r.Ours, r.Theirs)
+	if *flagSave != "" {
+		if path, werr := r.Save(filepath.Join(*flagSave, "merge")); werr != nil {
+			t.Logf("saving reproducer failed: %v", werr)
+		} else {
+			t.Logf("reproducer saved to %s", path)
+		}
+	}
+	t.Fatalf("%v\nreplay: go test ./internal/proptest -run 'TestMergeProperties/%s' -proptest.seed=%d",
+		f, gen.Name(), cfg.Seed)
+}
+
+// TestMergeProperties is the merge harness's main entry point: for every
+// generator it runs cfg.Iters/2 generated (base, ours, theirs) triples (250
+// in fast mode, 2500 with -proptest.long) through the merge-property oracle
+// via the public structdiff facade. The run seed is logged so any failure
+// replays exactly.
+func TestMergeProperties(t *testing.T) {
+	cfg := mergeRunConfig()
+	for _, gen := range Generators() {
+		gen := gen
+		t.Run(gen.Name(), func(t *testing.T) {
+			t.Parallel()
+			run := NewTripleRun(gen, cfg)
+			t.Logf("seed=%d iters=%d nodes=[%d,%d) mutations≤%d per side",
+				cfg.Seed, cfg.Iters, cfg.MinNodes, cfg.MaxNodes, cfg.MutationsPerPair)
+			clean, conflicted := 0, 0
+			for i := 0; i < cfg.Iters; i++ {
+				tr := run.Next()
+				salt := cfg.Seed + int64(i)
+				edits, conflicts, err := CheckTriple(gen.Schema(), tr, salt)
+				if err != nil {
+					reportTripleFailure(t, gen, cfg, tr, salt, err)
+				}
+				run.FoldResult(edits, conflicts)
+				if conflicts > 0 {
+					conflicted++
+				} else {
+					clean++
+				}
+			}
+			if run.Triples() != cfg.Iters {
+				t.Fatalf("run generated %d triples, want %d", run.Triples(), cfg.Iters)
+			}
+			if conflicted == 0 {
+				t.Errorf("no generated triple conflicted in %d runs; the conflict path is untested", cfg.Iters)
+			}
+			if clean == 0 {
+				t.Errorf("no generated triple merged cleanly in %d runs; the clean path is untested", cfg.Iters)
+			}
+			t.Logf("checksum=%#016x over %d triples (%d clean, %d conflicted)",
+				run.Checksum(), run.Triples(), clean, conflicted)
+		})
+	}
+}
+
+// TestMergeDeterministicReplay asserts exact replay of the merge harness:
+// two runs with the same seed produce bit-identical triple sequences and
+// merge outcomes (compared via the run checksum, which folds in every tree
+// digest plus merged edit and conflict counts), and a different seed
+// produces a different sequence.
+func TestMergeDeterministicReplay(t *testing.T) {
+	const iters = 30
+	cfg := DefaultConfig(*flagSeed)
+	cfg.Iters = iters
+	for _, gen := range Generators() {
+		gen := gen
+		t.Run(gen.Name(), func(t *testing.T) {
+			t.Parallel()
+			sum := func(c Config) uint64 {
+				run := NewTripleRun(gen, c)
+				for i := 0; i < c.Iters; i++ {
+					tr := run.Next()
+					edits, conflicts, err := CheckTriple(gen.Schema(), tr, c.Seed+int64(i))
+					if err != nil {
+						t.Fatalf("iter %d: %v", i, err)
+					}
+					run.FoldResult(edits, conflicts)
+				}
+				return run.Checksum()
+			}
+			a, b := sum(cfg), sum(cfg)
+			if a != b {
+				t.Fatalf("same seed, different checksums: %#x vs %#x", a, b)
+			}
+			other := cfg
+			other.Seed += 1000003
+			if c := sum(other); c == a {
+				t.Fatalf("different seeds produced the same checksum %#x", a)
+			}
+			t.Logf("checksum=%#016x replays exactly (seed=%d, %d triples)", a, cfg.Seed, iters)
+		})
+	}
+}
+
+// TestMergeRegressionCorpus replays every committed triple reproducer in
+// testdata/regress/merge through the full merge oracle. Each entry is a
+// shrunk triple that once violated a merge property; all must pass now and
+// forever.
+func TestMergeRegressionCorpus(t *testing.T) {
+	rs, err := LoadTripleReproducers(MergeRegressDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Log("no committed merge reproducers")
+	}
+	for _, r := range rs {
+		r := r
+		t.Run(r.Lang+"/"+r.Property, func(t *testing.T) {
+			sch, base, ours, theirs, err := r.Trees()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := Triple{Base: base, Ours: ours, Theirs: theirs, Desc: "regress"}
+			if _, _, err := CheckTriple(sch, tr, r.Seed); err != nil {
+				t.Fatalf("committed merge reproducer fails again (note: %s): %v", r.Note, err)
+			}
+		})
+	}
+}
+
+// TestShrinkTriple sanity-checks the triple shrinker on a synthetic
+// "failure" (a size predicate): it must strictly reduce all three sides
+// while the predicate holds, and must return a passing triple unchanged.
+func TestShrinkTriple(t *testing.T) {
+	gen := NewJSONGen()
+	rng := newTestRNG(*flagSeed)
+	tr := genTriple(gen, rng, 60, 2, 2)
+	sh := NewShrinker(gen.Schema(), gen.Alloc())
+
+	fails := errors.New("still big")
+	prop := func(base, ours, theirs *tree.Node) error {
+		if base.Size()+ours.Size()+theirs.Size() > 6 {
+			return fails
+		}
+		return nil
+	}
+	base, ours, theirs, err, evals := sh.ShrinkTriple(tr.Base, tr.Ours, tr.Theirs, prop)
+	if err == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	before := tr.Base.Size() + tr.Ours.Size() + tr.Theirs.Size()
+	after := base.Size() + ours.Size() + theirs.Size()
+	if after >= before {
+		t.Fatalf("shrink did not reduce: %d → %d nodes (%d evals)", before, after, evals)
+	}
+	t.Logf("shrunk %d → %d nodes in %d evals", before, after, evals)
+
+	b2, o2, t2, err, _ := sh.ShrinkTriple(tr.Base, tr.Ours, tr.Theirs,
+		func(_, _, _ *tree.Node) error { return nil })
+	if err != nil || b2 != tr.Base || o2 != tr.Ours || t2 != tr.Theirs {
+		t.Fatal("passing triple was not returned unchanged")
+	}
+}

@@ -13,14 +13,16 @@ import (
 	"repro/structdiff"
 )
 
-// The five oracle properties, named for failure reports and the property
-// catalog in docs/TESTING.md.
+// The pair-oracle properties, named for failure reports and the property
+// catalog in docs/TESTING.md (the merge-oracle properties live in
+// merge.go).
 const (
-	PropWellTyped   = "well-typed"      // Conjecture 4.2: scripts pass the linear type check and Comply
-	PropConvergence = "convergence"     // Conjecture 4.3: patch(diff(a,b), a) ≃ b
-	PropSelfDiff    = "empty-self-diff" // diff(a,a) = ∅
-	PropRollback    = "fault-rollback"  // failed patches roll back exactly and re-apply cleanly
-	PropOrdering    = "edit-ordering"   // all negative edits precede all positive edits
+	PropWellTyped   = "well-typed"        // Conjecture 4.2: scripts pass the linear type check and Comply
+	PropConvergence = "convergence"       // Conjecture 4.3: patch(diff(a,b), a) ≃ b
+	PropSelfDiff    = "empty-self-diff"   // diff(a,a) = ∅
+	PropRollback    = "fault-rollback"    // failed patches roll back exactly and re-apply cleanly
+	PropOrdering    = "edit-ordering"     // all negative edits precede all positive edits
+	PropInvert      = "invert-round-trip" // Patch(s); Patch(Invert(s)) is an exact no-op, including NaN/±Inf literals
 )
 
 // PropertyError tags an oracle failure with the violated property.
@@ -36,7 +38,7 @@ func propErr(prop, format string, args ...any) error {
 	return &PropertyError{Property: prop, Err: fmt.Errorf(format, args...)}
 }
 
-// CheckPair runs the full five-property oracle on one generated pair
+// CheckPair runs the full six-property oracle on one generated pair
 // through the public structdiff facade. salt deterministically picks the
 // edit index the rollback property injects its fault at. It returns the
 // emitted script (also on most failures, for reporting and seeding) and
@@ -107,7 +109,45 @@ func CheckPair(sch *sig.Schema, p Pair, salt int64, opts ...structdiff.Option) (
 			return script, err
 		}
 	}
+
+	// Property 6 — invert round trip: applying the script and then its
+	// inverse is an exact no-op, byte-for-byte including URIs. This is the
+	// property that pins the PR 4 bug class at the Invert level: literal
+	// restoration must use bit-pattern float semantics, so a NaN or −0
+	// written by an Update (or re-loaded by an inverted Unload) must come
+	// back as exactly the literal the source held.
+	if err := checkInvert(sch, p, script); err != nil {
+		return script, err
+	}
 	return script, nil
+}
+
+// checkInvert asserts Patch(s); Patch(Invert(s)) restores the source tree
+// exactly (the mtree renders identically, so URIs, literals — compared by
+// bit pattern — and slot layout all round-trip).
+func checkInvert(sch *sig.Schema, p Pair, script *truechange.Script) error {
+	mt, err := mtree.FromTree(sch, p.Source)
+	if err != nil {
+		return propErr(PropInvert, "source tree rejected by mtree: %w", err)
+	}
+	before := mt.String()
+	if err := mt.Patch(script); err != nil {
+		return propErr(PropInvert, "forward patch failed: %w", err)
+	}
+	inv := truechange.Invert(script)
+	if err := structdiff.WellTyped(sch, inv); err != nil {
+		return propErr(PropInvert, "inverse script is ill-typed: %w", err)
+	}
+	if err := mt.Patch(inv); err != nil {
+		return propErr(PropInvert, "inverse patch failed: %w", err)
+	}
+	if after := mt.String(); after != before {
+		return propErr(PropInvert, "Patch(s); Patch(Invert(s)) is not a no-op:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if !mt.EqualTree(p.Source) {
+		return propErr(PropInvert, "inverted tree differs from the source")
+	}
+	return nil
 }
 
 // checkOrdering asserts the negative-before-positive edit order.

@@ -2,10 +2,12 @@
 // reproduction: a deterministic, seed-reproducible generator-and-oracle
 // subsystem that checks the paper's two central claims — well-typedness of
 // emitted scripts (Conjecture 4.2) and patch convergence
-// patch(diff(a,b), a) ≃ b (Conjecture 4.3) — plus three further properties
+// patch(diff(a,b), a) ≃ b (Conjecture 4.3) — plus four further properties
 // (empty self-diff, transactional rollback round-trips under injected
-// faults, negative-before-positive edit ordering) on thousands of
-// generated tree pairs instead of the paper's ~200 hand-picked cases.
+// faults, negative-before-positive edit ordering, and exact
+// Patch/Invert round trips) on thousands of generated tree pairs instead
+// of the paper's ~200 hand-picked cases. merge.go lifts the same harness
+// to three-tree merge triples (see CheckTriple).
 //
 // The harness has five parts:
 //

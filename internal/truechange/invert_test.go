@@ -2,6 +2,7 @@ package truechange
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 
 	"repro/internal/sig"
@@ -27,6 +28,38 @@ func TestInvertEditDuals(t *testing.T) {
 	inv, ok := InvertEdit(up).(Update)
 	if !ok || inv.Old[0].Value != "b" || inv.New[0].Value != "a" {
 		t.Errorf("invert update = %v", InvertEdit(up))
+	}
+}
+
+// TestInvertSpecialFloatLiterals pins the special-float bug class at the
+// Invert level: the dual of an edit carrying NaN, ±Inf, or -0 must carry
+// the exact same bit pattern, so that the inverse patch restores the
+// literal bit-identically (Go == on NaN would call the values unequal, and
+// -0 == +0 would let the sign bit drift — tree.LitEqual semantics apply).
+func TestInvertSpecialFloatLiterals(t *testing.T) {
+	bits := func(v any) uint64 { return math.Float64bits(v.(float64)) }
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)} {
+		up := Update{Node: nref("Num", 1),
+			Old: []LitArg{{Link: "n", Value: v}},
+			New: []LitArg{{Link: "n", Value: 1.0}}}
+		inv := InvertEdit(up).(Update)
+		if bits(inv.New[0].Value) != math.Float64bits(v) {
+			t.Errorf("inverted update lost the bit pattern of %v: %x vs %x",
+				v, bits(inv.New[0].Value), math.Float64bits(v))
+		}
+		if bits(inv.Old[0].Value) != math.Float64bits(1.0) {
+			t.Errorf("inverted update corrupted the new value: %v", inv.Old[0].Value)
+		}
+		ul := Unload{Node: nref("Num", 2), Lits: []LitArg{{Link: "n", Value: v}}}
+		ld := InvertEdit(ul).(Load)
+		if bits(ld.Lits[0].Value) != math.Float64bits(v) {
+			t.Errorf("inverted unload lost the bit pattern of %v", v)
+		}
+		// Double inversion is exact, bit for bit.
+		back := InvertEdit(InvertEdit(up)).(Update)
+		if bits(back.Old[0].Value) != math.Float64bits(v) {
+			t.Errorf("double inversion drifted on %v", v)
+		}
 	}
 }
 

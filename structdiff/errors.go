@@ -45,6 +45,11 @@ var (
 	// transport-level failure a retrying client (WithRetryPolicy) may
 	// transparently recover from.
 	ErrServiceUnavailable = derrors.ErrServiceUnavailable
+	// ErrMergeConflict reports a three-way merge (Merge, MergeContext,
+	// MergeScripts) whose two edit scripts claim the same node or slot in
+	// incompatible ways under MergePolicyFail. The wrapping
+	// *MergeConflictError carries the full conflict list.
+	ErrMergeConflict = derrors.ErrMergeConflict
 	// ErrCircuitOpen reports a diff-service call refused locally by the
 	// client's circuit breaker (WithCircuitBreaker): the endpoint's recent
 	// failure rate tripped the breaker and the request was never sent.

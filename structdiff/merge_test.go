@@ -1,0 +1,151 @@
+package structdiff_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/structdiff"
+	"repro/structdiff/langs/exp"
+)
+
+// TestMergeFacade drives the public three-way merge entry points end to
+// end: a disjoint pair merges clean and applies, a competing pair fails
+// typed under the default policy and resolves under WithMergePolicy, and
+// ApplyMerge rolls back exactly when the acceptance hook rejects.
+func TestMergeFacade(t *testing.T) {
+	sch := exp.Schema()
+
+	build := func(vals ...any) *structdiff.Node {
+		b := exp.NewBuilder()
+		mk := func(v any) *structdiff.Node {
+			switch x := v.(type) {
+			case int:
+				return b.MustN("Num", x)
+			case string:
+				return b.MustN("Var", x)
+			}
+			t.Fatalf("bad leaf %v", v)
+			return nil
+		}
+		return b.MustN("Add", mk(vals[0]), mk(vals[1]))
+	}
+
+	t.Run("disjoint", func(t *testing.T) {
+		base := build(1, 2)
+		res, err := structdiff.Merge(base, build(10, 2), build(1, 20),
+			structdiff.WithSchema(sch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Conflicts != 0 {
+			t.Fatalf("disjoint merge reported conflicts: %+v", res.Stats)
+		}
+		if err := structdiff.WellTyped(sch, res.Script); err != nil {
+			t.Fatalf("merged script ill-typed: %v", err)
+		}
+		mt, err := structdiff.MTreeFromTree(sch, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := structdiff.ApplyMerge(mt, res, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !mt.EqualTree(build(10, 20)) {
+			t.Fatalf("merged tree mismatch: %s", mt)
+		}
+	})
+
+	t.Run("conflict-and-policies", func(t *testing.T) {
+		base := build(1, 2)
+		ours, theirs := build("a", 2), build("b", 2)
+
+		_, err := structdiff.MergeContext(context.Background(), base, ours, theirs,
+			structdiff.WithSchema(sch))
+		if !errors.Is(err, structdiff.ErrMergeConflict) {
+			t.Fatalf("competing merge: %v, want ErrMergeConflict", err)
+		}
+		var ce *structdiff.MergeConflictError
+		if !errors.As(err, &ce) || len(ce.Conflicts) == 0 {
+			t.Fatalf("error %v carries no conflict list", err)
+		}
+
+		for _, pc := range []struct {
+			policy structdiff.MergePolicy
+			want   *structdiff.Node
+		}{{structdiff.MergePolicyOurs, ours}, {structdiff.MergePolicyTheirs, theirs}} {
+			res, err := structdiff.Merge(base, ours, theirs,
+				structdiff.WithSchema(sch), structdiff.WithMergePolicy(pc.policy))
+			if err != nil {
+				t.Fatalf("%v: %v", pc.policy, err)
+			}
+			if len(res.Conflicts) == 0 {
+				t.Fatalf("%v: resolved conflicts not recorded", pc.policy)
+			}
+			mt, err := structdiff.MTreeFromTree(sch, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := structdiff.ApplyMerge(mt, res, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !mt.EqualTree(pc.want) {
+				t.Fatalf("%v: merged tree mismatch: %s", pc.policy, mt)
+			}
+		}
+	})
+
+	t.Run("apply-rollback", func(t *testing.T) {
+		base := build(1, 2)
+		res, err := structdiff.Merge(base, build(10, 2), build(1, 20),
+			structdiff.WithSchema(sch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := structdiff.MTreeFromTree(sch, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reject := errors.New("rejected by review")
+		err = structdiff.ApplyMerge(mt, res, func(*structdiff.MTree) error { return reject })
+		if !errors.Is(err, reject) {
+			t.Fatalf("rejection not surfaced: %v", err)
+		}
+		if !mt.EqualTree(base) {
+			t.Fatalf("rejected merge did not roll back: %s", mt)
+		}
+	})
+
+	t.Run("scripts", func(t *testing.T) {
+		base := build(1, 2)
+		ra, err := structdiff.Diff(base, build(10, 2), structdiff.WithSchema(sch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := structdiff.Diff(base, build(1, 20), structdiff.WithSchema(sch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := structdiff.MergeScripts(base, ra.Script, rb.Script,
+			structdiff.WithSchema(sch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := structdiff.MTreeFromTree(sch, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := structdiff.PatchAtomic(mt, res.Script); err != nil {
+			t.Fatal(err)
+		}
+		if !mt.EqualTree(build(10, 20)) {
+			t.Fatalf("script-level merged tree mismatch: %s", mt)
+		}
+	})
+
+	t.Run("no-schema", func(t *testing.T) {
+		if _, err := structdiff.Merge(build(1, 2), build(1, 2), build(1, 2)); !errors.Is(err, structdiff.ErrNoSchema) {
+			t.Fatalf("schemaless merge: %v, want ErrNoSchema", err)
+		}
+	})
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/merge"
 	"repro/internal/mtree"
 	"repro/internal/sig"
 	"repro/internal/telemetry"
@@ -62,6 +63,7 @@ type config struct {
 	spans    telemetry.SpanSink
 	logger   *slog.Logger
 	slo      telemetry.SLOConfig
+	merge    merge.Policy
 }
 
 func newConfig(opts []Option) config {
