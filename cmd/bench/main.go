@@ -12,10 +12,13 @@
 //
 //	bench -compare BENCH_0.json BENCH_1.json                  # 5% tolerance
 //	bench -compare -tolerance 0.25 -allow-removed OLD NEW     # smoke vs full
+//	bench -compare -quality-tolerance 0.05 OLD NEW            # looser conciseness gate
 //
 // The gate fails (exit 1) when any scenario's median wall time regressed
 // beyond BOTH the tolerance and the scenario's noise band (the larger
-// IQR), or when a scenario disappeared without -allow-removed.
+// IQR), when a scenario's total compound edit count grew beyond the
+// quality tolerance (the conciseness gate; -quality-tolerance -1 disables
+// it), or when a scenario disappeared without -allow-removed.
 //
 // Profiling a run (see docs/OBSERVABILITY.md):
 //
@@ -59,6 +62,7 @@ func main() {
 	var (
 		compare      = flag.Bool("compare", false, "compare two reports: bench -compare OLD.json NEW.json")
 		tolerance    = flag.Float64("tolerance", perfobs.DefaultTolerance, "relative median slowdown the gate forgives (0.05 = 5%)")
+		qualityTol   = flag.Float64("quality-tolerance", perfobs.DefaultQualityTolerance, "relative edit-count growth the conciseness gate forgives (negative disables)")
 		allowRemoved = flag.Bool("allow-removed", false, "do not fail the gate on scenarios missing from the new report")
 		list         = flag.Bool("list", false, "print scenario names and exit")
 		smoke        = flag.Bool("smoke", false, "run the reduced smoke matrix (a strict subset of the full matrix)")
@@ -83,7 +87,7 @@ func main() {
 	flag.Parse()
 
 	if *compare {
-		os.Exit(runCompare(flag.Args(), *tolerance, *allowRemoved))
+		os.Exit(runCompare(flag.Args(), *tolerance, *qualityTol, *allowRemoved))
 	}
 	if *load {
 		os.Exit(runLoad(loadConfig{
@@ -181,7 +185,7 @@ func main() {
 	fmt.Printf("wrote %s (%d scenarios)\n", path, len(report.Scenarios))
 }
 
-func runCompare(args []string, tolerance float64, allowRemoved bool) int {
+func runCompare(args []string, tolerance, qualityTol float64, allowRemoved bool) int {
 	// The standard flag package stops parsing at the first positional
 	// argument, so `bench -compare OLD NEW -tolerance 0.25` leaves the
 	// trailing flags in args. Accept them here so flag position doesn't
@@ -195,6 +199,7 @@ func runCompare(args []string, tolerance float64, allowRemoved bool) int {
 		}
 		fs := flag.NewFlagSet("bench -compare", flag.ContinueOnError)
 		fs.Float64Var(&tolerance, "tolerance", tolerance, "")
+		fs.Float64Var(&qualityTol, "quality-tolerance", qualityTol, "")
 		fs.BoolVar(&allowRemoved, "allow-removed", allowRemoved, "")
 		if err := fs.Parse(args); err != nil {
 			return 2
@@ -216,7 +221,7 @@ func runCompare(args []string, tolerance float64, allowRemoved bool) int {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 2
 	}
-	opts := perfobs.CompareOptions{Tolerance: tolerance, AllowRemoved: allowRemoved}
+	opts := perfobs.CompareOptions{Tolerance: tolerance, QualityTolerance: qualityTol, AllowRemoved: allowRemoved}
 	cmp := perfobs.Compare(oldR, newR, opts)
 	cmp.WriteText(os.Stdout, opts)
 	if cmp.Failed() {

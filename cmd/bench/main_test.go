@@ -33,14 +33,14 @@ func TestRunCompareFlagOrder(t *testing.T) {
 	writeReport(t, oldP, 100e6)
 	writeReport(t, newP, 150e6) // 1.5x slowdown, far beyond the 1% IQR
 
-	if got := runCompare([]string{oldP, newP}, perfobs.DefaultTolerance, false); got != 1 {
+	if got := runCompare([]string{oldP, newP}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 1 {
 		t.Errorf("1.5x slowdown at default tolerance: exit %d, want 1", got)
 	}
 	// Trailing flag widens the gate to 60% and the slowdown passes.
-	if got := runCompare([]string{oldP, newP, "-tolerance", "0.6"}, perfobs.DefaultTolerance, false); got != 0 {
+	if got := runCompare([]string{oldP, newP, "-tolerance", "0.6"}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 0 {
 		t.Errorf("trailing -tolerance ignored: exit %d, want 0", got)
 	}
-	if got := runCompare([]string{oldP, newP, "-tolerance=0.6"}, perfobs.DefaultTolerance, false); got != 0 {
+	if got := runCompare([]string{oldP, newP, "-tolerance=0.6"}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 0 {
 		t.Errorf("trailing -tolerance=0.6 ignored: exit %d, want 0", got)
 	}
 
@@ -50,17 +50,53 @@ func TestRunCompareFlagOrder(t *testing.T) {
 	if err := empty.WriteFile(emptyP); err != nil {
 		t.Fatal(err)
 	}
-	if got := runCompare([]string{oldP, emptyP}, perfobs.DefaultTolerance, false); got != 1 {
+	if got := runCompare([]string{oldP, emptyP}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 1 {
 		t.Errorf("removed scenario: exit %d, want 1", got)
 	}
-	if got := runCompare([]string{oldP, emptyP, "-allow-removed"}, perfobs.DefaultTolerance, false); got != 0 {
+	if got := runCompare([]string{oldP, emptyP, "-allow-removed"}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 0 {
 		t.Errorf("trailing -allow-removed ignored: exit %d, want 0", got)
 	}
 
-	if got := runCompare([]string{oldP}, perfobs.DefaultTolerance, false); got != 2 {
+	if got := runCompare([]string{oldP}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 2 {
 		t.Errorf("one path: exit %d, want 2", got)
 	}
-	if got := runCompare([]string{oldP, newP, "-bogus"}, perfobs.DefaultTolerance, false); got != 2 {
+	if got := runCompare([]string{oldP, newP, "-bogus"}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 2 {
 		t.Errorf("unknown flag: exit %d, want 2", got)
+	}
+}
+
+// TestRunCompareQualityGate pins the conciseness gate's CLI surface: edit
+// growth beyond the quality tolerance fails the comparison even with
+// identical wall times, and a trailing -quality-tolerance re-tunes or
+// disables it.
+func TestRunCompareQualityGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, edits int) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		r := &perfobs.Report{
+			SchemaVersion: perfobs.SchemaVersion,
+			Scenarios: []perfobs.ScenarioResult{{
+				Name:       "truediff/tiny/light",
+				WallNS:     perfobs.Sample{N: 5, Median: 100e6, IQR: 1e6},
+				EditsTotal: edits,
+			}},
+		}
+		if err := r.WriteFile(p); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		return p
+	}
+	oldP := write("old.json", 100)
+	newP := write("new.json", 110) // scripts grew 10%, wall time unchanged
+
+	if got := runCompare([]string{oldP, newP}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 1 {
+		t.Errorf("10%% edit growth at default quality tolerance: exit %d, want 1", got)
+	}
+	if got := runCompare([]string{oldP, newP, "-quality-tolerance", "0.2"}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 0 {
+		t.Errorf("trailing -quality-tolerance ignored: exit %d, want 0", got)
+	}
+	if got := runCompare([]string{oldP, newP, "-quality-tolerance=-1"}, perfobs.DefaultTolerance, perfobs.DefaultQualityTolerance, false); got != 0 {
+		t.Errorf("disabled conciseness gate still fails: exit %d, want 0", got)
 	}
 }

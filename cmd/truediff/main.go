@@ -4,6 +4,7 @@
 //
 //	truediff old.py new.py             # print the edit script
 //	truediff -check old.py new.py      # also type-check and verify patching
+//	truediff -explain old.py new.py    # annotate each edit with its provenance
 //	truediff -stats old.py new.py      # sizes, edit counts, timing
 //	truediff -baselines old.py new.py  # compare against gumtree and hdiff
 //	truediff -lang json a.json b.json  # diff JSON documents
@@ -84,6 +85,7 @@ func writeBenchReport(path, lang string, nodes, edits int, elapsed time.Duration
 func main() {
 	var (
 		check       = flag.Bool("check", false, "type-check the script and verify patching")
+		explain     = flag.Bool("explain", false, "annotate every edit with its provenance (equivalence class, selection outcome) and print script-quality metrics")
 		stat        = flag.Bool("stats", false, "print sizes, edit counts, and timing")
 		baselines   = flag.Bool("baselines", false, "also run gumtree and hdiff")
 		quiet       = flag.Bool("quiet", false, "suppress the edit script itself")
@@ -113,7 +115,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: truediff [-check] [-stats] [-baselines] [-quiet] [-lang python|json] [-metrics-addr ADDR]\n"+
+		fmt.Fprintln(os.Stderr, "usage: truediff [-check] [-explain] [-stats] [-baselines] [-quiet] [-lang python|json] [-metrics-addr ADDR]\n"+
 			"                [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE] [-bench-out FILE] OLD NEW\n"+
 			"       truediff -merge [-merge-policy fail|ours|theirs] ANCESTOR OURS THEIRS")
 		os.Exit(1)
@@ -128,7 +130,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(flag.Arg(0), flag.Arg(1), *lang, *metricsAddr, *benchOut, prof.Enabled(), *check, *stat, *baselines, *quiet)
+	err := run(flag.Arg(0), flag.Arg(1), *lang, *metricsAddr, *benchOut, prof.Enabled(), *explain, *check, *stat, *baselines, *quiet)
 	if serr := stop(); serr != nil {
 		fmt.Fprintln(os.Stderr, "truediff:", serr)
 	}
@@ -248,7 +250,7 @@ func runMerge(basePath, oursPath, theirsPath, lang, policy string, stat, quiet b
 // and reported; distinct from operational failure).
 var errMergeConflicts = errors.New("merge conflicts")
 
-func run(oldPath, newPath, lang, metricsAddr, benchOut string, profiled, check, stat, baselines, quiet bool) error {
+func run(oldPath, newPath, lang, metricsAddr, benchOut string, profiled, explain, check, stat, baselines, quiet bool) error {
 	sch, alloc, before, after, err := parseBoth(lang, oldPath, newPath)
 	if err != nil {
 		return err
@@ -257,6 +259,10 @@ func run(oldPath, newPath, lang, metricsAddr, benchOut string, profiled, check, 
 	if profiled {
 		labelOpts = append(labelOpts, structdiff.WithProfileLabels())
 	}
+	if explain {
+		labelOpts = append(labelOpts, structdiff.WithExplain(),
+			structdiff.WithQualityBaseline(structdiff.DefaultQualityBaselineMaxNodes))
+	}
 
 	// Without -metrics-addr the diff runs directly; with it, the pair is
 	// routed through an engine so the endpoint has real telemetry (phase
@@ -264,6 +270,8 @@ func run(oldPath, newPath, lang, metricsAddr, benchOut string, profiled, check, 
 	// the parse allocator, so -check verifies against the ingested pair.
 	var (
 		res     *structdiff.Result
+		prov    *structdiff.Explanation
+		qual    *structdiff.QualityMetrics
 		elapsed time.Duration
 		eng     *structdiff.Engine
 	)
@@ -290,6 +298,20 @@ func run(oldPath, newPath, lang, metricsAddr, benchOut string, profiled, check, 
 			return results[0].Err
 		}
 		res = results[0].Result
+		if explain {
+			prov = results[0].Explain
+			q := structdiff.MeasureQuality(src, dst, res.Script, structdiff.DefaultQualityBaselineMaxNodes)
+			qual = &q
+		}
+	} else if explain {
+		start := time.Now()
+		ex, eerr := structdiff.Explain(before, after,
+			append([]structdiff.Option{structdiff.WithSchema(sch), structdiff.WithAllocator(alloc)}, labelOpts...)...)
+		elapsed = time.Since(start)
+		if eerr != nil {
+			return eerr
+		}
+		res, prov, qual = ex.Result, ex.Provenance, &ex.Quality
 	} else {
 		start := time.Now()
 		res, err = structdiff.Diff(before, after,
@@ -307,7 +329,26 @@ func run(oldPath, newPath, lang, metricsAddr, benchOut string, profiled, check, 
 	}
 
 	if !quiet {
-		fmt.Println(res.Script)
+		if prov != nil {
+			for i, e := range res.Script.Edits {
+				fmt.Println(e)
+				if i < len(prov.Edits) {
+					fmt.Println("    ^", prov.Edits[i])
+				}
+			}
+		} else {
+			fmt.Println(res.Script)
+		}
+	}
+	if prov != nil && qual != nil {
+		fmt.Printf("explain: %d preemptive, %d selected (%d exact), %d revoked\n",
+			prov.Preemptive, prov.Selected, prov.PreferredWins, prov.Revoked)
+		fmt.Printf("quality: reuse %.1f%%, %.2f edits/changed node, script/tree %.3f\n",
+			100*qual.ReuseRatio, qual.EditsPerChangedNode, qual.ScriptTreeRatio)
+		if qual.Baselined {
+			fmt.Printf("quality: optimality gap %+.1f%% (%d compound vs %d minimal)\n",
+				100*qual.OptimalityGap, qual.CompoundEdits, qual.MinimalEdits)
+		}
 	}
 	if stat {
 		fmt.Printf("source nodes:  %d\n", before.Size())

@@ -1,0 +1,51 @@
+package diffserve
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMetricInventoryDocumented keeps docs/OBSERVABILITY.md's metric
+// inventory in sync with the code: every metric the full service gathers
+// — its own diffserve_* series plus the per-language engine series — must
+// appear in the document by name. A new metric that lands without a doc
+// entry fails here, not in a reader's grep.
+func TestMetricInventoryDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read OBSERVABILITY.md: %v", err)
+	}
+	text := string(doc)
+
+	srv, _ := testServer(t, Config{Langs: []string{"exp"}, Workers: 2})
+
+	// The SLO gauge families are documented as prefixed sets (they are
+	// detailed in TRACING.md), so a shared prefix counts as documented.
+	prefixes := []string{"structdiff_slo_", "diffserve_slo_", "diffserve_client_"}
+	documented := func(name string) bool {
+		if strings.Contains(text, name) {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) && strings.Contains(text, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	seen := map[string]bool{}
+	for _, m := range srv.GatherMetrics() {
+		if seen[m.Name] {
+			continue
+		}
+		seen[m.Name] = true
+		if !documented(m.Name) {
+			t.Errorf("metric %s is gathered but missing from docs/OBSERVABILITY.md", m.Name)
+		}
+	}
+	if len(seen) < 20 {
+		t.Fatalf("gathered only %d distinct metrics; inventory sweep is not exercising the full surface", len(seen))
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/derrors"
 	"repro/internal/faultinject"
+	"repro/internal/quality"
 	"repro/internal/sig"
 	"repro/internal/telemetry"
 	"repro/internal/tree"
@@ -58,6 +59,21 @@ type Config struct {
 	// DisableMemo turns off the cross-diff digest memo; Ingest then hashes
 	// every subtree from scratch. Intended for ablation measurements.
 	DisableMemo bool
+
+	// Explain, when true, collects per-edit provenance for every diff: each
+	// successful PairResult carries a truediff.Explanation whose records are
+	// index-aligned with the script's edits (see truediff.Options.Explain).
+	// Fallback (root-replacement) results carry no explanation — the real
+	// diff never finished. Off (the default), the diff path pays nothing.
+	Explain bool
+	// QualityBaseline, when positive, additionally computes the exact
+	// minimal-script baseline (quality.MinimalEdits, the Zhang–Shasha tree
+	// edit distance) for diffs whose trees are both within that node count,
+	// filling DiffStats.MinimalEdits and OptimalityGap. The baseline is
+	// quadratic in tree size; quality.DefaultBaselineMaxNodes is a sensible
+	// cap. Zero (the default) disables it; the cheap conciseness metrics
+	// (ChangedNodes, ReuseRatio, ratios) are always computed.
+	QualityBaseline int
 
 	// Tracer, when non-nil, receives span events for every diff the engine
 	// runs (BeginDiff, one Phase per truediff step, EndDiff). With
@@ -163,6 +179,12 @@ type histograms struct {
 	phases  [telemetry.NumPhases]telemetry.Histogram
 	edits   telemetry.Histogram // compound edits per script
 	nodes   telemetry.Histogram // input tree sizes (two per diff)
+
+	// Quality distributions (per diff, stored in permille so the integer
+	// histogram resolves ratios; exposed with Scale 1e-3):
+	reuse        telemetry.Histogram // reuse ratio × 1000
+	editsChanged telemetry.Histogram // compound edits per changed node × 1000
+	scriptTree   telemetry.Histogram // compound edits per target node × 1000
 }
 
 // treeStore interns engine-managed trees by content digest, so ingesting a
@@ -384,6 +406,21 @@ type DiffStats struct {
 	// source nodes rather than loading fresh ones: 1 means the diff moved
 	// and updated existing structure only, 0 means it rebuilt everything.
 	ReuseRatio float64
+	// ChangedNodes counts the nodes the script touches (loads, unloads,
+	// literal updates, moved subtree roots); EditsPerChangedNode and
+	// ScriptTreeRatio are the conciseness ratios built on it (see
+	// quality.Metrics). All zero for an empty script.
+	ChangedNodes        int
+	EditsPerChangedNode float64
+	ScriptTreeRatio     float64
+	// MinimalEdits and OptimalityGap carry the exact minimal-script
+	// baseline (quality.MinimalEdits) when Baselined, which requires
+	// Config.QualityBaseline > 0 and both trees within that node cap. The
+	// gap can be negative: truechange moves beat the classical edit
+	// distance's delete+reinsert.
+	MinimalEdits  int
+	OptimalityGap float64
+	Baselined     bool
 	// Phases breaks Wall down into the four truediff steps (all zero for
 	// short-circuited pairs, where no step ran).
 	Phases telemetry.PhaseTimes
@@ -406,7 +443,11 @@ type DiffStats struct {
 type PairResult struct {
 	Result *truediff.Result
 	Stats  DiffStats
-	Err    error
+	// Explain is the per-edit provenance of the script, index-aligned with
+	// Result.Script.Edits. Non-nil only when Config.Explain is set and the
+	// diff completed without fallback.
+	Explain *truediff.Explanation
+	Err     error
 }
 
 // Diff runs a single diff through the engine: scratch state is drawn from
@@ -517,6 +558,11 @@ feed:
 // tracing off the extra cost is two clock reads and a handful of atomic
 // adds.
 func (e *Engine) diffOne(ctx context.Context, p Pair) PairResult {
+	// Labels are caller-supplied (e.g. by remote diffserve clients) and
+	// fan out to every observability surface — span attributes, pprof
+	// labels, trace records, flight-recorder pages, Prometheus label
+	// values. Bound and neutralize them once here.
+	p.Label = telemetry.SanitizeLabel(p.Label)
 	start := time.Now()
 	span := telemetry.StartSpanAt(e.cfg.Spans, p.Trace, "engine.diff", start)
 	if span != nil {
@@ -567,6 +613,10 @@ func (e *Engine) diffPair(ctx context.Context, p Pair) PairResult {
 			TargetInterned: true,
 			Identical:      true,
 		}
+		if e.cfg.QualityBaseline > 0 && st.SourceSize <= e.cfg.QualityBaseline {
+			// Identical trees are trivially minimal: distance 0, gap 0.
+			st.Baselined = true
+		}
 		e.m.diffs.Add(1)
 		e.m.sourceNodes.Add(uint64(st.SourceSize))
 		e.m.targetNodes.Add(uint64(st.TargetSize))
@@ -577,10 +627,21 @@ func (e *Engine) diffPair(ctx context.Context, p Pair) PairResult {
 		e.h.edits.Record(0)
 		e.h.nodes.Record(int64(st.SourceSize))
 		e.h.nodes.Record(int64(st.TargetSize))
-		return e.finish(p, PairResult{
+		e.recordQuality(st)
+		pr := PairResult{
 			Result: &truediff.Result{Script: &truechange.Script{}, Patched: p.Source},
 			Stats:  st,
-		})
+		}
+		if e.cfg.Explain {
+			// An empty script explains itself; the empty record set keeps
+			// the index alignment invariant for downstream consumers.
+			pr.Explain = &truediff.Explanation{
+				SourceSize: st.SourceSize,
+				TargetSize: st.TargetSize,
+				Edits:      []truediff.EditProvenance{},
+			}
+		}
+		return e.finish(p, pr)
 	}
 
 	e.m.poolGets.Add(1)
@@ -603,6 +664,14 @@ func (e *Engine) diffPair(ctx context.Context, p Pair) PairResult {
 		tree.Walk(p.Target, walkMax)
 		alloc = uri.NewAllocator()
 		alloc.Reserve(e.reserveBlock(max, p.Target.Size()))
+	}
+
+	var ecol *truediff.ExplainCollector
+	if e.cfg.Explain {
+		// The collector is touched only by this worker goroutine: the
+		// differ delivers into it synchronously at the end of the diff.
+		ecol = &truediff.ExplainCollector{}
+		ctx = truediff.ContextWithExplain(ctx, ecol)
 	}
 
 	start := time.Now()
@@ -645,9 +714,17 @@ func (e *Engine) diffPair(ctx context.Context, p Pair) PairResult {
 		SourceInterned: e.internedTree(p.Source),
 		TargetInterned: e.internedTree(p.Target),
 	}
-	if st.TargetSize > 0 {
-		loads := truechange.ComputeStats(res.Script).Loads
-		st.ReuseRatio = float64(st.TargetSize-loads) / float64(st.TargetSize)
+	q := quality.FromScript(res.Script, st.SourceSize, st.TargetSize)
+	st.ReuseRatio = q.ReuseRatio
+	st.ChangedNodes = q.ChangedNodes
+	st.EditsPerChangedNode = q.EditsPerChangedNode
+	st.ScriptTreeRatio = q.ScriptTreeRatio
+	if bm := e.cfg.QualityBaseline; bm > 0 && !fellBack {
+		if min, ok := quality.MinimalEdits(p.Source, p.Target, bm); ok {
+			st.MinimalEdits = min
+			st.OptimalityGap = quality.Gap(st.Edits, min)
+			st.Baselined = true
+		}
 	}
 	e.m.diffs.Add(1)
 	e.m.edits.Add(uint64(st.Edits))
@@ -661,7 +738,26 @@ func (e *Engine) diffPair(ctx context.Context, p Pair) PairResult {
 	e.h.edits.Record(int64(st.Edits))
 	e.h.nodes.Record(int64(st.SourceSize))
 	e.h.nodes.Record(int64(st.TargetSize))
-	return e.finish(p, PairResult{Result: res, Stats: st})
+	e.recordQuality(st)
+	pr := PairResult{Result: res, Stats: st}
+	if ecol != nil && !fellBack {
+		pr.Explain = ecol.Last
+	}
+	return e.finish(p, pr)
+}
+
+// recordQuality feeds one diff's conciseness metrics into the quality
+// histograms (permille-scaled) and cumulative counters.
+func (e *Engine) recordQuality(st DiffStats) {
+	e.h.reuse.Record(int64(st.ReuseRatio * 1000))
+	e.h.editsChanged.Record(int64(st.EditsPerChangedNode * 1000))
+	e.h.scriptTree.Record(int64(st.ScriptTreeRatio * 1000))
+	e.m.changedNodes.Add(uint64(st.ChangedNodes))
+	if st.Baselined {
+		e.m.baselinedDiffs.Add(1)
+		e.m.baselineEdits.Add(uint64(st.Edits))
+		e.m.baselineMinimal.Add(uint64(st.MinimalEdits))
+	}
 }
 
 // internedTree reports whether n is the canonical copy held by the

@@ -31,6 +31,14 @@ type metrics struct {
 	poolGets   atomic.Uint64
 	poolMisses atomic.Uint64
 
+	// Quality accounting: nodes touched by scripts, and the running sums
+	// the aggregate optimality gap is derived from (compound edits and
+	// exact minimal edits over baselined diffs only).
+	changedNodes    atomic.Uint64
+	baselinedDiffs  atomic.Uint64
+	baselineEdits   atomic.Uint64
+	baselineMinimal atomic.Uint64
+
 	ingestedTrees atomic.Uint64
 	ingestedNodes atomic.Uint64
 
@@ -80,6 +88,18 @@ type Snapshot struct {
 
 	// Edits is the total compound edit count over all scripts produced.
 	Edits uint64
+	// ChangedNodes totals the nodes touched by all scripts (loads,
+	// unloads, updates, moved roots). BaselinedDiffs counts diffs that ran
+	// the exact minimal-script baseline (Config.QualityBaseline);
+	// BaselineEdits and BaselineMinimal sum the compound and exact-minimal
+	// edit counts over those diffs, and OptimalityGap is the aggregate gap
+	// BaselineEdits/BaselineMinimal − 1 (0 with no baselined diffs or a
+	// zero minimal sum).
+	ChangedNodes    uint64
+	BaselinedDiffs  uint64
+	BaselineEdits   uint64
+	BaselineMinimal uint64
+	OptimalityGap   float64
 	// SourceNodes and TargetNodes total the input tree sizes.
 	SourceNodes uint64
 	TargetNodes uint64
@@ -151,6 +171,10 @@ func (e *Engine) Snapshot() Snapshot {
 		MergeConflicts:    merge.Conflicts(),
 		MergeAutoResolved: merge.AutoResolved(),
 		Edits:             e.m.edits.Load(),
+		ChangedNodes:      e.m.changedNodes.Load(),
+		BaselinedDiffs:    e.m.baselinedDiffs.Load(),
+		BaselineEdits:     e.m.baselineEdits.Load(),
+		BaselineMinimal:   e.m.baselineMinimal.Load(),
 		SourceNodes:       e.m.sourceNodes.Load(),
 		TargetNodes:       e.m.targetNodes.Load(),
 		DiffWall:          time.Duration(e.m.wallNanos.Load()),
@@ -181,7 +205,20 @@ func (e *Engine) Snapshot() Snapshot {
 		}
 		s.MemoEntries = e.memo.Len()
 	}
+	s.OptimalityGap = aggregateGap(s.BaselineEdits, s.BaselineMinimal)
 	return s
+}
+
+// aggregateGap turns the running sums into the aggregate optimality gap
+// edits/minimal − 1, defaulting to 0 when no baseline data exists. A zero
+// minimal sum with nonzero edits (every baselined pair was identical yet
+// scripts had edits — cannot happen for correct diffs) also yields 0
+// rather than dividing by zero.
+func aggregateGap(edits, minimal uint64) float64 {
+	if minimal == 0 {
+		return 0
+	}
+	return float64(edits)/float64(minimal) - 1
 }
 
 // Sub returns the per-interval delta s − prev: every cumulative counter is
@@ -208,6 +245,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		MergeConflicts:    sub64(s.MergeConflicts, prev.MergeConflicts),
 		MergeAutoResolved: sub64(s.MergeAutoResolved, prev.MergeAutoResolved),
 		Edits:             sub64(s.Edits, prev.Edits),
+		ChangedNodes:      sub64(s.ChangedNodes, prev.ChangedNodes),
+		BaselinedDiffs:    sub64(s.BaselinedDiffs, prev.BaselinedDiffs),
+		BaselineEdits:     sub64(s.BaselineEdits, prev.BaselineEdits),
+		BaselineMinimal:   sub64(s.BaselineMinimal, prev.BaselineMinimal),
 		SourceNodes:       sub64(s.SourceNodes, prev.SourceNodes),
 		TargetNodes:       sub64(s.TargetNodes, prev.TargetNodes),
 		PoolGets:          sub64(s.PoolGets, prev.PoolGets),
@@ -241,6 +282,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	if total := d.MemoHits + d.MemoMisses; total > 0 {
 		d.MemoHitRate = float64(d.MemoHits) / float64(total)
 	}
+	d.OptimalityGap = aggregateGap(d.BaselineEdits, d.BaselineMinimal)
 	return d
 }
 
@@ -271,6 +313,7 @@ func (s Snapshot) String() string {
 		"diffs %d (%d errors, %d batches), %d edits, %d+%d nodes in %v (%.0f nodes/s)\n"+
 			"resilience: %d panics, %d timeouts, %d fallbacks, %d rollbacks\n"+
 			"merge: %d merges, %d conflicts, %d auto-resolved\n"+
+			"quality: %d changed nodes, %d baselined diffs (gap %+.1f%%)\n"+
 			"workers: %.1f%% utilized over %v capacity, queue depth %d\n"+
 			"scratch pool: %d gets, %d misses (%.1f%% hit)\n"+
 			"digest memo: %d hits, %d misses (%.1f%% hit), %d entries; ingested %d trees / %d nodes\n"+
@@ -280,6 +323,7 @@ func (s Snapshot) String() string {
 		s.DiffWall.Round(time.Millisecond), s.NodesPerSecond(),
 		s.Panics, s.Timeouts, s.Fallbacks, s.Rollbacks,
 		s.Merges, s.MergeConflicts, s.MergeAutoResolved,
+		s.ChangedNodes, s.BaselinedDiffs, 100*s.OptimalityGap,
 		100*s.Utilization, s.WorkerCapacity.Round(time.Millisecond), s.QueueDepth,
 		s.PoolGets, s.PoolMisses, 100*s.PoolHitRate,
 		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate, s.MemoEntries,

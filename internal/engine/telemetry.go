@@ -29,6 +29,13 @@ func (ev DiffEvent) TraceRecord() telemetry.TraceRecord {
 		TargetInterned: ev.Stats.TargetInterned,
 		Identical:      ev.Stats.Identical,
 		Fallback:       ev.Stats.Fallback,
+		ReuseRatio:     ev.Stats.ReuseRatio,
+		ChangedNodes:   ev.Stats.ChangedNodes,
+		EditsPerNode:   ev.Stats.EditsPerChangedNode,
+		ScriptRatio:    ev.Stats.ScriptTreeRatio,
+		Baselined:      ev.Stats.Baselined,
+		MinimalEdits:   ev.Stats.MinimalEdits,
+		OptimalityGap:  ev.Stats.OptimalityGap,
 	}
 	rec.SetPhases(ev.Stats.Phases)
 	if ev.Trace.Valid() {
@@ -130,6 +137,26 @@ func (e *Engine) GatherMetrics() []telemetry.Metric {
 			Help: "Input tree sizes in nodes (two observations per diff).",
 			Hist: e.h.nodes.Snapshot(),
 		},
+		telemetry.Metric{
+			Name: "structdiff_quality_reuse_ratio", Kind: telemetry.KindHistogram,
+			Help: "Per-diff fraction of target nodes produced by reusing source subtrees.",
+			Hist: e.h.reuse.Snapshot(), Scale: 1e-3,
+		},
+		telemetry.Metric{
+			Name: "structdiff_quality_edits_per_changed_node", Kind: telemetry.KindHistogram,
+			Help: "Per-diff compound edits per script-touched node (near 1 is concise).",
+			Hist: e.h.editsChanged.Snapshot(), Scale: 1e-3,
+		},
+		telemetry.Metric{
+			Name: "structdiff_quality_script_tree_ratio", Kind: telemetry.KindHistogram,
+			Help: "Per-diff script size relative to target tree size (compound edits / target nodes).",
+			Hist: e.h.scriptTree.Snapshot(), Scale: 1e-3,
+		},
+		counter("structdiff_quality_changed_nodes_total", "Nodes touched by all scripts produced.", s.ChangedNodes),
+		counter("structdiff_quality_baselined_diffs_total", "Diffs that ran the exact minimal-script baseline.", s.BaselinedDiffs),
+		ratio("structdiff_quality_optimality_gap",
+			"Aggregate optimality gap over baselined diffs: compound edits / exact minimal edits - 1 (can be negative; moves beat the classical edit distance).",
+			s.OptimalityGap),
 	)
 	ms = append(ms, telemetry.SLOMetrics("structdiff_slo_", s.SLO)...)
 	return ms

@@ -95,6 +95,7 @@ func TestSnapshotStringGolden(t *testing.T) {
 		Diffs: 10, Errors: 1, SlowDiffs: 3, Batches: 2, Edits: 40,
 		Panics: 1, Timeouts: 2, Fallbacks: 3, Rollbacks: 4,
 		Merges: 6, MergeConflicts: 2, MergeAutoResolved: 1,
+		ChangedNodes: 120, BaselinedDiffs: 4, OptimalityGap: 0.05,
 		SourceNodes: 1000, TargetNodes: 1100, DiffWall: 2100 * time.Millisecond,
 		PoolGets: 10, PoolMisses: 2, PoolHitRate: 0.8,
 		MemoHits: 300, MemoMisses: 100, MemoHitRate: 0.75, MemoEntries: 400,
@@ -118,6 +119,7 @@ func TestSnapshotStringGolden(t *testing.T) {
 	want := "diffs 10 (1 errors, 2 batches), 40 edits, 1000+1100 nodes in 2.1s (1000 nodes/s)\n" +
 		"resilience: 1 panics, 2 timeouts, 3 fallbacks, 4 rollbacks\n" +
 		"merge: 6 merges, 2 conflicts, 1 auto-resolved\n" +
+		"quality: 120 changed nodes, 4 baselined diffs (gap +5.0%)\n" +
 		"workers: 50.0% utilized over 4.2s capacity, queue depth 2\n" +
 		"scratch pool: 10 gets, 2 misses (80.0% hit)\n" +
 		"digest memo: 300 hits, 100 misses (75.0% hit), 400 entries; ingested 20 trees / 2100 nodes\n" +

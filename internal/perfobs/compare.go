@@ -34,6 +34,12 @@ type CompareOptions struct {
 	// Tolerance is the relative median slowdown the gate forgives, e.g.
 	// 0.05 for 5%. Zero selects DefaultTolerance.
 	Tolerance float64
+	// QualityTolerance is the relative growth in a scenario's total
+	// compound edit count the gate forgives (the conciseness gate; edit
+	// counts are deterministic, so the band only absorbs intentional
+	// small algorithm changes, not noise). Zero selects
+	// DefaultQualityTolerance; negative disables the conciseness gate.
+	QualityTolerance float64
 	// AllowRemoved downgrades removed scenarios from gate failures to
 	// notes (for reduced-matrix runs against a full baseline).
 	AllowRemoved bool
@@ -41,6 +47,11 @@ type CompareOptions struct {
 
 // DefaultTolerance is the gate's tolerance when none is given: 5%.
 const DefaultTolerance = 0.05
+
+// DefaultQualityTolerance is the conciseness gate's tolerance when none
+// is given: 2%. Edit scripts are deterministic per scenario, so even a
+// tight band only fires on real conciseness changes.
+const DefaultQualityTolerance = 0.02
 
 // ScenarioDelta is one scenario's comparison outcome.
 type ScenarioDelta struct {
@@ -54,6 +65,12 @@ type ScenarioDelta struct {
 	// NoiseNS is the noise band the shift was required to clear: the
 	// larger of the two reports' interquartile ranges.
 	NoiseNS float64
+	// OldEdits and NewEdits are the compared total compound edit counts;
+	// ConcisenessRegressed marks scenarios whose scripts grew beyond the
+	// quality tolerance (a gate failure independent of the wall verdict).
+	OldEdits             int
+	NewEdits             int
+	ConcisenessRegressed bool
 }
 
 // Comparison is the outcome of comparing two reports.
@@ -67,10 +84,11 @@ type Comparison struct {
 }
 
 // Failed reports whether the comparison should fail the gate: any
-// regressed scenario, or any removed scenario unless allowed.
+// regressed scenario, any conciseness regression, or any removed
+// scenario unless allowed.
 func (c *Comparison) Failed() bool {
 	for _, d := range c.Deltas {
-		if d.Verdict == VerdictRegressed {
+		if d.Verdict == VerdictRegressed || d.ConcisenessRegressed {
 			return true
 		}
 		if d.Verdict == VerdictRemoved && !c.allowRemoved {
@@ -93,6 +111,10 @@ func Compare(oldR, newR *Report, opts CompareOptions) *Comparison {
 	if tol == 0 {
 		tol = DefaultTolerance
 	}
+	qtol := opts.QualityTolerance
+	if qtol == 0 {
+		qtol = DefaultQualityTolerance
+	}
 	oldBy := make(map[string]*ScenarioResult, len(oldR.Scenarios))
 	for i := range oldR.Scenarios {
 		oldBy[oldR.Scenarios[i].Name] = &oldR.Scenarios[i]
@@ -109,7 +131,7 @@ func Compare(oldR, newR *Report, opts CompareOptions) *Comparison {
 			c.Deltas = append(c.Deltas, ScenarioDelta{Name: name, Verdict: VerdictRemoved, OldMedianNS: o.WallNS.Median})
 			continue
 		}
-		c.Deltas = append(c.Deltas, classify(name, o, n, tol))
+		c.Deltas = append(c.Deltas, classify(name, o, n, tol, qtol))
 	}
 	for name, n := range newBy {
 		if _, ok := oldBy[name]; !ok {
@@ -120,13 +142,15 @@ func Compare(oldR, newR *Report, opts CompareOptions) *Comparison {
 	return c
 }
 
-func classify(name string, o, n *ScenarioResult, tol float64) ScenarioDelta {
+func classify(name string, o, n *ScenarioResult, tol, qtol float64) ScenarioDelta {
 	d := ScenarioDelta{
 		Name:        name,
 		Verdict:     VerdictUnchanged,
 		OldMedianNS: o.WallNS.Median,
 		NewMedianNS: n.WallNS.Median,
 		NoiseNS:     max(o.WallNS.IQR, n.WallNS.IQR),
+		OldEdits:    o.EditsTotal,
+		NewEdits:    n.EditsTotal,
 	}
 	if o.WallNS.Median > 0 {
 		d.Ratio = n.WallNS.Median / o.WallNS.Median
@@ -137,6 +161,13 @@ func classify(name string, o, n *ScenarioResult, tol float64) ScenarioDelta {
 		d.Verdict = VerdictRegressed
 	case d.Ratio > 0 && d.Ratio < 1-tol && -shift > d.NoiseNS:
 		d.Verdict = VerdictImproved
+	}
+	// Conciseness gate: scripts are deterministic, so edit-count growth
+	// beyond the quality tolerance is a real regression, not noise. A
+	// negative qtol disables the gate.
+	if qtol >= 0 && o.EditsTotal > 0 &&
+		float64(n.EditsTotal) > float64(o.EditsTotal)*(1+qtol) {
+		d.ConcisenessRegressed = true
 	}
 	return d
 }
@@ -152,17 +183,17 @@ func (c *Comparison) WriteText(w io.Writer, opts CompareOptions) {
 	if c.EnvMismatch {
 		fmt.Fprintf(w, "note: environment fingerprints differ; treat ratios with caution\n")
 	}
-	order := func(v Verdict) int {
-		switch v {
-		case VerdictRegressed:
+	order := func(d ScenarioDelta) int {
+		switch {
+		case d.Verdict == VerdictRegressed || d.ConcisenessRegressed:
 			return 2
-		case VerdictRemoved:
+		case d.Verdict == VerdictRemoved:
 			return 1
 		}
 		return 0
 	}
 	ds := append([]ScenarioDelta(nil), c.Deltas...)
-	sort.SliceStable(ds, func(i, j int) bool { return order(ds[i].Verdict) < order(ds[j].Verdict) })
+	sort.SliceStable(ds, func(i, j int) bool { return order(ds[i]) < order(ds[j]) })
 	for _, d := range ds {
 		switch d.Verdict {
 		case VerdictAdded:
@@ -178,9 +209,13 @@ func (c *Comparison) WriteText(w io.Writer, opts CompareOptions) {
 				d.Ratio,
 				time.Duration(d.NoiseNS).Round(time.Microsecond))
 		}
+		if d.ConcisenessRegressed {
+			fmt.Fprintf(w, "%-34s %-10s scripts grew %d -> %d edits (x%.3f)\n", d.Name, "concise!",
+				d.OldEdits, d.NewEdits, float64(d.NewEdits)/float64(d.OldEdits))
+		}
 	}
 	if c.Failed() {
-		fmt.Fprintf(w, "FAIL: regression beyond %.0f%% tolerance and noise band\n", 100*tol)
+		fmt.Fprintf(w, "FAIL: regression beyond %.0f%% wall tolerance and noise band, or conciseness regression\n", 100*tol)
 	} else {
 		fmt.Fprintf(w, "ok: no regression beyond %.0f%% tolerance\n", 100*tol)
 	}

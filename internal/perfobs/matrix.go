@@ -32,6 +32,12 @@ const (
 type CorpusSize string
 
 const (
+	// CorpusTiny targets trees near the exact minimal-script baseline cap
+	// (quality.DefaultBaselineMaxNodes). The generator's statement
+	// granularity overshoots on some files, so not every pair is
+	// baselined, but enough are that the optimality-gap column is always
+	// populated — the conciseness trajectory's anchor.
+	CorpusTiny CorpusSize = "tiny"
 	// CorpusSmall is a few hundred nodes per tree — small enough for the
 	// quadratic lineardiff baseline.
 	CorpusSmall CorpusSize = "small"
@@ -97,6 +103,8 @@ func (s Scenario) Name() string {
 func (s Scenario) CorpusOptions() corpus.Options {
 	var o corpus.Options
 	switch s.Corpus {
+	case CorpusTiny:
+		o = corpus.Options{Seed: 10, Files: 6, Commits: 10, MaxFilesPerCommit: 3, MinNodes: 30, MaxNodes: 100}
 	case CorpusSmall:
 		o = corpus.Options{Seed: 11, Files: 4, Commits: 12, MaxFilesPerCommit: 2, MinNodes: 150, MaxNodes: 400}
 	case CorpusMedium:
@@ -141,6 +149,10 @@ func FullMatrix() []Scenario {
 		// workload the engine cells diff, observed from the far side of the
 		// HTTP transport under concurrent clients.
 		{System: SystemService, Corpus: CorpusMedium, Edits: EditsLight, Workers: 4, Clients: 8},
+		// Appended with the quality trajectory: trees small enough for the
+		// exact minimal-script baseline, so the optimality-gap column is
+		// populated and gated.
+		{System: SystemTruediff, Corpus: CorpusTiny, Edits: EditsLight},
 	}
 }
 
@@ -155,5 +167,6 @@ func SmokeMatrix() []Scenario {
 		{System: SystemGumtree, Corpus: CorpusSmall, Edits: EditsLight},
 		{System: SystemHdiff, Corpus: CorpusMedium, Edits: EditsLight},
 		{System: SystemLineardiff, Corpus: CorpusSmall, Edits: EditsLight},
+		{System: SystemTruediff, Corpus: CorpusTiny, Edits: EditsLight},
 	}
 }

@@ -1,0 +1,116 @@
+package perfobs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/truediff"
+)
+
+// TestQualityColumns: truediff and engine scenarios carry the quality
+// probe's columns, and the tiny corpus — sized around the exact baseline
+// cap — always has baselined pairs, so the optimality gap is populated.
+func TestQualityColumns(t *testing.T) {
+	rep, err := Run(RunConfig{
+		Scenarios: []Scenario{
+			{System: SystemTruediff, Corpus: CorpusTiny, Edits: EditsLight},
+			{System: SystemEngine, Corpus: CorpusTiny, Edits: EditsLight, Workers: 2},
+			{System: SystemLineardiff, Corpus: CorpusTiny, Edits: EditsLight},
+		},
+		Warmup: 1,
+		Reps:   2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, s := range rep.Scenarios {
+		switch s.System {
+		case string(SystemTruediff), string(SystemEngine):
+			if s.ReuseRatioMedian <= 0 || s.ReuseRatioMedian > 1 {
+				t.Errorf("%s: reuse median %v out of (0, 1]", s.Name, s.ReuseRatioMedian)
+			}
+			if s.EditsPerChangedNode <= 0 {
+				t.Errorf("%s: edits per changed node %v", s.Name, s.EditsPerChangedNode)
+			}
+			if s.BaselinedPairs == 0 || s.BaselinedPairs > s.Pairs {
+				t.Errorf("%s: %d of %d pairs baselined; tiny corpus must baseline some",
+					s.Name, s.BaselinedPairs, s.Pairs)
+			}
+		default:
+			if s.ReuseRatioMedian != 0 || s.BaselinedPairs != 0 {
+				t.Errorf("%s: baseline system carries quality columns: %+v", s.Name, s)
+			}
+		}
+	}
+	// The two measured systems produce the same scripts, so the probe
+	// must agree column for column.
+	a, b := rep.Scenarios[0], rep.Scenarios[1]
+	if a.System != string(SystemEngine) {
+		a, b = b, a
+	}
+	if a.ReuseRatioMedian != b.ReuseRatioMedian || a.OptimalityGap != b.OptimalityGap {
+		t.Errorf("probe disagrees across systems: %+v vs %+v", a, b)
+	}
+
+	var buf bytes.Buffer
+	rep.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "reuse") || !strings.Contains(buf.String(), "gap") {
+		t.Errorf("summary lacks quality columns:\n%s", buf.String())
+	}
+}
+
+// TestConcisenessGateOnDegradedEquiv is the comparator's seeded-regression
+// check: re-running the identical scenario under ExactOnly equivalence —
+// which forfeits structural reuse on literal changes — must grow the edit
+// scripts, and the comparator must fail the gate on conciseness even
+// though wall time is not slower beyond tolerance.
+func TestConcisenessGateOnDegradedEquiv(t *testing.T) {
+	scs := []Scenario{{System: SystemTruediff, Corpus: CorpusTiny, Edits: EditsLight}}
+	good, err := Run(RunConfig{Scenarios: scs, Warmup: 1, Reps: 2})
+	if err != nil {
+		t.Fatalf("Run(good): %v", err)
+	}
+	bad, err := Run(RunConfig{Scenarios: scs, Warmup: 1, Reps: 2, Equiv: truediff.ExactOnly})
+	if err != nil {
+		t.Fatalf("Run(degraded): %v", err)
+	}
+	g, b := good.Scenarios[0], bad.Scenarios[0]
+	if b.EditsTotal <= g.EditsTotal {
+		t.Fatalf("ExactOnly did not degrade conciseness: %d vs %d edits", b.EditsTotal, g.EditsTotal)
+	}
+
+	c := Compare(good, bad, CompareOptions{})
+	if !c.Failed() {
+		t.Fatal("comparator passed a conciseness regression")
+	}
+	var hit bool
+	for _, d := range c.Deltas {
+		if d.ConcisenessRegressed {
+			hit = true
+			if d.OldEdits != g.EditsTotal || d.NewEdits != b.EditsTotal {
+				t.Errorf("delta edit counts %d/%d, want %d/%d", d.OldEdits, d.NewEdits, g.EditsTotal, b.EditsTotal)
+			}
+		}
+	}
+	if !hit {
+		t.Fatal("no delta flagged ConcisenessRegressed")
+	}
+	var buf bytes.Buffer
+	c.WriteText(&buf, CompareOptions{})
+	out := buf.String()
+	if !strings.Contains(out, "concise!") || !strings.Contains(out, "FAIL") {
+		t.Errorf("WriteText does not report the conciseness regression:\n%s", out)
+	}
+
+	// The same comparison with the gate disabled passes (wall time did not
+	// regress; only the scripts grew).
+	if c2 := Compare(good, bad, CompareOptions{QualityTolerance: -1}); c2.Failed() {
+		for _, d := range c2.Deltas {
+			if d.Verdict == VerdictRegressed {
+				t.Skip("wall time also regressed on this machine; conciseness check above already passed")
+			}
+		}
+		t.Error("gate fired with QualityTolerance < 0")
+	}
+}

@@ -147,7 +147,23 @@ type ScenarioResult struct {
 
 	// EditsTotal is the summed compound edit count of one repetition
 	// (identical across repetitions: the scenarios are deterministic).
+	// The comparator gates on it as the conciseness metric.
 	EditsTotal int `json:"edits_total"`
+
+	// Quality columns, measured by an untimed probe repetition (truediff
+	// and engine systems only; see docs/OBSERVABILITY.md). ReuseRatioMedian
+	// is the per-pair median fraction of target nodes produced by reuse;
+	// EditsPerChangedNode the aggregate compound-edits-per-touched-node
+	// conciseness ratio.
+	ReuseRatioMedian    float64 `json:"reuse_ratio_median,omitempty"`
+	EditsPerChangedNode float64 `json:"edits_per_changed_node,omitempty"`
+	// BaselinedPairs counts pairs small enough for the exact
+	// minimal-script baseline; OptimalityGap aggregates their compound
+	// edits over the exact minimum, minus one (negative when truechange
+	// moves beat the classical edit distance). Zero BaselinedPairs means
+	// the corpus was too large to baseline and OptimalityGap is unset.
+	BaselinedPairs int     `json:"baselined_pairs,omitempty"`
+	OptimalityGap  float64 `json:"optimality_gap,omitempty"`
 
 	// PhaseNS breaks one repetition's diff time into the four truediff
 	// phases (median over repetitions, nanoseconds summed over Pairs).
@@ -241,16 +257,24 @@ func (r *Report) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "benchmark report (schema v%d, %s %s/%s, %d CPUs, go %s)\n",
 		r.SchemaVersion, revShort(r.Env.VCSRevision), r.Env.GOOS, r.Env.GOARCH,
 		r.Env.NumCPU, r.Env.GoVersion)
-	fmt.Fprintf(w, "%-34s %10s %12s %9s %8s  %s\n",
-		"scenario", "median", "nodes/s", "±iqr", "edits", "phase split")
+	fmt.Fprintf(w, "%-34s %10s %12s %9s %8s %6s %6s  %s\n",
+		"scenario", "median", "nodes/s", "±iqr", "edits", "reuse", "gap", "phase split")
 	for i := range r.Scenarios {
 		s := &r.Scenarios[i]
-		fmt.Fprintf(w, "%-34s %10v %12.0f %9v %8d  %s\n",
+		reuse, gap := "-", "-"
+		if s.ReuseRatioMedian > 0 {
+			reuse = fmt.Sprintf("%.0f%%", 100*s.ReuseRatioMedian)
+		}
+		if s.BaselinedPairs > 0 {
+			gap = fmt.Sprintf("%+.0f%%", 100*s.OptimalityGap)
+		}
+		fmt.Fprintf(w, "%-34s %10v %12.0f %9v %8d %6s %6s  %s\n",
 			s.Name,
 			time.Duration(s.WallNS.Median).Round(time.Microsecond),
 			s.NodesPerSec.Median,
 			time.Duration(s.WallNS.IQR).Round(time.Microsecond),
 			s.EditsTotal,
+			reuse, gap,
 			phaseSplit(s.PhaseNS))
 	}
 }

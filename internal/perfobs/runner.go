@@ -17,6 +17,7 @@ import (
 	"repro/internal/gumtree"
 	"repro/internal/hdiff"
 	"repro/internal/lineardiff"
+	"repro/internal/quality"
 	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/truediff"
@@ -39,6 +40,12 @@ type RunConfig struct {
 	// default: labels cost a little and the trajectory should measure the
 	// production path.
 	ProfileLabels bool
+	// Equiv overrides the subtree equivalence mode of the truediff and
+	// engine scenarios (zero is the paper's
+	// StructuralWithLiteralPreference). For ablation runs — and for
+	// seeding deliberate conciseness regressions when testing the
+	// comparator's quality gate.
+	Equiv truediff.EquivMode
 	// Logf, when non-nil, receives one progress line per scenario.
 	Logf func(format string, args ...any)
 }
@@ -138,9 +145,9 @@ func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult
 	var eng *engine.Engine
 	switch sc.System {
 	case SystemTruediff:
-		m = newTruediffMeasurer(h, ps, cfg.ProfileLabels)
+		m = newTruediffMeasurer(h, ps, cfg)
 	case SystemEngine:
-		em := newEngineMeasurer(h, ps, sc, cfg.ProfileLabels)
+		em := newEngineMeasurer(h, ps, sc, cfg)
 		m, eng = em, em.eng
 	case SystemGumtree:
 		m = newGumtreeMeasurer(ps)
@@ -245,13 +252,54 @@ func runScenario(sc Scenario, h *corpus.History, cfg RunConfig) (*ScenarioResult
 		res.Utilization = eng.Snapshot().Sub(before).Utilization
 	}
 	if sc.System == SystemTruediff {
-		pa, err := probePhaseAllocs(h, ps)
+		pa, err := probePhaseAllocs(h, ps, cfg.Equiv)
 		if err != nil {
 			return nil, err
 		}
 		res.PhaseAllocBytes = pa
 	}
+	if sc.System == SystemTruediff || sc.System == SystemEngine {
+		if err := probeQuality(h, ps, cfg.Equiv, res); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// probeQuality runs one extra untimed single-threaded repetition and fills
+// the report's quality columns: the per-pair median reuse ratio, the
+// aggregate edits-per-changed-node ratio, and — on pairs small enough for
+// the exact minimal-script baseline — the aggregate optimality gap. The
+// scripts are deterministic, so the probe measures exactly what the timed
+// repetitions produced without perturbing them.
+func probeQuality(h *corpus.History, ps *pairSet, equiv truediff.EquivMode, res *ScenarioResult) error {
+	d := truediff.NewWithOptions(h.Factory.Schema(), truediff.Options{Equiv: equiv})
+	scratch := truediff.NewScratch()
+	reuse := make([]float64, 0, len(ps.src))
+	var edits, changed, gapEdits, gapMinimal int
+	for i := range ps.src {
+		r, err := d.DiffScratchChecked(ps.src[i], ps.dst[i], nil, scratch, nil)
+		if err != nil {
+			return fmt.Errorf("quality probe on %s: %w", ps.changes[i].Path, err)
+		}
+		q := quality.Measure(ps.src[i], ps.dst[i], r.Script, quality.DefaultBaselineMaxNodes)
+		reuse = append(reuse, q.ReuseRatio)
+		edits += q.CompoundEdits
+		changed += q.ChangedNodes
+		if q.Baselined {
+			res.BaselinedPairs++
+			gapEdits += q.CompoundEdits
+			gapMinimal += q.MinimalEdits
+		}
+	}
+	res.ReuseRatioMedian = Summarize(reuse).Median
+	if changed > 0 {
+		res.EditsPerChangedNode = float64(edits) / float64(changed)
+	}
+	if gapMinimal > 0 {
+		res.OptimalityGap = float64(gapEdits)/float64(gapMinimal) - 1
+	}
+	return nil
 }
 
 // --- per-system measurers ---
@@ -263,9 +311,10 @@ type truediffMeasurer struct {
 	pt      telemetry.PhaseTimes
 }
 
-func newTruediffMeasurer(h *corpus.History, ps *pairSet, labels bool) *truediffMeasurer {
+func newTruediffMeasurer(h *corpus.History, ps *pairSet, cfg RunConfig) *truediffMeasurer {
 	return &truediffMeasurer{
-		d:       truediff.NewWithOptions(h.Factory.Schema(), truediff.Options{ProfileLabels: labels}),
+		d: truediff.NewWithOptions(h.Factory.Schema(),
+			truediff.Options{ProfileLabels: cfg.ProfileLabels, Equiv: cfg.Equiv}),
 		ps:      ps,
 		scratch: truediff.NewScratch(),
 	}
@@ -296,11 +345,11 @@ type engineMeasurer struct {
 	pt    telemetry.PhaseTimes
 }
 
-func newEngineMeasurer(h *corpus.History, ps *pairSet, sc Scenario, labels bool) *engineMeasurer {
+func newEngineMeasurer(h *corpus.History, ps *pairSet, sc Scenario, cfg RunConfig) *engineMeasurer {
 	eng := engine.New(h.Factory.Schema(), engine.Config{
 		Workers:     sc.Workers,
 		DisableMemo: sc.DisableMemo,
-		Diff:        truediff.Options{ProfileLabels: labels},
+		Diff:        truediff.Options{ProfileLabels: cfg.ProfileLabels, Equiv: cfg.Equiv},
 	})
 	pairs := make([]engine.Pair, len(ps.src))
 	for i := range ps.src {
@@ -501,7 +550,7 @@ func (m *serviceMeasurer) close() {
 // boundary. The tracer callbacks run synchronously on the diffing
 // goroutine, so consecutive counter deltas attribute allocation to the
 // phase that just completed. The probe repetition is never timed.
-func probePhaseAllocs(h *corpus.History, ps *pairSet) (map[string]int64, error) {
+func probePhaseAllocs(h *corpus.History, ps *pairSet, equiv truediff.EquivMode) (map[string]int64, error) {
 	sums := make(map[string]int64, telemetry.NumPhases)
 	var last uint64
 	tracer := telemetry.TracerFuncs{
@@ -511,7 +560,7 @@ func probePhaseAllocs(h *corpus.History, ps *pairSet) (map[string]int64, error) 
 			last = now
 		},
 	}
-	d := truediff.NewWithOptions(h.Factory.Schema(), truediff.Options{Tracer: tracer})
+	d := truediff.NewWithOptions(h.Factory.Schema(), truediff.Options{Tracer: tracer, Equiv: equiv})
 	scratch := truediff.NewScratch()
 	for i := range ps.src {
 		last = readAllocBytes()

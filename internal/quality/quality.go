@@ -1,0 +1,261 @@
+// Package quality computes per-diff conciseness metrics for truechange
+// edit scripts: how many nodes a script touches relative to the trees it
+// transforms, how much of the target is covered by reused source subtrees,
+// and — on small trees — how far the greedy script is from an exact
+// minimal-cost baseline (the classical tree edit distance of Zhang and
+// Shasha). The paper's headline claim is conciseness; this package turns
+// it into numbers the engine, the bench trajectory, and the explain CLI
+// can track and gate on.
+package quality
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+	"repro/internal/truechange"
+)
+
+// Metrics quantifies the conciseness of one edit script relative to the
+// source/target pair it was computed for. The zero value means "empty
+// script over empty trees".
+type Metrics struct {
+	// RawEdits is the number of individual edit operations (Script.Len).
+	RawEdits int `json:"raw_edits"`
+	// CompoundEdits is the paper's conciseness metric (Script.EditCount):
+	// detach+unload and load+attach pairs of one node count once.
+	CompoundEdits int `json:"compound_edits"`
+	// SourceSize and TargetSize are the node counts of the diffed trees.
+	SourceSize int `json:"source_size"`
+	TargetSize int `json:"target_size"`
+	// ChangedNodes counts the nodes the script touches: loads, unloads,
+	// literal updates, and moved subtree roots.
+	ChangedNodes int `json:"changed_nodes"`
+	// EditsPerChangedNode is CompoundEdits / ChangedNodes (0 for an empty
+	// script): how many script operations each touched node costs. Near 1
+	// means the script says no more than what changed.
+	EditsPerChangedNode float64 `json:"edits_per_changed_node"`
+	// ReuseRatio is the fraction of target nodes produced by reusing
+	// source subtrees instead of fresh loads: (TargetSize - loads) /
+	// TargetSize. 1 means everything was reused.
+	ReuseRatio float64 `json:"reuse_ratio"`
+	// ScriptTreeRatio is CompoundEdits / TargetSize: the script's size
+	// relative to the tree it produces. Small is concise.
+	ScriptTreeRatio float64 `json:"script_tree_ratio"`
+	// MinimalEdits is the exact minimum number of unit-cost node
+	// operations (insert, delete, relabel) transforming source into
+	// target — the Zhang–Shasha tree edit distance. Only set when
+	// Baselined (the trees were within the baseline's node cap).
+	MinimalEdits int `json:"minimal_edits,omitempty"`
+	// OptimalityGap is (CompoundEdits - MinimalEdits) / MinimalEdits when
+	// Baselined: how much larger the greedy script is than the exact
+	// minimum. It can be negative — truechange scripts move subtrees with
+	// one detach/attach pair where the classical edit distance must delete
+	// and re-insert every node — so it is a tracked relative metric, not a
+	// lower-bound certificate.
+	OptimalityGap float64 `json:"optimality_gap,omitempty"`
+	// Baselined reports whether MinimalEdits/OptimalityGap were computed.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// String renders the metrics on one line.
+func (m Metrics) String() string {
+	s := fmt.Sprintf("%d edits (%d raw) over %d changed nodes, reuse %.3f, script/tree %.3f",
+		m.CompoundEdits, m.RawEdits, m.ChangedNodes, m.ReuseRatio, m.ScriptTreeRatio)
+	if m.Baselined {
+		s += fmt.Sprintf(", minimal %d (gap %+.1f%%)", m.MinimalEdits, 100*m.OptimalityGap)
+	}
+	return s
+}
+
+// FromScript computes the always-cheap metrics of script: one pass over
+// the edits (truechange.ComputeStats), no baseline.
+func FromScript(script *truechange.Script, sourceSize, targetSize int) Metrics {
+	st := truechange.ComputeStats(script)
+	m := Metrics{
+		RawEdits:      script.Len(),
+		CompoundEdits: st.Compound,
+		SourceSize:    sourceSize,
+		TargetSize:    targetSize,
+		ChangedNodes:  st.Loads + st.Unloads + st.Updates + st.Moves,
+	}
+	if targetSize > 0 {
+		m.ReuseRatio = float64(targetSize-st.Loads) / float64(targetSize)
+		m.ScriptTreeRatio = float64(st.Compound) / float64(targetSize)
+	}
+	if m.ChangedNodes > 0 {
+		m.EditsPerChangedNode = float64(st.Compound) / float64(m.ChangedNodes)
+	}
+	return m
+}
+
+// DefaultBaselineMaxNodes is the default node-count cap for the exact
+// baseline: Zhang–Shasha is O(n²·min(leaves,depth)²), so the cap keeps the
+// baseline to single-digit milliseconds on commodity hardware.
+const DefaultBaselineMaxNodes = 120
+
+// Measure combines FromScript with the exact baseline: if both trees are
+// within baselineMax nodes (0 selects DefaultBaselineMaxNodes, negative
+// disables the baseline), MinimalEdits and OptimalityGap are filled in.
+func Measure(src, dst *tree.Node, script *truechange.Script, baselineMax int) Metrics {
+	m := FromScript(script, src.Size(), dst.Size())
+	if baselineMax < 0 {
+		return m
+	}
+	if baselineMax == 0 {
+		baselineMax = DefaultBaselineMaxNodes
+	}
+	if min, ok := MinimalEdits(src, dst, baselineMax); ok {
+		m.MinimalEdits = min
+		m.OptimalityGap = Gap(m.CompoundEdits, min)
+		m.Baselined = true
+	}
+	return m
+}
+
+// Gap returns the relative optimality gap (edits - minimal) / minimal.
+// When the minimum is 0 (equal trees) the gap is the raw edit count: any
+// edit at all is infinitely non-minimal, and the raw count keeps the
+// metric finite and monotone.
+func Gap(edits, minimal int) float64 {
+	if minimal == 0 {
+		return float64(edits)
+	}
+	return float64(edits-minimal) / float64(minimal)
+}
+
+// MinimalEdits returns the minimum number of unit-cost node operations
+// (insert a node, delete a node, relabel a node) transforming src into
+// dst: the tree edit distance over ordered labeled trees, computed with
+// the Zhang–Shasha dynamic program (1989). Two nodes carry equal labels
+// when their tags and literals agree. The computation is skipped — second
+// result false — when either tree exceeds maxNodes nodes, because the DP
+// is quadratic in tree size.
+func MinimalEdits(src, dst *tree.Node, maxNodes int) (int, bool) {
+	if src == nil || dst == nil {
+		return 0, false
+	}
+	if src.Size() > maxNodes || dst.Size() > maxNodes {
+		return 0, false
+	}
+	a, b := flatten(src), flatten(dst)
+	n, m := len(a.nodes), len(b.nodes)
+	// td[i][j] is the tree distance between the subtrees rooted at
+	// postorder nodes i and j (1-based).
+	td := make([][]int, n+1)
+	for i := range td {
+		td[i] = make([]int, m+1)
+	}
+	// fd is the forest-distance scratch, re-sliced per keyroot pair.
+	fd := make([][]int, n+2)
+	for i := range fd {
+		fd[i] = make([]int, m+2)
+	}
+	for _, i := range a.keyroots {
+		for _, j := range b.keyroots {
+			treeDist(a, b, i, j, td, fd)
+		}
+	}
+	return td[n][m], true
+}
+
+// flatTree is a postorder flattening of a tree with the auxiliary arrays
+// the Zhang–Shasha DP needs.
+type flatTree struct {
+	nodes []*tree.Node // postorder, 0-based
+	lml   []int        // 1-based leftmost-leaf index per 1-based node
+	// keyroots are the 1-based indices of nodes with no parent sharing
+	// their leftmost leaf (the root and every node with a left sibling).
+	keyroots []int
+}
+
+func flatten(t *tree.Node) *flatTree {
+	f := &flatTree{lml: []int{0}} // index 0 unused: the DP is 1-based
+	var walk func(n *tree.Node) int
+	walk = func(n *tree.Node) int {
+		first := 0
+		for i, k := range n.Kids {
+			l := walk(k)
+			if i == 0 {
+				first = l
+			}
+		}
+		f.nodes = append(f.nodes, n)
+		idx := len(f.nodes) // 1-based postorder index
+		if first == 0 {
+			first = idx // leaf: its own leftmost leaf
+		}
+		f.lml = append(f.lml, first)
+		return first
+	}
+	walk(t)
+	// A node is a keyroot iff no later node shares its leftmost leaf.
+	seen := make(map[int]bool)
+	for i := len(f.nodes); i >= 1; i-- {
+		if !seen[f.lml[i]] {
+			seen[f.lml[i]] = true
+			f.keyroots = append(f.keyroots, i)
+		}
+	}
+	// Reverse into increasing order, as the DP processes keyroots upward.
+	for l, r := 0, len(f.keyroots)-1; l < r; l, r = l+1, r-1 {
+		f.keyroots[l], f.keyroots[r] = f.keyroots[r], f.keyroots[l]
+	}
+	return f
+}
+
+// relabelCost is 0 for equal labels (same tag, equal literals), 1 else.
+func relabelCost(a, b *tree.Node) int {
+	if a.Tag != b.Tag || len(a.Lits) != len(b.Lits) {
+		return 1
+	}
+	for i := range a.Lits {
+		if !tree.LitEqual(a.Lits[i], b.Lits[i]) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// treeDist fills td[i][j] (and every td entry for subtree pairs whose
+// leftmost leaves coincide with i's and j's) via the forest-distance DP.
+func treeDist(a, b *flatTree, i, j int, td, fd [][]int) {
+	li, lj := a.lml[i], b.lml[j]
+	fd[li-1][lj-1] = 0
+	for x := li; x <= i; x++ {
+		fd[x][lj-1] = fd[x-1][lj-1] + 1 // delete
+	}
+	for y := lj; y <= j; y++ {
+		fd[li-1][y] = fd[li-1][y-1] + 1 // insert
+	}
+	for x := li; x <= i; x++ {
+		for y := lj; y <= j; y++ {
+			if a.lml[x] == li && b.lml[y] == lj {
+				// Both forests are whole subtrees: the relabel case is a
+				// node substitution, and the result is a tree distance.
+				d := min3(
+					fd[x-1][y]+1,
+					fd[x][y-1]+1,
+					fd[x-1][y-1]+relabelCost(a.nodes[x-1], b.nodes[y-1]),
+				)
+				fd[x][y] = d
+				td[x][y] = d
+			} else {
+				fd[x][y] = min3(
+					fd[x-1][y]+1,
+					fd[x][y-1]+1,
+					fd[a.lml[x]-1][b.lml[y]-1]+td[x][y],
+				)
+			}
+		}
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

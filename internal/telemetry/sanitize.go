@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxLabelLen caps the byte length of a sanitized pair label. 128 bytes
+// is generous for a corpus path yet small enough that a hostile client
+// cannot bloat Prometheus exposition, JSONL traces, or span attributes.
+const MaxLabelLen = 128
+
+// SanitizeLabel bounds and neutralizes a caller-supplied pair label
+// before it reaches an observability surface (metric label values, the
+// JSONL trace sink, flight-recorder pages, log lines). Control
+// characters are escaped Go-style (`\n`, `\r`, `\t`, `\xNN`) so a label
+// cannot split an exposition or JSONL line or smuggle terminal escapes,
+// and the result is capped at MaxLabelLen bytes with a trailing ellipsis
+// marking truncation. Clean short labels — the overwhelmingly common
+// case — are returned unchanged without allocating.
+func SanitizeLabel(s string) string {
+	if clean := len(s) <= MaxLabelLen; clean {
+		for i := 0; i < len(s); i++ {
+			if s[i] < 0x20 || s[i] == 0x7f {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return s
+		}
+	}
+	var b strings.Builder
+	b.Grow(MaxLabelLen + len("…"))
+	n := 0
+	for _, r := range s {
+		var frag string
+		switch {
+		case r == '\n':
+			frag = `\n`
+		case r == '\r':
+			frag = `\r`
+		case r == '\t':
+			frag = `\t`
+		case r < 0x20 || r == 0x7f:
+			frag = fmt.Sprintf(`\x%02x`, r)
+		default:
+			frag = string(r)
+		}
+		if n+len(frag) > MaxLabelLen {
+			b.WriteString("…")
+			break
+		}
+		b.WriteString(frag)
+		n += len(frag)
+	}
+	return b.String()
+}

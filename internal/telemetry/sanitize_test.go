@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSanitizeLabelCleanPassthrough(t *testing.T) {
+	for _, s := range []string{"", "corpus/json/a.py", "pair #3 (v2→v3)", strings.Repeat("x", MaxLabelLen)} {
+		if got := SanitizeLabel(s); got != s {
+			t.Errorf("SanitizeLabel(%q) = %q, want unchanged", s, got)
+		}
+	}
+}
+
+func TestSanitizeLabelEscapesControls(t *testing.T) {
+	cases := map[string]string{
+		"a\nb":           `a\nb`,
+		"a\r\nb":         `a\r\nb`,
+		"tab\there":      `tab\there`,
+		"esc\x1b[31mred": `esc\x1b[31mred`,
+		"del\x7f":        `del\x7f`,
+	}
+	for in, want := range cases {
+		if got := SanitizeLabel(in); got != want {
+			t.Errorf("SanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSanitizeLabelCapsLength(t *testing.T) {
+	long := strings.Repeat("y", 4096)
+	got := SanitizeLabel(long)
+	if !strings.HasSuffix(got, "…") {
+		t.Fatalf("truncated label lacks ellipsis: %q", got)
+	}
+	if n := len(got) - len("…"); n > MaxLabelLen {
+		t.Fatalf("sanitized label is %d bytes (cap %d)", n, MaxLabelLen)
+	}
+	// Multibyte runes are never split at the cap boundary.
+	wide := strings.Repeat("é", 4096)
+	if got := SanitizeLabel(wide); !strings.HasSuffix(got, "…") || strings.Contains(got, "�") {
+		t.Fatalf("multibyte truncation corrupted label: %q", got)
+	}
+	// A hostile label that only becomes oversized after escaping is still
+	// capped.
+	bomb := strings.Repeat("\x01", 4096)
+	got = SanitizeLabel(bomb)
+	if len(got) > MaxLabelLen+len("…") {
+		t.Fatalf("escaped label is %d bytes (cap %d)", len(got), MaxLabelLen)
+	}
+	if !strings.HasPrefix(got, `\x01\x01`) {
+		t.Fatalf("escaped label = %q", got[:16])
+	}
+}

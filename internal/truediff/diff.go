@@ -69,6 +69,17 @@ type Options struct {
 	// or negative selects DefaultCheckpointEvery. Smaller values abort
 	// pathological diffs sooner at the cost of more polls.
 	CheckpointEvery int
+	// Explain, when non-nil, receives a structured Explanation of every
+	// diff: one provenance record per emitted edit (index-aligned with the
+	// script) describing which equivalence class matched, whether the
+	// preferred (exact) or structural candidate won, at which height, how
+	// many candidates were considered, and why losing subtrees were loaded
+	// or unloaded instead of reused. Like Tracer, a nil Explain keeps the
+	// hot path untouched (one pointer check per diff and per edit); a sink
+	// shared by concurrent goroutines must be concurrency-safe. A
+	// per-invocation sink can be carried by the context instead, see
+	// ContextWithExplain.
+	Explain ExplainSink
 	// ProfileLabels turns on profiler-visible phase attribution: each diff
 	// becomes a runtime/trace task ("truediff.diff") and each of the four
 	// phases runs under a pprof label (phase=prepare|shares|select|emit)
@@ -242,6 +253,10 @@ func (d *Differ) DiffScratchProfiled(ctx context.Context, source, target *tree.N
 		every = DefaultCheckpointEvery
 	}
 	r := &run{sch: d.sch, opts: d.opts, s: s, cp: cp, cpEvery: every, cpLeft: every}
+	ctxSink := ExplainFromContext(ctx)
+	if d.opts.Explain != nil || ctxSink != nil {
+		r.explain = newExplainState()
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			a, ok := p.(diffAbort)
@@ -300,6 +315,15 @@ func (d *Differ) DiffScratchProfiled(ctx context.Context, source, target *tree.N
 	res = &Result{Script: s.buf.Script(), Patched: patched}
 	if tr != nil {
 		tr.EndDiff(res.Script.EditCount(), mark.Sub(began))
+	}
+	if r.explain != nil {
+		ex := r.explain.finish(source, target)
+		if d.opts.Explain != nil {
+			d.opts.Explain.ExplainDiff(ex)
+		}
+		if ctxSink != nil {
+			ctxSink.ExplainDiff(ex)
+		}
 	}
 	return res, nil
 }
@@ -378,6 +402,9 @@ type run struct {
 	cp      Checkpoint
 	cpEvery int
 	cpLeft  int
+	// explain accumulates per-edit provenance; nil unless an ExplainSink is
+	// installed, so the hot path pays one pointer check per hook.
+	explain *explainState
 }
 
 // tick counts one processed node and, every cpEvery nodes of a checked
@@ -433,6 +460,9 @@ func (r *run) assignShares(src, dst *tree.Node) {
 	ds := r.s.reg.shareFor(r.candidateKey(dst))
 	if ss == ds {
 		r.assign(src, dst) // preemptive: reuse in place, stop recursing
+		if r.explain != nil {
+			r.explain.preassigned(r, dst)
+		}
 		return
 	}
 	if src.Tag == dst.Tag {
@@ -556,11 +586,21 @@ func (r *run) selectTrees(trees []*tree.Node, preferred bool) []*tree.Node {
 		}
 		s := r.s.reg.lookup(r.candidateKey(n))
 		var src *tree.Node
+		var scanned, avail int
 		if s != nil {
+			avail = len(s.member)
 			if preferred {
-				src = s.takePreferred(r.preferKey(n))
+				src, scanned = s.takePreferred(r.preferKey(n))
 			} else {
-				src = s.takeAny()
+				src, scanned = s.takeAny()
+			}
+		}
+		if x := r.explain; x != nil {
+			d := x.decisionFor(r, n, avail)
+			d.considered += scanned
+			if src != nil {
+				d.acquired = true
+				d.preferred = preferred
 			}
 		}
 		if src == nil {
@@ -595,6 +635,9 @@ func (r *run) deregisterSubtree(src, dst *tree.Node) {
 				s.removeAvailable(n)
 			}
 			if partner := r.s.assigned[n]; partner != nil {
+				if r.explain != nil {
+					r.explain.revoke(partner)
+				}
 				r.unassign(n, partner)
 			}
 		})
@@ -675,11 +718,62 @@ func (r *run) computeEdits(src, dst *tree.Node, parent truechange.NodeRef, link 
 	// Replace the subtree src by dst: detach src, unload its unassigned
 	// nodes, load dst's unassigned nodes (reusing assigned source
 	// subtrees), and attach the result.
-	r.s.buf.Add(truechange.Detach{Node: ref(src), Link: link, Parent: parent})
+	detach := truechange.Detach{Node: ref(src), Link: link, Parent: parent}
+	r.s.buf.Add(detach)
+	if x := r.explain; x != nil {
+		x.record(detach, r.detachProvenance(src, dst))
+	}
 	r.unloadUnassigned(src)
 	t := r.loadUnassigned(dst)
-	r.s.buf.Add(truechange.Attach{Node: ref(t), Link: link, Parent: parent})
+	attach := truechange.Attach{Node: ref(t), Link: link, Parent: parent}
+	r.s.buf.Add(attach)
+	if x := r.explain; x != nil {
+		x.record(attach, r.attachProvenance(dst))
+	}
 	return t
+}
+
+// detachProvenance explains why src is detached rather than kept in place
+// opposite dst (the replace branch of computeEdits).
+func (r *run) detachProvenance(src, dst *tree.Node) EditProvenance {
+	p := EditProvenance{}
+	switch {
+	case r.s.assigned[src] != nil:
+		// src was acquired as a reuse candidate by some other target
+		// subtree; it cannot stay here.
+		p.Reason = ReasonSourceClaimed
+		partner := r.s.assigned[src]
+		p.Detail = fmt.Sprintf("acquired by target %s subtree at height %d", partner.Tag, partner.Height())
+		p.fill(r.explain.decisions[partner])
+	case src.Tag != dst.Tag:
+		p.Reason = ReasonTagMismatch
+		p.Detail = fmt.Sprintf("%s≠%s", src.Tag, dst.Tag)
+	case r.s.assigned[dst] != nil:
+		// The traversal could have aligned the nodes, but dst acquired a
+		// different source candidate during selection.
+		p.Reason = ReasonMove
+		p.Detail = "target position filled by a selected candidate"
+		p.fill(r.explain.decisions[dst])
+	default:
+		p.Reason = ReasonLitMismatch
+		p.Detail = "tags agree, literals differ"
+	}
+	return p
+}
+
+// attachProvenance explains what the subtree attached at dst's position is:
+// a moved reuse candidate or a freshly built subtree.
+func (r *run) attachProvenance(dst *tree.Node) EditProvenance {
+	p := EditProvenance{}
+	if r.s.assigned[dst] != nil {
+		p.Reason = ReasonMove
+		p.Detail = "reused source subtree selected for this target"
+	} else {
+		p.Reason = ReasonFreshSubtree
+		p.Detail = "no candidate covered the whole subtree"
+	}
+	p.fill(r.explain.decisions[dst])
+	return p
 }
 
 // computeEditsRec continues the simultaneous traversal through src and dst
@@ -695,7 +789,12 @@ func (r *run) computeEditsRec(src, dst *tree.Node, parent truechange.NodeRef, li
 		return nil
 	}
 	if !litsOK {
-		r.s.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+		up := truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)}
+		r.s.buf.Add(up)
+		if x := r.explain; x != nil {
+			x.record(up, EditProvenance{Reason: ReasonLitUpdate,
+				Detail: "traversal crossed a literal mismatch (UpdateOnLitMismatch)"})
+		}
 	}
 	g := r.sch.Lookup(src.Tag)
 	srcRef := ref(src)
@@ -717,7 +816,12 @@ func (r *run) morphAssigned(src, dst *tree.Node) *tree.Node {
 		return r.updateLits(src, dst)
 	}
 	if !litsEqual(src, dst) {
-		r.s.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+		up := truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)}
+		r.s.buf.Add(up)
+		if x := r.explain; x != nil {
+			x.record(up, EditProvenance{Reason: ReasonLitUpdate,
+				Detail: "reconciles literals of an externally matched pair"})
+		}
 	}
 	g := r.sch.Lookup(src.Tag)
 	srcRef := ref(src)
@@ -742,7 +846,12 @@ func (r *run) updateLits(src, dst *tree.Node) *tree.Node {
 		kids[i] = r.updateLits(src.Kids[i], dst.Kids[i])
 	}
 	if !litsEqual(src, dst) {
-		r.s.buf.Add(truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)})
+		up := truechange.Update{Node: ref(src), Old: r.litArgs(src), New: r.litArgs(dst)}
+		r.s.buf.Add(up)
+		if x := r.explain; x != nil {
+			x.record(up, EditProvenance{Reason: ReasonLitUpdate,
+				Detail: "reconciles literals of a reused structural candidate"})
+		}
 	}
 	return tree.Rebuilt(dst, r.alloc, src.URI, kids)
 }
@@ -755,7 +864,19 @@ func (r *run) unloadUnassigned(src *tree.Node) {
 	if r.s.assigned[src] != nil {
 		return
 	}
-	r.s.buf.Add(truechange.Unload{Node: ref(src), Kids: r.kidArgs(src), Lits: r.litArgs(src)})
+	un := truechange.Unload{Node: ref(src), Kids: r.kidArgs(src), Lits: r.litArgs(src)}
+	r.s.buf.Add(un)
+	if x := r.explain; x != nil {
+		p := EditProvenance{CandidateKey: shortKey(r.candidateKey(src)), Height: src.Height()}
+		if demand := x.demand[r.candidateKey(src)]; demand > 0 {
+			p.Reason = ReasonLostRace
+			p.Detail = fmt.Sprintf("class demanded by %d target subtree(s), satisfied by other candidates", demand)
+		} else {
+			p.Reason = ReasonNoDemand
+			p.Detail = "no target subtree demanded this equivalence class"
+		}
+		x.record(un, p)
+	}
 	for _, k := range src.Kids {
 		r.unloadUnassigned(k)
 	}
@@ -774,6 +895,23 @@ func (r *run) loadUnassigned(dst *tree.Node) *tree.Node {
 		kids[i] = r.loadUnassigned(k)
 	}
 	n := tree.Rebuilt(dst, r.alloc, r.alloc.Fresh(), kids)
-	r.s.buf.Add(truechange.Load{Node: ref(n), Kids: r.kidArgs(n), Lits: r.litArgs(n)})
+	ld := truechange.Load{Node: ref(n), Kids: r.kidArgs(n), Lits: r.litArgs(n)}
+	r.s.buf.Add(ld)
+	if x := r.explain; x != nil {
+		p := EditProvenance{Reason: ReasonNoCandidate}
+		if d := x.decisions[dst]; d != nil {
+			p.fill(d)
+			if d.considered > 0 {
+				p.Detail = fmt.Sprintf("class exhausted after scanning %d candidate(s)", d.considered)
+			} else {
+				p.Detail = "equivalence class offered no source candidate"
+			}
+		} else {
+			p.CandidateKey = shortKey(r.candidateKey(dst))
+			p.Height = dst.Height()
+			p.Detail = "no source subtree in this equivalence class"
+		}
+		x.record(ld, p)
+	}
 	return n
 }

@@ -64,16 +64,20 @@ func (s *share) removeAvailable(n *tree.Node) {
 }
 
 // takePreferred acquires an available tree whose preference key matches,
-// or returns nil. The acquired tree is removed from the share.
-func (s *share) takePreferred(prefKey string) *tree.Node {
+// or returns nil. The acquired tree is removed from the share. The second
+// result is how many queue entries were scanned (including stale ones),
+// feeding the explain layer's "candidates considered" provenance.
+func (s *share) takePreferred(prefKey string) (*tree.Node, int) {
 	q := s.byPrefer[prefKey]
+	scanned := 0
 	for len(q) > 0 {
 		n := q[0]
 		q = q[1:]
+		scanned++
 		if s.member[n] {
 			s.byPrefer[prefKey] = q
 			s.removeAvailable(n)
-			return n
+			return n, scanned
 		}
 	}
 	if len(q) == 0 {
@@ -81,20 +85,23 @@ func (s *share) takePreferred(prefKey string) *tree.Node {
 	} else {
 		s.byPrefer[prefKey] = q
 	}
-	return nil
+	return nil, scanned
 }
 
-// takeAny acquires any available tree, or returns nil.
-func (s *share) takeAny() *tree.Node {
+// takeAny acquires any available tree, or returns nil. The second result
+// counts scanned queue entries, as for takePreferred.
+func (s *share) takeAny() (*tree.Node, int) {
+	scanned := 0
 	for len(s.queue) > 0 {
 		n := s.queue[0]
 		s.queue = s.queue[1:]
+		scanned++
 		if s.member[n] {
 			s.removeAvailable(n)
-			return n
+			return n, scanned
 		}
 	}
-	return nil
+	return nil, scanned
 }
 
 // recycle empties the share for reuse by a later diff, keeping the

@@ -21,21 +21,21 @@ func TestShareRegisterAndTake(t *testing.T) {
 	s.registerAvailable(n1, n1.LitHash()) // duplicate registration is a no-op
 
 	// Preferred lookup finds the exact-literal candidate.
-	if got := s.takePreferred(n2.LitHash()); got != n2 {
+	if got, _ := s.takePreferred(n2.LitHash()); got != n2 {
 		t.Errorf("takePreferred = %v, want n2", got)
 	}
 	// n2 is consumed: a second preferred take for its key fails.
-	if got := s.takePreferred(n2.LitHash()); got != nil {
+	if got, _ := s.takePreferred(n2.LitHash()); got != nil {
 		t.Errorf("consumed candidate returned again: %v", got)
 	}
 	// takeAny pops in registration order, skipping consumed entries.
-	if got := s.takeAny(); got != n1 {
+	if got, _ := s.takeAny(); got != n1 {
 		t.Errorf("takeAny = %v, want n1", got)
 	}
-	if got := s.takeAny(); got != n3 {
+	if got, _ := s.takeAny(); got != n3 {
 		t.Errorf("takeAny = %v, want n3", got)
 	}
-	if got := s.takeAny(); got != nil {
+	if got, _ := s.takeAny(); got != nil {
 		t.Errorf("exhausted share returned %v", got)
 	}
 }
@@ -48,10 +48,10 @@ func TestShareRemoveAvailable(t *testing.T) {
 	s.registerAvailable(n1, n1.LitHash())
 	s.registerAvailable(n2, n2.LitHash())
 	s.removeAvailable(n1)
-	if got := s.takePreferred(n1.LitHash()); got != n2 {
+	if got, _ := s.takePreferred(n1.LitHash()); got != n2 {
 		t.Errorf("preferred take after removal = %v, want n2", got)
 	}
-	if got := s.takeAny(); got != nil {
+	if got, _ := s.takeAny(); got != nil {
 		t.Errorf("take after exhaustion = %v", got)
 	}
 }
@@ -65,7 +65,7 @@ func TestShareReregistration(t *testing.T) {
 	s.registerAvailable(n, n.LitHash())
 	s.removeAvailable(n)
 	s.registerAvailable(n, n.LitHash())
-	if got := s.takeAny(); got != n {
+	if got, _ := s.takeAny(); got != n {
 		t.Errorf("re-registered node not available: %v", got)
 	}
 }

@@ -64,6 +64,8 @@ type config struct {
 	logger   *slog.Logger
 	slo      telemetry.SLOConfig
 	merge    merge.Policy
+	explain  bool
+	qbase    int
 }
 
 func newConfig(opts []Option) config {
@@ -403,6 +405,8 @@ func NewEngine(sch *Schema, opts ...Option) (*Engine, error) {
 		Spans:             cfg.spans,
 		Logger:            cfg.logger,
 		SLO:               cfg.slo,
+		Explain:           cfg.explain,
+		QualityBaseline:   cfg.qbase,
 	}), nil
 }
 
